@@ -1,0 +1,133 @@
+// ENG — engine microbenchmarks (google-benchmark): the substrate costs
+// underlying every figure. Not from the paper; included so readers can
+// judge where the core chase's time goes (spoiler: core computation).
+#include <benchmark/benchmark.h>
+
+#include "core/chase.h"
+#include "hom/core.h"
+#include "hom/matcher.h"
+#include "kb/examples.h"
+#include "kb/generators.h"
+#include "tw/exact.h"
+#include "tw/grid.h"
+#include "tw/heuristics.h"
+#include "tw/treewidth.h"
+#include "util/random.h"
+
+namespace twchase {
+namespace {
+
+void BM_HomPathIntoGrid(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Vocabulary vocab;
+  AtomSet grid = MakeGridInstance(&vocab, "h", "v", n, n);
+  AtomSet path = MakePathInstance(&vocab, "h", n - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExistsHomomorphism(path, grid));
+  }
+}
+BENCHMARK(BM_HomPathIntoGrid)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_HomRandomSelfJoin(benchmark::State& state) {
+  int terms = static_cast<int>(state.range(0));
+  Rng rng(42);
+  Vocabulary vocab;
+  AtomSet instance =
+      MakeRandomBinaryInstance(&vocab, "e", terms, terms * 2, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExistsHomomorphism(instance, instance));
+  }
+}
+BENCHMARK(BM_HomRandomSelfJoin)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_CoreComputationRedundant(benchmark::State& state) {
+  int redundancy = static_cast<int>(state.range(0));
+  Vocabulary vocab;
+  AtomSet instance = MakeRedundantInstance(&vocab, "e", 5, redundancy);
+  for (auto _ : state) {
+    CoreResult result = ComputeCore(instance);
+    benchmark::DoNotOptimize(result.core.size());
+  }
+  state.counters["atoms"] = static_cast<double>(instance.size());
+}
+BENCHMARK(BM_CoreComputationRedundant)->Arg(2)->Arg(6)->Arg(12);
+
+void BM_CoreVerifyStaircaseStep(benchmark::State& state) {
+  // The all-variables UNSAT verification on a staircase step (a core).
+  StaircaseWorld world;
+  AtomSet step = world.Step(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    CoreResult result = ComputeCore(step);
+    benchmark::DoNotOptimize(result.core.size());
+  }
+}
+BENCHMARK(BM_CoreVerifyStaircaseStep)->Arg(3)->Arg(6)->Arg(9);
+
+void BM_ExactTreewidthGrid(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Graph g = Graph::Grid(n, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExactTreewidth(g).value());
+  }
+}
+BENCHMARK(BM_ExactTreewidthGrid)->Arg(3)->Arg(4);
+
+void BM_MinFillGrid(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Graph g = Graph::Grid(n, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        HeuristicUpperBound(g, EliminationHeuristic::kMinFill));
+  }
+}
+BENCHMARK(BM_MinFillGrid)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_GridDetection(benchmark::State& state) {
+  StaircaseWorld world;
+  AtomSet prefix = world.UniversalModelPrefix(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GridLowerBound(prefix, 4));
+  }
+}
+BENCHMARK(BM_GridDetection)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_ChaseVariant(benchmark::State& state) {
+  ChaseVariant variant = static_cast<ChaseVariant>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto kb = MakeTransitiveClosure(6);
+    state.ResumeTiming();
+    ChaseOptions options;
+    options.variant = variant;
+    options.max_steps = 500;
+    options.keep_snapshots = false;
+    auto run = RunChase(kb, options);
+    benchmark::DoNotOptimize(run->steps);
+  }
+}
+BENCHMARK(BM_ChaseVariant)
+    ->Arg(static_cast<int>(ChaseVariant::kOblivious))
+    ->Arg(static_cast<int>(ChaseVariant::kSemiOblivious))
+    ->Arg(static_cast<int>(ChaseVariant::kRestricted))
+    ->Arg(static_cast<int>(ChaseVariant::kCore));
+
+void BM_StaircaseCoreChase(benchmark::State& state) {
+  size_t steps = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    StaircaseWorld world;
+    state.ResumeTiming();
+    ChaseOptions options;
+    options.variant = ChaseVariant::kCore;
+    options.max_steps = steps;
+    options.keep_snapshots = false;
+    auto run = RunChase(world.kb(), options);
+    benchmark::DoNotOptimize(run->steps);
+  }
+}
+BENCHMARK(BM_StaircaseCoreChase)->Arg(15)->Arg(30)->Arg(45);
+
+}  // namespace
+}  // namespace twchase
+
+BENCHMARK_MAIN();

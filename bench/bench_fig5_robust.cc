@@ -1,0 +1,79 @@
+// FIG5/6 — reproduces the robust-sequence construction of Figures 5–6 and
+// the Section 8 worked example as measured series on the staircase's core
+// chase:
+//   |G_i|     size of the robust sequence element (isomorphic to F_i);
+//   |U_i|     forwarded union — the finite prefix of D⊛;
+//   renamed   variables moved by π_i (bounded per variable by its rank —
+//             Proposition 10);
+//   stable    variables of U_i unchanged for at least one step.
+// Afterwards: the natural-vs-robust aggregation contrast (Propositions 5
+// vs 11–12) and the bookkeeping overhead of the robust construction.
+#include <cstdio>
+
+#include "core/chase.h"
+#include "core/robust.h"
+#include "hom/isomorphism.h"
+#include "kb/examples.h"
+#include "tw/grid.h"
+#include "tw/treewidth.h"
+#include "util/stopwatch.h"
+
+int main() {
+  using namespace twchase;
+  StaircaseWorld world;
+
+  ChaseOptions options;
+  options.variant = ChaseVariant::kCore;
+  options.max_steps = 60;
+  auto run = RunChase(world.kb(), options);
+  if (!run.ok()) {
+    std::printf("chase failed: %s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  const Derivation& d = run->derivation;
+
+  Stopwatch robust_watch;
+  RobustAggregator agg = RobustAggregator::FromDerivation(d);
+  double robust_seconds = robust_watch.ElapsedSeconds();
+
+  std::printf("FIG5/6: robust sequence along the staircase core chase\n");
+  std::printf("%5s %8s %8s %9s %8s\n", "step", "|G_i|", "|U_i|", "renamed",
+              "stable");
+  const auto& stats = agg.stats();
+  for (size_t i = 0; i < stats.size(); i += 6) {
+    std::printf("%5zu %8zu %8zu %9zu %8zu\n", i, stats[i].g_size,
+                stats[i].union_size, stats[i].renamed_variables,
+                stats[i].stable_variables);
+  }
+
+  Stopwatch natural_watch;
+  AtomSet natural = d.NaturalAggregation();
+  double natural_seconds = natural_watch.ElapsedSeconds();
+
+  TreewidthResult natural_tw = ComputeTreewidth(natural);
+  TreewidthResult robust_tw = ComputeTreewidth(agg.Aggregate());
+  int natural_grid = GridLowerBound(natural, 6);
+
+  std::printf("\naggregation comparison (the paper's central contrast):\n");
+  std::printf("%-24s %8s %14s %10s\n", "aggregation", "atoms", "treewidth",
+              "time");
+  std::printf("%-24s %8zu %9s>=%-3d %9.3fs\n", "natural D* (Prop. 1/5)",
+              natural.size(), "", std::max(natural_tw.lower_bound, natural_grid),
+              natural_seconds);
+  std::printf("%-24s %8zu %10s<=%-3d %9.3fs\n", "robust D~ (Prop. 11/12)",
+              agg.Aggregate().size(), "", robust_tw.upper_bound,
+              robust_seconds);
+
+  // The robust aggregate cut at a collapse is a column prefix of Ỹ^h.
+  for (int h = 1; h <= 40; ++h) {
+    RobustAggregator cut = RobustAggregator::FromDerivation(d, 49);
+    if (AreIsomorphic(cut.Aggregate(), world.InfiniteColumnPrefix(h))) {
+      std::printf(
+          "\nrobust aggregate at the last collapse ~ column prefix of height "
+          "%d\n(the finitely universal model Ỹ^h of Section 8)\n",
+          h);
+      break;
+    }
+  }
+  return 0;
+}

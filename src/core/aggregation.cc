@@ -1,0 +1,40 @@
+#include "core/aggregation.h"
+
+#include "core/trigger.h"
+#include "hom/matcher.h"
+
+namespace twchase {
+
+AtomSet NaturalAggregation(const Derivation& derivation) {
+  return derivation.NaturalAggregation();
+}
+
+bool IsFairPrefix(const Derivation& derivation, const KnowledgeBase& kb,
+                  size_t skip_tail) {
+  size_t n = derivation.size();
+  size_t check_until = n > skip_tail ? n - skip_tail : 0;
+  for (size_t i = 0; i < check_until; ++i) {
+    const AtomSet& fi = derivation.Instance(i);
+    for (int r = 0; r < static_cast<int>(kb.rules.size()); ++r) {
+      for (const Trigger& tr : FindTriggers(kb.rules[r], r, fi)) {
+        bool satisfied_somewhere = false;
+        for (size_t j = i; j < n && !satisfied_somewhere; ++j) {
+          Substitution mapped =
+              Substitution::Compose(derivation.SigmaBetween(i, j), tr.match);
+          if (TriggerIsSatisfied(kb.rules[r], mapped,
+                                 derivation.Instance(j))) {
+            satisfied_somewhere = true;
+          }
+        }
+        if (!satisfied_somewhere) return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool MapsInto(const AtomSet& candidate, const AtomSet& model) {
+  return ExistsHomomorphism(candidate, model);
+}
+
+}  // namespace twchase

@@ -1,0 +1,216 @@
+#include "core/chase.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/trigger.h"
+#include "hom/core.h"
+#include "hom/endomorphism.h"
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace twchase {
+
+const char* ChaseVariantName(ChaseVariant variant) {
+  switch (variant) {
+    case ChaseVariant::kOblivious:
+      return "oblivious";
+    case ChaseVariant::kSemiOblivious:
+      return "semi-oblivious";
+    case ChaseVariant::kRestricted:
+      return "restricted";
+    case ChaseVariant::kFrugal:
+      return "frugal";
+    case ChaseVariant::kCore:
+      return "core";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Canonical string key for the (semi-)oblivious applied-trigger sets.
+std::string TriggerKey(int rule_index, const Substitution& match,
+                       const std::vector<Term>& restrict_to) {
+  std::vector<std::pair<uint32_t, uint32_t>> entries;
+  if (restrict_to.empty()) {
+    for (const auto& [var, term] : match.map()) {
+      entries.emplace_back(var.raw(), term.raw());
+    }
+  } else {
+    for (Term var : restrict_to) {
+      entries.emplace_back(var.raw(), match.Apply(var).raw());
+    }
+  }
+  std::sort(entries.begin(), entries.end());
+  std::string key = std::to_string(rule_index);
+  for (const auto& [a, b] : entries) {
+    key += ':';
+    key += std::to_string(a);
+    key += ',';
+    key += std::to_string(b);
+  }
+  return key;
+}
+
+// Deterministic sort key for a trigger within a round.
+std::string MatchSortKey(const Substitution& match) {
+  std::vector<std::pair<uint32_t, uint32_t>> entries;
+  for (const auto& [var, term] : match.map()) {
+    entries.emplace_back(var.raw(), term.raw());
+  }
+  std::sort(entries.begin(), entries.end());
+  std::string key;
+  for (const auto& [a, b] : entries) {
+    key += std::to_string(a);
+    key += ',';
+    key += std::to_string(b);
+    key += ';';
+  }
+  return key;
+}
+
+}  // namespace
+
+StatusOr<ChaseResult> RunChase(const KnowledgeBase& kb,
+                               const ChaseOptions& options) {
+  if (kb.vocab == nullptr) {
+    return Status::InvalidArgument("knowledge base has no vocabulary");
+  }
+  if (options.core_every == 0) {
+    return Status::InvalidArgument("core_every must be positive");
+  }
+  Vocabulary* vocab = kb.vocab.get();
+  const bool is_core = options.variant == ChaseVariant::kCore;
+
+  ChaseResult result;
+  result.derivation = Derivation(options.keep_snapshots);
+
+  AtomSet current = kb.facts;
+  Substitution sigma0;
+  if (is_core && options.core_initial) {
+    CoreResult cored = ComputeCore(current);
+    current = std::move(cored.core);
+    sigma0 = std::move(cored.retraction);
+  }
+  result.derivation.AddInitial(current, std::move(sigma0));
+
+  std::unordered_set<std::string> applied_keys;  // (semi-)oblivious only
+  size_t since_last_core = 0;
+
+  while (result.steps < options.max_steps) {
+    ++result.rounds;
+    // Snapshot this round's triggers.
+    struct PendingTrigger {
+      int rule_index;
+      Trigger trigger;
+      bool datalog;
+      std::string sort_key;
+    };
+    std::vector<PendingTrigger> pending;
+    for (int r = 0; r < static_cast<int>(kb.rules.size()); ++r) {
+      for (Trigger& tr : FindTriggers(kb.rules[r], r, current)) {
+        PendingTrigger p;
+        p.rule_index = r;
+        p.datalog = kb.rules[r].IsDatalog();
+        p.sort_key = MatchSortKey(tr.match);
+        p.trigger = std::move(tr);
+        pending.push_back(std::move(p));
+      }
+    }
+    std::stable_sort(pending.begin(), pending.end(),
+                     [&](const PendingTrigger& a, const PendingTrigger& b) {
+                       if (options.datalog_first && a.datalog != b.datalog) {
+                         return a.datalog;
+                       }
+                       if (a.rule_index != b.rule_index) {
+                         return a.rule_index < b.rule_index;
+                       }
+                       return a.sort_key < b.sort_key;
+                     });
+
+    bool progressed = false;
+    Substitution sigma_round;  // composition of simplifications this round
+    for (PendingTrigger& p : pending) {
+      if (result.steps >= options.max_steps) break;
+      const Rule& rule = kb.rules[p.rule_index];
+      // Re-map the trigger through the simplifications applied since the
+      // round snapshot (σ^j_i of Definition 2); σ is a homomorphism between
+      // successive instances, so the image is still a trigger.
+      Substitution match = sigma_round.empty()
+                               ? std::move(p.trigger.match)
+                               : Substitution::Compose(sigma_round,
+                                                       p.trigger.match);
+      // Activeness per variant.
+      switch (options.variant) {
+        case ChaseVariant::kOblivious: {
+          std::string key = TriggerKey(p.rule_index, match, {});
+          if (!applied_keys.insert(std::move(key)).second) continue;
+          break;
+        }
+        case ChaseVariant::kSemiOblivious: {
+          std::string key = TriggerKey(p.rule_index, match, rule.frontier());
+          if (!applied_keys.insert(std::move(key)).second) continue;
+          break;
+        }
+        case ChaseVariant::kRestricted:
+        case ChaseVariant::kFrugal:
+        case ChaseVariant::kCore: {
+          if (TriggerIsSatisfied(rule, match, current)) continue;
+          break;
+        }
+      }
+
+      TriggerApplication application =
+          ApplyTrigger(rule, match, &current, vocab);
+      Substitution sigma;
+      if (is_core && !options.core_at_round_end &&
+          ++since_last_core >= options.core_every) {
+        CoreResult cored = ComputeCore(current);
+        current = std::move(cored.core);
+        sigma = std::move(cored.retraction);
+        since_last_core = 0;
+      } else if (options.variant == ChaseVariant::kFrugal &&
+                 !rule.existential().empty()) {
+        std::vector<Term> fresh;
+        for (Term ev : rule.existential()) {
+          fresh.push_back(application.safe.Apply(ev));
+        }
+        sigma = FoldVariablesKeepingRestFixed(&current, fresh);
+      }
+      result.derivation.AddStep(p.rule_index, rule.label(), match, sigma,
+                                std::move(application.added_atoms), current);
+      if (!sigma.IsIdentity()) {
+        sigma_round = Substitution::Compose(sigma, sigma_round);
+      }
+      ++result.steps;
+      progressed = true;
+      if (options.max_instance_size != 0 &&
+          current.size() > options.max_instance_size) {
+        result.size_guard_tripped = true;
+        break;
+      }
+    }
+    if (is_core && options.core_at_round_end && progressed) {
+      CoreResult cored = ComputeCore(current);
+      if (!cored.retraction.IsIdentity()) {
+        current = std::move(cored.core);
+        result.derivation.AmendLastSimplification(cored.retraction, current);
+      }
+    }
+    if (!progressed) {
+      result.terminated = true;
+      break;
+    }
+    if (result.size_guard_tripped) break;
+  }
+  TWCHASE_LOG(Debug) << "chase " << ChaseVariantName(options.variant) << ": "
+                     << result.steps << " steps, " << result.rounds
+                     << " rounds, terminated=" << result.terminated
+                     << ", |F|=" << current.size();
+  return result;
+}
+
+}  // namespace twchase

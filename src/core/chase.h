@@ -1,0 +1,95 @@
+// The chase engine: oblivious, semi-oblivious (skolem), restricted
+// (standard) and core chase variants over one fair, deterministic,
+// round-based scheduler.
+//
+// Fairness: each round snapshots all triggers of the current instance and
+// processes them in a deterministic order (datalog rules first, matching the
+// schedules used in the paper's proofs, e.g. Proposition 6), re-checking
+// activeness — and, for the core chase, re-mapping the trigger through the
+// accumulated simplifications σ (Definition 2) — before each application.
+// Every trigger existing at round r is thus considered by round r+1, which
+// realises Definition 3 on every finite prefix.
+//
+// Termination: a round in which no trigger is active is a fixpoint. For the
+// restricted/core chase this means every trigger is satisfied (the result is
+// a model); the core chase terminates iff the KB has a finite universal
+// model (Deutsch–Nash–Remmel), which is the fes test used by classes.h.
+#ifndef TWCHASE_CORE_CHASE_H_
+#define TWCHASE_CORE_CHASE_H_
+
+#include <cstdint>
+
+#include "core/derivation.h"
+#include "kb/knowledge_base.h"
+#include "util/status.h"
+
+namespace twchase {
+
+enum class ChaseVariant {
+  kOblivious,      // apply every trigger once, never re-check satisfaction
+  kSemiOblivious,  // apply once per (rule, frontier restriction)
+  kRestricted,     // apply only unsatisfied triggers
+  kFrugal,         // restricted + fold freshly created nulls when redundant
+                   // (a derivation "between" restricted and core, Section 3)
+  kCore,           // restricted + retract to a core after each application
+};
+
+const char* ChaseVariantName(ChaseVariant variant);
+
+struct ChaseOptions {
+  ChaseVariant variant = ChaseVariant::kRestricted;
+
+  /// Budget in rule applications; the run stops unterminated when exhausted.
+  size_t max_steps = 1000;
+
+  /// Instance-size guardrail: stop (unterminated) once |F_i| exceeds this
+  /// (0 = unlimited). Protects callers from runaway oblivious chases.
+  size_t max_instance_size = 0;
+
+  /// Process datalog (non-existential) rules before existential ones within
+  /// a round, as the paper's constructions assume (Proposition 6).
+  bool datalog_first = true;
+
+  /// Keep per-step instance snapshots (needed by aggregations and measures).
+  bool keep_snapshots = true;
+
+  /// Core chase: retract to a core after every k-th application (the paper
+  /// allows any finite spacing; 1 = after every application).
+  size_t core_every = 1;
+
+  /// Core chase: instead of per-application coring, core once at the end of
+  /// each scheduler round — the Deutsch–Nash–Remmel presentation (apply all
+  /// active triggers "in parallel", then take the core). The retraction is
+  /// recorded as the simplification of the round's last application, which
+  /// keeps the run a valid derivation (Definition 1) and a core chase
+  /// sequence (finitely many applications between corings).
+  bool core_at_round_end = false;
+
+  /// Also core the initial fact set (the core chase does; other variants
+  /// keep F as-is).
+  bool core_initial = true;
+};
+
+struct ChaseResult {
+  Derivation derivation{true};
+
+  /// True iff a fixpoint was reached within the budget.
+  bool terminated = false;
+
+  /// Set when the run stopped because max_instance_size was exceeded.
+  bool size_guard_tripped = false;
+
+  /// Rule applications performed.
+  size_t steps = 0;
+
+  /// Scheduler rounds performed.
+  size_t rounds = 0;
+};
+
+/// Runs the chase on kb. Fresh nulls are minted in *kb.vocab.
+StatusOr<ChaseResult> RunChase(const KnowledgeBase& kb,
+                               const ChaseOptions& options);
+
+}  // namespace twchase
+
+#endif  // TWCHASE_CORE_CHASE_H_

@@ -1,0 +1,47 @@
+// Empirical classifiers for the decidable classes of Figure 1: fes evidence
+// (core-chase termination), bts evidence (treewidth-bounded restricted
+// chase) and core-bts evidence (recurringly treewidth-bounded core chase,
+// Definition 17). On a fixed instance and finite budget these are
+// semi-decisions: termination within budget certifies fes on that instance;
+// boundedness on the prefix is evidence, not proof (the paper's classes
+// quantify over all instances and infinite sequences).
+#ifndef TWCHASE_CORE_CLASSES_H_
+#define TWCHASE_CORE_CLASSES_H_
+
+#include <string>
+
+#include "core/chase.h"
+#include "core/measures.h"
+#include "kb/knowledge_base.h"
+
+namespace twchase {
+
+struct ClassificationOptions {
+  size_t max_steps = 400;
+  size_t tail_window = 8;
+  TreewidthOptions tw;
+};
+
+struct ClassificationReport {
+  // Core chase (fes / core-bts evidence).
+  bool core_chase_terminated = false;
+  size_t core_steps = 0;
+  std::vector<int> core_tw_series;
+  BoundednessSummary core_tw;
+
+  // Restricted chase (bts evidence).
+  bool restricted_terminated = false;
+  size_t restricted_steps = 0;
+  std::vector<int> restricted_tw_series;
+  BoundednessSummary restricted_tw;
+
+  std::string ToTableRow(const std::string& name) const;
+};
+
+/// Runs both chases on the KB and summarises the measure series.
+ClassificationReport ClassifyKb(const KnowledgeBase& kb,
+                                const ClassificationOptions& options = {});
+
+}  // namespace twchase
+
+#endif  // TWCHASE_CORE_CLASSES_H_

@@ -1,0 +1,35 @@
+#include "core/containment.h"
+
+#include <string>
+
+#include "hom/matcher.h"
+#include "util/status.h"
+
+namespace twchase {
+
+AtomSet FreezeQuery(const AtomSet& query, Vocabulary* vocab) {
+  Substitution freeze;
+  size_t i = 0;
+  for (Term v : query.Variables()) {
+    freeze.Bind(v, vocab->Constant("_frozen" + std::to_string(i++) + "_" +
+                                   std::to_string(v.index())));
+  }
+  return freeze.Apply(query);
+}
+
+bool QueryContained(const AtomSet& q1, const AtomSet& q2, Vocabulary* vocab) {
+  AtomSet canonical = FreezeQuery(q1, vocab);
+  return ExistsHomomorphism(q2, canonical);
+}
+
+EntailmentResult QueryContainedUnder(const KnowledgeBase& kb,
+                                     const AtomSet& q1, const AtomSet& q2,
+                                     size_t max_steps) {
+  KnowledgeBase canonical_kb;
+  canonical_kb.vocab = kb.vocab;
+  canonical_kb.rules = kb.rules;
+  canonical_kb.facts = FreezeQuery(q1, kb.vocab.get());
+  return DecideByCoreChase(canonical_kb, q2, max_steps);
+}
+
+}  // namespace twchase

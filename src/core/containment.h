@@ -1,0 +1,36 @@
+// Conjunctive-query containment — the original application of the chase
+// (Maier–Mendelzon–Sagiv / Johnson–Klug):
+//   * plain containment Q1 ⊆ Q2 holds iff Q2 maps homomorphically into the
+//     frozen body of Q1 (its canonical instance);
+//   * containment under a ruleset Σ holds iff Q2 maps into the chase of the
+//     frozen Q1 with Σ — decided exactly when the chase terminates, and
+//     semi-decided positively otherwise.
+#ifndef TWCHASE_CORE_CONTAINMENT_H_
+#define TWCHASE_CORE_CONTAINMENT_H_
+
+#include <vector>
+
+#include "core/entailment.h"
+#include "kb/knowledge_base.h"
+#include "model/atom_set.h"
+
+namespace twchase {
+
+/// The canonical ("frozen") instance of a query: each variable replaced by
+/// a dedicated fresh constant minted in `vocab`.
+AtomSet FreezeQuery(const AtomSet& query, Vocabulary* vocab);
+
+/// Plain CQ containment: true iff every instance satisfying q1 satisfies
+/// q2 (Boolean semantics).
+bool QueryContained(const AtomSet& q1, const AtomSet& q2, Vocabulary* vocab);
+
+/// Containment under the rules of `kb` (facts ignored), via the chase of
+/// the frozen q1. kEntailed = contained; kNotEntailed = not contained
+/// (exact, chase terminated); kUnknown = budget exhausted without a match.
+EntailmentResult QueryContainedUnder(const KnowledgeBase& kb,
+                                     const AtomSet& q1, const AtomSet& q2,
+                                     size_t max_steps);
+
+}  // namespace twchase
+
+#endif  // TWCHASE_CORE_CONTAINMENT_H_

@@ -1,0 +1,97 @@
+#include "core/derivation.h"
+
+#include "util/status.h"
+
+namespace twchase {
+
+void Derivation::AddInitial(const AtomSet& f0, Substitution sigma0) {
+  TWCHASE_CHECK(steps_.empty());
+  DerivationStep step;
+  step.simplification = std::move(sigma0);
+  step.instance_size = f0.size();
+  if (keep_snapshots_) step.instance = f0;
+  steps_.push_back(std::move(step));
+  last_ = f0;
+}
+
+void Derivation::AddStep(int rule_index, std::string rule_label,
+                         Substitution match, Substitution sigma,
+                         std::vector<Atom> added_atoms,
+                         const AtomSet& instance) {
+  TWCHASE_CHECK(!steps_.empty());
+  DerivationStep step;
+  step.rule_index = rule_index;
+  step.rule_label = std::move(rule_label);
+  step.match = std::move(match);
+  step.simplification = std::move(sigma);
+  step.added_atoms = std::move(added_atoms);
+  step.instance_size = instance.size();
+  if (keep_snapshots_) step.instance = instance;
+  steps_.push_back(std::move(step));
+  last_ = instance;
+}
+
+void Derivation::AmendLastSimplification(const Substitution& sigma,
+                                         const AtomSet& instance) {
+  TWCHASE_CHECK(!steps_.empty());
+  DerivationStep& last = steps_.back();
+  last.simplification = Substitution::Compose(sigma, last.simplification);
+  last.instance_size = instance.size();
+  if (keep_snapshots_) last.instance = instance;
+  last_ = instance;
+}
+
+const AtomSet& Derivation::Instance(size_t i) const {
+  TWCHASE_CHECK(keep_snapshots_ && i < steps_.size());
+  return steps_[i].instance;
+}
+
+Substitution Derivation::SigmaBetween(size_t i, size_t j) const {
+  TWCHASE_CHECK(i <= j && j < steps_.size());
+  Substitution out;
+  for (size_t k = i + 1; k <= j; ++k) {
+    out = Substitution::Compose(steps_[k].simplification, out);
+  }
+  return out;
+}
+
+AtomSet Derivation::PreSimplification(size_t i) const {
+  TWCHASE_CHECK(keep_snapshots_ && i >= 1 && i < steps_.size());
+  AtomSet out = steps_[i - 1].instance;
+  for (const Atom& atom : steps_[i].added_atoms) out.Insert(atom);
+  return out;
+}
+
+bool Derivation::IsMonotonic() const {
+  TWCHASE_CHECK(keep_snapshots_);
+  for (size_t i = 1; i < steps_.size(); ++i) {
+    if (!steps_[i - 1].instance.IsSubsetOf(steps_[i].instance)) return false;
+  }
+  return true;
+}
+
+AtomSet Derivation::NaturalAggregation() const {
+  TWCHASE_CHECK(keep_snapshots_);
+  AtomSet out;
+  for (const DerivationStep& step : steps_) {
+    out.InsertAll(step.instance);
+  }
+  return out;
+}
+
+std::unordered_map<Atom, size_t, AtomHash> Derivation::ProvenanceIndex()
+    const {
+  TWCHASE_CHECK(keep_snapshots_);
+  std::unordered_map<Atom, size_t, AtomHash> out;
+  if (steps_.empty()) return out;
+  steps_[0].instance.ForEach(
+      [&](const Atom& atom) { out.emplace(atom, 0); });
+  for (size_t i = 1; i < steps_.size(); ++i) {
+    for (const Atom& atom : steps_[i].added_atoms) {
+      out.emplace(atom, i);
+    }
+  }
+  return out;
+}
+
+}  // namespace twchase

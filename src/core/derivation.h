@@ -1,0 +1,100 @@
+// Derivations (Definition 1): sequences ((tr_i, σ_i, F_i)) where tr_i is a
+// trigger for F_{i-1} not satisfied in it, σ_i is a retraction
+// ("simplification"), and F_i = σ_i(α(F_{i-1}, tr_i)). Also provides the
+// composed simplifications σ^j_i (Definition 2) used to trace triggers
+// through a non-monotonic derivation, and the natural aggregation D*
+// (Section 3).
+#ifndef TWCHASE_CORE_DERIVATION_H_
+#define TWCHASE_CORE_DERIVATION_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "model/atom_set.h"
+#include "model/substitution.h"
+
+namespace twchase {
+
+struct DerivationStep {
+  /// Rule applied at this step; -1 for the initial step 0.
+  int rule_index = -1;
+  std::string rule_label;
+
+  /// Trigger homomorphism π_i (empty for step 0).
+  Substitution match;
+
+  /// Simplification σ_i: a retraction of α(F_{i-1}, tr_i) onto F_i
+  /// (σ_0 retracts the initial fact set).
+  Substitution simplification;
+
+  /// Atoms inserted by α before simplification.
+  std::vector<Atom> added_atoms;
+
+  /// F_i snapshot; empty when the derivation does not keep snapshots.
+  AtomSet instance;
+
+  /// |F_i| (recorded even without snapshots).
+  size_t instance_size = 0;
+};
+
+class Derivation {
+ public:
+  explicit Derivation(bool keep_snapshots) : keep_snapshots_(keep_snapshots) {}
+
+  /// Installs F_0 = σ_0(F).
+  void AddInitial(const AtomSet& f0, Substitution sigma0);
+
+  /// Appends step i from its components. `instance` is F_i.
+  void AddStep(int rule_index, std::string rule_label, Substitution match,
+               Substitution sigma, std::vector<Atom> added_atoms,
+               const AtomSet& instance);
+
+  /// Composes an additional simplification into the most recent step and
+  /// replaces its instance (used by round-end coring, where the retraction
+  /// conceptually belongs to the round's last rule application — the
+  /// Deutsch–Nash–Remmel presentation of the core chase).
+  void AmendLastSimplification(const Substitution& sigma,
+                               const AtomSet& instance);
+
+  /// Number of recorded elements F_0 .. F_{size()-1}.
+  size_t size() const { return steps_.size(); }
+  bool empty() const { return steps_.empty(); }
+
+  const DerivationStep& step(size_t i) const { return steps_[i]; }
+
+  bool keeps_snapshots() const { return keep_snapshots_; }
+
+  /// F_i (requires snapshots).
+  const AtomSet& Instance(size_t i) const;
+
+  /// The last F_i (always available).
+  const AtomSet& Last() const { return last_; }
+
+  /// σ^j_i = σ_j • ... • σ_{i+1} (identity when i == j); a homomorphism from
+  /// F_i to F_j.
+  Substitution SigmaBetween(size_t i, size_t j) const;
+
+  /// A_i = α(F_{i-1}, tr_i), reconstructed as F_{i-1} plus the added atoms
+  /// (requires snapshots; i ≥ 1).
+  AtomSet PreSimplification(size_t i) const;
+
+  /// True iff F_{i-1} ⊆ F_i for all i (requires snapshots).
+  bool IsMonotonic() const;
+
+  /// Natural aggregation D* = ∪_i F_i (requires snapshots).
+  AtomSet NaturalAggregation() const;
+
+  /// Provenance: for every atom ever produced, the first step that created
+  /// it (0 for initial atoms). Keys cover the natural aggregation.
+  std::unordered_map<Atom, size_t, AtomHash> ProvenanceIndex() const;
+
+ private:
+  bool keep_snapshots_;
+  std::vector<DerivationStep> steps_;
+  AtomSet last_;
+};
+
+}  // namespace twchase
+
+#endif  // TWCHASE_CORE_DERIVATION_H_

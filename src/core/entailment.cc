@@ -1,0 +1,239 @@
+#include "core/entailment.h"
+
+#include <string>
+#include <vector>
+
+#include "core/robust.h"
+#include "core/trigger.h"
+#include "hom/core.h"
+#include "hom/matcher.h"
+#include "util/status.h"
+
+namespace twchase {
+
+const char* EntailmentVerdictName(EntailmentVerdict verdict) {
+  switch (verdict) {
+    case EntailmentVerdict::kEntailed:
+      return "entailed";
+    case EntailmentVerdict::kNotEntailed:
+      return "not-entailed";
+    case EntailmentVerdict::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+EntailmentResult DecideByCoreChase(const KnowledgeBase& kb,
+                                   const AtomSet& query, size_t max_steps) {
+  ChaseOptions options;
+  options.variant = ChaseVariant::kCore;
+  options.max_steps = max_steps;
+  options.keep_snapshots = false;
+  auto run = RunChase(kb, options);
+  TWCHASE_CHECK_MSG(run.ok(), run.status().ToString());
+  EntailmentResult result;
+  result.chase_steps = run->steps;
+  result.method = "core-chase";
+  bool maps = ExistsHomomorphism(query, run->derivation.Last());
+  if (run->terminated) {
+    // The fixpoint is the finite universal model: exact decision.
+    result.verdict =
+        maps ? EntailmentVerdict::kEntailed : EntailmentVerdict::kNotEntailed;
+  } else {
+    // Every prefix element is universal for K (Proposition 1), so a match
+    // certifies entailment; absence proves nothing.
+    result.verdict =
+        maps ? EntailmentVerdict::kEntailed : EntailmentVerdict::kUnknown;
+  }
+  return result;
+}
+
+EntailmentResult SaturationSemiDecision(const KnowledgeBase& kb,
+                                        const AtomSet& query,
+                                        size_t max_steps) {
+  ChaseOptions options;
+  options.variant = ChaseVariant::kRestricted;
+  options.max_steps = max_steps;
+  options.keep_snapshots = false;
+  auto run = RunChase(kb, options);
+  TWCHASE_CHECK_MSG(run.ok(), run.status().ToString());
+  EntailmentResult result;
+  result.chase_steps = run->steps;
+  result.method = "restricted-saturation";
+  bool maps = ExistsHomomorphism(query, run->derivation.Last());
+  if (maps) {
+    result.verdict = EntailmentVerdict::kEntailed;
+  } else if (run->terminated) {
+    result.verdict = EntailmentVerdict::kNotEntailed;
+  } else {
+    result.verdict = EntailmentVerdict::kUnknown;
+  }
+  return result;
+}
+
+EntailmentResult DecideByRobustAggregation(const KnowledgeBase& kb,
+                                           const AtomSet& query,
+                                           size_t max_steps) {
+  ChaseOptions options;
+  options.variant = ChaseVariant::kCore;
+  options.max_steps = max_steps;
+  options.keep_snapshots = true;  // the aggregator replays the derivation
+  auto run = RunChase(kb, options);
+  TWCHASE_CHECK_MSG(run.ok(), run.status().ToString());
+  RobustAggregator agg = RobustAggregator::FromDerivation(run->derivation);
+  EntailmentResult result;
+  result.chase_steps = run->steps;
+  result.method = "robust-aggregation";
+  bool maps = ExistsHomomorphism(query, agg.Aggregate());
+  if (maps) {
+    // The match image is a finite subset of a finitely universal model
+    // prefix... the prefix U_i consists of forwarded images of the
+    // (universal) G_k, so any match certifies entailment (Proposition 9's
+    // forward direction via Lemma 1).
+    result.verdict = EntailmentVerdict::kEntailed;
+  } else if (run->terminated) {
+    result.verdict = EntailmentVerdict::kNotEntailed;
+  } else {
+    result.verdict = EntailmentVerdict::kUnknown;
+  }
+  return result;
+}
+
+AtomSet MinimizeQuery(const AtomSet& query) {
+  return ComputeCore(query).core;
+}
+
+namespace {
+
+// Backtracking search for a finite model of (F, Σ) avoiding Q. Satisfies one
+// unsatisfied trigger at a time, branching over all assignments of its
+// existential variables to the finite domain; prunes branches where Q
+// already maps (atoms only grow). The atom space over a finite domain is
+// finite and every recursion inserts at least one atom, so the search tree
+// is finite; max_nodes caps worst-case blowup.
+class CounterModelSearch {
+ public:
+  CounterModelSearch(const KnowledgeBase& kb, const AtomSet& query,
+                     const CounterModelOptions& options)
+      : kb_(kb), query_(query), options_(options) {}
+
+  std::optional<AtomSet> Run() {
+    instance_ = kb_.facts;
+    domain_ = kb_.facts.Terms();
+    for (int i = 0; i < options_.max_extra_elements; ++i) {
+      domain_.push_back(
+          kb_.vocab->Constant("_cm" + std::to_string(i)));
+    }
+    if (domain_.empty()) return std::nullopt;
+    if (Search()) return found_;
+    return std::nullopt;
+  }
+
+ private:
+  bool Search() {
+    if (++nodes_ > options_.max_nodes) return false;
+    if (ExistsHomomorphism(query_, instance_)) return false;
+    // First unsatisfied trigger, in deterministic rule order.
+    for (int r = 0; r < static_cast<int>(kb_.rules.size()); ++r) {
+      const Rule& rule = kb_.rules[r];
+      for (const Trigger& tr : FindTriggers(rule, r, instance_)) {
+        if (TriggerIsSatisfied(rule, tr.match, instance_)) continue;
+        return SatisfyAndRecurse(rule, tr.match, 0, tr.match);
+      }
+    }
+    found_ = instance_;
+    return true;
+  }
+
+  // Enumerates assignments of rule.existential()[index:] to the domain.
+  bool SatisfyAndRecurse(const Rule& rule, const Substitution& match,
+                         size_t index, Substitution assignment) {
+    if (index == rule.existential().size()) {
+      std::vector<Atom> added;
+      rule.head().ForEach([&](const Atom& atom) {
+        Atom image = assignment.Apply(atom);
+        if (instance_.Insert(image)) added.push_back(image);
+      });
+      if (added.empty()) {
+        // Head image already present: the trigger was satisfiable with this
+        // assignment, contradicting the caller's check — cannot happen, but
+        // guard against infinite recursion anyway.
+        return false;
+      }
+      bool ok = Search();
+      if (ok) return true;
+      for (const Atom& atom : added) instance_.Erase(atom);
+      return false;
+    }
+    Term ev = rule.existential()[index];
+    for (Term candidate : domain_) {
+      Substitution extended = assignment;
+      extended.Bind(ev, candidate);
+      if (SatisfyAndRecurse(rule, match, index + 1, std::move(extended))) {
+        return true;
+      }
+      if (nodes_ > options_.max_nodes) return false;
+    }
+    return false;
+  }
+
+  const KnowledgeBase& kb_;
+  const AtomSet& query_;
+  CounterModelOptions options_;
+  AtomSet instance_;
+  std::vector<Term> domain_;
+  AtomSet found_;
+  size_t nodes_ = 0;
+};
+
+}  // namespace
+
+std::optional<AtomSet> FindFiniteCounterModel(
+    const KnowledgeBase& kb, const AtomSet& query,
+    const CounterModelOptions& options) {
+  CounterModelSearch search(kb, query, options);
+  return search.Run();
+}
+
+EntailmentResult DovetailEntailment(const KnowledgeBase& kb,
+                                    const AtomSet& query, size_t base_steps,
+                                    int rounds) {
+  EntailmentResult last;
+  size_t steps = base_steps;
+  for (int r = 0; r < rounds; ++r) {
+    EntailmentResult by_chase = DecideByCoreChase(kb, query, steps);
+    last = by_chase;
+    if (by_chase.verdict != EntailmentVerdict::kUnknown) return by_chase;
+    CounterModelOptions cm;
+    cm.max_extra_elements = r;
+    auto counter_model = FindFiniteCounterModel(kb, query, cm);
+    if (counter_model.has_value()) {
+      EntailmentResult result;
+      result.verdict = EntailmentVerdict::kNotEntailed;
+      result.chase_steps = by_chase.chase_steps;
+      result.method = "dovetail/counter-model(k=" + std::to_string(r) + ")";
+      return result;
+    }
+    steps *= 2;
+  }
+  last.method = "dovetail/exhausted";
+  return last;
+}
+
+EntailmentResult CombinedEntailment(const KnowledgeBase& kb,
+                                    const AtomSet& query, size_t max_steps,
+                                    const CounterModelOptions& cm_options) {
+  EntailmentResult by_chase = DecideByCoreChase(kb, query, max_steps);
+  if (by_chase.verdict != EntailmentVerdict::kUnknown) return by_chase;
+  auto counter_model = FindFiniteCounterModel(kb, query, cm_options);
+  if (counter_model.has_value()) {
+    EntailmentResult result;
+    result.verdict = EntailmentVerdict::kNotEntailed;
+    result.chase_steps = by_chase.chase_steps;
+    result.method = "finite-counter-model";
+    return result;
+  }
+  return by_chase;
+}
+
+}  // namespace twchase

@@ -1,0 +1,91 @@
+// CQ entailment procedures (Sections 2, 9). Three building blocks:
+//   1. DecideByCoreChase — run the core chase; on termination the result is
+//      the (unique) finite universal model and entailment is decided exactly.
+//   2. SaturationSemiDecision — positive semi-decision: check the query
+//      against growing chase prefixes (sound for "entailed" by Proposition 1,
+//      since every F_i is universal... the query maps into some F_i iff it is
+//      entailed *when it maps*; non-mapping on a prefix proves nothing).
+//   3. FindFiniteCounterModel — bounded search for a finite model of
+//      (F, Σ) ∧ ¬Q, the implementable stand-in for Theorem 1's
+//      treewidth-bounded model search (see DESIGN.md substitutions).
+// CombinedEntailment interleaves them, mirroring the two-semi-procedures
+// argument of Theorem 1 within explicit budgets.
+#ifndef TWCHASE_CORE_ENTAILMENT_H_
+#define TWCHASE_CORE_ENTAILMENT_H_
+
+#include <optional>
+#include <string>
+
+#include "core/chase.h"
+#include "kb/knowledge_base.h"
+#include "model/atom_set.h"
+
+namespace twchase {
+
+enum class EntailmentVerdict { kEntailed, kNotEntailed, kUnknown };
+
+const char* EntailmentVerdictName(EntailmentVerdict verdict);
+
+struct EntailmentResult {
+  EntailmentVerdict verdict = EntailmentVerdict::kUnknown;
+  size_t chase_steps = 0;
+  std::string method;
+};
+
+/// Exact decision when the core chase terminates within `max_steps`;
+/// otherwise kEntailed if the query already maps into the last prefix, else
+/// kUnknown.
+EntailmentResult DecideByCoreChase(const KnowledgeBase& kb,
+                                   const AtomSet& query, size_t max_steps);
+
+/// Positive semi-decision via the restricted chase: kEntailed as soon as the
+/// query maps into a prefix; kNotEntailed only if the chase terminates.
+EntailmentResult SaturationSemiDecision(const KnowledgeBase& kb,
+                                        const AtomSet& query,
+                                        size_t max_steps);
+
+/// Theorem 2's surface: run the core chase and test the query against the
+/// robust aggregation prefix D⊛ (a finitely universal model, Proposition 11;
+/// by Proposition 9 a match certifies entailment). Sound for kEntailed on
+/// every prefix; exact when the chase terminates. Compared to
+/// DecideByCoreChase it also counts matches that only appear in the
+/// *aggregated* structure, not in any single chase element.
+EntailmentResult DecideByRobustAggregation(const KnowledgeBase& kb,
+                                           const AtomSet& query,
+                                           size_t max_steps);
+
+/// Minimizes a query to its core before answering (hom-equivalent, never
+/// larger; answering against any instance is unaffected).
+AtomSet MinimizeQuery(const AtomSet& query);
+
+struct CounterModelOptions {
+  /// Extra fresh domain constants beyond the terms of F.
+  int max_extra_elements = 2;
+
+  /// Backtracking-node budget.
+  size_t max_nodes = 100000;
+};
+
+/// Searches for a finite model of the KB into which `query` does not map.
+/// Returns the model if found (a certificate for K ⊭ Q).
+std::optional<AtomSet> FindFiniteCounterModel(const KnowledgeBase& kb,
+                                              const AtomSet& query,
+                                              const CounterModelOptions& options);
+
+/// Interleaves the three procedures (Theorem 1's architecture under budget).
+EntailmentResult CombinedEntailment(const KnowledgeBase& kb,
+                                    const AtomSet& query, size_t max_steps,
+                                    const CounterModelOptions& cm_options);
+
+/// Theorem 1's dovetailing loop made explicit: alternately grow the chase
+/// budget (positive semi-decision) and the counter-model domain size
+/// (negative semi-decision), round by round, until one side answers or
+/// `rounds` are exhausted. Each round r uses chase budget base_steps·2^r and
+/// r extra domain elements.
+EntailmentResult DovetailEntailment(const KnowledgeBase& kb,
+                                    const AtomSet& query, size_t base_steps,
+                                    int rounds);
+
+}  // namespace twchase
+
+#endif  // TWCHASE_CORE_ENTAILMENT_H_

@@ -1,0 +1,47 @@
+#include "core/measures.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace twchase {
+
+std::vector<int> MeasureSeries(const Derivation& derivation, Measure measure,
+                               const TreewidthOptions& tw_options) {
+  std::vector<int> out;
+  out.reserve(derivation.size());
+  for (size_t i = 0; i < derivation.size(); ++i) {
+    switch (measure) {
+      case Measure::kSize:
+        out.push_back(static_cast<int>(derivation.step(i).instance_size));
+        break;
+      case Measure::kTreewidthUpper: {
+        TreewidthResult tw =
+            ComputeTreewidth(derivation.Instance(i), tw_options);
+        out.push_back(tw.upper_bound);
+        break;
+      }
+      case Measure::kTreewidthLower: {
+        TreewidthResult tw =
+            ComputeTreewidth(derivation.Instance(i), tw_options);
+        out.push_back(tw.lower_bound);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+BoundednessSummary SummarizeBoundedness(const std::vector<int>& series,
+                                        size_t tail_window) {
+  BoundednessSummary out;
+  if (series.empty()) return out;
+  out.uniform_bound = *std::max_element(series.begin(), series.end());
+  size_t window = std::min(std::max<size_t>(tail_window, 1), series.size());
+  out.recurring_estimate =
+      *std::min_element(series.end() - static_cast<long>(window), series.end());
+  out.final_value = series.back();
+  return out;
+}
+
+}  // namespace twchase

@@ -1,0 +1,28 @@
+// Human-readable derivation traces: one line per step showing the rule,
+// the trigger image, the simplification and the instance size — the raw
+// material behind Figure 5/6-style walkthroughs and the CLI's --trace flag.
+#ifndef TWCHASE_CORE_TRACE_H_
+#define TWCHASE_CORE_TRACE_H_
+
+#include <string>
+
+#include "core/derivation.h"
+#include "model/predicate.h"
+
+namespace twchase {
+
+struct TraceOptions {
+  /// Print at most this many steps (0 = all).
+  size_t max_steps = 0;
+
+  /// Also print the full instance at each step.
+  bool print_instances = false;
+};
+
+std::string DerivationTrace(const Derivation& derivation,
+                            const Vocabulary& vocab,
+                            const TraceOptions& options = {});
+
+}  // namespace twchase
+
+#endif  // TWCHASE_CORE_TRACE_H_

@@ -1,0 +1,53 @@
+#include "core/trigger.h"
+
+#include "hom/matcher.h"
+#include "util/status.h"
+
+namespace twchase {
+
+bool IsTriggerFor(const Rule& rule, const Substitution& match,
+                  const AtomSet& instance) {
+  bool ok = true;
+  rule.body().ForEach([&](const Atom& atom) {
+    if (ok && !instance.Contains(match.Apply(atom))) ok = false;
+  });
+  return ok;
+}
+
+bool TriggerIsSatisfied(const Rule& rule, const Substitution& match,
+                        const AtomSet& instance) {
+  // Extension search over the head only: the body is already mapped by
+  // `match`, so matching body ∪ head seeded with match is equivalent but
+  // does redundant work; we still match body atoms to let the seed constrain
+  // nothing further — head-only with seed restricted to frontier is enough.
+  Substitution seed = match.RestrictTo(rule.frontier());
+  return ExistsHomomorphismExtending(rule.head(), instance, seed);
+}
+
+TriggerApplication ApplyTrigger(const Rule& rule, const Substitution& match,
+                                AtomSet* instance, Vocabulary* vocab) {
+  TriggerApplication result;
+  result.safe = match.RestrictTo(rule.frontier());
+  for (Term ev : rule.existential()) {
+    result.safe.Bind(ev, vocab->FreshVariable(vocab->TermName(ev)));
+  }
+  rule.head().ForEach([&](const Atom& atom) {
+    Atom image = result.safe.Apply(atom);
+    if (instance->Insert(image)) result.added_atoms.push_back(image);
+  });
+  return result;
+}
+
+std::vector<Trigger> FindTriggers(const Rule& rule, int rule_index,
+                                  const AtomSet& instance) {
+  HomOptions options;
+  options.limit = 0;  // all
+  std::vector<Trigger> out;
+  for (Substitution& match :
+       FindAllHomomorphisms(rule.body(), instance, options)) {
+    out.push_back(Trigger{rule_index, std::move(match)});
+  }
+  return out;
+}
+
+}  // namespace twchase

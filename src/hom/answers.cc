@@ -1,0 +1,36 @@
+#include "hom/answers.h"
+
+#include <algorithm>
+#include <set>
+
+#include "hom/matcher.h"
+
+namespace twchase {
+
+std::vector<std::vector<Term>> AnswerQuery(const AtomSet& instance,
+                                           const AtomSet& query,
+                                           const std::vector<Term>& answer_vars,
+                                           const AnswerOptions& options) {
+  HomOptions hom_options;
+  hom_options.limit = 0;  // enumerate all homomorphisms
+  std::set<std::vector<Term>> distinct;
+  for (const Substitution& hom :
+       FindAllHomomorphisms(query, instance, hom_options)) {
+    std::vector<Term> tuple;
+    tuple.reserve(answer_vars.size());
+    bool ground = true;
+    for (Term v : answer_vars) {
+      Term image = hom.Apply(v);
+      if (image.is_variable()) ground = false;
+      tuple.push_back(image);
+    }
+    if (options.ground_only && !ground) continue;
+    distinct.insert(std::move(tuple));
+    if (options.max_answers != 0 && distinct.size() >= options.max_answers) {
+      break;
+    }
+  }
+  return std::vector<std::vector<Term>>(distinct.begin(), distinct.end());
+}
+
+}  // namespace twchase

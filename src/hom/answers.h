@@ -1,0 +1,35 @@
+// Non-Boolean CQ answering: enumerate the answer tuples of a query with
+// distinguished (answer) variables against an instance. An answer is the
+// projection of a homomorphism onto the answer variables; answers that
+// contain labelled nulls are reported or filtered per the options (certain
+// answers over an incomplete instance are the null-free ones).
+#ifndef TWCHASE_HOM_ANSWERS_H_
+#define TWCHASE_HOM_ANSWERS_H_
+
+#include <vector>
+
+#include "model/atom_set.h"
+#include "model/term.h"
+
+namespace twchase {
+
+struct AnswerOptions {
+  /// Stop after this many distinct answers (0 = unlimited).
+  size_t max_answers = 0;
+
+  /// Drop answers containing variables (labelled nulls). With this set, the
+  /// result is the set of *certain* answers when the instance is a
+  /// universal model.
+  bool ground_only = false;
+};
+
+/// Distinct answer tuples, ordered lexicographically by term id. Answer
+/// variables not occurring in the query map to themselves.
+std::vector<std::vector<Term>> AnswerQuery(const AtomSet& instance,
+                                           const AtomSet& query,
+                                           const std::vector<Term>& answer_vars,
+                                           const AnswerOptions& options = {});
+
+}  // namespace twchase
+
+#endif  // TWCHASE_HOM_ANSWERS_H_

@@ -1,0 +1,111 @@
+#include "hom/core.h"
+
+#include <optional>
+
+#include "hom/endomorphism.h"
+#include "util/status.h"
+
+namespace twchase {
+namespace {
+
+// Fast pre-pass: a "singular" fold moves exactly one variable X onto another
+// term Y and leaves everything else fixed. It is a retraction iff replacing
+// X by Y in every atom containing X yields atoms already present. Checking
+// all (X, Y) pairs costs |ByTerm(X)| lookups per candidate Y — orders of
+// magnitude cheaper than a general fold search, and in chase workloads most
+// redundancy collapses this way.
+bool ApplySingularFolds(AtomSet* atoms, Substitution* accumulated) {
+  bool any = false;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (Term x : atoms->Variables()) {
+      // Candidate targets for x: terms y such that substituting y for x in
+      // x's first atom yields an existing atom (derived positionally from
+      // the same-predicate postings). Each candidate is then verified
+      // against all of x's atoms.
+      std::vector<const Atom*> x_atoms = atoms->ByTerm(x);
+      if (x_atoms.empty()) continue;
+      const Atom& probe = *x_atoms.front();
+      std::vector<Term> candidates;
+      for (const Atom* cand : atoms->ByPredicate(probe.predicate())) {
+        if (cand->arity() != probe.arity()) continue;
+        std::optional<Term> y;
+        bool consistent = true;
+        for (size_t i = 0; i < probe.args().size() && consistent; ++i) {
+          if (probe.arg(i) == x) {
+            if (!y.has_value() || *y == cand->arg(i)) {
+              y = cand->arg(i);
+            } else {
+              consistent = false;
+            }
+          } else if (probe.arg(i) != cand->arg(i)) {
+            consistent = false;
+          }
+        }
+        if (consistent && y.has_value() && *y != x) candidates.push_back(*y);
+      }
+      for (Term y : candidates) {
+        Substitution fold;
+        fold.Bind(x, y);
+        bool ok = true;
+        for (const Atom* atom : x_atoms) {
+          if (!atoms->Contains(fold.Apply(*atom))) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) continue;
+        *atoms = fold.Apply(*atoms);
+        *accumulated = Substitution::Compose(fold, *accumulated);
+        changed = true;
+        any = true;
+        break;
+      }
+      if (changed) break;  // variable snapshot is stale; restart
+    }
+  }
+  return any;
+}
+
+}  // namespace
+
+CoreResult ComputeCore(const AtomSet& atoms, const CoreOptions& options) {
+  CoreResult result;
+  result.core = atoms;
+  if (options.singular_prepass) {
+    ApplySingularFolds(&result.core, &result.retraction);
+  }
+  // Folding one variable can unlock folds of previously unfoldable variables
+  // (removing atoms only makes the pattern side easier and never blocks a
+  // fold whose image avoided the removed atoms — but blocked folds can become
+  // possible). We therefore loop until a full pass eliminates nothing.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (Term var : result.core.Variables()) {
+      auto endo = FindFoldingEndomorphism(result.core, var);
+      if (!endo.has_value()) continue;
+      Substitution retraction =
+          RetractionFromEndomorphism(result.core, *endo);
+      result.core = retraction.Apply(result.core);
+      result.retraction = Substitution::Compose(retraction, result.retraction);
+      if (options.singular_prepass) {
+        ApplySingularFolds(&result.core, &result.retraction);
+      }
+      changed = true;
+    }
+  }
+  TWCHASE_CHECK(result.retraction.IsRetractionOf(atoms) ||
+                result.retraction.empty());
+  return result;
+}
+
+bool IsCore(const AtomSet& atoms) {
+  for (Term var : atoms.Variables()) {
+    if (FindFoldingEndomorphism(atoms, var).has_value()) return false;
+  }
+  return true;
+}
+
+}  // namespace twchase

@@ -1,0 +1,233 @@
+#include "hom/decomposed.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "hom/matcher.h"
+#include "tw/heuristics.h"
+#include "tw/tree_decomposition.h"
+
+namespace twchase {
+namespace {
+
+// A bag relation: rows over the bag's columns (query terms, sorted by id).
+struct BagRelation {
+  std::vector<Term> columns;
+  std::vector<std::vector<Term>> rows;
+};
+
+std::string KeyOf(const std::vector<Term>& row,
+                  const std::vector<size_t>& positions) {
+  std::string key;
+  key.reserve(positions.size() * 5);
+  for (size_t p : positions) {
+    uint32_t raw = row[p].raw();
+    key.append(reinterpret_cast<const char*>(&raw), sizeof(raw));
+  }
+  return key;
+}
+
+}  // namespace
+
+StatusOr<DecomposedMatchResult> EntailsViaDecomposition(
+    const AtomSet& target, const AtomSet& query,
+    const DecomposedMatchOptions& options) {
+  DecomposedMatchResult result;
+
+  // Propositional (arity-0) atoms have no Gaifman vertex; check directly.
+  std::vector<Atom> positional_atoms;
+  bool propositional_ok = true;
+  query.ForEach([&](const Atom& atom) {
+    if (atom.args().empty()) {
+      if (!target.Contains(atom)) propositional_ok = false;
+    } else {
+      positional_atoms.push_back(atom);
+    }
+  });
+  if (!propositional_ok) {
+    result.entailed = false;
+    return result;
+  }
+  if (positional_atoms.empty()) {
+    result.entailed = true;
+    result.width = -1;
+    return result;
+  }
+
+  // Decompose the query's Gaifman graph.
+  std::vector<Term> term_of_vertex;
+  Graph gaifman = Graph::GaifmanOf(query, &term_of_vertex);
+  std::vector<int> order =
+      GreedyEliminationOrder(gaifman, EliminationHeuristic::kMinFill);
+  TreeDecomposition td = DecompositionFromEliminationOrder(gaifman, order);
+  result.width = td.Width();
+  std::unordered_map<Term, int, TermHash> vertex_of;
+  for (size_t i = 0; i < term_of_vertex.size(); ++i) {
+    vertex_of.emplace(term_of_vertex[i], static_cast<int>(i));
+  }
+
+  // Assign each atom to the first bag containing all its vertices.
+  size_t num_bags = td.bags.size();
+  std::vector<std::vector<Atom>> atoms_of_bag(num_bags);
+  for (const Atom& atom : positional_atoms) {
+    std::vector<int> vertices;
+    for (Term t : atom.DistinctTerms()) vertices.push_back(vertex_of.at(t));
+    std::sort(vertices.begin(), vertices.end());
+    bool placed = false;
+    for (size_t b = 0; b < num_bags && !placed; ++b) {
+      if (std::includes(td.bags[b].begin(), td.bags[b].end(), vertices.begin(),
+                        vertices.end())) {
+        atoms_of_bag[b].push_back(atom);
+        placed = true;
+      }
+    }
+    TWCHASE_CHECK_MSG(placed, "atom not covered by any bag");
+  }
+
+  // Per-variable global candidate domains: the terms appearing in the target
+  // at positions where the variable occurs in the query. Used for bag
+  // columns whose variable has no atom assigned to that bag.
+  std::unordered_map<Term, std::vector<Term>, TermHash> domain;
+  for (const Atom& atom : positional_atoms) {
+    for (size_t i = 0; i < atom.args().size(); ++i) {
+      Term v = atom.arg(i);
+      if (!v.is_variable() || domain.contains(v)) continue;
+      std::unordered_set<Term, TermHash> values;
+      for (const Atom* cand : target.ByPredicate(atom.predicate())) {
+        if (cand->arity() == atom.arity()) values.insert(cand->arg(i));
+      }
+      domain.emplace(v, std::vector<Term>(values.begin(), values.end()));
+    }
+  }
+
+  // Build bag relations.
+  std::vector<BagRelation> relations(num_bags);
+  for (size_t b = 0; b < num_bags; ++b) {
+    BagRelation& rel = relations[b];
+    for (int v : td.bags[b]) rel.columns.push_back(term_of_vertex[v]);
+    // Enumerate assignments of the bag's assigned atoms.
+    AtomSet bag_pattern = AtomSet::FromAtoms(atoms_of_bag[b]);
+    HomOptions hom_options;
+    hom_options.limit = options.max_rows_per_bag + 1;
+    std::vector<Substitution> homs =
+        FindAllHomomorphisms(bag_pattern, target, hom_options);
+    if (homs.size() > options.max_rows_per_bag) {
+      return Status::ResourceExhausted("bag relation exceeds row budget");
+    }
+    // Extend each assignment over the uncovered columns via their domains.
+    std::vector<size_t> uncovered;
+    for (size_t c = 0; c < rel.columns.size(); ++c) {
+      Term t = rel.columns[c];
+      if (t.is_constant()) continue;  // constants assign themselves
+      if (!bag_pattern.ContainsTerm(t)) uncovered.push_back(c);
+    }
+    for (const Substitution& hom : homs) {
+      std::vector<std::vector<Term>> partials;
+      {
+        std::vector<Term> row(rel.columns.size());
+        for (size_t c = 0; c < rel.columns.size(); ++c) {
+          row[c] = hom.Apply(rel.columns[c]);  // constants map to themselves
+        }
+        partials.push_back(std::move(row));
+      }
+      for (size_t c : uncovered) {
+        Term var = rel.columns[c];
+        auto it = domain.find(var);
+        if (it == domain.end() || it->second.empty()) {
+          partials.clear();
+          break;
+        }
+        std::vector<std::vector<Term>> extended;
+        extended.reserve(partials.size() * it->second.size());
+        for (const auto& partial : partials) {
+          for (Term value : it->second) {
+            std::vector<Term> row = partial;
+            row[c] = value;
+            extended.push_back(std::move(row));
+            if (extended.size() > options.max_rows_per_bag) {
+              return Status::ResourceExhausted(
+                  "uncovered-column expansion exceeds row budget");
+            }
+          }
+        }
+        partials = std::move(extended);
+      }
+      for (auto& row : partials) rel.rows.push_back(std::move(row));
+      if (rel.rows.size() > options.max_rows_per_bag) {
+        return Status::ResourceExhausted("bag relation exceeds row budget");
+      }
+    }
+    result.max_rows = std::max(result.max_rows, rel.rows.size());
+    if (rel.rows.empty()) {
+      result.entailed = false;
+      return result;
+    }
+  }
+
+  // Root the tree at bag 0 and compute a post-order.
+  std::vector<std::vector<int>> children(num_bags);
+  {
+    std::vector<std::vector<int>> adj(num_bags);
+    for (const auto& [a, b] : td.edges) {
+      adj[a].push_back(b);
+      adj[b].push_back(a);
+    }
+    std::vector<int> stack{0};
+    std::vector<bool> visited(num_bags, false);
+    visited[0] = true;
+    std::vector<int> preorder;
+    while (!stack.empty()) {
+      int u = stack.back();
+      stack.pop_back();
+      preorder.push_back(u);
+      for (int w : adj[u]) {
+        if (!visited[w]) {
+          visited[w] = true;
+          children[u].push_back(w);
+          stack.push_back(w);
+        }
+      }
+    }
+    // Bottom-up pass: process bags in reverse preorder (children first).
+    for (auto it = preorder.rbegin(); it != preorder.rend(); ++it) {
+      int b = *it;
+      for (int child : children[b]) {
+        // Shared columns between b and child.
+        std::vector<size_t> parent_pos, child_pos;
+        const auto& pc = relations[b].columns;
+        const auto& cc = relations[child].columns;
+        for (size_t i = 0; i < pc.size(); ++i) {
+          for (size_t j = 0; j < cc.size(); ++j) {
+            if (pc[i] == cc[j]) {
+              parent_pos.push_back(i);
+              child_pos.push_back(j);
+            }
+          }
+        }
+        // Semijoin: keep parent rows whose projection occurs in the child.
+        std::unordered_set<std::string> child_keys;
+        for (const auto& row : relations[child].rows) {
+          child_keys.insert(KeyOf(row, child_pos));
+        }
+        auto& rows = relations[b].rows;
+        rows.erase(std::remove_if(rows.begin(), rows.end(),
+                                  [&](const std::vector<Term>& row) {
+                                    return !child_keys.contains(
+                                        KeyOf(row, parent_pos));
+                                  }),
+                   rows.end());
+        if (rows.empty()) {
+          result.entailed = false;
+          return result;
+        }
+      }
+    }
+  }
+  result.entailed = !relations[0].rows.empty();
+  return result;
+}
+
+}  // namespace twchase

@@ -1,0 +1,43 @@
+// Treewidth-guided Boolean CQ evaluation: the algorithmic engine behind the
+// paper's decidability-through-treewidth results. Instead of backtracking
+// over the whole query at once, the query's Gaifman graph is tree-
+// decomposed (min-fill), each atom is assigned to a bag covering it, bag
+// relations are materialised, and a bottom-up semijoin pass (Yannakakis on
+// the junction tree) decides satisfiability. For queries of treewidth w the
+// running time is polynomial with exponent w+1 — this is Courcelle's
+// tractability frontier made concrete for CQs.
+#ifndef TWCHASE_HOM_DECOMPOSED_H_
+#define TWCHASE_HOM_DECOMPOSED_H_
+
+#include "model/atom_set.h"
+#include "tw/treewidth.h"
+#include "util/status.h"
+
+namespace twchase {
+
+struct DecomposedMatchOptions {
+  /// Abort (ResourceExhausted) when a bag relation would exceed this many
+  /// rows — the caller can then fall back to the backtracking matcher.
+  size_t max_rows_per_bag = 200000;
+};
+
+struct DecomposedMatchResult {
+  bool entailed = false;
+
+  /// Width of the decomposition actually used.
+  int width = -1;
+
+  /// Largest bag relation materialised (cost indicator).
+  size_t max_rows = 0;
+};
+
+/// Decides target |= query (Boolean CQ) via tree decomposition + semijoins.
+/// Equivalent to ExistsHomomorphism(query, target); differs only in cost
+/// profile.
+StatusOr<DecomposedMatchResult> EntailsViaDecomposition(
+    const AtomSet& target, const AtomSet& query,
+    const DecomposedMatchOptions& options = {});
+
+}  // namespace twchase
+
+#endif  // TWCHASE_HOM_DECOMPOSED_H_

@@ -1,0 +1,32 @@
+#include "hom/isomorphism.h"
+
+#include "hom/matcher.h"
+
+namespace twchase {
+
+std::optional<Substitution> FindIsomorphism(const AtomSet& a,
+                                            const AtomSet& b) {
+  if (a.size() != b.size()) return std::nullopt;
+  if (a.Terms().size() != b.Terms().size()) return std::nullopt;
+  HomOptions options;
+  options.limit = 1;
+  options.injective = true;
+  options.vars_to_vars = true;
+  auto hom = FindHomomorphism(a, b, options);
+  if (!hom.has_value()) return std::nullopt;
+  // An injective hom between equal-sized atomsets maps atoms injectively,
+  // hence surjectively onto b; with equal term counts the inverse map is
+  // well-defined and maps every atom of b = h(a) back into a, so it is an
+  // isomorphism. No further check needed.
+  return hom;
+}
+
+bool AreIsomorphic(const AtomSet& a, const AtomSet& b) {
+  return FindIsomorphism(a, b).has_value();
+}
+
+bool AreHomEquivalent(const AtomSet& a, const AtomSet& b) {
+  return ExistsHomomorphism(a, b) && ExistsHomomorphism(b, a);
+}
+
+}  // namespace twchase

@@ -1,0 +1,26 @@
+// Isomorphism testing between finite atomsets, via injective
+// variable-to-variable homomorphism search plus cardinality checks.
+#ifndef TWCHASE_HOM_ISOMORPHISM_H_
+#define TWCHASE_HOM_ISOMORPHISM_H_
+
+#include <optional>
+
+#include "model/atom_set.h"
+#include "model/substitution.h"
+
+namespace twchase {
+
+/// Finds an isomorphism from `a` to `b` (a bijective homomorphism whose
+/// inverse is also a homomorphism), or nullopt. Constants must match
+/// identically; variables map bijectively to variables.
+std::optional<Substitution> FindIsomorphism(const AtomSet& a, const AtomSet& b);
+
+bool AreIsomorphic(const AtomSet& a, const AtomSet& b);
+
+/// True iff a and b are homomorphically equivalent (map into each other).
+/// Equivalent atomsets have isomorphic cores.
+bool AreHomEquivalent(const AtomSet& a, const AtomSet& b);
+
+}  // namespace twchase
+
+#endif  // TWCHASE_HOM_ISOMORPHISM_H_

@@ -1,0 +1,313 @@
+#include "hom/matcher.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/status.h"
+
+namespace twchase {
+namespace {
+
+constexpr uint32_t kUnbound = 0xFFFFFFFFu;
+
+// One backtracking search instance with dynamic most-constrained-first atom
+// selection: at every node the next pattern atom is the one with the fewest
+// candidate target atoms under the current partial binding. Pattern
+// variables are renumbered into a dense local index so that the hot path
+// (estimates, unification, rollback) is array access, not hashing.
+// Not reusable.
+class HomSearch {
+ public:
+  HomSearch(const AtomSet& pattern, const AtomSet& target,
+            const HomOptions& options)
+      : target_(target), options_(options) {
+    // Collect pattern atoms and build the local variable table.
+    for (const Atom& atom : pattern.Atoms()) {
+      PatAtom pat;
+      pat.predicate = atom.predicate();
+      pat.static_best = target_.CountByPredicate(atom.predicate());
+      for (Term t : atom.args()) {
+        if (t.is_variable()) {
+          pat.args.push_back(Arg{LocalIndex(t), Term()});
+        } else {
+          pat.args.push_back(Arg{kNotVar, t});
+          pat.static_best = std::min(pat.static_best, target_.CountByTerm(t));
+        }
+        if (options_.forbidden_image_term.has_value() &&
+            t == *options_.forbidden_image_term) {
+          pat.focus = true;
+        }
+      }
+      if (pat.focus) ++remaining_focus_;
+      pattern_atoms_.push_back(std::move(pat));
+    }
+    binding_.assign(var_terms_.size(), Term::Variable(kUnbound & 0x7FFFFFFF));
+    bound_.assign(var_terms_.size(), false);
+    assigned_.assign(pattern_atoms_.size(), false);
+    // Seed bindings for pattern variables; seed entries for other variables
+    // ride along and are re-attached at emit time.
+    for (const auto& [var, term] : options_.seed.map()) {
+      auto it = var_index_.find(var);
+      if (it != var_index_.end()) {
+        binding_[it->second] = term;
+        bound_[it->second] = true;
+      }
+      if (options_.injective) used_targets_.insert(term);
+    }
+  }
+
+  std::vector<Substitution> Run() {
+    // An empty pattern has exactly one homomorphism: the seed itself.
+    Search(pattern_atoms_.size());
+    return std::move(results_);
+  }
+
+ private:
+  static constexpr uint32_t kNotVar = 0xFFFFFFFFu;
+  static constexpr size_t kInfinity = std::numeric_limits<size_t>::max();
+
+  struct Arg {
+    uint32_t var = kNotVar;  // local variable index, or kNotVar
+    Term constant;           // valid iff var == kNotVar
+  };
+
+  struct PatAtom {
+    PredicateId predicate = 0;
+    std::vector<Arg> args;
+    size_t static_best = 0;  // min over predicate / constant-arg postings
+    bool focus = false;      // contains the forbidden image term (fold crux)
+  };
+
+  uint32_t LocalIndex(Term var) {
+    auto [it, inserted] =
+        var_index_.emplace(var, static_cast<uint32_t>(var_terms_.size()));
+    if (inserted) var_terms_.push_back(var);
+    return it->second;
+  }
+
+  bool AtomContains(const Atom& atom, Term t) const {
+    for (Term a : atom.args()) {
+      if (a == t) return true;
+    }
+    return false;
+  }
+
+  // Zero means a certain dead end (selected immediately to fail fast).
+  size_t EstimateCandidates(const PatAtom& pat) const {
+    size_t best = pat.static_best;
+    size_t bound_args = 0;
+    for (const Arg& arg : pat.args) {
+      if (arg.var == kNotVar) {
+        ++bound_args;
+      } else if (bound_[arg.var]) {
+        ++bound_args;
+        best = std::min(best, target_.CountByTerm(binding_[arg.var]));
+      }
+    }
+    if (best == 0) return 0;
+    // Prefer atoms with more bound arguments on ties.
+    return best * 4 + (3 - std::min<size_t>(bound_args, 3));
+  }
+
+  // Candidate target atoms for `pat` under the current binding: the most
+  // selective posting available, filtered by the forbidden image term, with
+  // the identity candidate (if present) first — endomorphism-style searches
+  // then assign identity away from the conflict area and backtrack locally.
+  std::vector<const Atom*> Candidates(const PatAtom& pat) const {
+    std::optional<Term> best_term;
+    size_t best_count = kInfinity;
+    for (const Arg& arg : pat.args) {
+      Term image;
+      if (arg.var == kNotVar) {
+        image = arg.constant;
+      } else if (bound_[arg.var]) {
+        image = binding_[arg.var];
+      } else {
+        continue;
+      }
+      size_t count = target_.CountByTerm(image);
+      if (count < best_count) {
+        best_count = count;
+        best_term = image;
+      }
+    }
+    std::vector<const Atom*> out;
+    auto admit = [&](const Atom* cand) {
+      if (options_.forbidden_image_term.has_value() &&
+          AtomContains(*cand, *options_.forbidden_image_term)) {
+        return;
+      }
+      out.push_back(cand);
+    };
+    if (best_term.has_value() &&
+        best_count <= target_.CountByPredicate(pat.predicate)) {
+      for (const Atom* cand : target_.ByTerm(*best_term)) {
+        if (cand->predicate() == pat.predicate) admit(cand);
+      }
+    } else {
+      for (const Atom* cand : target_.ByPredicate(pat.predicate)) {
+        admit(cand);
+      }
+    }
+    if (options_.identity_first && out.size() > 1) {
+      // Identity-first: the candidate whose args equal the pattern's args
+      // under the current binding.
+      for (size_t i = 0; i < out.size(); ++i) {
+        if (IsIdentityCandidate(pat, *out[i])) {
+          std::swap(out[0], out[i]);
+          break;
+        }
+      }
+    }
+    return out;
+  }
+
+  bool IsIdentityCandidate(const PatAtom& pat, const Atom& cand) const {
+    if (cand.args().size() != pat.args.size()) return false;
+    for (size_t i = 0; i < pat.args.size(); ++i) {
+      const Arg& arg = pat.args[i];
+      Term expected = arg.var == kNotVar
+                          ? arg.constant
+                          : (bound_[arg.var] ? binding_[arg.var]
+                                             : var_terms_[arg.var]);
+      if (cand.arg(i) != expected) return false;
+    }
+    return true;
+  }
+
+  bool TryUnify(const PatAtom& pat, const Atom& cand,
+                std::vector<uint32_t>* trail) {
+    if (cand.args().size() != pat.args.size()) return false;
+    for (size_t i = 0; i < pat.args.size(); ++i) {
+      const Arg& arg = pat.args[i];
+      Term image = cand.arg(i);
+      if (arg.var == kNotVar) {
+        if (arg.constant != image) return false;
+        continue;
+      }
+      if (bound_[arg.var]) {
+        if (binding_[arg.var] != image) return false;
+        continue;
+      }
+      if (options_.vars_to_vars && image.is_constant()) return false;
+      if (options_.injective) {
+        if (used_targets_.contains(image)) return false;
+        used_targets_.insert(image);
+      }
+      binding_[arg.var] = image;
+      bound_[arg.var] = true;
+      trail->push_back(arg.var);
+    }
+    return true;
+  }
+
+  void Rollback(const std::vector<uint32_t>& trail) {
+    for (uint32_t var : trail) {
+      if (options_.injective) used_targets_.erase(binding_[var]);
+      bound_[var] = false;
+    }
+  }
+
+  void Emit() {
+    Substitution result = options_.seed;
+    for (size_t v = 0; v < var_terms_.size(); ++v) {
+      if (bound_[v]) result.Bind(var_terms_[v], binding_[v]);
+    }
+    results_.push_back(std::move(result));
+  }
+
+  // Returns true when the search should stop (limit reached).
+  bool Search(size_t remaining) {
+    if (remaining == 0) {
+      Emit();
+      return options_.limit != 0 && results_.size() >= options_.limit;
+    }
+    // While "focus" atoms (those containing the term being folded away)
+    // remain, select among them only: the satisfiability crux of a folding
+    // search lives there, and deciding it before the bulk of the pattern
+    // keeps UNSAT proofs local.
+    size_t chosen = pattern_atoms_.size();
+    size_t best_score = kInfinity;
+    for (size_t i = 0; i < pattern_atoms_.size(); ++i) {
+      if (assigned_[i]) continue;
+      if (remaining_focus_ > 0 && !pattern_atoms_[i].focus) continue;
+      size_t score = EstimateCandidates(pattern_atoms_[i]);
+      if (score < best_score) {
+        best_score = score;
+        chosen = i;
+        if (score == 0) break;
+      }
+    }
+    TWCHASE_CHECK(chosen < pattern_atoms_.size());
+    const PatAtom& pat = pattern_atoms_[chosen];
+    assigned_[chosen] = true;
+    if (pat.focus) --remaining_focus_;
+    bool stop = false;
+    for (const Atom* cand : Candidates(pat)) {
+      std::vector<uint32_t> trail;
+      if (TryUnify(pat, *cand, &trail)) {
+        if (Search(remaining - 1)) {
+          Rollback(trail);
+          stop = true;
+          break;
+        }
+      }
+      Rollback(trail);
+    }
+    assigned_[chosen] = false;
+    if (pat.focus) ++remaining_focus_;
+    return stop;
+  }
+
+  const AtomSet& target_;
+  const HomOptions& options_;
+  std::vector<PatAtom> pattern_atoms_;
+  std::unordered_map<Term, uint32_t, TermHash> var_index_;
+  std::vector<Term> var_terms_;
+  std::vector<Term> binding_;  // indexed by local variable
+  std::vector<char> bound_;
+  std::vector<char> assigned_;
+  size_t remaining_focus_ = 0;
+  std::unordered_set<Term, TermHash> used_targets_;
+  std::vector<Substitution> results_;
+};
+
+}  // namespace
+
+std::vector<Substitution> FindAllHomomorphisms(const AtomSet& pattern,
+                                               const AtomSet& target,
+                                               const HomOptions& options) {
+  HomSearch search(pattern, target, options);
+  return search.Run();
+}
+
+std::optional<Substitution> FindHomomorphism(const AtomSet& pattern,
+                                             const AtomSet& target) {
+  return FindHomomorphism(pattern, target, HomOptions{});
+}
+
+std::optional<Substitution> FindHomomorphism(const AtomSet& pattern,
+                                             const AtomSet& target,
+                                             const HomOptions& options) {
+  HomOptions opts = options;
+  opts.limit = 1;
+  auto results = FindAllHomomorphisms(pattern, target, opts);
+  if (results.empty()) return std::nullopt;
+  return std::move(results.front());
+}
+
+bool ExistsHomomorphism(const AtomSet& pattern, const AtomSet& target) {
+  return FindHomomorphism(pattern, target).has_value();
+}
+
+bool ExistsHomomorphismExtending(const AtomSet& pattern, const AtomSet& target,
+                                 const Substitution& seed) {
+  HomOptions options;
+  options.seed = seed;
+  options.limit = 1;
+  return FindHomomorphism(pattern, target, options).has_value();
+}
+
+}  // namespace twchase

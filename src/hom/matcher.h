@@ -1,0 +1,74 @@
+// Backtracking homomorphism search from a pattern atomset (CQ, rule body,
+// whole instance) into a target instance. Uses the target's predicate and
+// term postings for candidate generation and a greedy most-constrained-first
+// static atom order. Supports:
+//   * seeding with a partial substitution (trigger-satisfaction checks);
+//   * a forbidden image term (folding search used by core computation:
+//     a hom A → A∖{atoms containing X} without materialising the sub-instance);
+//   * term-injective and variable-to-variable modes (isomorphism search).
+#ifndef TWCHASE_HOM_MATCHER_H_
+#define TWCHASE_HOM_MATCHER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "model/atom_set.h"
+#include "model/substitution.h"
+
+namespace twchase {
+
+struct HomOptions {
+  /// Pre-bound variables; the search only extends this mapping.
+  Substitution seed;
+
+  /// Stop after collecting this many homomorphisms. 0 means unbounded.
+  size_t limit = 1;
+
+  /// If set, no atom of the image may mention this term. Equivalent to
+  /// matching into the target with every atom containing the term removed.
+  std::optional<Term> forbidden_image_term;
+
+  /// Require the mapping to be injective on terms (distinct pattern terms map
+  /// to distinct target terms).
+  bool injective = false;
+
+  /// Require variables to map to variables (not constants).
+  bool vars_to_vars = false;
+
+  /// Value-ordering heuristic: try the identity candidate first in
+  /// endomorphism-style searches (pattern ⊆ target). On by default; exposed
+  /// for the ablation benchmarks.
+  bool identity_first = true;
+};
+
+/// All homomorphisms from `pattern` to `target` satisfying `options`, up to
+/// options.limit. Each result's domain is exactly vars(pattern) ∪ dom(seed).
+std::vector<Substitution> FindAllHomomorphisms(const AtomSet& pattern,
+                                               const AtomSet& target,
+                                               const HomOptions& options);
+
+/// First homomorphism found, or nullopt.
+std::optional<Substitution> FindHomomorphism(const AtomSet& pattern,
+                                             const AtomSet& target);
+
+std::optional<Substitution> FindHomomorphism(const AtomSet& pattern,
+                                             const AtomSet& target,
+                                             const HomOptions& options);
+
+bool ExistsHomomorphism(const AtomSet& pattern, const AtomSet& target);
+
+/// True if `seed` extends to a homomorphism pattern → target. This is the
+/// trigger-satisfaction test: tr = (B → H, π) is satisfied in I iff π extends
+/// to a homomorphism from B ∪ H to I.
+bool ExistsHomomorphismExtending(const AtomSet& pattern, const AtomSet& target,
+                                 const Substitution& seed);
+
+/// True iff pattern maps to target, i.e. target |= pattern as a Boolean CQ.
+inline bool Entails(const AtomSet& target, const AtomSet& query) {
+  return ExistsHomomorphism(query, target);
+}
+
+}  // namespace twchase
+
+#endif  // TWCHASE_HOM_MATCHER_H_

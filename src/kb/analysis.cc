@@ -1,0 +1,327 @@
+#include "kb/analysis.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace twchase {
+namespace {
+
+// Position node: predicate id and argument index, packed for hashing.
+using Position = uint64_t;
+
+Position MakePosition(PredicateId predicate, size_t index) {
+  return (static_cast<uint64_t>(predicate) << 16) | static_cast<uint64_t>(index);
+}
+
+// Occurrence positions of each variable in an atomset.
+std::unordered_map<Term, std::vector<Position>, TermHash> PositionsOf(
+    const AtomSet& atoms) {
+  std::unordered_map<Term, std::vector<Position>, TermHash> out;
+  atoms.ForEach([&](const Atom& atom) {
+    for (size_t i = 0; i < atom.args().size(); ++i) {
+      Term t = atom.arg(i);
+      if (t.is_variable()) {
+        out[t].push_back(MakePosition(atom.predicate(), i));
+      }
+    }
+  });
+  return out;
+}
+
+// Tarjan SCC over the position graph, flagging SCCs that contain a special
+// edge (an SCC with an internal special edge witnesses a bad cycle).
+class SccSpecialCycleDetector {
+ public:
+  void AddEdge(Position from, Position to, bool special) {
+    int u = NodeOf(from), v = NodeOf(to);
+    edges_.push_back({u, v, special});
+    adj_.resize(nodes_.size());
+    adj_[u].push_back(static_cast<int>(edges_.size()) - 1);
+  }
+
+  // True iff some cycle passes through a special edge.
+  bool HasSpecialCycle() {
+    int n = static_cast<int>(nodes_.size());
+    adj_.resize(n);
+    index_.assign(n, -1);
+    low_.assign(n, 0);
+    on_stack_.assign(n, false);
+    component_.assign(n, -1);
+    for (int v = 0; v < n; ++v) {
+      if (index_[v] == -1) Strongconnect(v);
+    }
+    for (const Edge& e : edges_) {
+      if (e.special && component_[e.from] == component_[e.to]) return true;
+    }
+    return false;
+  }
+
+ private:
+  struct Edge {
+    int from, to;
+    bool special;
+  };
+
+  int NodeOf(Position p) {
+    auto [it, inserted] = node_index_.emplace(p, static_cast<int>(nodes_.size()));
+    if (inserted) nodes_.push_back(p);
+    return it->second;
+  }
+
+  void Strongconnect(int v) {
+    // Iterative Tarjan to avoid deep recursion on large schemas.
+    struct Frame {
+      int v;
+      size_t edge_pos;
+    };
+    std::vector<Frame> call_stack{{v, 0}};
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      int u = frame.v;
+      if (frame.edge_pos == 0) {
+        index_[u] = low_[u] = counter_++;
+        stack_.push_back(u);
+        on_stack_[u] = true;
+      }
+      bool descended = false;
+      while (frame.edge_pos < adj_[u].size()) {
+        const Edge& e = edges_[adj_[u][frame.edge_pos++]];
+        if (index_[e.to] == -1) {
+          call_stack.push_back({e.to, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack_[e.to]) low_[u] = std::min(low_[u], index_[e.to]);
+      }
+      if (descended) continue;
+      if (low_[u] == index_[u]) {
+        while (true) {
+          int w = stack_.back();
+          stack_.pop_back();
+          on_stack_[w] = false;
+          component_[w] = components_;
+          if (w == u) break;
+        }
+        ++components_;
+      }
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        int parent = call_stack.back().v;
+        low_[parent] = std::min(low_[parent], low_[u]);
+      }
+    }
+  }
+
+  std::unordered_map<Position, int> node_index_;
+  std::vector<Position> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<int>> adj_;
+  std::vector<int> index_, low_, component_;
+  std::vector<bool> on_stack_;
+  std::vector<int> stack_;
+  int counter_ = 0;
+  int components_ = 0;
+};
+
+bool BodyHasGuard(const Rule& rule, const std::vector<Term>& vars) {
+  bool found = false;
+  rule.body().ForEach([&](const Atom& atom) {
+    if (found) return;
+    bool covers = std::all_of(vars.begin(), vars.end(), [&](Term v) {
+      return std::find(atom.args().begin(), atom.args().end(), v) !=
+             atom.args().end();
+    });
+    if (covers) found = true;
+  });
+  return found;
+}
+
+}  // namespace
+
+bool IsDatalog(const std::vector<Rule>& rules) {
+  return std::all_of(rules.begin(), rules.end(),
+                     [](const Rule& r) { return r.IsDatalog(); });
+}
+
+bool IsLinear(const std::vector<Rule>& rules) {
+  return std::all_of(rules.begin(), rules.end(),
+                     [](const Rule& r) { return r.body().size() == 1; });
+}
+
+bool IsGuarded(const std::vector<Rule>& rules) {
+  return std::all_of(rules.begin(), rules.end(), [](const Rule& r) {
+    return BodyHasGuard(r, r.body().Variables());
+  });
+}
+
+bool IsFrontierGuarded(const std::vector<Rule>& rules) {
+  return std::all_of(rules.begin(), rules.end(), [](const Rule& r) {
+    return BodyHasGuard(r, r.frontier());
+  });
+}
+
+bool IsWeaklyAcyclic(const std::vector<Rule>& rules) {
+  SccSpecialCycleDetector detector;
+  bool any_edge = false;
+  for (const Rule& rule : rules) {
+    auto body_positions = PositionsOf(rule.body());
+    auto head_positions = PositionsOf(rule.head());
+    // Head positions of existential variables (special edge targets).
+    std::vector<Position> existential_positions;
+    for (Term z : rule.existential()) {
+      auto it = head_positions.find(z);
+      if (it == head_positions.end()) continue;
+      existential_positions.insert(existential_positions.end(),
+                                   it->second.begin(), it->second.end());
+    }
+    for (Term x : rule.frontier()) {
+      auto bit = body_positions.find(x);
+      if (bit == body_positions.end()) continue;
+      auto hit = head_positions.find(x);
+      for (Position from : bit->second) {
+        if (hit != head_positions.end()) {
+          for (Position to : hit->second) {
+            detector.AddEdge(from, to, /*special=*/false);
+            any_edge = true;
+          }
+        }
+        for (Position to : existential_positions) {
+          detector.AddEdge(from, to, /*special=*/true);
+          any_edge = true;
+        }
+      }
+    }
+  }
+  if (!any_edge) return true;
+  return !detector.HasSpecialCycle();
+}
+
+bool IsJointlyAcyclic(const std::vector<Rule>& rules) {
+  // Existential variables, globally indexed.
+  struct Existential {
+    size_t rule;
+    Term var;
+  };
+  std::vector<Existential> existentials;
+  for (size_t r = 0; r < rules.size(); ++r) {
+    for (Term z : rules[r].existential()) {
+      existentials.push_back({r, z});
+    }
+  }
+  if (existentials.empty()) return true;
+
+  // Per-rule variable position caches.
+  std::vector<std::unordered_map<Term, std::vector<Position>, TermHash>>
+      body_positions(rules.size()), head_positions(rules.size());
+  for (size_t r = 0; r < rules.size(); ++r) {
+    body_positions[r] = PositionsOf(rules[r].body());
+    head_positions[r] = PositionsOf(rules[r].head());
+  }
+
+  // Move(z) fixpoints.
+  auto compute_move = [&](const Existential& e) {
+    std::unordered_set<Position> move;
+    for (Position p : head_positions[e.rule].at(e.var)) move.insert(p);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (size_t r = 0; r < rules.size(); ++r) {
+        for (Term x : rules[r].frontier()) {
+          auto bit = body_positions[r].find(x);
+          if (bit == body_positions[r].end() || bit->second.empty()) continue;
+          bool all_in = std::all_of(bit->second.begin(), bit->second.end(),
+                                    [&](Position p) { return move.contains(p); });
+          if (!all_in) continue;
+          auto hit = head_positions[r].find(x);
+          if (hit == head_positions[r].end()) continue;
+          for (Position p : hit->second) {
+            if (move.insert(p).second) changed = true;
+          }
+        }
+      }
+    }
+    return move;
+  };
+
+  std::vector<std::unordered_set<Position>> moves;
+  moves.reserve(existentials.size());
+  for (const Existential& e : existentials) moves.push_back(compute_move(e));
+
+  // Dependency graph: z → z' if the rule creating z' has a frontier variable
+  // whose body positions all lie in Move(z).
+  size_t n = existentials.size();
+  std::vector<std::vector<int>> adj(n);
+  for (size_t from = 0; from < n; ++from) {
+    for (size_t to = 0; to < n; ++to) {
+      size_t r = existentials[to].rule;
+      bool depends = false;
+      for (Term x : rules[r].frontier()) {
+        auto bit = body_positions[r].find(x);
+        if (bit == body_positions[r].end() || bit->second.empty()) continue;
+        if (std::all_of(bit->second.begin(), bit->second.end(),
+                        [&](Position p) { return moves[from].contains(p); })) {
+          depends = true;
+          break;
+        }
+      }
+      if (depends) adj[from].push_back(static_cast<int>(to));
+    }
+  }
+
+  // Cycle detection (iterative three-color DFS).
+  std::vector<int> color(n, 0);  // 0 white, 1 grey, 2 black
+  for (size_t start = 0; start < n; ++start) {
+    if (color[start] != 0) continue;
+    std::vector<std::pair<int, size_t>> stack{{static_cast<int>(start), 0}};
+    color[start] = 1;
+    while (!stack.empty()) {
+      auto& [v, next] = stack.back();
+      if (next < adj[v].size()) {
+        int w = adj[v][next++];
+        if (color[w] == 1) return false;  // back edge: cycle
+        if (color[w] == 0) {
+          color[w] = 1;
+          stack.push_back({w, 0});
+        }
+      } else {
+        color[v] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  return true;
+}
+
+RulesetAnalysis AnalyzeRuleset(const std::vector<Rule>& rules) {
+  RulesetAnalysis out;
+  out.datalog = IsDatalog(rules);
+  out.linear = IsLinear(rules);
+  out.guarded = IsGuarded(rules);
+  out.frontier_guarded = out.guarded || IsFrontierGuarded(rules);
+  out.weakly_acyclic = IsWeaklyAcyclic(rules);
+  out.jointly_acyclic = out.weakly_acyclic || IsJointlyAcyclic(rules);
+  return out;
+}
+
+std::string RulesetAnalysis::Summary() const {
+  std::string out;
+  auto add = [&out](bool flag, const char* name) {
+    if (flag) {
+      if (!out.empty()) out += ",";
+      out += name;
+    }
+  };
+  add(datalog, "datalog");
+  add(linear, "linear");
+  add(guarded, "guarded");
+  add(frontier_guarded && !guarded, "frontier-guarded");
+  add(weakly_acyclic, "weakly-acyclic");
+  add(jointly_acyclic && !weakly_acyclic && !datalog, "jointly-acyclic");
+  if (out.empty()) out = "none";
+  return out;
+}
+
+}  // namespace twchase

@@ -1,0 +1,81 @@
+// Static (syntactic) ruleset analysis: the classical sufficient conditions
+// for chase termination and treewidth-boundedness that the paper's abstract
+// classes generalise.
+//   * weak acyclicity (Fagin, Kolaitis, Miller, Popa): no cycle through a
+//     "special" edge in the position dependency graph ⇒ the (semi-)oblivious
+//     chase terminates on every instance ⇒ fes;
+//   * guardedness (Calì, Gottlob, Kifer): some body atom contains every
+//     body variable ⇒ bts (treewidth-bounded chase);
+//   * frontier-guardedness (Baget et al.): some body atom contains every
+//     frontier variable ⇒ bts;
+//   * linearity: single-atom bodies (a special case of guardedness);
+//   * datalog: no existential variables ⇒ fes (and trivially bts for a
+//     fixed instance).
+// These checkers are deliberately decoupled from the chase: they power the
+// FIG1 bench's "static" columns next to the empirical (chase-run) evidence.
+#ifndef TWCHASE_KB_ANALYSIS_H_
+#define TWCHASE_KB_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "kb/rule.h"
+
+namespace twchase {
+
+struct RulesetAnalysis {
+  bool datalog = false;
+  bool linear = false;
+  bool guarded = false;
+  bool frontier_guarded = false;
+  bool weakly_acyclic = false;
+  bool jointly_acyclic = false;
+
+  /// Static fes evidence: (weakly/jointly) acyclic or datalog.
+  bool ImpliesTermination() const {
+    return weakly_acyclic || jointly_acyclic || datalog;
+  }
+
+  /// Static bts evidence: (frontier-)guarded or datalog.
+  bool ImpliesTreewidthBounded() const {
+    return guarded || frontier_guarded || datalog;
+  }
+
+  std::string Summary() const;
+};
+
+/// True iff every rule has no existential variable.
+bool IsDatalog(const std::vector<Rule>& rules);
+
+/// True iff every rule body is a single atom.
+bool IsLinear(const std::vector<Rule>& rules);
+
+/// True iff every rule body has an atom containing all body variables.
+bool IsGuarded(const std::vector<Rule>& rules);
+
+/// True iff every rule body has an atom containing all frontier variables.
+bool IsFrontierGuarded(const std::vector<Rule>& rules);
+
+/// Weak acyclicity of the position dependency graph: nodes are (predicate,
+/// argument position); for every rule and frontier variable x at body
+/// position π, a regular edge π → π' for every head position π' of x, and a
+/// special edge π → π'' for every head position π'' of an existential
+/// variable. Weakly acyclic iff no cycle passes through a special edge
+/// (checked via strongly connected components).
+bool IsWeaklyAcyclic(const std::vector<Rule>& rules);
+
+/// Joint acyclicity (Krötzsch & Rudolph, IJCAI'11), strictly subsuming weak
+/// acyclicity. For every existential variable z, Move(z) is the least set of
+/// positions containing z's head positions and closed under: if ALL body
+/// positions of a frontier variable x (of any rule) lie in Move(z), add x's
+/// head positions. z' depends on z if the rule creating z' has a frontier
+/// variable whose body positions all lie in Move(z). Jointly acyclic iff the
+/// dependency relation is acyclic; guarantees termination of the
+/// semi-oblivious (hence restricted/core) chase.
+bool IsJointlyAcyclic(const std::vector<Rule>& rules);
+
+RulesetAnalysis AnalyzeRuleset(const std::vector<Rule>& rules);
+
+}  // namespace twchase
+
+#endif  // TWCHASE_KB_ANALYSIS_H_

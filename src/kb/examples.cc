@@ -1,0 +1,328 @@
+#include "kb/examples.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/status.h"
+
+namespace twchase {
+
+// ---------------------------------------------------------------------------
+// Steepening staircase (Definition 7 / Figure 2).
+//
+//   R^h_1: h(X,X) → ∃X',Y,Y'. h(X,Y) ∧ v(X,X') ∧ h(X',Y') ∧ v(Y,Y') ∧ c(Y')
+//   R^h_2: h(X,X) ∧ v(X,X') ∧ h(X',X') ∧ h(X',Y') → ∃Y. c(Y') ∧ h(X,Y) ∧ v(Y,Y')
+//   R^h_3: f(X) ∧ h(X,X) ∧ h(X,Y) → f(Y) ∧ h(Y,Y)
+//   R^h_4: h(X,X) ∧ v(X,X') ∧ c(X') → h(X',X')
+//   F_h  = {f(X^0_0), h(X^0_0, X^0_0)}
+// ---------------------------------------------------------------------------
+
+StaircaseWorld::StaircaseWorld() {
+  KbBuilder b;
+  f_ = b.vocab()->MustPredicate("f", 1);
+  c_ = b.vocab()->MustPredicate("c", 1);
+  h_ = b.vocab()->MustPredicate("h", 2);
+  v_ = b.vocab()->MustPredicate("v", 2);
+  Term x = b.V("X"), xp = b.V("Xp"), y = b.V("Y"), yp = b.V("Yp");
+  Term x00 = b.V("X_0_0");
+
+  b.Fact("f", {x00});
+  b.Fact("h", {x00, x00});
+
+  b.AddRule("Rh1", {b.A("h", {x, x})},
+            {b.A("h", {x, y}), b.A("v", {x, xp}), b.A("h", {xp, yp}),
+             b.A("v", {y, yp}), b.A("c", {yp})});
+  b.AddRule("Rh2",
+            {b.A("h", {x, x}), b.A("v", {x, xp}), b.A("h", {xp, xp}),
+             b.A("h", {xp, yp})},
+            {b.A("c", {yp}), b.A("h", {x, y}), b.A("v", {y, yp})});
+  b.AddRule("Rh3", {b.A("f", {x}), b.A("h", {x, x}), b.A("h", {x, y})},
+            {b.A("f", {y}), b.A("h", {y, y})});
+  b.AddRule("Rh4", {b.A("h", {x, x}), b.A("v", {x, xp}), b.A("c", {xp})},
+            {b.A("h", {xp, xp})});
+  kb_ = b.Build();
+}
+
+Term StaircaseWorld::X(int i, int j) {
+  return kb_.vocab->NamedVariable("X_" + std::to_string(i) + "_" +
+                                  std::to_string(j));
+}
+
+// Atoms of I^h (Definition 8): terms X^i_j with 0 ≤ j ≤ i + 1;
+//   f(X^i_0)                         for all i
+//   c(X^i_j)                         for 1 ≤ j ≤ i
+//   h(X^i_j, X^{i+1}_j)              whenever both cells exist
+//   h(X^i_j, X^i_j)                  for j ≤ i
+//   v(X^i_j, X^i_{j+1})              whenever both cells exist
+AtomSet StaircaseWorld::InducedUniversalModel(int max_col) {
+  AtomSet out;
+  auto valid = [max_col](int i, int j) {
+    return i >= 0 && i <= max_col && j >= 0 && j <= i + 1;
+  };
+  for (int i = 0; i <= max_col; ++i) {
+    for (int j = 0; j <= i + 1; ++j) {
+      Term t = X(i, j);
+      if (j == 0) out.Insert(Atom(f_, {t}));
+      if (j >= 1 && j <= i) out.Insert(Atom(c_, {t}));
+      if (j <= i) out.Insert(Atom(h_, {t, t}));
+      if (valid(i + 1, j)) out.Insert(Atom(h_, {t, X(i + 1, j)}));
+      if (valid(i, j + 1)) out.Insert(Atom(v_, {t, X(i, j + 1)}));
+    }
+  }
+  return out;
+}
+
+AtomSet StaircaseWorld::UniversalModelPrefix(int max_col) {
+  return InducedUniversalModel(max_col);
+}
+
+AtomSet StaircaseWorld::Column(int k) {
+  // Induced subinstance of I^h on {X^k_j | j ≤ k}: within one column there
+  // are no h-edges between distinct cells, so this is the v-path with labels
+  // and self-loops.
+  AtomSet out;
+  for (int j = 0; j <= k; ++j) {
+    Term t = X(k, j);
+    if (j == 0) out.Insert(Atom(f_, {t}));
+    if (j >= 1) out.Insert(Atom(c_, {t}));
+    out.Insert(Atom(h_, {t, t}));
+    if (j + 1 <= k) out.Insert(Atom(v_, {t, X(k, j + 1)}));
+  }
+  return out;
+}
+
+AtomSet StaircaseWorld::Step(int k) {
+  // Induced subinstance on C_k ∪ C_{k+1} ∪ {X^k_{k+1}}.
+  AtomSet out;
+  auto in_set = [k](int i, int j) {
+    if (i == k && j >= 0 && j <= k + 1) return true;   // C_k plus top element
+    if (i == k + 1 && j >= 0 && j <= k + 1) return true;  // C_{k+1}
+    return false;
+  };
+  for (int i = k; i <= k + 1; ++i) {
+    for (int j = 0; j <= i + 1; ++j) {
+      if (!in_set(i, j)) continue;
+      Term t = X(i, j);
+      if (j == 0) out.Insert(Atom(f_, {t}));
+      if (j >= 1 && j <= i) out.Insert(Atom(c_, {t}));
+      if (j <= i) out.Insert(Atom(h_, {t, t}));
+      if (in_set(i + 1, j)) out.Insert(Atom(h_, {t, X(i + 1, j)}));
+      if (in_set(i, j + 1)) out.Insert(Atom(v_, {t, X(i, j + 1)}));
+    }
+  }
+  return out;
+}
+
+AtomSet StaircaseWorld::InfiniteColumnPrefix(int height) {
+  // Cells Y_0 .. Y_height: f at the bottom, c above, h-loop everywhere,
+  // v-path upward. Isomorphic to the robust aggregation of the core chase
+  // on K_h (Section 8).
+  AtomSet out;
+  auto cell = [this](int j) {
+    return kb_.vocab->NamedVariable("Ycol_" + std::to_string(j));
+  };
+  for (int j = 0; j <= height; ++j) {
+    Term t = cell(j);
+    if (j == 0) out.Insert(Atom(f_, {t}));
+    if (j >= 1) out.Insert(Atom(c_, {t}));
+    out.Insert(Atom(h_, {t, t}));
+    if (j + 1 <= height) out.Insert(Atom(v_, {t, cell(j + 1)}));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Inflating elevator (Definition 9 / Figure 3).
+//
+//   R^v_1: c(X) ∧ h(X,Y) → ∃Y',Y''. v(Y,Y') ∧ v(Y',Y'') ∧ c(Y'')
+//   R^v_2: d(X) ∧ f(X) ∧ v(X,X') → ∃Y'. h(X',Y') ∧ f(Y')
+//   R^v_3: v(X,X') ∧ h(X,Y) → ∃Y'. v(Y,Y') ∧ h(X',Y')
+//   R^v_4: c(X) → d(X)
+//   R^v_5: v(X,X') ∧ d(X') → d(X)
+//   R^v_6: h(X,Y) ∧ d(Y) ∧ f(Y) → f(X) ∧ v(X,X)
+//   R^v_7: c(X) ∧ h(X,Y) ∧ v(Y,Y') ∧ f(Y') → h(X,Y')
+//   F_v  = {c(X^0_0), d(X^0_0), h(X^0_0, X^1_0), f(X^1_0)}
+// ---------------------------------------------------------------------------
+
+ElevatorWorld::ElevatorWorld() {
+  KbBuilder b;
+  c_ = b.vocab()->MustPredicate("c", 1);
+  d_ = b.vocab()->MustPredicate("d", 1);
+  f_ = b.vocab()->MustPredicate("f", 1);
+  h_ = b.vocab()->MustPredicate("h", 2);
+  v_ = b.vocab()->MustPredicate("v", 2);
+  Term x = b.V("X"), xp = b.V("Xp"), y = b.V("Y"), yp = b.V("Yp"),
+       ypp = b.V("Ypp");
+  Term x00 = b.V("X_0_0"), x10 = b.V("X_1_0");
+
+  b.Fact("c", {x00});
+  b.Fact("d", {x00});
+  b.Fact("h", {x00, x10});
+  b.Fact("f", {x10});
+
+  b.AddRule("Rv1", {b.A("c", {x}), b.A("h", {x, y})},
+            {b.A("v", {y, yp}), b.A("v", {yp, ypp}), b.A("c", {ypp})});
+  b.AddRule("Rv2", {b.A("d", {x}), b.A("f", {x}), b.A("v", {x, xp})},
+            {b.A("h", {xp, yp}), b.A("f", {yp})});
+  b.AddRule("Rv3", {b.A("v", {x, xp}), b.A("h", {x, y})},
+            {b.A("v", {y, yp}), b.A("h", {xp, yp})});
+  b.AddRule("Rv4", {b.A("c", {x})}, {b.A("d", {x})});
+  b.AddRule("Rv5", {b.A("v", {x, xp}), b.A("d", {xp})}, {b.A("d", {x})});
+  b.AddRule("Rv6", {b.A("h", {x, y}), b.A("d", {y}), b.A("f", {y})},
+            {b.A("f", {x}), b.A("v", {x, x})});
+  b.AddRule("Rv7",
+            {b.A("c", {x}), b.A("h", {x, y}), b.A("v", {y, yp}),
+             b.A("f", {yp})},
+            {b.A("h", {x, yp})});
+  kb_ = b.Build();
+}
+
+Term ElevatorWorld::X(int i, int j) {
+  return kb_.vocab->NamedVariable("X_" + std::to_string(i) + "_" +
+                                  std::to_string(j));
+}
+
+// Atoms of I^v (Definition 10): terms X^i_j with max(0, i-1) ≤ j ≤ 2i;
+//   d(X^i_j), f(X^i_j)                       for every cell
+//   c(X^i_{2i})                              ceiling
+//   h(X^i_j, X^{i+1}_k)                      for i ≤ j ≤ 2i and j ≤ k ≤ 2i+2
+//     (the "fan": k = j is the horizontal edge; at the ceiling j = 2i the
+//      fan degenerates to the diagonals h(X^i_{2i}, X^{i+1}_{2i+1}) and
+//      h(X^i_{2i}, X^{i+1}_{2i+2}) listed explicitly in the paper. The fan
+//      for j < 2i is forced by rule satisfaction: the R^v_3 trigger taking
+//      the v-self-loop at X^i_j as its v-atom needs h(X^i_j, X^{i+1}_{j+1}),
+//      and iterating yields the full fan — consistent with Definition 12's
+//      removal clause, which quantifies over h(X^i_j, X^{i+1}_k), k > j.)
+//   v(X^i_j, X^i_{j+1})                      within a column
+//   v(X^i_j, X^i_j)                          for i ≤ j
+// restricted to cells accepted by in_range(i, j).
+template <typename InRange>
+AtomSet ElevatorWorld::UniversalModelAtomsWhere(int max_col, InRange in_range) {
+  AtomSet out;
+  auto valid = [max_col, &in_range](int i, int j) {
+    return i >= 0 && i <= max_col && j >= 0 && j >= i - 1 && j <= 2 * i &&
+           in_range(i, j);
+  };
+  for (int i = 0; i <= max_col; ++i) {
+    for (int j = std::max(0, i - 1); j <= 2 * i; ++j) {
+      if (!valid(i, j)) continue;
+      Term t = X(i, j);
+      out.Insert(Atom(d_, {t}));
+      out.Insert(Atom(f_, {t}));
+      if (j == 2 * i) out.Insert(Atom(c_, {t}));
+      if (j >= i) {
+        for (int k = j; k <= 2 * i + 2; ++k) {
+          if (valid(i + 1, k)) out.Insert(Atom(h_, {t, X(i + 1, k)}));
+        }
+        out.Insert(Atom(v_, {t, t}));
+      }
+      if (valid(i, j + 1)) out.Insert(Atom(v_, {t, X(i, j + 1)}));
+    }
+  }
+  return out;
+}
+
+AtomSet ElevatorWorld::UniversalModelPrefix(int max_col) {
+  return UniversalModelAtomsWhere(max_col, [](int, int) { return true; });
+}
+
+AtomSet ElevatorWorld::CeilingPrefix(int max_col) {
+  return UniversalModelAtomsWhere(max_col,
+                                  [](int i, int j) { return j == 2 * i; });
+}
+
+AtomSet ElevatorWorld::CoreObstruction(int n) {
+  if (n <= 0) return kb_.facts;
+  // Terms: the ceiling spine {X^i_{2i} | i ≤ ⌈n/2⌉} plus the box
+  // {X^i_j | i ≤ n+1, j ≥ n} (cell validity i-1 ≤ j ≤ 2i applies).
+  int spine_end = (n + 1) / 2;
+  auto in_terms = [n, spine_end](int i, int j) {
+    if (j == 2 * i && i <= spine_end) return true;
+    return i <= n + 1 && j >= n;
+  };
+  AtomSet out = UniversalModelAtomsWhere(
+      n + 1, [&](int i, int j) { return in_terms(i, j); });
+  // Removals per Definition 12: v-loops and f above row n, and "diagonal"
+  // h-atoms h(X^i_j, X^{i+1}_k) with k > j and k > n.
+  for (int i = 0; i <= n + 1; ++i) {
+    for (int j = 0; j <= 2 * i; ++j) {
+      if (!in_terms(i, j)) continue;
+      Term t = X(i, j);
+      if (j > n) {
+        out.Erase(Atom(v_, {t, t}));
+        out.Erase(Atom(f_, {t}));
+      }
+      // Fan atoms h(X^i_j, X^{i+1}_k) with k > j and k > n.
+      for (int k = j + 1; k <= 2 * i + 2; ++k) {
+        if (k > n) out.Erase(Atom(h_, {t, X(i + 1, k)}));
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Class-separating rulesets (proof of Proposition 13).
+// ---------------------------------------------------------------------------
+
+KnowledgeBase MakeBtsNotFes() {
+  KbBuilder b;
+  Term x = b.V("X"), y = b.V("Y"), z = b.V("Z");
+  b.Fact("r", {b.C("a"), b.C("b")});
+  b.AddRule("grow", {b.A("r", {x, y})}, {b.A("r", {y, z})});
+  return b.Build();
+}
+
+KnowledgeBase MakeFesNotBts() {
+  KbBuilder b;
+  Term x = b.V("X"), y = b.V("Y"), z = b.V("Z"), v = b.V("V");
+  b.Fact("r", {b.C("a"), b.C("b")});
+  b.Fact("r", {b.C("b"), b.C("c")});
+  b.AddRule("clique",
+            {b.A("r", {x, y}), b.A("r", {y, z})},
+            {b.A("r", {x, x}), b.A("r", {x, z}), b.A("r", {z, v})});
+  return b.Build();
+}
+
+KnowledgeBase MakeGuardedChain(int chain_predicates) {
+  TWCHASE_CHECK(chain_predicates >= 1);
+  KbBuilder b;
+  Term x = b.V("X"), y = b.V("Y"), z = b.V("Z");
+  b.Fact("r0", {b.C("a"), b.C("b")});
+  for (int i = 0; i < chain_predicates; ++i) {
+    std::string from = "r" + std::to_string(i);
+    std::string to = "r" + std::to_string((i + 1) % chain_predicates);
+    b.AddRule("chain" + std::to_string(i), {b.A(from, {x, y})},
+              {b.A(to, {y, z})});
+  }
+  return b.Build();
+}
+
+KnowledgeBase MakeWeaklyAcyclicPipeline(int stages) {
+  TWCHASE_CHECK(stages >= 1);
+  KbBuilder b;
+  Term x = b.V("X"), y = b.V("Y");
+  b.Fact("s0", {b.C("a")});
+  b.Fact("s0", {b.C("b")});
+  for (int i = 0; i < stages; ++i) {
+    std::string s = "s" + std::to_string(i);
+    std::string r = "r" + std::to_string(i);
+    std::string next = "s" + std::to_string(i + 1);
+    b.AddRule("mint" + std::to_string(i), {b.A(s, {x})}, {b.A(r, {x, y})});
+    b.AddRule("pass" + std::to_string(i), {b.A(r, {x, y})}, {b.A(next, {y})});
+  }
+  return b.Build();
+}
+
+KnowledgeBase MakeTransitiveClosure(int path_length) {
+  KbBuilder b;
+  Term x = b.V("X"), y = b.V("Y"), z = b.V("Z");
+  for (int i = 0; i < path_length; ++i) {
+    b.Fact("e", {b.C("n" + std::to_string(i)), b.C("n" + std::to_string(i + 1))});
+  }
+  b.AddRule("base", {b.A("e", {x, y})}, {b.A("t", {x, y})});
+  b.AddRule("step", {b.A("e", {x, y}), b.A("t", {y, z})}, {b.A("t", {x, z})});
+  return b.Build();
+}
+
+}  // namespace twchase

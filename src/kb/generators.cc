@@ -1,0 +1,84 @@
+#include "kb/generators.h"
+
+#include <string>
+
+namespace twchase {
+namespace {
+
+Term Node(Vocabulary* vocab, const std::string& stem, int i) {
+  return vocab->NamedVariable(stem + "_" + std::to_string(i));
+}
+
+}  // namespace
+
+AtomSet MakePathInstance(Vocabulary* vocab, const std::string& pred, int n) {
+  PredicateId p = vocab->MustPredicate(pred, 2);
+  AtomSet out;
+  for (int i = 0; i < n; ++i) {
+    out.Insert(Atom(p, {Node(vocab, "path", i), Node(vocab, "path", i + 1)}));
+  }
+  return out;
+}
+
+AtomSet MakeCycleInstance(Vocabulary* vocab, const std::string& pred, int n) {
+  PredicateId p = vocab->MustPredicate(pred, 2);
+  AtomSet out;
+  for (int i = 0; i < n; ++i) {
+    out.Insert(Atom(p, {Node(vocab, "cyc", i), Node(vocab, "cyc", (i + 1) % n)}));
+  }
+  return out;
+}
+
+AtomSet MakeGridInstance(Vocabulary* vocab, const std::string& hpred,
+                         const std::string& vpred, int rows, int cols) {
+  PredicateId hp = vocab->MustPredicate(hpred, 2);
+  PredicateId vp = vocab->MustPredicate(vpred, 2);
+  AtomSet out;
+  auto node = [&](int r, int c) {
+    return vocab->NamedVariable("g_" + std::to_string(r) + "_" +
+                                std::to_string(c));
+  };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) out.Insert(Atom(hp, {node(r, c), node(r, c + 1)}));
+      if (r + 1 < rows) out.Insert(Atom(vp, {node(r, c), node(r + 1, c)}));
+    }
+  }
+  return out;
+}
+
+AtomSet MakeRandomBinaryInstance(Vocabulary* vocab, const std::string& pred,
+                                 int num_terms, int num_atoms, Rng* rng) {
+  PredicateId p = vocab->MustPredicate(pred, 2);
+  AtomSet out;
+  for (int i = 0; i < num_atoms; ++i) {
+    int a = static_cast<int>(rng->Uniform(0, num_terms - 1));
+    int b = static_cast<int>(rng->Uniform(0, num_terms - 1));
+    out.Insert(Atom(p, {Node(vocab, "rnd", a), Node(vocab, "rnd", b)}));
+  }
+  return out;
+}
+
+AtomSet MakeRedundantInstance(Vocabulary* vocab, const std::string& pred,
+                              int core_cycle_len, int redundancy) {
+  PredicateId p = vocab->MustPredicate(pred, 2);
+  AtomSet out = MakeCycleInstance(vocab, pred, core_cycle_len);
+  int fresh = 0;
+  for (int i = 0; i < core_cycle_len; ++i) {
+    Term a = Node(vocab, "cyc", i);
+    Term b = Node(vocab, "cyc", (i + 1) % core_cycle_len);
+    for (int r = 0; r < redundancy; ++r) {
+      // Shadow copy of the edge a→b: fresh x, y with x→y, x→b, a→y. All
+      // three atoms fold onto a→b via x ↦ a, y ↦ b, so the core is the
+      // original cycle.
+      Term x = Node(vocab, "red", fresh++);
+      Term y = Node(vocab, "red", fresh++);
+      out.Insert(Atom(p, {x, y}));
+      out.Insert(Atom(p, {x, b}));
+      out.Insert(Atom(p, {a, y}));
+    }
+  }
+  return out;
+}
+
+}  // namespace twchase

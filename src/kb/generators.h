@@ -1,0 +1,41 @@
+// Synthetic instance generators used by property tests and the engine
+// microbenchmarks: paths, cycles, grids, random binary structures, and
+// instances with planted redundancy (for core-computation benchmarks).
+#ifndef TWCHASE_KB_GENERATORS_H_
+#define TWCHASE_KB_GENERATORS_H_
+
+#include <memory>
+
+#include "model/atom_set.h"
+#include "model/predicate.h"
+#include "util/random.h"
+
+namespace twchase {
+
+/// Directed path a_0 → a_1 → ... → a_n over predicate `pred` (arity 2),
+/// with variable nodes.
+AtomSet MakePathInstance(Vocabulary* vocab, const std::string& pred, int n);
+
+/// Directed cycle of length n.
+AtomSet MakeCycleInstance(Vocabulary* vocab, const std::string& pred, int n);
+
+/// rows×cols grid over predicates `hpred` (horizontal) and `vpred`
+/// (vertical), with variable nodes.
+AtomSet MakeGridInstance(Vocabulary* vocab, const std::string& hpred,
+                         const std::string& vpred, int rows, int cols);
+
+/// Random instance: `num_terms` variables, `num_atoms` atoms over `pred`
+/// (arity 2) with endpoints drawn uniformly.
+AtomSet MakeRandomBinaryInstance(Vocabulary* vocab, const std::string& pred,
+                                 int num_terms, int num_atoms, Rng* rng);
+
+/// A core-sized instance blown up with `redundancy` homomorphically
+/// redundant copies of each edge (each copy uses fresh variables mapping
+/// onto the original edge), so its core is the original instance. Used to
+/// benchmark core computation.
+AtomSet MakeRedundantInstance(Vocabulary* vocab, const std::string& pred,
+                              int core_cycle_len, int redundancy);
+
+}  // namespace twchase
+
+#endif  // TWCHASE_KB_GENERATORS_H_

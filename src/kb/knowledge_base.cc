@@ -1,0 +1,66 @@
+#include "kb/knowledge_base.h"
+
+#include "hom/matcher.h"
+
+namespace twchase {
+
+bool KnowledgeBase::IsModel(const AtomSet& instance) const {
+  if (!ExistsHomomorphism(facts, instance)) return false;
+  for (const Rule& rule : rules) {
+    // Every trigger (hom of body into instance) must extend to body ∪ head.
+    HomOptions options;
+    options.limit = 0;  // all
+    for (const Substitution& match :
+         FindAllHomomorphisms(rule.body(), instance, options)) {
+      if (!ExistsHomomorphismExtending(rule.body_and_head(), instance, match)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::string KnowledgeBase::ToString() const {
+  std::string out = "facts: " + facts.ToString(*vocab) + "\n";
+  for (const Rule& rule : rules) {
+    out += rule.ToString(*vocab) + "\n";
+  }
+  return out;
+}
+
+KbBuilder::KbBuilder() : vocab_(std::make_shared<Vocabulary>()) {}
+
+Term KbBuilder::C(const std::string& name) { return vocab_->Constant(name); }
+
+Term KbBuilder::V(const std::string& name) {
+  return vocab_->NamedVariable(name);
+}
+
+Atom KbBuilder::A(const std::string& predicate, std::vector<Term> args) {
+  PredicateId id =
+      vocab_->MustPredicate(predicate, static_cast<uint32_t>(args.size()));
+  return Atom(id, std::move(args));
+}
+
+KbBuilder& KbBuilder::Fact(const std::string& predicate,
+                           std::vector<Term> args) {
+  facts_.Insert(A(predicate, std::move(args)));
+  return *this;
+}
+
+KbBuilder& KbBuilder::AddRule(const std::string& label, std::vector<Atom> body,
+                              std::vector<Atom> head) {
+  rules_.push_back(Rule::Must(AtomSet::FromAtoms(body), AtomSet::FromAtoms(head),
+                              label));
+  return *this;
+}
+
+KnowledgeBase KbBuilder::Build() {
+  KnowledgeBase kb;
+  kb.vocab = vocab_;
+  kb.facts = facts_;
+  kb.rules = rules_;
+  return kb;
+}
+
+}  // namespace twchase

@@ -1,0 +1,56 @@
+// Knowledge bases K = (F, Σ): a finite instance plus a finite ruleset,
+// sharing one vocabulary (used by the chase to mint fresh nulls).
+#ifndef TWCHASE_KB_KNOWLEDGE_BASE_H_
+#define TWCHASE_KB_KNOWLEDGE_BASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kb/rule.h"
+#include "model/atom_set.h"
+#include "model/predicate.h"
+
+namespace twchase {
+
+struct KnowledgeBase {
+  std::shared_ptr<Vocabulary> vocab;
+  AtomSet facts;
+  std::vector<Rule> rules;
+
+  /// True if an instance I satisfies every rule (every trigger is satisfied)
+  /// and facts map into I — i.e. I is a model of the KB.
+  bool IsModel(const AtomSet& instance) const;
+
+  std::string ToString() const;
+};
+
+/// Fluent builder for programmatic KBs (example gallery, tests).
+class KbBuilder {
+ public:
+  KbBuilder();
+
+  /// Term helpers against the KB's vocabulary.
+  Term C(const std::string& name);  // constant
+  Term V(const std::string& name);  // named variable
+
+  /// Parses "pred" with explicit args; declares the predicate on first use.
+  Atom A(const std::string& predicate, std::vector<Term> args);
+
+  KbBuilder& Fact(const std::string& predicate, std::vector<Term> args);
+  KbBuilder& AddRule(const std::string& label, std::vector<Atom> body,
+                     std::vector<Atom> head);
+
+  KnowledgeBase Build();
+
+  const std::shared_ptr<Vocabulary>& vocab() const { return vocab_; }
+
+ private:
+  std::shared_ptr<Vocabulary> vocab_;
+  AtomSet facts_;
+  std::vector<Rule> rules_;
+};
+
+}  // namespace twchase
+
+#endif  // TWCHASE_KB_KNOWLEDGE_BASE_H_

@@ -1,0 +1,57 @@
+#include "kb/rule.h"
+
+#include <algorithm>
+
+namespace twchase {
+
+StatusOr<Rule> Rule::Create(AtomSet body, AtomSet head, std::string label) {
+  if (body.empty()) {
+    return Status::InvalidArgument("rule '" + label + "' has an empty body");
+  }
+  if (head.empty()) {
+    return Status::InvalidArgument("rule '" + label + "' has an empty head");
+  }
+  Rule rule;
+  rule.body_ = std::move(body);
+  rule.head_ = std::move(head);
+  rule.label_ = std::move(label);
+  rule.body_and_head_ = rule.body_;
+  rule.body_and_head_.InsertAll(rule.head_);
+  std::vector<Term> body_vars = rule.body_.Variables();
+  for (Term v : rule.head_.Variables()) {
+    if (std::find(body_vars.begin(), body_vars.end(), v) != body_vars.end()) {
+      rule.frontier_.push_back(v);
+    } else {
+      rule.existential_.push_back(v);
+    }
+  }
+  return rule;
+}
+
+Rule Rule::Must(AtomSet body, AtomSet head, std::string label) {
+  auto rule = Create(std::move(body), std::move(head), std::move(label));
+  TWCHASE_CHECK_MSG(rule.ok(), rule.status().ToString());
+  return std::move(rule).value();
+}
+
+std::string Rule::ToString(const Vocabulary& vocab) const {
+  std::string out;
+  if (!label_.empty()) out += "[" + label_ + "] ";
+  bool first = true;
+  for (const Atom& atom : head_.Atoms()) {
+    if (!first) out += ", ";
+    first = false;
+    out += atom.ToString(vocab);
+  }
+  out += " :- ";
+  first = true;
+  for (const Atom& atom : body_.Atoms()) {
+    if (!first) out += ", ";
+    first = false;
+    out += atom.ToString(vocab);
+  }
+  out += ".";
+  return out;
+}
+
+}  // namespace twchase

@@ -1,0 +1,55 @@
+// Existential rules B → H (tuple-generating dependencies). Variables are
+// classified at construction: universal (body), frontier (body ∩ head) and
+// existential (head only), per Section 2 of the paper.
+#ifndef TWCHASE_KB_RULE_H_
+#define TWCHASE_KB_RULE_H_
+
+#include <string>
+#include <vector>
+
+#include "model/atom_set.h"
+#include "util/status.h"
+
+namespace twchase {
+
+class Rule {
+ public:
+  /// Builds a rule; body and head must be non-empty.
+  static StatusOr<Rule> Create(AtomSet body, AtomSet head, std::string label);
+
+  /// CHECK-ing variant for programmatic builders.
+  static Rule Must(AtomSet body, AtomSet head, std::string label);
+
+  const AtomSet& body() const { return body_; }
+  const AtomSet& head() const { return head_; }
+  const std::string& label() const { return label_; }
+
+  /// Variables occurring in both body and head.
+  const std::vector<Term>& frontier() const { return frontier_; }
+
+  /// Variables occurring only in the head (existentially quantified).
+  const std::vector<Term>& existential() const { return existential_; }
+
+  /// A rule with no existential variables is a datalog (full) rule; the
+  /// paper's derivations prioritise them (cf. proof of Proposition 6).
+  bool IsDatalog() const { return existential_.empty(); }
+
+  /// Body ∪ head, used for trigger-satisfaction checks.
+  const AtomSet& body_and_head() const { return body_and_head_; }
+
+  std::string ToString(const Vocabulary& vocab) const;
+
+ private:
+  Rule() = default;
+
+  AtomSet body_;
+  AtomSet head_;
+  AtomSet body_and_head_;
+  std::string label_;
+  std::vector<Term> frontier_;
+  std::vector<Term> existential_;
+};
+
+}  // namespace twchase
+
+#endif  // TWCHASE_KB_RULE_H_

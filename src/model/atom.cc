@@ -1,0 +1,50 @@
+#include "model/atom.h"
+
+#include <algorithm>
+
+namespace twchase {
+
+bool Atom::HasVariables() const {
+  return std::any_of(args_.begin(), args_.end(),
+                     [](Term t) { return t.is_variable(); });
+}
+
+std::vector<Term> Atom::DistinctTerms() const {
+  std::vector<Term> out;
+  out.reserve(args_.size());
+  for (Term t : args_) {
+    if (std::find(out.begin(), out.end(), t) == out.end()) out.push_back(t);
+  }
+  return out;
+}
+
+size_t Atom::Hash() const {
+  uint64_t h = 0x9e3779b97f4a7c15ULL ^ predicate_;
+  for (Term t : args_) {
+    h ^= TermHash()(t) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return static_cast<size_t>(h);
+}
+
+std::string Atom::ToString(const Vocabulary& vocab) const {
+  std::string out = vocab.predicate(predicate_).name;
+  out += '(';
+  for (size_t i = 0; i < args_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += vocab.TermName(args_[i]);
+  }
+  out += ')';
+  return out;
+}
+
+std::string Atom::DebugString() const {
+  std::string out = "p" + std::to_string(predicate_) + "(";
+  for (size_t i = 0; i < args_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += args_[i].DebugString();
+  }
+  out += ')';
+  return out;
+}
+
+}  // namespace twchase

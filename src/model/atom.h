@@ -1,0 +1,61 @@
+// Atoms: a predicate applied to a tuple of terms. Value type with cheap
+// hashing; the argument vector is small (typical arity 1–3).
+#ifndef TWCHASE_MODEL_ATOM_H_
+#define TWCHASE_MODEL_ATOM_H_
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "model/predicate.h"
+#include "model/term.h"
+
+namespace twchase {
+
+class Atom {
+ public:
+  Atom() = default;
+  Atom(PredicateId predicate, std::vector<Term> args)
+      : predicate_(predicate), args_(std::move(args)) {}
+
+  PredicateId predicate() const { return predicate_; }
+  const std::vector<Term>& args() const { return args_; }
+  uint32_t arity() const { return static_cast<uint32_t>(args_.size()); }
+  Term arg(size_t i) const { return args_[i]; }
+
+  /// True if any argument is a variable.
+  bool HasVariables() const;
+
+  /// Distinct terms of the atom, in first-occurrence order.
+  std::vector<Term> DistinctTerms() const;
+
+  friend bool operator==(const Atom& a, const Atom& b) {
+    return a.predicate_ == b.predicate_ && a.args_ == b.args_;
+  }
+  friend auto operator<=>(const Atom& a, const Atom& b) {
+    if (auto c = a.predicate_ <=> b.predicate_; c != 0) return c;
+    return a.args_ <=> b.args_;
+  }
+
+  size_t Hash() const;
+
+  /// Rendering with vocabulary names, e.g. "h(X0, X1)".
+  std::string ToString(const Vocabulary& vocab) const;
+
+  /// Rendering with raw ids, for diagnostics without a vocabulary.
+  std::string DebugString() const;
+
+ private:
+  PredicateId predicate_ = 0;
+  std::vector<Term> args_;
+};
+
+struct AtomHash {
+  size_t operator()(const Atom& atom) const { return atom.Hash(); }
+};
+
+}  // namespace twchase
+
+#endif  // TWCHASE_MODEL_ATOM_H_

@@ -1,0 +1,181 @@
+#include "model/atom_set.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace twchase {
+
+bool AtomSet::Insert(const Atom& atom) { return Insert(Atom(atom)); }
+
+bool AtomSet::Insert(Atom&& atom) {
+  auto it = index_.find(atom);
+  if (it != index_.end()) return false;
+  Slot slot = static_cast<Slot>(slots_.size());
+  by_predicate_[atom.predicate()].push_back(slot);
+  ++live_by_predicate_[atom.predicate()];
+  for (Term t : atom.DistinctTerms()) {
+    by_term_[t].push_back(slot);
+    ++live_by_term_[t];
+  }
+  index_.emplace(atom, slot);
+  slots_.push_back(std::move(atom));
+  alive_.push_back(1);
+  ++live_count_;
+  return true;
+}
+
+bool AtomSet::Erase(const Atom& atom) {
+  auto it = index_.find(atom);
+  if (it == index_.end()) return false;
+  Slot slot = it->second;
+  TWCHASE_CHECK(alive_[slot]);
+  alive_[slot] = 0;
+  --live_by_predicate_[atom.predicate()];
+  for (Term t : slots_[slot].DistinctTerms()) {
+    --live_by_term_[t];
+  }
+  index_.erase(it);
+  --live_count_;
+  ++dead_count_;
+  MaybeCompact();
+  return true;
+}
+
+bool AtomSet::Contains(const Atom& atom) const { return index_.contains(atom); }
+
+std::vector<Atom> AtomSet::Atoms() const {
+  std::vector<Atom> out;
+  out.reserve(live_count_);
+  for (Slot s = 0; s < slots_.size(); ++s) {
+    if (alive_[s]) out.push_back(slots_[s]);
+  }
+  return out;
+}
+
+std::vector<const Atom*> AtomSet::ByPredicate(PredicateId predicate) const {
+  std::vector<const Atom*> out;
+  auto it = by_predicate_.find(predicate);
+  if (it == by_predicate_.end()) return out;
+  out.reserve(it->second.size());
+  for (Slot s : it->second) {
+    if (alive_[s]) out.push_back(&slots_[s]);
+  }
+  return out;
+}
+
+std::vector<const Atom*> AtomSet::ByTerm(Term term) const {
+  std::vector<const Atom*> out;
+  auto it = by_term_.find(term);
+  if (it == by_term_.end()) return out;
+  out.reserve(it->second.size());
+  for (Slot s : it->second) {
+    if (alive_[s]) out.push_back(&slots_[s]);
+  }
+  return out;
+}
+
+size_t AtomSet::CountByPredicate(PredicateId predicate) const {
+  auto it = live_by_predicate_.find(predicate);
+  return it == live_by_predicate_.end() ? 0 : it->second;
+}
+
+size_t AtomSet::CountByTerm(Term term) const {
+  auto it = live_by_term_.find(term);
+  return it == live_by_term_.end() ? 0 : it->second;
+}
+
+std::vector<Term> AtomSet::Terms() const {
+  std::vector<Term> out;
+  std::unordered_set<Term, TermHash> seen;
+  for (Slot s = 0; s < slots_.size(); ++s) {
+    if (!alive_[s]) continue;
+    for (Term t : slots_[s].args()) {
+      if (seen.insert(t).second) out.push_back(t);
+    }
+  }
+  return out;
+}
+
+std::vector<Term> AtomSet::Variables() const {
+  std::vector<Term> out;
+  for (Term t : Terms()) {
+    if (t.is_variable()) out.push_back(t);
+  }
+  return out;
+}
+
+bool AtomSet::ContainsTerm(Term term) const { return CountByTerm(term) > 0; }
+
+bool operator==(const AtomSet& a, const AtomSet& b) {
+  if (a.live_count_ != b.live_count_) return false;
+  for (AtomSet::Slot s = 0; s < a.slots_.size(); ++s) {
+    if (a.alive_[s] && !b.Contains(a.slots_[s])) return false;
+  }
+  return true;
+}
+
+bool AtomSet::IsSubsetOf(const AtomSet& other) const {
+  if (live_count_ > other.live_count_) return false;
+  for (Slot s = 0; s < slots_.size(); ++s) {
+    if (alive_[s] && !other.Contains(slots_[s])) return false;
+  }
+  return true;
+}
+
+void AtomSet::InsertAll(const AtomSet& other) {
+  other.ForEach([this](const Atom& atom) { Insert(atom); });
+}
+
+std::string AtomSet::ToString(const Vocabulary& vocab) const {
+  std::string out = "{";
+  bool first = true;
+  for (const Atom& atom : Atoms()) {
+    if (!first) out += ", ";
+    first = false;
+    out += atom.ToString(vocab);
+  }
+  out += "}";
+  return out;
+}
+
+AtomSet AtomSet::FromAtoms(const std::vector<Atom>& atoms) {
+  AtomSet out;
+  for (const Atom& atom : atoms) out.Insert(atom);
+  return out;
+}
+
+void AtomSet::MaybeCompact() {
+  // Compact when at least half the slots are tombstones and the set is not
+  // tiny; keeps postings from degenerating in long core-chase runs where the
+  // simplification erases most atoms every step.
+  if (dead_count_ >= 64 && dead_count_ >= live_count_) CompactPostings();
+}
+
+void AtomSet::CompactPostings() {
+  std::vector<Atom> new_slots;
+  new_slots.reserve(live_count_);
+  for (Slot s = 0; s < slots_.size(); ++s) {
+    if (alive_[s]) new_slots.push_back(std::move(slots_[s]));
+  }
+  slots_ = std::move(new_slots);
+  alive_.assign(slots_.size(), 1);
+  dead_count_ = 0;
+  index_.clear();
+  by_predicate_.clear();
+  by_term_.clear();
+  live_by_predicate_.clear();
+  live_by_term_.clear();
+  for (Slot s = 0; s < slots_.size(); ++s) {
+    const Atom& atom = slots_[s];
+    index_.emplace(atom, s);
+    by_predicate_[atom.predicate()].push_back(s);
+    ++live_by_predicate_[atom.predicate()];
+    for (Term t : atom.DistinctTerms()) {
+      by_term_[t].push_back(s);
+      ++live_by_term_[t];
+    }
+  }
+}
+
+}  // namespace twchase

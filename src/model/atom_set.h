@@ -1,0 +1,101 @@
+// AtomSet: a finite instance — a deduplicated set of atoms with secondary
+// indexes used by the homomorphism engine and the chase:
+//   * by predicate: all atoms with a given predicate symbol;
+//   * by term: all atoms mentioning a given term.
+// Storage is slot-based with tombstones so postings stay valid across erases;
+// postings are filtered on read and compacted when the dead fraction grows.
+#ifndef TWCHASE_MODEL_ATOM_SET_H_
+#define TWCHASE_MODEL_ATOM_SET_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "model/atom.h"
+#include "model/term.h"
+
+namespace twchase {
+
+class AtomSet {
+ public:
+  using Slot = uint32_t;
+
+  AtomSet() = default;
+
+  /// Inserts an atom; returns false if it was already present.
+  bool Insert(const Atom& atom);
+  bool Insert(Atom&& atom);
+
+  /// Removes an atom; returns false if it was absent.
+  bool Erase(const Atom& atom);
+
+  bool Contains(const Atom& atom) const;
+
+  size_t size() const { return live_count_; }
+  bool empty() const { return live_count_ == 0; }
+
+  /// Snapshot of the live atoms, in insertion order of their slots.
+  std::vector<Atom> Atoms() const;
+
+  /// Calls fn(atom) for each live atom. fn must not mutate this set.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (Slot s = 0; s < slots_.size(); ++s) {
+      if (alive_[s]) fn(slots_[s]);
+    }
+  }
+
+  /// Live atoms with the given predicate.
+  std::vector<const Atom*> ByPredicate(PredicateId predicate) const;
+
+  /// Live atoms mentioning the given term.
+  std::vector<const Atom*> ByTerm(Term term) const;
+
+  /// Number of live atoms with the given predicate / mentioning the given
+  /// term. O(1): counters are maintained on insert and erase (hot path of
+  /// the homomorphism search's candidate selection).
+  size_t CountByPredicate(PredicateId predicate) const;
+  size_t CountByTerm(Term term) const;
+
+  /// Distinct terms occurring in live atoms.
+  std::vector<Term> Terms() const;
+
+  /// Distinct variables occurring in live atoms.
+  std::vector<Term> Variables() const;
+
+  bool ContainsTerm(Term term) const;
+
+  /// Set-level equality (same atoms, any insertion order).
+  friend bool operator==(const AtomSet& a, const AtomSet& b);
+
+  /// True if every live atom of this set is in `other`.
+  bool IsSubsetOf(const AtomSet& other) const;
+
+  /// Union in place: inserts all atoms of `other`.
+  void InsertAll(const AtomSet& other);
+
+  std::string ToString(const Vocabulary& vocab) const;
+
+  /// Builds a set from a list (deduplicating).
+  static AtomSet FromAtoms(const std::vector<Atom>& atoms);
+
+ private:
+  void MaybeCompact();
+  void CompactPostings();
+
+  std::vector<Atom> slots_;
+  std::vector<uint8_t> alive_;
+  std::unordered_map<Atom, Slot, AtomHash> index_;
+  std::unordered_map<PredicateId, std::vector<Slot>> by_predicate_;
+  std::unordered_map<Term, std::vector<Slot>, TermHash> by_term_;
+  std::unordered_map<PredicateId, size_t> live_by_predicate_;
+  std::unordered_map<Term, size_t, TermHash> live_by_term_;
+  size_t live_count_ = 0;
+  size_t dead_count_ = 0;
+};
+
+}  // namespace twchase
+
+#endif  // TWCHASE_MODEL_ATOM_SET_H_

@@ -1,0 +1,85 @@
+#include "model/predicate.h"
+
+namespace twchase {
+
+StatusOr<PredicateId> Vocabulary::AddPredicate(const std::string& name,
+                                               uint32_t arity) {
+  auto it = predicate_index_.find(name);
+  if (it != predicate_index_.end()) {
+    if (predicates_[it->second].arity != arity) {
+      return Status::InvalidArgument(
+          "predicate '" + name + "' re-declared with arity " +
+          std::to_string(arity) + " (was " +
+          std::to_string(predicates_[it->second].arity) + ")");
+    }
+    return it->second;
+  }
+  PredicateId id = static_cast<PredicateId>(predicates_.size());
+  predicates_.push_back(PredicateInfo{name, arity});
+  predicate_index_.emplace(name, id);
+  return id;
+}
+
+PredicateId Vocabulary::MustPredicate(const std::string& name, uint32_t arity) {
+  auto result = AddPredicate(name, arity);
+  TWCHASE_CHECK_MSG(result.ok(), result.status().ToString());
+  return result.value();
+}
+
+StatusOr<PredicateId> Vocabulary::FindPredicate(const std::string& name) const {
+  auto it = predicate_index_.find(name);
+  if (it == predicate_index_.end()) {
+    return Status::NotFound("predicate '" + name + "' not declared");
+  }
+  return it->second;
+}
+
+Term Vocabulary::Constant(const std::string& name) {
+  auto it = constant_index_.find(name);
+  if (it != constant_index_.end()) return Term::Constant(it->second);
+  uint32_t index = static_cast<uint32_t>(constant_names_.size());
+  constant_names_.push_back(name);
+  constant_index_.emplace(name, index);
+  return Term::Constant(index);
+}
+
+Term Vocabulary::NamedVariable(const std::string& name) {
+  auto it = variable_index_.find(name);
+  if (it != variable_index_.end()) return Term::Variable(it->second);
+  uint32_t index = static_cast<uint32_t>(variable_names_.size());
+  variable_names_.push_back(name);
+  variable_index_.emplace(name, index);
+  return Term::Variable(index);
+}
+
+Term Vocabulary::FreshVariable() {
+  uint32_t index = static_cast<uint32_t>(variable_names_.size());
+  std::string name = "_N" + std::to_string(index);
+  variable_names_.push_back(name);
+  variable_index_.emplace(std::move(name), index);
+  return Term::Variable(index);
+}
+
+Term Vocabulary::FreshVariable(const std::string& hint) {
+  uint32_t index = static_cast<uint32_t>(variable_names_.size());
+  std::string name = "_" + hint + "_" + std::to_string(index);
+  // Generated names may collide with user names in pathological cases; keep
+  // the id authoritative and only best-effort register the name.
+  if (variable_index_.contains(name)) {
+    name = "_N" + std::to_string(index);
+  }
+  variable_names_.push_back(name);
+  variable_index_.emplace(std::move(name), index);
+  return Term::Variable(index);
+}
+
+const std::string& Vocabulary::TermName(Term t) const {
+  if (t.is_variable()) {
+    TWCHASE_CHECK(t.index() < variable_names_.size());
+    return variable_names_[t.index()];
+  }
+  TWCHASE_CHECK(t.index() < constant_names_.size());
+  return constant_names_[t.index()];
+}
+
+}  // namespace twchase

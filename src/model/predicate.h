@@ -1,0 +1,78 @@
+// Predicate symbols and the Vocabulary: the interner that owns every name in
+// a knowledge base (predicates, constants, named variables) and mints fresh
+// variables (labelled nulls) during the chase. All algorithms work on ids;
+// the Vocabulary is only needed at the I/O boundary and when creating terms.
+#ifndef TWCHASE_MODEL_PREDICATE_H_
+#define TWCHASE_MODEL_PREDICATE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "model/term.h"
+#include "util/status.h"
+
+namespace twchase {
+
+using PredicateId = uint32_t;
+
+struct PredicateInfo {
+  std::string name;
+  uint32_t arity = 0;
+};
+
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  // Vocabulary handles are shared via pointer; copying one would silently
+  // fork the intern tables.
+  Vocabulary(const Vocabulary&) = delete;
+  Vocabulary& operator=(const Vocabulary&) = delete;
+
+  /// Interns a predicate. Re-declaring with a different arity is an error.
+  StatusOr<PredicateId> AddPredicate(const std::string& name, uint32_t arity);
+
+  /// Interns a predicate; aborts on arity clash (for programmatic builders).
+  PredicateId MustPredicate(const std::string& name, uint32_t arity);
+
+  /// Looks up a predicate by name.
+  StatusOr<PredicateId> FindPredicate(const std::string& name) const;
+
+  const PredicateInfo& predicate(PredicateId id) const {
+    TWCHASE_CHECK(id < predicates_.size());
+    return predicates_[id];
+  }
+  size_t num_predicates() const { return predicates_.size(); }
+
+  /// Interns a constant.
+  Term Constant(const std::string& name);
+
+  /// Interns a named variable (used by the parser and example builders).
+  Term NamedVariable(const std::string& name);
+
+  /// Mints a fresh variable never used before (a labelled null). The name is
+  /// generated and registered so the variable can be printed.
+  Term FreshVariable();
+
+  /// Fresh variable whose generated name embeds a hint (e.g. the existential
+  /// variable it instantiates), for readable traces.
+  Term FreshVariable(const std::string& hint);
+
+  const std::string& TermName(Term t) const;
+  size_t num_variables() const { return variable_names_.size(); }
+  size_t num_constants() const { return constant_names_.size(); }
+
+ private:
+  std::vector<PredicateInfo> predicates_;
+  std::unordered_map<std::string, PredicateId> predicate_index_;
+  std::vector<std::string> constant_names_;
+  std::unordered_map<std::string, uint32_t> constant_index_;
+  std::vector<std::string> variable_names_;
+  std::unordered_map<std::string, uint32_t> variable_index_;
+};
+
+}  // namespace twchase
+
+#endif  // TWCHASE_MODEL_PREDICATE_H_

@@ -1,0 +1,149 @@
+#include "model/substitution.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace twchase {
+
+void Substitution::Bind(Term var, Term term) {
+  TWCHASE_CHECK_MSG(var.is_variable(), "substitutions map variables only");
+  map_[var] = term;
+}
+
+void Substitution::Unbind(Term var) { map_.erase(var); }
+
+std::optional<Term> Substitution::Lookup(Term var) const {
+  auto it = map_.find(var);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+Term Substitution::Apply(Term t) const {
+  if (!t.is_variable()) return t;
+  auto it = map_.find(t);
+  return it == map_.end() ? t : it->second;
+}
+
+Atom Substitution::Apply(const Atom& atom) const {
+  std::vector<Term> args;
+  args.reserve(atom.arity());
+  for (Term t : atom.args()) args.push_back(Apply(t));
+  return Atom(atom.predicate(), std::move(args));
+}
+
+AtomSet Substitution::Apply(const AtomSet& atoms) const {
+  AtomSet out;
+  atoms.ForEach([&](const Atom& atom) { out.Insert(Apply(atom)); });
+  return out;
+}
+
+std::vector<Term> Substitution::Domain() const {
+  std::vector<Term> out;
+  out.reserve(map_.size());
+  for (const auto& [var, term] : map_) out.push_back(var);
+  return out;
+}
+
+bool Substitution::IsIdentity() const {
+  return std::all_of(map_.begin(), map_.end(),
+                     [](const auto& kv) { return kv.first == kv.second; });
+}
+
+Substitution Substitution::Compose(const Substitution& outer,
+                                   const Substitution& inner) {
+  Substitution out;
+  for (const auto& [var, term] : inner.map_) {
+    out.map_[var] = outer.Apply(term);
+  }
+  for (const auto& [var, term] : outer.map_) {
+    if (!out.map_.contains(var)) out.map_[var] = term;
+  }
+  return out;
+}
+
+bool Substitution::CompatibleWith(const Substitution& other) const {
+  const Substitution& small = map_.size() <= other.map_.size() ? *this : other;
+  const Substitution& big = map_.size() <= other.map_.size() ? other : *this;
+  for (const auto& [var, term] : small.map_) {
+    auto binding = big.Lookup(var);
+    if (binding.has_value() && *binding != term) return false;
+  }
+  return true;
+}
+
+bool Substitution::IsEndomorphismOf(const AtomSet& atoms) const {
+  bool ok = true;
+  atoms.ForEach([&](const Atom& atom) {
+    if (ok && !atoms.Contains(Apply(atom))) ok = false;
+  });
+  return ok;
+}
+
+bool Substitution::IsRetractionOf(const AtomSet& atoms) const {
+  if (!IsEndomorphismOf(atoms)) return false;
+  // Identity on the image: every term in some σ(at) must be a fixpoint.
+  bool ok = true;
+  atoms.ForEach([&](const Atom& atom) {
+    if (!ok) return;
+    for (Term t : atom.args()) {
+      Term image = Apply(t);
+      if (Apply(image) != image) {
+        ok = false;
+        return;
+      }
+    }
+  });
+  return ok;
+}
+
+Substitution Substitution::RestrictTo(const std::vector<Term>& vars) const {
+  Substitution out;
+  for (Term v : vars) {
+    auto it = map_.find(v);
+    if (it != map_.end()) out.map_.emplace(it->first, it->second);
+  }
+  return out;
+}
+
+Substitution Substitution::Inverse() const {
+  Substitution out;
+  for (const auto& [var, term] : map_) {
+    if (var == term) continue;
+    TWCHASE_CHECK_MSG(term.is_variable(), "Inverse: image contains a constant");
+    TWCHASE_CHECK_MSG(!out.map_.contains(term), "Inverse: not injective");
+    out.map_.emplace(term, var);
+  }
+  return out;
+}
+
+std::vector<Term> Substitution::Preimage(Term t) const {
+  std::vector<Term> out;
+  for (const auto& [var, term] : map_) {
+    if (term == t) out.push_back(var);
+  }
+  if (t.is_variable()) {
+    auto it = map_.find(t);
+    if (it == map_.end() || it->second == t) {
+      if (std::find(out.begin(), out.end(), t) == out.end()) out.push_back(t);
+    }
+  }
+  return out;
+}
+
+std::string Substitution::ToString(const Vocabulary& vocab) const {
+  // Sort for deterministic output.
+  std::vector<std::pair<Term, Term>> entries(map_.begin(), map_.end());
+  std::sort(entries.begin(), entries.end());
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [var, term] : entries) {
+    if (!first) out += ", ";
+    first = false;
+    out += vocab.TermName(var) + " -> " + vocab.TermName(term);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace twchase

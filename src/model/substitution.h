@@ -1,0 +1,90 @@
+// Substitutions: finite maps from variables to terms, with the σ⁺ extension
+// semantics of the paper (identity outside the domain). Also provides the
+// composition σ' • σ (apply σ first, then σ') and retraction checks.
+#ifndef TWCHASE_MODEL_SUBSTITUTION_H_
+#define TWCHASE_MODEL_SUBSTITUTION_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "model/atom.h"
+#include "model/atom_set.h"
+#include "model/term.h"
+
+namespace twchase {
+
+class Substitution {
+ public:
+  Substitution() = default;
+
+  /// Binds variable `var` to `term`, overwriting any previous binding.
+  void Bind(Term var, Term term);
+
+  /// Removes the binding of `var` if present (used by backtracking search).
+  void Unbind(Term var);
+
+  /// Binding of `var`, or nullopt if unbound.
+  std::optional<Term> Lookup(Term var) const;
+
+  /// σ⁺(t): the binding if t is a bound variable, t itself otherwise.
+  Term Apply(Term t) const;
+
+  Atom Apply(const Atom& atom) const;
+
+  /// σ(A) = {σ(at) | at ∈ A}. May shrink the set (atoms can collide).
+  AtomSet Apply(const AtomSet& atoms) const;
+
+  size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+
+  /// Domain variables in unspecified order.
+  std::vector<Term> Domain() const;
+
+  const std::unordered_map<Term, Term, TermHash>& map() const { return map_; }
+
+  /// True if no binding moves its variable (σ⁺ is the identity everywhere).
+  bool IsIdentity() const;
+
+  /// Composition per the paper: (outer • inner)(X) = outer⁺(inner⁺(X)), with
+  /// domain dom(inner) ∪ dom(outer).
+  static Substitution Compose(const Substitution& outer,
+                              const Substitution& inner);
+
+  /// Two substitutions are compatible if they agree on shared variables.
+  bool CompatibleWith(const Substitution& other) const;
+
+  /// True if σ is an endomorphism of A (σ(A) ⊆ A).
+  bool IsEndomorphismOf(const AtomSet& atoms) const;
+
+  /// True if σ is a retraction of A: an endomorphism that is the identity on
+  /// every term of its image σ(A).
+  bool IsRetractionOf(const AtomSet& atoms) const;
+
+  /// Restriction of the substitution to the given variables.
+  Substitution RestrictTo(const std::vector<Term>& vars) const;
+
+  /// Inverse of an injective variable-to-variable substitution (as used for
+  /// the isomorphisms ρ_i of the robust sequence). Aborts if a binding maps
+  /// to a constant or two variables share an image. Identity bindings are
+  /// dropped (they invert to themselves).
+  Substitution Inverse() const;
+
+  /// Inverse image σ⁻¹(t): all domain variables mapped to t, plus t itself if
+  /// t is a variable not moved away by σ (σ⁺ fixes it).
+  std::vector<Term> Preimage(Term t) const;
+
+  std::string ToString(const Vocabulary& vocab) const;
+
+  friend bool operator==(const Substitution& a, const Substitution& b) {
+    return a.map_ == b.map_;
+  }
+
+ private:
+  std::unordered_map<Term, Term, TermHash> map_;
+};
+
+}  // namespace twchase
+
+#endif  // TWCHASE_MODEL_SUBSTITUTION_H_

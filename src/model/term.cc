@@ -1,0 +1,9 @@
+#include "model/term.h"
+
+namespace twchase {
+
+std::string Term::DebugString() const {
+  return (is_variable() ? "X" : "c") + std::to_string(index());
+}
+
+}  // namespace twchase

@@ -1,0 +1,68 @@
+// Terms are 32-bit interned handles: either a constant or a variable
+// (variables double as the labelled nulls of instances, as in the paper,
+// which conflates nulls and query variables — they are the same logical
+// notion). The numeric index of a variable is its creation order and serves
+// as the total order rank(X) required by the robust renaming (Definition 14).
+#ifndef TWCHASE_MODEL_TERM_H_
+#define TWCHASE_MODEL_TERM_H_
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace twchase {
+
+class Term {
+ public:
+  Term() : raw_(0) {}
+
+  static Term Constant(uint32_t index) { return Term(index & ~kVarBit); }
+  static Term Variable(uint32_t index) { return Term(index | kVarBit); }
+
+  bool is_variable() const { return (raw_ & kVarBit) != 0; }
+  bool is_constant() const { return !is_variable(); }
+
+  /// Index into the vocabulary's constant or variable table.
+  uint32_t index() const { return raw_ & ~kVarBit; }
+
+  uint32_t raw() const { return raw_; }
+
+  /// Variable rank for the robust renaming's total order <_X: earlier-created
+  /// variables are smaller. Only meaningful between two variables.
+  uint32_t rank() const { return index(); }
+
+  friend bool operator==(Term a, Term b) { return a.raw_ == b.raw_; }
+  friend auto operator<=>(Term a, Term b) { return a.raw_ <=> b.raw_; }
+
+  /// Debug rendering without a vocabulary: "c<i>" / "X<i>".
+  std::string DebugString() const;
+
+ private:
+  explicit Term(uint32_t raw) : raw_(raw) {}
+
+  static constexpr uint32_t kVarBit = 0x80000000u;
+
+  uint32_t raw_;
+};
+
+struct TermHash {
+  size_t operator()(Term t) const {
+    // splitmix-style scramble of the raw id.
+    uint64_t x = t.raw();
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<size_t>(x ^ (x >> 31));
+  }
+};
+
+}  // namespace twchase
+
+template <>
+struct std::hash<twchase::Term> {
+  size_t operator()(twchase::Term t) const {
+    return twchase::TermHash()(t);
+  }
+};
+
+#endif  // TWCHASE_MODEL_TERM_H_

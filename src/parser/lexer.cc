@@ -1,0 +1,106 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+
+namespace twchase {
+
+StatusOr<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> out;
+  int line = 1, column = 1;
+  size_t i = 0;
+  auto advance = [&](size_t n) {
+    for (size_t k = 0; k < n; ++k) {
+      if (i < input.size() && input[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+      ++i;
+    }
+  };
+  while (i < input.size()) {
+    char ch = input[i];
+    if (ch == '%') {
+      while (i < input.size() && input[i] != '\n') advance(1);
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(ch))) {
+      advance(1);
+      continue;
+    }
+    Token token;
+    token.line = line;
+    token.column = column;
+    if (std::isalpha(static_cast<unsigned char>(ch)) || ch == '_') {
+      size_t start = i;
+      while (i < input.size() &&
+             (std::isalnum(static_cast<unsigned char>(input[i])) ||
+              input[i] == '_')) {
+        advance(1);
+      }
+      token.text = std::string(input.substr(start, i - start));
+      bool is_var = std::isupper(static_cast<unsigned char>(ch)) || ch == '_';
+      token.kind = is_var ? TokenKind::kVariable : TokenKind::kIdentifier;
+      out.push_back(std::move(token));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(ch))) {
+      // Numeric constants are ordinary identifiers (constants).
+      size_t start = i;
+      while (i < input.size() &&
+             std::isdigit(static_cast<unsigned char>(input[i]))) {
+        advance(1);
+      }
+      token.text = std::string(input.substr(start, i - start));
+      token.kind = TokenKind::kIdentifier;
+      out.push_back(std::move(token));
+      continue;
+    }
+    switch (ch) {
+      case '(':
+        token.kind = TokenKind::kLParen;
+        break;
+      case ')':
+        token.kind = TokenKind::kRParen;
+        break;
+      case ',':
+        token.kind = TokenKind::kComma;
+        break;
+      case '.':
+        token.kind = TokenKind::kPeriod;
+        break;
+      case '?':
+        token.kind = TokenKind::kQuestion;
+        break;
+      case '[':
+        token.kind = TokenKind::kLBracket;
+        break;
+      case ']':
+        token.kind = TokenKind::kRBracket;
+        break;
+      case ':':
+        if (i + 1 < input.size() && input[i + 1] == '-') {
+          token.kind = TokenKind::kImplies;
+          advance(1);
+          break;
+        }
+        [[fallthrough]];
+      default:
+        return Status::InvalidArgument(
+            "unexpected character '" + std::string(1, ch) + "' at line " +
+            std::to_string(line) + ", column " + std::to_string(column));
+    }
+    token.text = std::string(1, ch);
+    advance(1);
+    out.push_back(std::move(token));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.line = line;
+  end.column = column;
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace twchase

@@ -1,0 +1,43 @@
+// Lexer for the twchase text format (a DLGP-like syntax):
+//   % comment to end of line
+//   p(a, X).                      facts (uppercase / '_'-leading = variable)
+//   [label] h(X,Y) :- b(X), c(Y). rules (head :- body)
+//   ? :- p(X), q(X,Y).            Boolean CQs
+#ifndef TWCHASE_PARSER_LEXER_H_
+#define TWCHASE_PARSER_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace twchase {
+
+enum class TokenKind {
+  kIdentifier,  // lowercase-leading: predicate or constant
+  kVariable,    // uppercase- or '_'-leading
+  kLParen,
+  kRParen,
+  kComma,
+  kPeriod,
+  kImplies,   // ":-"
+  kQuestion,  // "?"
+  kLBracket,
+  kRBracket,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line = 1;
+  int column = 1;
+};
+
+/// Tokenises the whole input; returns InvalidArgument on a bad character.
+StatusOr<std::vector<Token>> Tokenize(std::string_view input);
+
+}  // namespace twchase
+
+#endif  // TWCHASE_PARSER_LEXER_H_

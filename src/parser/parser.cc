@@ -1,0 +1,189 @@
+#include "parser/parser.h"
+
+#include <string>
+#include <unordered_map>
+
+#include "parser/lexer.h"
+
+namespace twchase {
+namespace {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, std::shared_ptr<Vocabulary> vocab)
+      : tokens_(std::move(tokens)), vocab_(std::move(vocab)) {}
+
+  StatusOr<ParsedProgram> Run() {
+    ParsedProgram program;
+    program.kb.vocab = vocab_;
+    while (Peek().kind != TokenKind::kEnd) {
+      TWCHASE_RETURN_IF_ERROR(ParseStatement(&program));
+    }
+    return program;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[pos_++]; }
+
+  Status ErrorAt(const Token& token, const std::string& message) {
+    return Status::InvalidArgument(message + " at line " +
+                                   std::to_string(token.line) + ", column " +
+                                   std::to_string(token.column));
+  }
+
+  Status Expect(TokenKind kind, const char* what) {
+    if (Peek().kind != kind) {
+      return ErrorAt(Peek(), std::string("expected ") + what);
+    }
+    Next();
+    return Status::OK();
+  }
+
+  // Per-statement variable scope: each syntactic variable name maps to a
+  // fresh vocabulary variable, unique to the statement.
+  Term ScopedVariable(const std::string& name) {
+    auto it = scope_.find(name);
+    if (it != scope_.end()) return it->second;
+    Term var = vocab_->NamedVariable(name + "#" + std::to_string(statement_));
+    scope_.emplace(name, var);
+    return var;
+  }
+
+  StatusOr<Atom> ParseAtom() {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return ErrorAt(Peek(), "expected predicate name");
+    }
+    std::string pred_name = Next().text;
+    TWCHASE_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+    std::vector<Term> args;
+    while (true) {
+      const Token& t = Peek();
+      if (t.kind == TokenKind::kIdentifier) {
+        args.push_back(vocab_->Constant(t.text));
+        Next();
+      } else if (t.kind == TokenKind::kVariable) {
+        args.push_back(ScopedVariable(t.text));
+        Next();
+      } else {
+        return ErrorAt(t, "expected term");
+      }
+      if (Peek().kind == TokenKind::kComma) {
+        Next();
+        continue;
+      }
+      break;
+    }
+    TWCHASE_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+    auto pred = vocab_->AddPredicate(pred_name,
+                                     static_cast<uint32_t>(args.size()));
+    if (!pred.ok()) return pred.status();
+    return Atom(pred.value(), std::move(args));
+  }
+
+  StatusOr<AtomSet> ParseAtomList() {
+    AtomSet out;
+    while (true) {
+      auto atom = ParseAtom();
+      if (!atom.ok()) return atom.status();
+      out.Insert(std::move(atom).value());
+      if (Peek().kind == TokenKind::kComma) {
+        Next();
+        continue;
+      }
+      break;
+    }
+    return out;
+  }
+
+  Status ParseStatement(ParsedProgram* program) {
+    ++statement_;
+    scope_.clear();
+    // Query: "? [(vars)] :- atoms."
+    if (Peek().kind == TokenKind::kQuestion) {
+      Next();
+      ParsedQuery query;
+      if (Peek().kind == TokenKind::kLParen) {
+        Next();
+        while (true) {
+          if (Peek().kind != TokenKind::kVariable) {
+            return ErrorAt(Peek(), "expected answer variable");
+          }
+          query.answer_vars.push_back(ScopedVariable(Next().text));
+          if (Peek().kind == TokenKind::kComma) {
+            Next();
+            continue;
+          }
+          break;
+        }
+        TWCHASE_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+      }
+      TWCHASE_RETURN_IF_ERROR(Expect(TokenKind::kImplies, "':-'"));
+      auto atoms = ParseAtomList();
+      if (!atoms.ok()) return atoms.status();
+      TWCHASE_RETURN_IF_ERROR(Expect(TokenKind::kPeriod, "'.'"));
+      query.atoms = std::move(atoms).value();
+      for (Term v : query.answer_vars) {
+        if (!query.atoms.ContainsTerm(v)) {
+          return Status::InvalidArgument(
+              "answer variable does not occur in the query body");
+        }
+      }
+      program->queries.push_back(std::move(query));
+      return Status::OK();
+    }
+    // Optional rule label.
+    std::string label;
+    if (Peek().kind == TokenKind::kLBracket) {
+      Next();
+      if (Peek().kind != TokenKind::kIdentifier &&
+          Peek().kind != TokenKind::kVariable) {
+        return ErrorAt(Peek(), "expected label");
+      }
+      label = Next().text;
+      TWCHASE_RETURN_IF_ERROR(Expect(TokenKind::kRBracket, "']'"));
+    }
+    auto first = ParseAtomList();
+    if (!first.ok()) return first.status();
+    if (Peek().kind == TokenKind::kImplies) {
+      Next();
+      auto body = ParseAtomList();
+      if (!body.ok()) return body.status();
+      TWCHASE_RETURN_IF_ERROR(Expect(TokenKind::kPeriod, "'.'"));
+      auto rule = Rule::Create(std::move(body).value(),
+                               std::move(first).value(), std::move(label));
+      if (!rule.ok()) return rule.status();
+      program->kb.rules.push_back(std::move(rule).value());
+      return Status::OK();
+    }
+    // Fact statement: atoms must be label-free.
+    if (!label.empty()) {
+      return ErrorAt(Peek(), "labels are only allowed on rules");
+    }
+    TWCHASE_RETURN_IF_ERROR(Expect(TokenKind::kPeriod, "'.'"));
+    program->kb.facts.InsertAll(first.value());
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  std::shared_ptr<Vocabulary> vocab_;
+  size_t pos_ = 0;
+  int statement_ = 0;
+  std::unordered_map<std::string, Term> scope_;
+};
+
+}  // namespace
+
+StatusOr<ParsedProgram> ParseProgram(std::string_view input) {
+  return ParseProgram(input, std::make_shared<Vocabulary>());
+}
+
+StatusOr<ParsedProgram> ParseProgram(std::string_view input,
+                                     std::shared_ptr<Vocabulary> vocab) {
+  auto tokens = Tokenize(input);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value(), std::move(vocab));
+  return parser.Run();
+}
+
+}  // namespace twchase

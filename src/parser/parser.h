@@ -1,0 +1,45 @@
+// Parser for the twchase text format. A program is a sequence of statements:
+//   fact:   atom { "," atom } "."          (all atoms go into the fact base)
+//   rule:   [ "[" label "]" ] atoms ":-" atoms "."
+//   query:  "?" [ "(" vars ")" ] ":-" atoms "."
+//           (without answer variables the query is Boolean)
+// Predicates are declared implicitly with the arity of first use; arity
+// clashes are errors. Variables are scoped per statement: the X in one rule
+// is unrelated to the X in another.
+#ifndef TWCHASE_PARSER_PARSER_H_
+#define TWCHASE_PARSER_PARSER_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+#include "model/atom_set.h"
+#include "util/status.h"
+
+namespace twchase {
+
+struct ParsedQuery {
+  AtomSet atoms;
+
+  /// Distinguished variables; empty for Boolean queries. Each must occur in
+  /// the query atoms.
+  std::vector<Term> answer_vars;
+};
+
+struct ParsedProgram {
+  KnowledgeBase kb;
+  std::vector<ParsedQuery> queries;
+};
+
+/// Parses a whole program into a fresh vocabulary.
+StatusOr<ParsedProgram> ParseProgram(std::string_view input);
+
+/// Parses into an existing vocabulary (predicates/constants are shared;
+/// statement-scoped variables are renamed apart).
+StatusOr<ParsedProgram> ParseProgram(std::string_view input,
+                                     std::shared_ptr<Vocabulary> vocab);
+
+}  // namespace twchase
+
+#endif  // TWCHASE_PARSER_PARSER_H_

@@ -1,0 +1,93 @@
+#include "parser/printer.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace twchase {
+namespace {
+
+// Canonical, re-parseable variable naming for one statement scope.
+class VarNamer {
+ public:
+  std::string NameOf(Term var) {
+    auto it = names_.find(var);
+    if (it != names_.end()) return it->second;
+    std::string name = "V" + std::to_string(names_.size() + 1);
+    names_.emplace(var, name);
+    return name;
+  }
+
+ private:
+  std::unordered_map<Term, std::string, TermHash> names_;
+};
+
+std::string PrintAtomsWith(const std::vector<Atom>& atoms,
+                           const Vocabulary& vocab, VarNamer* namer) {
+  std::string out;
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += vocab.predicate(atoms[i].predicate()).name;
+    out += '(';
+    const auto& args = atoms[i].args();
+    for (size_t j = 0; j < args.size(); ++j) {
+      if (j > 0) out += ", ";
+      out += args[j].is_variable() ? namer->NameOf(args[j])
+                                   : vocab.TermName(args[j]);
+    }
+    out += ')';
+  }
+  return out;
+}
+
+std::vector<Atom> SortedAtoms(const AtomSet& atoms) {
+  std::vector<Atom> out = atoms.Atoms();
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::string PrintAtoms(const AtomSet& atoms, const Vocabulary& vocab) {
+  VarNamer namer;
+  return PrintAtomsWith(SortedAtoms(atoms), vocab, &namer);
+}
+
+std::string PrintQuery(const ParsedQuery& query, const Vocabulary& vocab) {
+  VarNamer namer;
+  std::string out = "?";
+  if (!query.answer_vars.empty()) {
+    out += '(';
+    for (size_t i = 0; i < query.answer_vars.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += namer.NameOf(query.answer_vars[i]);
+    }
+    out += ')';
+  }
+  out += " :- ";
+  out += PrintAtomsWith(SortedAtoms(query.atoms), vocab, &namer);
+  return out;
+}
+
+std::string PrintProgram(const KnowledgeBase& kb,
+                         const std::vector<ParsedQuery>& queries) {
+  std::string out;
+  if (!kb.facts.empty()) {
+    out += PrintAtoms(kb.facts, *kb.vocab);
+    out += ".\n";
+  }
+  for (const Rule& rule : kb.rules) {
+    VarNamer namer;  // shared across head and body of one rule
+    if (!rule.label().empty()) out += "[" + rule.label() + "] ";
+    out += PrintAtomsWith(SortedAtoms(rule.head()), *kb.vocab, &namer);
+    out += " :- ";
+    out += PrintAtomsWith(SortedAtoms(rule.body()), *kb.vocab, &namer);
+    out += ".\n";
+  }
+  for (const ParsedQuery& query : queries) {
+    out += PrintQuery(query, *kb.vocab);
+    out += ".\n";
+  }
+  return out;
+}
+
+}  // namespace twchase

@@ -1,0 +1,27 @@
+// Serialisation of programs back to the twchase text format. Variables are
+// renamed to statement-scoped canonical names (V1, V2, ...) so the output
+// always re-parses; round-trips are faithful up to variable renaming.
+#ifndef TWCHASE_PARSER_PRINTER_H_
+#define TWCHASE_PARSER_PRINTER_H_
+
+#include <string>
+
+#include "kb/knowledge_base.h"
+#include "model/atom_set.h"
+#include "parser/parser.h"
+
+namespace twchase {
+
+/// One statement worth of atoms ("a, b, c") with canonical variable names.
+std::string PrintAtoms(const AtomSet& atoms, const Vocabulary& vocab);
+
+/// One query statement ("? :- ..." or "?(V1, V2) :- ...").
+std::string PrintQuery(const ParsedQuery& query, const Vocabulary& vocab);
+
+/// Whole program: facts (one statement), rules, then queries.
+std::string PrintProgram(const KnowledgeBase& kb,
+                         const std::vector<ParsedQuery>& queries);
+
+}  // namespace twchase
+
+#endif  // TWCHASE_PARSER_PRINTER_H_

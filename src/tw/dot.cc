@@ -1,0 +1,67 @@
+#include "tw/dot.h"
+
+namespace twchase {
+namespace {
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string GraphToDot(const Graph& g, const std::vector<std::string>& labels) {
+  std::string out = "graph G {\n  node [shape=circle, fontsize=10];\n";
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    out += "  n" + std::to_string(v);
+    if (v < static_cast<int>(labels.size())) {
+      out += " [label=\"" + Escape(labels[v]) + "\"]";
+    }
+    out += ";\n";
+  }
+  for (int u = 0; u < g.num_vertices(); ++u) {
+    for (int v : g.Neighbors(u)) {
+      if (u < v) {
+        out += "  n" + std::to_string(u) + " -- n" + std::to_string(v) + ";\n";
+      }
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string GaifmanToDot(const AtomSet& atoms, const Vocabulary& vocab) {
+  std::vector<Term> terms;
+  Graph g = Graph::GaifmanOf(atoms, &terms);
+  std::vector<std::string> labels;
+  labels.reserve(terms.size());
+  for (Term t : terms) labels.push_back(vocab.TermName(t));
+  return GraphToDot(g, labels);
+}
+
+std::string DecompositionToDot(const TreeDecomposition& td,
+                               const std::vector<std::string>& labels) {
+  std::string out = "graph TD {\n  node [shape=box, fontsize=10];\n";
+  for (size_t b = 0; b < td.bags.size(); ++b) {
+    std::string label;
+    for (size_t i = 0; i < td.bags[b].size(); ++i) {
+      if (i > 0) label += ", ";
+      int v = td.bags[b][i];
+      label += v < static_cast<int>(labels.size()) ? labels[v]
+                                                   : std::to_string(v);
+    }
+    out += "  b" + std::to_string(b) + " [label=\"{" + Escape(label) + "}\"];\n";
+  }
+  for (const auto& [x, y] : td.edges) {
+    out += "  b" + std::to_string(x) + " -- b" + std::to_string(y) + ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace twchase

@@ -1,0 +1,28 @@
+// Graphviz (DOT) export for Gaifman graphs and tree decompositions — handy
+// for inspecting the paper's structures (staircase steps, elevator boxes)
+// visually.
+#ifndef TWCHASE_TW_DOT_H_
+#define TWCHASE_TW_DOT_H_
+
+#include <string>
+
+#include "model/atom_set.h"
+#include "tw/graph.h"
+#include "tw/tree_decomposition.h"
+
+namespace twchase {
+
+/// DOT rendering of an undirected graph; vertex labels optional.
+std::string GraphToDot(const Graph& g, const std::vector<std::string>& labels);
+
+/// DOT rendering of the Gaifman graph of an atomset, with term names.
+std::string GaifmanToDot(const AtomSet& atoms, const Vocabulary& vocab);
+
+/// DOT rendering of a tree decomposition: bags as boxes listing their
+/// members (optionally labelled via `labels`, one per graph vertex).
+std::string DecompositionToDot(const TreeDecomposition& td,
+                               const std::vector<std::string>& labels);
+
+}  // namespace twchase
+
+#endif  // TWCHASE_TW_DOT_H_

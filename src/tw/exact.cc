@@ -1,0 +1,107 @@
+#include "tw/exact.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+namespace twchase {
+namespace {
+
+// |Q(S, v)|: vertices w ∉ S ∪ {v} adjacent to the component of G[S ∪ {v}]
+// containing v. Bitset BFS from v restricted to S.
+int QSize(const std::vector<uint32_t>& adj, uint32_t s, int v) {
+  uint32_t region = 0;                  // reached vertices inside S
+  uint32_t seen_out = adj[v];           // neighbors of the region (any side)
+  uint32_t frontier = adj[v] & s;
+  while (frontier != 0) {
+    region |= frontier;
+    uint32_t next = 0;
+    uint32_t f = frontier;
+    while (f != 0) {
+      int u = __builtin_ctz(f);
+      f &= f - 1;
+      next |= adj[u];
+    }
+    seen_out |= next;
+    frontier = next & s & ~region;
+  }
+  uint32_t outside = seen_out & ~s & ~(1u << v);
+  return __builtin_popcount(outside);
+}
+
+std::vector<uint32_t> AdjacencyBits(const Graph& g) {
+  std::vector<uint32_t> adj(g.num_vertices(), 0);
+  for (int u = 0; u < g.num_vertices(); ++u) {
+    for (int w : g.Neighbors(u)) adj[u] |= 1u << w;
+  }
+  return adj;
+}
+
+// Fills the full DP table tw[S] for all subsets.
+std::vector<int8_t> ComputeTable(const Graph& g) {
+  int n = g.num_vertices();
+  std::vector<uint32_t> adj = AdjacencyBits(g);
+  std::vector<int8_t> tw(size_t{1} << n, 0);
+  for (uint32_t s = 1; s < (1u << n); ++s) {
+    int best = n;
+    uint32_t rem = s;
+    while (rem != 0) {
+      int v = __builtin_ctz(rem);
+      rem &= rem - 1;
+      uint32_t rest = s ^ (1u << v);
+      int cand = std::max<int>(tw[rest], QSize(adj, rest, v));
+      best = std::min(best, cand);
+    }
+    tw[s] = static_cast<int8_t>(best);
+  }
+  return tw;
+}
+
+}  // namespace
+
+StatusOr<int> ExactTreewidth(const Graph& g) {
+  int n = g.num_vertices();
+  if (n > kMaxExactVertices) {
+    return Status::FailedPrecondition(
+        "exact treewidth limited to " + std::to_string(kMaxExactVertices) +
+        " vertices, got " + std::to_string(n));
+  }
+  if (n == 0) return -1;
+  std::vector<int8_t> tw = ComputeTable(g);
+  return static_cast<int>(tw[(1u << n) - 1]);
+}
+
+StatusOr<std::vector<int>> ExactEliminationOrder(const Graph& g) {
+  int n = g.num_vertices();
+  if (n > kMaxExactVertices) {
+    return Status::FailedPrecondition(
+        "exact treewidth limited to " + std::to_string(kMaxExactVertices) +
+        " vertices, got " + std::to_string(n));
+  }
+  if (n == 0) return std::vector<int>{};
+  std::vector<int8_t> tw = ComputeTable(g);
+  std::vector<uint32_t> adj = AdjacencyBits(g);
+  // Recover an optimal order back-to-front: for the prefix set S, the vertex
+  // eliminated last within S is one attaining the DP minimum.
+  std::vector<int> order(n);
+  uint32_t s = (1u << n) - 1;
+  for (int pos = n - 1; pos >= 0; --pos) {
+    int chosen = -1;
+    uint32_t rem = s;
+    while (rem != 0) {
+      int v = __builtin_ctz(rem);
+      rem &= rem - 1;
+      uint32_t rest = s ^ (1u << v);
+      if (std::max<int>(tw[rest], QSize(adj, rest, v)) == tw[s]) {
+        chosen = v;
+        break;
+      }
+    }
+    TWCHASE_CHECK(chosen >= 0);
+    order[pos] = chosen;
+    s ^= 1u << chosen;
+  }
+  return order;
+}
+
+}  // namespace twchase

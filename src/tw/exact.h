@@ -1,0 +1,28 @@
+// Exact treewidth via the Bodlaender–Fomin–Koster–Kratsch–Thilikos dynamic
+// program over vertex subsets (O*(2^n)): TW(S) = min over v ∈ S of
+// max(TW(S∖{v}), |Q(S∖{v}, v)|), where Q(S, v) is the set of vertices outside
+// S ∪ {v} reachable from v through S. Practical up to ~20 vertices.
+#ifndef TWCHASE_TW_EXACT_H_
+#define TWCHASE_TW_EXACT_H_
+
+#include <vector>
+
+#include "tw/graph.h"
+#include "util/status.h"
+
+namespace twchase {
+
+/// Hard cap on the exact DP (memory: one byte per subset).
+inline constexpr int kMaxExactVertices = 22;
+
+/// Exact treewidth of g. Returns FailedPrecondition if g has more than
+/// kMaxExactVertices vertices.
+StatusOr<int> ExactTreewidth(const Graph& g);
+
+/// Exact treewidth plus an optimal elimination order recovered from the DP
+/// table (usable with DecompositionFromEliminationOrder for a witness).
+StatusOr<std::vector<int>> ExactEliminationOrder(const Graph& g);
+
+}  // namespace twchase
+
+#endif  // TWCHASE_TW_EXACT_H_

@@ -1,0 +1,74 @@
+#include "tw/graph.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/status.h"
+
+namespace twchase {
+
+void Graph::AddEdge(int u, int v) {
+  TWCHASE_CHECK(u >= 0 && u < num_vertices() && v >= 0 && v < num_vertices());
+  if (u == v) return;
+  auto it = std::lower_bound(adj_[u].begin(), adj_[u].end(), v);
+  if (it != adj_[u].end() && *it == v) return;
+  adj_[u].insert(it, v);
+  auto it2 = std::lower_bound(adj_[v].begin(), adj_[v].end(), u);
+  adj_[v].insert(it2, u);
+  ++num_edges_;
+}
+
+bool Graph::HasEdge(int u, int v) const {
+  if (u == v) return false;
+  const auto& a = adj_[u].size() <= adj_[v].size() ? adj_[u] : adj_[v];
+  int needle = adj_[u].size() <= adj_[v].size() ? v : u;
+  return std::binary_search(a.begin(), a.end(), needle);
+}
+
+Graph Graph::GaifmanOf(const AtomSet& atoms, std::vector<Term>* term_of_vertex) {
+  std::vector<Term> terms = atoms.Terms();
+  std::unordered_map<Term, int, TermHash> vertex_of;
+  vertex_of.reserve(terms.size());
+  for (size_t i = 0; i < terms.size(); ++i) {
+    vertex_of.emplace(terms[i], static_cast<int>(i));
+  }
+  Graph g(static_cast<int>(terms.size()));
+  atoms.ForEach([&](const Atom& atom) {
+    std::vector<Term> distinct = atom.DistinctTerms();
+    for (size_t i = 0; i < distinct.size(); ++i) {
+      for (size_t j = i + 1; j < distinct.size(); ++j) {
+        g.AddEdge(vertex_of[distinct[i]], vertex_of[distinct[j]]);
+      }
+    }
+  });
+  if (term_of_vertex != nullptr) *term_of_vertex = std::move(terms);
+  return g;
+}
+
+Graph Graph::Grid(int rows, int cols) {
+  Graph g(rows * cols);
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (r + 1 < rows) g.AddEdge(id(r, c), id(r + 1, c));
+      if (c + 1 < cols) g.AddEdge(id(r, c), id(r, c + 1));
+    }
+  }
+  return g;
+}
+
+Graph Graph::Complete(int n) {
+  Graph g(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) g.AddEdge(i, j);
+  }
+  return g;
+}
+
+Graph Graph::Cycle(int n) {
+  Graph g(n);
+  for (int i = 0; i < n; ++i) g.AddEdge(i, (i + 1) % n);
+  return g;
+}
+
+}  // namespace twchase

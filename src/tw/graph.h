@@ -1,0 +1,53 @@
+// Undirected graphs for treewidth computation, plus the Gaifman (primal)
+// graph of an atomset: vertices are the terms, edges join terms co-occurring
+// in an atom. Every atom's terms form a clique, so any tree decomposition of
+// the Gaifman graph covers every atom in some bag (cliques are always
+// contained in a bag), matching the paper's Definition 4.
+#ifndef TWCHASE_TW_GRAPH_H_
+#define TWCHASE_TW_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "model/atom_set.h"
+#include "model/term.h"
+
+namespace twchase {
+
+class Graph {
+ public:
+  explicit Graph(int num_vertices) : adj_(num_vertices) {}
+
+  int num_vertices() const { return static_cast<int>(adj_.size()); }
+  int num_edges() const { return num_edges_; }
+
+  /// Adds an undirected edge (idempotent; self-loops ignored).
+  void AddEdge(int u, int v);
+
+  bool HasEdge(int u, int v) const;
+
+  const std::vector<int>& Neighbors(int v) const { return adj_[v]; }
+  int Degree(int v) const { return static_cast<int>(adj_[v].size()); }
+
+  /// Gaifman graph of `atoms`. If `term_of_vertex` is non-null, it receives
+  /// the term corresponding to each vertex id.
+  static Graph GaifmanOf(const AtomSet& atoms,
+                         std::vector<Term>* term_of_vertex);
+
+  /// n×m grid graph (used by tests and the grid lower bound machinery).
+  static Graph Grid(int rows, int cols);
+
+  /// Complete graph on n vertices.
+  static Graph Complete(int n);
+
+  /// Cycle on n vertices.
+  static Graph Cycle(int n);
+
+ private:
+  std::vector<std::vector<int>> adj_;  // sorted neighbor lists
+  int num_edges_ = 0;
+};
+
+}  // namespace twchase
+
+#endif  // TWCHASE_TW_GRAPH_H_

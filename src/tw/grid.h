@@ -1,0 +1,32 @@
+// Grid containment (paper Definition 5): an atomset contains an n×n grid if
+// n² distinct terms t_i^j exist such that vertical and horizontal neighbors
+// co-occur in some atom. By Fact 2, containment implies treewidth ≥ n; the
+// paper's counterexamples rest on this witness, so we implement it as a
+// first-class lower bound.
+//
+// Detection is subgraph isomorphism of the n×n grid graph into the Gaifman
+// graph, implemented by re-encoding both as atomsets over a binary edge
+// predicate and reusing the injective homomorphism search.
+#ifndef TWCHASE_TW_GRID_H_
+#define TWCHASE_TW_GRID_H_
+
+#include "model/atom_set.h"
+#include "tw/graph.h"
+
+namespace twchase {
+
+/// True iff `atoms` contains an n×n grid in the sense of Definition 5.
+bool ContainsGrid(const AtomSet& atoms, int n);
+
+/// Graph-level version: true iff g contains the n×n grid as a subgraph
+/// (not necessarily induced).
+bool GraphContainsGrid(const Graph& g, int n);
+
+/// Largest n in [1, max_n] with ContainsGrid(atoms, n); 0 if none (an atomset
+/// with at least one term always contains the 1×1 grid). By Fact 2 the result
+/// is a treewidth lower bound.
+int GridLowerBound(const AtomSet& atoms, int max_n);
+
+}  // namespace twchase
+
+#endif  // TWCHASE_TW_GRID_H_

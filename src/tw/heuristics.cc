@@ -1,0 +1,82 @@
+#include "tw/heuristics.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "tw/tree_decomposition.h"
+
+namespace twchase {
+namespace {
+
+int FillCost(const std::vector<std::set<int>>& adj, int v) {
+  int fill = 0;
+  for (auto it = adj[v].begin(); it != adj[v].end(); ++it) {
+    auto jt = it;
+    for (++jt; jt != adj[v].end(); ++jt) {
+      if (!adj[*it].contains(*jt)) ++fill;
+    }
+  }
+  return fill;
+}
+
+}  // namespace
+
+std::vector<int> GreedyEliminationOrder(const Graph& g,
+                                        EliminationHeuristic heuristic) {
+  int n = g.num_vertices();
+  std::vector<std::set<int>> adj(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v : g.Neighbors(u)) adj[u].insert(v);
+  }
+  std::vector<bool> eliminated(n, false);
+  std::vector<int> order;
+  order.reserve(n);
+  for (int step = 0; step < n; ++step) {
+    int best = -1;
+    long best_score = std::numeric_limits<long>::max();
+    for (int v = 0; v < n; ++v) {
+      if (eliminated[v]) continue;
+      long score = heuristic == EliminationHeuristic::kMinFill
+                       ? FillCost(adj, v)
+                       : static_cast<long>(adj[v].size());
+      if (score < best_score) {
+        best_score = score;
+        best = v;
+      }
+    }
+    order.push_back(best);
+    eliminated[best] = true;
+    std::vector<int> nbrs(adj[best].begin(), adj[best].end());
+    for (size_t a = 0; a < nbrs.size(); ++a) {
+      for (size_t b = a + 1; b < nbrs.size(); ++b) {
+        adj[nbrs[a]].insert(nbrs[b]);
+        adj[nbrs[b]].insert(nbrs[a]);
+      }
+    }
+    for (int w : nbrs) adj[w].erase(best);
+    adj[best].clear();
+  }
+  return order;
+}
+
+int HeuristicUpperBound(const Graph& g, EliminationHeuristic heuristic) {
+  if (g.num_vertices() == 0) return -1;
+  return WidthOfEliminationOrder(g, GreedyEliminationOrder(g, heuristic));
+}
+
+int BestHeuristicUpperBound(const Graph& g, std::vector<int>* best_order) {
+  if (g.num_vertices() == 0) {
+    if (best_order != nullptr) best_order->clear();
+    return -1;
+  }
+  std::vector<int> fill = GreedyEliminationOrder(g, EliminationHeuristic::kMinFill);
+  std::vector<int> deg =
+      GreedyEliminationOrder(g, EliminationHeuristic::kMinDegree);
+  int wf = WidthOfEliminationOrder(g, fill);
+  int wd = WidthOfEliminationOrder(g, deg);
+  if (best_order != nullptr) *best_order = wf <= wd ? fill : deg;
+  return std::min(wf, wd);
+}
+
+}  // namespace twchase

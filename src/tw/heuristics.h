@@ -1,0 +1,29 @@
+// Greedy elimination-order heuristics producing treewidth upper bounds and
+// witnessing tree decompositions: min-fill and min-degree.
+#ifndef TWCHASE_TW_HEURISTICS_H_
+#define TWCHASE_TW_HEURISTICS_H_
+
+#include <vector>
+
+#include "tw/graph.h"
+
+namespace twchase {
+
+enum class EliminationHeuristic { kMinFill, kMinDegree };
+
+/// Greedy elimination order: repeatedly removes the vertex adding the fewest
+/// fill edges (min-fill) or with the fewest remaining neighbors (min-degree),
+/// connecting its neighborhood into a clique. Ties broken by vertex id for
+/// determinism.
+std::vector<int> GreedyEliminationOrder(const Graph& g,
+                                        EliminationHeuristic heuristic);
+
+/// Width achieved by the given heuristic (an upper bound on treewidth).
+int HeuristicUpperBound(const Graph& g, EliminationHeuristic heuristic);
+
+/// Best of min-fill and min-degree.
+int BestHeuristicUpperBound(const Graph& g, std::vector<int>* best_order);
+
+}  // namespace twchase
+
+#endif  // TWCHASE_TW_HEURISTICS_H_

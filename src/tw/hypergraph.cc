@@ -1,0 +1,178 @@
+#include "tw/hypergraph.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "tw/graph.h"
+#include "tw/heuristics.h"
+#include "util/status.h"
+
+namespace twchase {
+
+Hypergraph Hypergraph::Of(const AtomSet& atoms) {
+  Hypergraph hg;
+  hg.vertices = atoms.Terms();
+  std::unordered_map<Term, int, TermHash> index;
+  for (size_t i = 0; i < hg.vertices.size(); ++i) {
+    index.emplace(hg.vertices[i], static_cast<int>(i));
+  }
+  std::vector<std::vector<int>> seen;
+  atoms.ForEach([&](const Atom& atom) {
+    std::vector<int> edge;
+    for (Term t : atom.DistinctTerms()) edge.push_back(index.at(t));
+    std::sort(edge.begin(), edge.end());
+    if (std::find(hg.edges.begin(), hg.edges.end(), edge) == hg.edges.end()) {
+      hg.edges.push_back(std::move(edge));
+    }
+  });
+  return hg;
+}
+
+namespace {
+
+// GYO reduction on a mutable copy of the hyperedges. Returns true if the
+// hypergraph reduces to nothing (α-acyclic).
+bool GyoReduce(std::vector<std::vector<int>> edges) {
+  bool changed = true;
+  while (changed && !edges.empty()) {
+    changed = false;
+    // Count vertex occurrences.
+    std::unordered_map<int, int> occurrences;
+    for (const auto& edge : edges) {
+      for (int v : edge) ++occurrences[v];
+    }
+    // Remove vertices occurring in exactly one edge.
+    for (auto& edge : edges) {
+      auto removed = std::remove_if(edge.begin(), edge.end(), [&](int v) {
+        return occurrences[v] <= 1;
+      });
+      if (removed != edge.end()) {
+        edge.erase(removed, edge.end());
+        changed = true;
+      }
+    }
+    // Remove empty edges and edges contained in another edge.
+    for (size_t i = 0; i < edges.size(); ++i) {
+      if (edges[i].empty()) {
+        edges.erase(edges.begin() + static_cast<long>(i));
+        changed = true;
+        --i;
+        continue;
+      }
+      for (size_t j = 0; j < edges.size(); ++j) {
+        if (i == j) continue;
+        if (std::includes(edges[j].begin(), edges[j].end(), edges[i].begin(),
+                          edges[i].end())) {
+          edges.erase(edges.begin() + static_cast<long>(i));
+          changed = true;
+          --i;
+          break;
+        }
+      }
+    }
+  }
+  return edges.empty();
+}
+
+}  // namespace
+
+bool IsAlphaAcyclic(const AtomSet& atoms) {
+  return GyoReduce(Hypergraph::Of(atoms).edges);
+}
+
+std::optional<JoinTree> BuildJoinTree(const AtomSet& atoms) {
+  if (!IsAlphaAcyclic(atoms)) return std::nullopt;
+  JoinTree tree;
+  tree.nodes = atoms.Atoms();
+  size_t n = tree.nodes.size();
+  if (n <= 1) return tree;
+  // Maximum-weight spanning tree on the intersection graph (weights =
+  // shared-term counts): for α-acyclic hypergraphs this is a join tree
+  // (Bernstein–Goodman). Prim's algorithm, O(n²) — fine at atom counts here.
+  auto shared = [&](size_t a, size_t b) {
+    int count = 0;
+    for (Term t : tree.nodes[a].DistinctTerms()) {
+      for (Term u : tree.nodes[b].DistinctTerms()) {
+        if (t == u) ++count;
+      }
+    }
+    return count;
+  };
+  std::vector<bool> in_tree(n, false);
+  std::vector<int> best_weight(n, -1);
+  std::vector<int> best_parent(n, -1);
+  in_tree[0] = true;
+  for (size_t i = 1; i < n; ++i) {
+    best_weight[i] = shared(0, i);
+    best_parent[i] = 0;
+  }
+  for (size_t added = 1; added < n; ++added) {
+    int pick = -1;
+    for (size_t i = 0; i < n; ++i) {
+      if (!in_tree[i] && (pick == -1 || best_weight[i] > best_weight[pick])) {
+        pick = static_cast<int>(i);
+      }
+    }
+    in_tree[pick] = true;
+    tree.edges.emplace_back(best_parent[pick], pick);
+    for (size_t i = 0; i < n; ++i) {
+      if (!in_tree[i]) {
+        int w = shared(pick, i);
+        if (w > best_weight[i]) {
+          best_weight[i] = w;
+          best_parent[i] = pick;
+        }
+      }
+    }
+  }
+  return tree;
+}
+
+int HypertreeWidthUpperBound(const AtomSet& atoms) {
+  if (atoms.empty()) return 0;
+  if (IsAlphaAcyclic(atoms)) return 1;
+  Hypergraph hg = Hypergraph::Of(atoms);
+  Graph gaifman = Graph::GaifmanOf(atoms, nullptr);
+  std::vector<int> order =
+      GreedyEliminationOrder(gaifman, EliminationHeuristic::kMinFill);
+  TreeDecomposition td = DecompositionFromEliminationOrder(gaifman, order);
+  int width = 1;
+  for (const auto& bag : td.bags) {
+    // Greedy set cover of the bag with hyperedges.
+    std::vector<bool> covered(bag.size(), false);
+    size_t remaining = bag.size();
+    int used = 0;
+    while (remaining > 0) {
+      int best_edge = -1;
+      size_t best_gain = 0;
+      for (size_t e = 0; e < hg.edges.size(); ++e) {
+        size_t gain = 0;
+        for (size_t i = 0; i < bag.size(); ++i) {
+          if (covered[i]) continue;
+          if (std::binary_search(hg.edges[e].begin(), hg.edges[e].end(),
+                                 bag[i])) {
+            ++gain;
+          }
+        }
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_edge = static_cast<int>(e);
+        }
+      }
+      TWCHASE_CHECK_MSG(best_edge >= 0, "bag vertex not in any hyperedge");
+      for (size_t i = 0; i < bag.size(); ++i) {
+        if (!covered[i] &&
+            std::binary_search(hg.edges[best_edge].begin(),
+                               hg.edges[best_edge].end(), bag[i])) {
+          covered[i] = true;
+          --remaining;
+        }
+      }
+      ++used;
+    }
+    width = std::max(width, used);
+  }
+  return width;
+}
+
+}  // namespace twchase

@@ -1,0 +1,54 @@
+// Hypergraph view of atomsets and classical hypergraph acyclicity. The
+// paper notes (Section 5) that its counterexamples transfer from treewidth
+// to hypergraph-based measures such as (generalized) hypertree width; this
+// module supplies the standard machinery on the hypergraph side:
+//   * the hypergraph of an atomset (one hyperedge per atom);
+//   * α-acyclicity via GYO reduction (ear removal);
+//   * join-tree construction for α-acyclic atomsets (a width-minimal
+//     "hypertree decomposition" of hypertree-width 1);
+//   * a hypertree-width upper bound for cyclic atomsets via bag covering of
+//     a (treewidth) tree decomposition with hyperedges.
+#ifndef TWCHASE_TW_HYPERGRAPH_H_
+#define TWCHASE_TW_HYPERGRAPH_H_
+
+#include <optional>
+#include <vector>
+
+#include "model/atom_set.h"
+#include "tw/tree_decomposition.h"
+
+namespace twchase {
+
+struct Hypergraph {
+  /// Distinct vertices (terms), index-aligned with edge member lists.
+  std::vector<Term> vertices;
+
+  /// Hyperedges as sorted vertex-index lists (one per distinct atom scope).
+  std::vector<std::vector<int>> edges;
+
+  static Hypergraph Of(const AtomSet& atoms);
+};
+
+/// α-acyclicity via GYO reduction: repeatedly remove isolated vertices
+/// (vertices in at most one edge) and ear edges (edges contained in another
+/// edge); acyclic iff everything reduces away.
+bool IsAlphaAcyclic(const AtomSet& atoms);
+
+/// A join tree for an α-acyclic atomset: one node per atom, edges such that
+/// for every term the nodes containing it form a subtree. Returns nullopt
+/// for cyclic inputs.
+struct JoinTree {
+  std::vector<Atom> nodes;
+  std::vector<std::pair<int, int>> edges;
+};
+std::optional<JoinTree> BuildJoinTree(const AtomSet& atoms);
+
+/// Hypertree-width upper bound: cover each bag of a (min-fill) tree
+/// decomposition with as few hyperedges as possible (greedy set cover);
+/// the largest cover size is an upper bound on generalized hypertree width.
+/// α-acyclic atomsets report 1.
+int HypertreeWidthUpperBound(const AtomSet& atoms);
+
+}  // namespace twchase
+
+#endif  // TWCHASE_TW_HYPERGRAPH_H_

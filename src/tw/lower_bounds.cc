@@ -1,0 +1,92 @@
+#include "tw/lower_bounds.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <vector>
+
+namespace twchase {
+namespace {
+
+std::vector<std::set<int>> AdjSets(const Graph& g) {
+  std::vector<std::set<int>> adj(g.num_vertices());
+  for (int u = 0; u < g.num_vertices(); ++u) {
+    for (int v : g.Neighbors(u)) adj[u].insert(v);
+  }
+  return adj;
+}
+
+int MinDegreeVertex(const std::vector<std::set<int>>& adj,
+                    const std::vector<bool>& gone) {
+  int best = -1;
+  size_t best_deg = std::numeric_limits<size_t>::max();
+  for (int v = 0; v < static_cast<int>(adj.size()); ++v) {
+    if (gone[v]) continue;
+    if (adj[v].size() < best_deg) {
+      best_deg = adj[v].size();
+      best = v;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int DegeneracyLowerBound(const Graph& g) {
+  int n = g.num_vertices();
+  if (n == 0) return -1;
+  auto adj = AdjSets(g);
+  std::vector<bool> gone(n, false);
+  int bound = 0;
+  for (int step = 0; step < n; ++step) {
+    int v = MinDegreeVertex(adj, gone);
+    bound = std::max(bound, static_cast<int>(adj[v].size()));
+    for (int w : adj[v]) adj[w].erase(v);
+    adj[v].clear();
+    gone[v] = true;
+  }
+  return bound;
+}
+
+int MmdPlusLowerBound(const Graph& g) {
+  int n = g.num_vertices();
+  if (n == 0) return -1;
+  auto adj = AdjSets(g);
+  std::vector<bool> gone(n, false);
+  int bound = 0;
+  int remaining = n;
+  while (remaining > 1) {
+    int v = MinDegreeVertex(adj, gone);
+    bound = std::max(bound, static_cast<int>(adj[v].size()));
+    if (adj[v].empty()) {
+      gone[v] = true;
+      --remaining;
+      continue;
+    }
+    // Contract v into its min-degree neighbor u.
+    int u = -1;
+    size_t best_deg = std::numeric_limits<size_t>::max();
+    for (int w : adj[v]) {
+      if (adj[w].size() < best_deg) {
+        best_deg = adj[w].size();
+        u = w;
+      }
+    }
+    for (int w : adj[v]) {
+      if (w == u) continue;
+      adj[u].insert(w);
+      adj[w].insert(u);
+    }
+    for (int w : adj[v]) adj[w].erase(v);
+    adj[v].clear();
+    gone[v] = true;
+    --remaining;
+  }
+  return bound;
+}
+
+int BestLowerBound(const Graph& g) {
+  return std::max(DegeneracyLowerBound(g), MmdPlusLowerBound(g));
+}
+
+}  // namespace twchase

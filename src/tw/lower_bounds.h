@@ -1,0 +1,25 @@
+// Treewidth lower bounds: degeneracy (maximum over the min-degree removal
+// sequence) and MMD+ (minor-monotone variant contracting the min-degree
+// vertex into its least-degree neighbor).
+#ifndef TWCHASE_TW_LOWER_BOUNDS_H_
+#define TWCHASE_TW_LOWER_BOUNDS_H_
+
+#include "tw/graph.h"
+
+namespace twchase {
+
+/// Degeneracy of g: max over the removal sequence of the min degree.
+/// Always ≤ treewidth.
+int DegeneracyLowerBound(const Graph& g);
+
+/// MMD+ lower bound: like degeneracy but contracts the chosen min-degree
+/// vertex into its minimum-degree neighbor (treewidth is minor-monotone,
+/// so the bound is valid and ≥ plain degeneracy in practice).
+int MmdPlusLowerBound(const Graph& g);
+
+/// Best available structural lower bound.
+int BestLowerBound(const Graph& g);
+
+}  // namespace twchase
+
+#endif  // TWCHASE_TW_LOWER_BOUNDS_H_

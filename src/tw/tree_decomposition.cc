@@ -1,0 +1,217 @@
+#include "tw/tree_decomposition.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace twchase {
+
+int TreeDecomposition::Width() const {
+  int width = -1;
+  for (const auto& bag : bags) {
+    width = std::max(width, static_cast<int>(bag.size()) - 1);
+  }
+  return width;
+}
+
+namespace {
+
+// Union-find for tree/acyclicity checking.
+class DisjointSets {
+ public:
+  explicit DisjointSets(int n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  // Returns false if x and y were already connected (a cycle).
+  bool Union(int x, int y) {
+    int rx = Find(x), ry = Find(y);
+    if (rx == ry) return false;
+    parent_[rx] = ry;
+    return true;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+Status TreeDecomposition::Validate(const Graph& g) const {
+  int b = static_cast<int>(bags.size());
+  if (b == 0) {
+    if (g.num_vertices() == 0) return Status::OK();
+    return Status::InvalidArgument("no bags but graph has vertices");
+  }
+  // 1. Tree shape.
+  if (static_cast<int>(edges.size()) != b - 1) {
+    return Status::InvalidArgument(
+        "bag graph has " + std::to_string(edges.size()) + " edges, expected " +
+        std::to_string(b - 1));
+  }
+  DisjointSets dsu(b);
+  for (const auto& [x, y] : edges) {
+    if (x < 0 || x >= b || y < 0 || y >= b) {
+      return Status::InvalidArgument("tree edge endpoint out of range");
+    }
+    if (!dsu.Union(x, y)) {
+      return Status::InvalidArgument("bag graph contains a cycle");
+    }
+  }
+  // b-1 successful unions on b nodes => connected tree.
+
+  // 2. Vertex coverage.
+  std::vector<char> covered(g.num_vertices(), 0);
+  for (const auto& bag : bags) {
+    for (int v : bag) {
+      if (v < 0 || v >= g.num_vertices()) {
+        return Status::InvalidArgument("bag vertex out of range");
+      }
+      covered[v] = 1;
+    }
+  }
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    if (!covered[v]) {
+      return Status::InvalidArgument("vertex " + std::to_string(v) +
+                                     " not covered by any bag");
+    }
+  }
+
+  // 3. Edge coverage.
+  auto bag_contains = [](const std::vector<int>& bag, int v) {
+    return std::binary_search(bag.begin(), bag.end(), v);
+  };
+  for (int u = 0; u < g.num_vertices(); ++u) {
+    for (int v : g.Neighbors(u)) {
+      if (v < u) continue;
+      bool found = false;
+      for (const auto& bag : bags) {
+        if (bag_contains(bag, u) && bag_contains(bag, v)) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::InvalidArgument("edge (" + std::to_string(u) + "," +
+                                       std::to_string(v) +
+                                       ") not contained in any bag");
+      }
+    }
+  }
+
+  // 4. Connectivity of occurrences: for each vertex, the bags containing it
+  // must induce a connected subgraph of the tree.
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    std::vector<int> holders;
+    for (int i = 0; i < b; ++i) {
+      if (bag_contains(bags[i], v)) holders.push_back(i);
+    }
+    if (holders.size() <= 1) continue;
+    DisjointSets sub(b);
+    std::vector<char> is_holder(b, 0);
+    for (int h : holders) is_holder[h] = 1;
+    for (const auto& [x, y] : edges) {
+      if (is_holder[x] && is_holder[y]) sub.Union(x, y);
+    }
+    int root = sub.Find(holders[0]);
+    for (int h : holders) {
+      if (sub.Find(h) != root) {
+        return Status::InvalidArgument(
+            "occurrences of vertex " + std::to_string(v) +
+            " are not connected in the tree");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Simulates elimination with fill-in, producing per-vertex elimination bags.
+// neighbor sets are std::set<int> for simplicity; n stays small for exact use
+// and min-fill callers pass already-reasonable sizes.
+struct EliminationRun {
+  std::vector<std::vector<int>> bags;  // bag of each eliminated vertex
+  std::vector<int> position;          // position of each vertex in the order
+};
+
+EliminationRun RunElimination(const Graph& g, const std::vector<int>& order) {
+  int n = g.num_vertices();
+  std::vector<std::set<int>> adj(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v : g.Neighbors(u)) adj[u].insert(v);
+  }
+  EliminationRun run;
+  run.bags.resize(n);
+  run.position.assign(n, -1);
+  for (int i = 0; i < n; ++i) run.position[order[i]] = i;
+  for (int v : order) {
+    std::vector<int> bag;
+    bag.push_back(v);
+    for (int w : adj[v]) bag.push_back(w);
+    std::sort(bag.begin(), bag.end());
+    run.bags[v] = std::move(bag);
+    // Connect neighbors (fill-in), then remove v.
+    std::vector<int> nbrs(adj[v].begin(), adj[v].end());
+    for (size_t a = 0; a < nbrs.size(); ++a) {
+      for (size_t c = a + 1; c < nbrs.size(); ++c) {
+        adj[nbrs[a]].insert(nbrs[c]);
+        adj[nbrs[c]].insert(nbrs[a]);
+      }
+    }
+    for (int w : nbrs) adj[w].erase(v);
+    adj[v].clear();
+  }
+  return run;
+}
+
+}  // namespace
+
+TreeDecomposition DecompositionFromEliminationOrder(
+    const Graph& g, const std::vector<int>& order) {
+  int n = g.num_vertices();
+  TWCHASE_CHECK(static_cast<int>(order.size()) == n);
+  TreeDecomposition td;
+  if (n == 0) return td;
+  EliminationRun run = RunElimination(g, order);
+  // Bag i corresponds to order[i]. Parent of bag i: the bag of the earliest-
+  // eliminated vertex among the bag's members other than order[i] itself.
+  td.bags.resize(n);
+  for (int i = 0; i < n; ++i) td.bags[i] = run.bags[order[i]];
+  for (int i = 0; i < n; ++i) {
+    int parent = -1;
+    int best_pos = n;
+    for (int w : td.bags[i]) {
+      if (w == order[i]) continue;
+      if (run.position[w] > i && run.position[w] < best_pos) {
+        best_pos = run.position[w];
+        parent = best_pos;
+      }
+    }
+    if (parent == -1 && i + 1 < n) {
+      // Isolated (no later neighbors): attach anywhere to keep a tree.
+      parent = i + 1;
+    }
+    if (parent != -1) td.edges.emplace_back(i, parent);
+  }
+  return td;
+}
+
+int WidthOfEliminationOrder(const Graph& g, const std::vector<int>& order) {
+  EliminationRun run = RunElimination(g, order);
+  int width = -1;
+  for (const auto& bag : run.bags) {
+    width = std::max(width, static_cast<int>(bag.size()) - 1);
+  }
+  return width;
+}
+
+}  // namespace twchase

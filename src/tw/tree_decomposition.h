@@ -1,0 +1,49 @@
+// Tree decompositions (Definition 4 of the paper) with a full validity
+// checker: vertex coverage, edge coverage, and connectivity of each vertex's
+// occurrence set within the tree.
+#ifndef TWCHASE_TW_TREE_DECOMPOSITION_H_
+#define TWCHASE_TW_TREE_DECOMPOSITION_H_
+
+#include <utility>
+#include <vector>
+
+#include "tw/graph.h"
+#include "util/status.h"
+
+namespace twchase {
+
+struct TreeDecomposition {
+  /// Bags of graph vertex ids; each bag sorted ascending.
+  std::vector<std::vector<int>> bags;
+
+  /// Tree edges between bag indices.
+  std::vector<std::pair<int, int>> edges;
+
+  /// Size of the largest bag minus one; -1 for an empty decomposition.
+  int Width() const;
+
+  /// Verifies this is a valid tree decomposition of `g`:
+  ///   1. the bag graph is a tree (connected, acyclic) — or empty/forest with
+  ///      a single component per connected component is NOT accepted: we
+  ///      require a single tree when there is at least one bag;
+  ///   2. every vertex of g appears in some bag;
+  ///   3. every edge of g is contained in some bag;
+  ///   4. for every vertex, the bags containing it induce a connected
+  ///      subtree.
+  Status Validate(const Graph& g) const;
+};
+
+/// Builds a tree decomposition from an elimination order: eliminating v
+/// creates the bag {v} ∪ (current neighbors of v), then contracts v with
+/// fill-in edges among its neighbors. The width equals the largest such bag
+/// minus one. `order` must be a permutation of the graph's vertices.
+TreeDecomposition DecompositionFromEliminationOrder(
+    const Graph& g, const std::vector<int>& order);
+
+/// The width an elimination order achieves, without building the
+/// decomposition (max back-degree in the fill graph).
+int WidthOfEliminationOrder(const Graph& g, const std::vector<int>& order);
+
+}  // namespace twchase
+
+#endif  // TWCHASE_TW_TREE_DECOMPOSITION_H_

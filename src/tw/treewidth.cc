@@ -1,0 +1,59 @@
+#include "tw/treewidth.h"
+
+#include <algorithm>
+
+#include "tw/exact.h"
+#include "tw/grid.h"
+#include "tw/heuristics.h"
+#include "tw/lower_bounds.h"
+#include "util/status.h"
+
+namespace twchase {
+
+TreewidthResult ComputeTreewidth(const Graph& g,
+                                 const TreewidthOptions& options) {
+  TreewidthResult result;
+  if (g.num_vertices() == 0) {
+    result.lower_bound = result.upper_bound = -1;
+    return result;
+  }
+  std::vector<int> best_order;
+  result.upper_bound = BestHeuristicUpperBound(g, &best_order);
+  result.lower_bound = BestLowerBound(g);
+  if (options.max_grid_lower_bound > 0 &&
+      result.lower_bound < result.upper_bound) {
+    for (int n = result.lower_bound + 1;
+         n <= std::min(options.max_grid_lower_bound, result.upper_bound); ++n) {
+      if (!GraphContainsGrid(g, n)) break;
+      result.lower_bound = n;
+    }
+  }
+  if (result.lower_bound < result.upper_bound &&
+      g.num_vertices() <= options.max_exact_vertices &&
+      g.num_vertices() <= kMaxExactVertices) {
+    auto order = ExactEliminationOrder(g);
+    TWCHASE_CHECK(order.ok());
+    int width = WidthOfEliminationOrder(g, order.value());
+    TWCHASE_CHECK(width <= result.upper_bound);
+    result.lower_bound = result.upper_bound = width;
+    best_order = std::move(order.value());
+  }
+  result.decomposition = DecompositionFromEliminationOrder(g, best_order);
+  return result;
+}
+
+TreewidthResult ComputeTreewidth(const AtomSet& atoms,
+                                 const TreewidthOptions& options) {
+  return ComputeTreewidth(Graph::GaifmanOf(atoms, nullptr), options);
+}
+
+int MustExactTreewidth(const AtomSet& atoms) {
+  Graph g = Graph::GaifmanOf(atoms, nullptr);
+  TreewidthOptions options;
+  options.max_exact_vertices = kMaxExactVertices;
+  TreewidthResult result = ComputeTreewidth(g, options);
+  TWCHASE_CHECK_MSG(result.exact(), "treewidth not certified exact");
+  return result.upper_bound;
+}
+
+}  // namespace twchase

@@ -1,0 +1,56 @@
+// Facade over the treewidth toolkit: combines heuristic upper bounds,
+// structural lower bounds and the exact subset DP into a single entry point
+// returning a certified interval (and the exact value when lb == ub).
+#ifndef TWCHASE_TW_TREEWIDTH_H_
+#define TWCHASE_TW_TREEWIDTH_H_
+
+#include <optional>
+
+#include "model/atom_set.h"
+#include "tw/graph.h"
+#include "tw/tree_decomposition.h"
+
+namespace twchase {
+
+struct TreewidthOptions {
+  /// Run the exponential exact DP when the graph has at most this many
+  /// vertices and the bounds have not met.
+  int max_exact_vertices = 18;
+
+  /// Additionally try grid containment up to this size as a lower bound
+  /// (0 disables; grid search is itself exponential in the worst case but
+  /// fast on the grid-like instances of the paper).
+  int max_grid_lower_bound = 0;
+};
+
+struct TreewidthResult {
+  int lower_bound = -1;
+  int upper_bound = -1;
+
+  /// Decomposition witnessing upper_bound.
+  TreeDecomposition decomposition;
+
+  bool exact() const { return lower_bound == upper_bound; }
+
+  /// The exact treewidth when certified, nullopt otherwise.
+  std::optional<int> value() const {
+    if (exact()) return upper_bound;
+    return std::nullopt;
+  }
+};
+
+TreewidthResult ComputeTreewidth(const Graph& g,
+                                 const TreewidthOptions& options = {});
+
+/// Treewidth of an atomset = treewidth of its Gaifman graph (Definition 4:
+/// bags of terms; equivalent because every atom's terms form a clique).
+TreewidthResult ComputeTreewidth(const AtomSet& atoms,
+                                 const TreewidthOptions& options = {});
+
+/// Convenience: certified-exact treewidth or abort. For tests and benches on
+/// instances known to be small.
+int MustExactTreewidth(const AtomSet& atoms);
+
+}  // namespace twchase
+
+#endif  // TWCHASE_TW_TREEWIDTH_H_

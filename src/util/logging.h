@@ -1,0 +1,45 @@
+// Minimal leveled logging to stderr. Intended for diagnostics from long chase
+// runs; quiet (kWarning) by default so tests and benches stay readable.
+#ifndef TWCHASE_UTIL_LOGGING_H_
+#define TWCHASE_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace twchase {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global threshold: messages below this level are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define TWCHASE_LOG(level)                                                   \
+  if (static_cast<int>(::twchase::LogLevel::k##level) >=                     \
+      static_cast<int>(::twchase::GetLogLevel()))                            \
+  ::twchase::internal_logging::LogMessage(::twchase::LogLevel::k##level,     \
+                                          __FILE__, __LINE__)                \
+      .stream()
+
+}  // namespace twchase
+
+#endif  // TWCHASE_UTIL_LOGGING_H_

@@ -1,0 +1,23 @@
+#include "util/random.h"
+
+#include "util/status.h"
+
+namespace twchase {
+
+int64_t Rng::Uniform(int64_t lo, int64_t hi) {
+  TWCHASE_CHECK(lo <= hi);
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::UniformReal() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+}  // namespace twchase

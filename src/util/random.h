@@ -1,0 +1,42 @@
+// Deterministic RNG wrapper used by property tests and workload generators.
+// A fixed seed makes derivations and random instances reproducible run-to-run.
+#ifndef TWCHASE_UTIL_RANDOM_H_
+#define TWCHASE_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace twchase {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformReal();
+
+  /// True with probability p.
+  bool Bernoulli(double p);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(0, static_cast<int64_t>(i) - 1));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace twchase
+
+#endif  // TWCHASE_UTIL_RANDOM_H_

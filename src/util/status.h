@@ -1,0 +1,128 @@
+// Status / StatusOr: exception-free error handling in the style of
+// Arrow/RocksDB. All fallible public APIs in twchase return Status or
+// StatusOr<T>; CHECK-style macros are reserved for internal invariants.
+#ifndef TWCHASE_UTIL_STATUS_H_
+#define TWCHASE_UTIL_STATUS_H_
+
+#include <cstdlib>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace twchase {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kOutOfRange,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Returns a human-readable name for a status code ("OK", "InvalidArgument"...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error result. Cheap to copy on the OK path (no allocation).
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Either a value of type T or an error Status. Never holds both.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT: implicit
+  StatusOr(T value) : value_(std::move(value)) {}          // NOLINT: implicit
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal_status {
+[[noreturn]] void DieBecauseCheckFailed(const char* file, int line,
+                                        const char* expr, const std::string& msg);
+}  // namespace internal_status
+
+// Internal invariant checks. These abort: they guard programmer errors, not
+// user input (user input errors travel through Status).
+#define TWCHASE_CHECK(expr)                                                     \
+  do {                                                                          \
+    if (!(expr)) {                                                              \
+      ::twchase::internal_status::DieBecauseCheckFailed(__FILE__, __LINE__,     \
+                                                        #expr, "");            \
+    }                                                                           \
+  } while (0)
+
+#define TWCHASE_CHECK_MSG(expr, msg)                                            \
+  do {                                                                          \
+    if (!(expr)) {                                                              \
+      ::twchase::internal_status::DieBecauseCheckFailed(__FILE__, __LINE__,     \
+                                                        #expr, (msg));         \
+    }                                                                           \
+  } while (0)
+
+#define TWCHASE_RETURN_IF_ERROR(expr)            \
+  do {                                           \
+    ::twchase::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+}  // namespace twchase
+
+#endif  // TWCHASE_UTIL_STATUS_H_

@@ -1,0 +1,28 @@
+// Monotonic wall-clock stopwatch for bench harness reporting.
+#ifndef TWCHASE_UTIL_STOPWATCH_H_
+#define TWCHASE_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace twchase {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace twchase
+
+#endif  // TWCHASE_UTIL_STOPWATCH_H_

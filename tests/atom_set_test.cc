@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "model/atom_set.h"
+#include "model/predicate.h"
+
+namespace twchase {
+namespace {
+
+class AtomSetTest : public ::testing::Test {
+ protected:
+  AtomSetTest() {
+    p_ = vocab_.MustPredicate("p", 2);
+    q_ = vocab_.MustPredicate("q", 1);
+    a_ = vocab_.Constant("a");
+    b_ = vocab_.Constant("b");
+    x_ = vocab_.NamedVariable("X");
+  }
+
+  Vocabulary vocab_;
+  PredicateId p_, q_;
+  Term a_, b_, x_;
+};
+
+TEST_F(AtomSetTest, InsertDeduplicates) {
+  AtomSet s;
+  EXPECT_TRUE(s.Insert(Atom(p_, {a_, b_})));
+  EXPECT_FALSE(s.Insert(Atom(p_, {a_, b_})));
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.Contains(Atom(p_, {a_, b_})));
+}
+
+TEST_F(AtomSetTest, EraseRemoves) {
+  AtomSet s;
+  s.Insert(Atom(p_, {a_, b_}));
+  s.Insert(Atom(q_, {a_}));
+  EXPECT_TRUE(s.Erase(Atom(p_, {a_, b_})));
+  EXPECT_FALSE(s.Erase(Atom(p_, {a_, b_})));
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_FALSE(s.Contains(Atom(p_, {a_, b_})));
+  EXPECT_TRUE(s.Contains(Atom(q_, {a_})));
+}
+
+TEST_F(AtomSetTest, ReinsertAfterErase) {
+  AtomSet s;
+  s.Insert(Atom(q_, {a_}));
+  s.Erase(Atom(q_, {a_}));
+  EXPECT_TRUE(s.Insert(Atom(q_, {a_})));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST_F(AtomSetTest, PostingsFilterDeadSlots) {
+  AtomSet s;
+  s.Insert(Atom(p_, {a_, b_}));
+  s.Insert(Atom(p_, {a_, x_}));
+  s.Erase(Atom(p_, {a_, b_}));
+  auto by_pred = s.ByPredicate(p_);
+  ASSERT_EQ(by_pred.size(), 1u);
+  EXPECT_EQ(*by_pred[0], Atom(p_, {a_, x_}));
+  auto by_term = s.ByTerm(a_);
+  ASSERT_EQ(by_term.size(), 1u);
+  EXPECT_EQ(s.CountByTerm(b_), 0u);
+  EXPECT_EQ(s.CountByTerm(x_), 1u);
+}
+
+TEST_F(AtomSetTest, TermsAndVariables) {
+  AtomSet s;
+  s.Insert(Atom(p_, {a_, x_}));
+  s.Insert(Atom(q_, {b_}));
+  auto terms = s.Terms();
+  EXPECT_EQ(terms.size(), 3u);
+  auto vars = s.Variables();
+  ASSERT_EQ(vars.size(), 1u);
+  EXPECT_EQ(vars[0], x_);
+  EXPECT_TRUE(s.ContainsTerm(a_));
+  s.Erase(Atom(p_, {a_, x_}));
+  EXPECT_FALSE(s.ContainsTerm(a_));
+}
+
+TEST_F(AtomSetTest, EqualityIgnoresInsertionOrder) {
+  AtomSet s1, s2;
+  s1.Insert(Atom(p_, {a_, b_}));
+  s1.Insert(Atom(q_, {a_}));
+  s2.Insert(Atom(q_, {a_}));
+  s2.Insert(Atom(p_, {a_, b_}));
+  EXPECT_EQ(s1, s2);
+  s2.Erase(Atom(q_, {a_}));
+  EXPECT_FALSE(s1 == s2);
+}
+
+TEST_F(AtomSetTest, SubsetAndUnion) {
+  AtomSet s1, s2;
+  s1.Insert(Atom(q_, {a_}));
+  s2.Insert(Atom(q_, {a_}));
+  s2.Insert(Atom(q_, {b_}));
+  EXPECT_TRUE(s1.IsSubsetOf(s2));
+  EXPECT_FALSE(s2.IsSubsetOf(s1));
+  s1.InsertAll(s2);
+  EXPECT_EQ(s1, s2);
+}
+
+TEST_F(AtomSetTest, CompactionPreservesContent) {
+  AtomSet s;
+  // Enough churn to trigger compaction (≥64 tombstones ≥ live count).
+  for (int i = 0; i < 200; ++i) {
+    s.Insert(Atom(p_, {vocab_.FreshVariable(), vocab_.FreshVariable()}));
+  }
+  std::vector<Atom> atoms = s.Atoms();
+  for (int i = 0; i < 150; ++i) s.Erase(atoms[i]);
+  EXPECT_EQ(s.size(), 50u);
+  for (int i = 150; i < 200; ++i) {
+    EXPECT_TRUE(s.Contains(atoms[i]));
+    EXPECT_EQ(s.ByTerm(atoms[i].arg(0)).size(), 1u);
+  }
+  EXPECT_EQ(s.ByPredicate(p_).size(), 50u);
+}
+
+TEST_F(AtomSetTest, ForEachVisitsExactlyLiveAtoms) {
+  AtomSet s;
+  s.Insert(Atom(q_, {a_}));
+  s.Insert(Atom(q_, {b_}));
+  s.Erase(Atom(q_, {a_}));
+  int count = 0;
+  s.ForEach([&](const Atom& atom) {
+    ++count;
+    EXPECT_EQ(atom, Atom(q_, {b_}));
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(AtomSetTest, FromAtomsDeduplicates) {
+  AtomSet s = AtomSet::FromAtoms({Atom(q_, {a_}), Atom(q_, {a_}), Atom(q_, {b_})});
+  EXPECT_EQ(s.size(), 2u);
+}
+
+}  // namespace
+}  // namespace twchase

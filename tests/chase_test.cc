@@ -1,0 +1,311 @@
+#include <gtest/gtest.h>
+
+#include "core/aggregation.h"
+#include "core/chase.h"
+#include "core/entailment.h"
+#include "hom/core.h"
+#include "hom/isomorphism.h"
+#include "hom/matcher.h"
+#include "tw/treewidth.h"
+#include "kb/examples.h"
+#include "parser/parser.h"
+
+namespace twchase {
+namespace {
+
+TEST(ChaseTest, TransitiveClosureTerminatesForAllVariants) {
+  for (ChaseVariant variant :
+       {ChaseVariant::kOblivious, ChaseVariant::kSemiOblivious,
+        ChaseVariant::kRestricted, ChaseVariant::kCore}) {
+    auto kb = MakeTransitiveClosure(4);
+    ChaseOptions options;
+    options.variant = variant;
+    options.max_steps = 200;
+    auto run = RunChase(kb, options);
+    ASSERT_TRUE(run.ok()) << ChaseVariantName(variant);
+    EXPECT_TRUE(run->terminated) << ChaseVariantName(variant);
+    // t closure over a 4-path: 4+3+2+1 = 10 t-atoms + 4 e-atoms.
+    EXPECT_EQ(run->derivation.Last().size(), 14u) << ChaseVariantName(variant);
+    EXPECT_TRUE(kb.IsModel(run->derivation.Last()))
+        << ChaseVariantName(variant);
+  }
+}
+
+TEST(ChaseTest, BtsNotFesDoesNotTerminate) {
+  auto kb = MakeBtsNotFes();
+  for (ChaseVariant variant :
+       {ChaseVariant::kSemiOblivious, ChaseVariant::kRestricted,
+        ChaseVariant::kCore}) {
+    ChaseOptions options;
+    options.variant = variant;
+    options.max_steps = 60;
+    auto run = RunChase(kb, options);
+    ASSERT_TRUE(run.ok());
+    EXPECT_FALSE(run->terminated) << ChaseVariantName(variant);
+  }
+}
+
+TEST(ChaseTest, FesNotBtsCoreChaseTerminates) {
+  auto kb = MakeFesNotBts();
+  ChaseOptions options;
+  options.variant = ChaseVariant::kCore;
+  options.max_steps = 2000;
+  auto run = RunChase(kb, options);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->terminated);
+  EXPECT_TRUE(kb.IsModel(run->derivation.Last()));
+  // The terminal instance of a core chase is a core: the finite universal
+  // model (unique up to isomorphism).
+  EXPECT_TRUE(IsCore(run->derivation.Last()));
+}
+
+TEST(ChaseTest, CoreChaseElementsAreCores) {
+  auto kb = MakeBtsNotFes();
+  ChaseOptions options;
+  options.variant = ChaseVariant::kCore;
+  options.max_steps = 10;
+  auto run = RunChase(kb, options);
+  ASSERT_TRUE(run.ok());
+  for (size_t i = 0; i < run->derivation.size(); ++i) {
+    EXPECT_TRUE(IsCore(run->derivation.Instance(i))) << "step " << i;
+  }
+}
+
+TEST(ChaseTest, SimplificationsAreRetractions) {
+  auto kb = MakeFesNotBts();
+  ChaseOptions options;
+  options.variant = ChaseVariant::kCore;
+  options.max_steps = 100;
+  auto run = RunChase(kb, options);
+  ASSERT_TRUE(run.ok());
+  for (size_t i = 1; i < run->derivation.size(); ++i) {
+    AtomSet alpha = run->derivation.PreSimplification(i);
+    EXPECT_TRUE(run->derivation.step(i).simplification.IsRetractionOf(alpha))
+        << "step " << i;
+  }
+}
+
+TEST(ChaseTest, RestrictedChaseIsMonotone) {
+  auto kb = MakeBtsNotFes();
+  ChaseOptions options;
+  options.variant = ChaseVariant::kRestricted;
+  options.max_steps = 20;
+  auto run = RunChase(kb, options);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->derivation.IsMonotonic());
+}
+
+TEST(ChaseTest, ObliviousProducesMoreAtomsThanRestricted) {
+  // On r(X,Y) → ∃Z r(Y,Z) with a loop fact r(a,a), the restricted chase
+  // terminates immediately (trigger satisfied by Z ↦ a) while the oblivious
+  // chase runs forever.
+  auto program = ParseProgram("r(a, a). r(Y, Z) :- r(X, Y).");
+  ASSERT_TRUE(program.ok());
+  ChaseOptions restricted;
+  restricted.variant = ChaseVariant::kRestricted;
+  auto r1 = RunChase(program->kb, restricted);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_TRUE(r1->terminated);
+  EXPECT_EQ(r1->derivation.Last().size(), 1u);
+
+  ChaseOptions oblivious;
+  oblivious.variant = ChaseVariant::kOblivious;
+  oblivious.max_steps = 30;
+  auto r2 = RunChase(program->kb, oblivious);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE(r2->terminated);
+  EXPECT_GT(r2->derivation.Last().size(), 10u);
+}
+
+TEST(ChaseTest, SemiObliviousReusesFrontierKeys) {
+  // r(X,Y) → ∃Z r(Y,Z): two facts sharing the second component give two
+  // oblivious triggers but one semi-oblivious trigger (same frontier Y).
+  auto program = ParseProgram("e(a, c), e(b, c). r(Y, Z) :- e(X, Y).");
+  ASSERT_TRUE(program.ok());
+  ChaseOptions semi;
+  semi.variant = ChaseVariant::kSemiOblivious;
+  semi.max_steps = 50;
+  auto r_semi = RunChase(program->kb, semi);
+  ASSERT_TRUE(r_semi.ok());
+  ChaseOptions obl;
+  obl.variant = ChaseVariant::kOblivious;
+  obl.max_steps = 50;
+  auto r_obl = RunChase(program->kb, obl);
+  ASSERT_TRUE(r_obl.ok());
+  EXPECT_TRUE(r_semi->terminated);
+  EXPECT_TRUE(r_obl->terminated);
+  // Semi-oblivious: one r-atom; oblivious: two.
+  EXPECT_EQ(r_semi->derivation.Last().size(), 3u);
+  EXPECT_EQ(r_obl->derivation.Last().size(), 4u);
+}
+
+TEST(ChaseTest, FairnessOnPrefixes) {
+  auto kb = MakeBtsNotFes();
+  ChaseOptions options;
+  options.variant = ChaseVariant::kCore;
+  options.max_steps = 8;
+  auto run = RunChase(kb, options);
+  ASSERT_TRUE(run.ok());
+  // The truncated run leaves the last element's fresh trigger open; every
+  // earlier element's triggers must be resolved within the prefix.
+  EXPECT_TRUE(IsFairPrefix(run->derivation, kb, /*skip_tail=*/1));
+
+  // A terminated chase is fair with no tail allowance.
+  auto tc = MakeTransitiveClosure(3);
+  ChaseOptions tc_options;
+  auto tc_run = RunChase(tc, tc_options);
+  ASSERT_TRUE(tc_run.ok());
+  ASSERT_TRUE(tc_run->terminated);
+  EXPECT_TRUE(IsFairPrefix(tc_run->derivation, tc, 0));
+}
+
+TEST(ChaseTest, CoreEveryTwoStillProducesCoreChase) {
+  auto kb = MakeFesNotBts();
+  ChaseOptions options;
+  options.variant = ChaseVariant::kCore;
+  options.core_every = 2;
+  options.max_steps = 2000;
+  auto run = RunChase(kb, options);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->terminated);
+  EXPECT_TRUE(kb.IsModel(run->derivation.Last()));
+}
+
+TEST(ChaseTest, ChaseVariantsAgreeOnEntailedQueries) {
+  auto program = ParseProgram(R"(
+    e(a, b). e(b, c).
+    [tc1] t(X, Y) :- e(X, Y).
+    [tc2] t(X, Z) :- t(X, Y), e(Y, Z).
+    [succ] s(Y, W) :- t(X, Y).
+  )");
+  ASSERT_TRUE(program.ok()) << program.status();
+  // Queries must share the KB's vocabulary (predicate/constant ids).
+  auto q_yes = ParseProgram("? :- t(a, c).", program->kb.vocab);
+  auto q_yes2 = ParseProgram("? :- s(c, W).", program->kb.vocab);
+  auto q_no = ParseProgram("? :- t(c, a).", program->kb.vocab);
+  ASSERT_TRUE(q_yes.ok() && q_yes2.ok() && q_no.ok());
+  for (ChaseVariant variant :
+       {ChaseVariant::kSemiOblivious, ChaseVariant::kRestricted,
+        ChaseVariant::kCore}) {
+    ChaseOptions options;
+    options.variant = variant;
+    options.max_steps = 300;
+    auto run = RunChase(program->kb, options);
+    ASSERT_TRUE(run.ok());
+    const AtomSet& result = run->derivation.Last();
+    EXPECT_TRUE(ExistsHomomorphism(q_yes->queries[0].atoms, result))
+        << ChaseVariantName(variant);
+    EXPECT_TRUE(ExistsHomomorphism(q_yes2->queries[0].atoms, result))
+        << ChaseVariantName(variant);
+    EXPECT_FALSE(ExistsHomomorphism(q_no->queries[0].atoms, result))
+        << ChaseVariantName(variant);
+  }
+}
+
+TEST(ChaseTest, RoundEndCoringMatchesDnrPresentation) {
+  // The Deutsch–Nash–Remmel core chase applies all active triggers per
+  // round, then cores once. On a terminating KB it must reach the same
+  // (isomorphic) finite universal model as per-application coring.
+  auto kb1 = MakeFesNotBts();
+  ChaseOptions per_application;
+  per_application.variant = ChaseVariant::kCore;
+  per_application.max_steps = 2000;
+  auto r1 = RunChase(kb1, per_application);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r1->terminated);
+
+  auto kb2 = MakeFesNotBts();
+  ChaseOptions round_end = per_application;
+  round_end.core_at_round_end = true;
+  auto r2 = RunChase(kb2, round_end);
+  ASSERT_TRUE(r2.ok());
+  ASSERT_TRUE(r2->terminated);
+  EXPECT_TRUE(AreIsomorphic(r1->derivation.Last(), r2->derivation.Last()));
+
+  // Simplifications recorded by amendment are still valid retractions.
+  for (size_t i = 1; i < r2->derivation.size(); ++i) {
+    AtomSet alpha = r2->derivation.PreSimplification(i);
+    EXPECT_TRUE(
+        r2->derivation.step(i).simplification.IsRetractionOf(alpha))
+        << "step " << i;
+  }
+}
+
+TEST(ChaseTest, RoundEndCoringOnStaircaseStaysBounded) {
+  StaircaseWorld world;
+  ChaseOptions options;
+  options.variant = ChaseVariant::kCore;
+  options.core_at_round_end = true;
+  options.max_steps = 40;
+  auto run = RunChase(world.kb(), options);
+  ASSERT_TRUE(run.ok());
+  // Round-cored elements are cores; mid-round growth is absorbed before the
+  // next round, so the recorded sequence still witnesses core-bts.
+  int max_final_tw = -1;
+  for (size_t i = 0; i < run->derivation.size(); ++i) {
+    max_final_tw = std::max(
+        max_final_tw,
+        ComputeTreewidth(run->derivation.Instance(i)).upper_bound);
+  }
+  EXPECT_LE(max_final_tw, 3);
+}
+
+TEST(ChaseTest, DeterministicAcrossRuns) {
+  // Same KB, same options → identical derivation skeletons.
+  StaircaseWorld w1, w2;
+  ChaseOptions options;
+  options.variant = ChaseVariant::kCore;
+  options.max_steps = 25;
+  auto r1 = RunChase(w1.kb(), options);
+  auto r2 = RunChase(w2.kb(), options);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  ASSERT_EQ(r1->derivation.size(), r2->derivation.size());
+  for (size_t i = 0; i < r1->derivation.size(); ++i) {
+    EXPECT_EQ(r1->derivation.step(i).rule_label,
+              r2->derivation.step(i).rule_label)
+        << "step " << i;
+    EXPECT_EQ(r1->derivation.step(i).instance_size,
+              r2->derivation.step(i).instance_size)
+        << "step " << i;
+  }
+}
+
+TEST(ChaseTest, SizeGuardStopsRunawayChase) {
+  auto kb = MakeBtsNotFes();
+  ChaseOptions options;
+  options.variant = ChaseVariant::kOblivious;
+  options.max_steps = 100000;
+  options.max_instance_size = 25;
+  auto run = RunChase(kb, options);
+  ASSERT_TRUE(run.ok());
+  EXPECT_FALSE(run->terminated);
+  EXPECT_TRUE(run->size_guard_tripped);
+  EXPECT_LE(run->derivation.Last().size(), 30u);
+}
+
+TEST(ChaseTest, DatalogFirstOffStillSoundOnElevator) {
+  // The paper's construction of I^v assumes datalog rules are prioritised
+  // (Proposition 6). Without the priority the derivation differs, but every
+  // element is still universal: it maps into the ceiling model.
+  ElevatorWorld world;
+  ChaseOptions options;
+  options.variant = ChaseVariant::kCore;
+  options.datalog_first = false;
+  options.max_steps = 30;
+  auto run = RunChase(world.kb(), options);
+  ASSERT_TRUE(run.ok());
+  AtomSet ceiling = world.CeilingPrefix(100);
+  EXPECT_TRUE(ExistsHomomorphism(run->derivation.Last(), ceiling));
+}
+
+TEST(ChaseTest, InvalidOptionsRejected) {
+  auto kb = MakeTransitiveClosure(2);
+  ChaseOptions options;
+  options.core_every = 0;
+  EXPECT_FALSE(RunChase(kb, options).ok());
+  KnowledgeBase no_vocab;
+  EXPECT_FALSE(RunChase(no_vocab, ChaseOptions()).ok());
+}
+
+}  // namespace
+}  // namespace twchase

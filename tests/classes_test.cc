@@ -1,0 +1,78 @@
+// Tests of the empirical class membership matrix behind Figure 1.
+#include <gtest/gtest.h>
+
+#include "core/classes.h"
+#include "kb/examples.h"
+
+namespace twchase {
+namespace {
+
+ClassificationOptions SmallBudget() {
+  ClassificationOptions options;
+  options.max_steps = 60;
+  options.tail_window = 6;
+  return options;
+}
+
+TEST(ClassesTest, TransitiveClosureIsFesAndBts) {
+  auto report = ClassifyKb(MakeTransitiveClosure(4), SmallBudget());
+  EXPECT_TRUE(report.core_chase_terminated);
+  EXPECT_TRUE(report.restricted_terminated);
+  // The closure of an n-path interconnects all nodes; treewidth is bounded
+  // by the (fixed) instance, which is what fes ∩ bts requires.
+  EXPECT_LE(report.restricted_tw.uniform_bound, 4);
+  EXPECT_LE(report.core_tw.uniform_bound, 4);
+}
+
+TEST(ClassesTest, BtsNotFes) {
+  auto report = ClassifyKb(MakeBtsNotFes(), SmallBudget());
+  // Not fes: the core chase never terminates.
+  EXPECT_FALSE(report.core_chase_terminated);
+  // bts: the restricted chase sequence stays a path (treewidth 1).
+  EXPECT_FALSE(report.restricted_terminated);
+  EXPECT_LE(report.restricted_tw.uniform_bound, 1);
+  // Also core-bts, trivially: the core chase keeps a single edge.
+  EXPECT_LE(report.core_tw.uniform_bound, 1);
+}
+
+TEST(ClassesTest, FesNotBts) {
+  auto report = ClassifyKb(MakeFesNotBts(), SmallBudget());
+  // fes: the core chase terminates.
+  EXPECT_TRUE(report.core_chase_terminated);
+  // fes ⊆ core-bts (Proposition 13): finite run, finite bound.
+  EXPECT_GE(report.core_tw.uniform_bound, 0);
+}
+
+TEST(ClassesTest, SteepeningStaircaseIsCoreBtsOnly) {
+  StaircaseWorld world;
+  ClassificationOptions options;
+  options.max_steps = 50;
+  auto report = ClassifyKb(world.kb(), options);
+  EXPECT_FALSE(report.core_chase_terminated);
+  // Core-chase sequence uniformly bounded by 2 (Proposition 4) — the
+  // defining membership of core-bts for this KB.
+  EXPECT_LE(report.core_tw.uniform_bound, 2);
+  EXPECT_LE(report.core_tw.recurring_estimate, 2);
+}
+
+TEST(ClassesTest, InflatingElevatorIsNotCoreBts) {
+  ElevatorWorld world;
+  ClassificationOptions options;
+  options.max_steps = 45;
+  auto report = ClassifyKb(world.kb(), options);
+  EXPECT_FALSE(report.core_chase_terminated);
+  // Corollary 1: not even recurringly bounded — the tail stays above the
+  // initial treewidth.
+  EXPECT_GE(report.core_tw.uniform_bound, 3);
+  EXPECT_GE(report.core_tw.recurring_estimate, 2);
+}
+
+TEST(ClassesTest, ReportRowFormatting) {
+  auto report = ClassifyKb(MakeTransitiveClosure(2), SmallBudget());
+  std::string row = report.ToTableRow("tc");
+  EXPECT_NE(row.find("tc"), std::string::npos);
+  EXPECT_NE(row.find("TERM"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace twchase

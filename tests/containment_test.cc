@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "core/containment.h"
+#include "kb/examples.h"
+#include "parser/parser.h"
+
+namespace twchase {
+namespace {
+
+struct Parsed {
+  std::shared_ptr<Vocabulary> vocab;
+  AtomSet q1, q2;
+};
+
+Parsed TwoQueries(const std::string& text1, const std::string& text2) {
+  auto program = ParseProgram("? :- " + text1 + ".\n? :- " + text2 + ".");
+  TWCHASE_CHECK_MSG(program.ok(), program.status().ToString());
+  return Parsed{program->kb.vocab, program->queries[0].atoms,
+                program->queries[1].atoms};
+}
+
+TEST(FreezeTest, VariablesBecomeDistinctConstants) {
+  auto p = TwoQueries("e(X, Y), e(Y, X)", "e(X, X)");
+  AtomSet frozen = FreezeQuery(p.q1, p.vocab.get());
+  EXPECT_TRUE(frozen.Variables().empty());
+  EXPECT_EQ(frozen.Terms().size(), 2u);
+  EXPECT_EQ(frozen.size(), 2u);
+}
+
+TEST(ContainmentTest, MorePreciseQueryIsContained) {
+  // q1 = "path of length 2" is contained in q2 = "some edge".
+  auto p = TwoQueries("e(X, Y), e(Y, Z)", "e(U, W)");
+  EXPECT_TRUE(QueryContained(p.q1, p.q2, p.vocab.get()));
+  EXPECT_FALSE(QueryContained(p.q2, p.q1, p.vocab.get()));
+}
+
+TEST(ContainmentTest, EquivalentUpToRedundancy) {
+  // q1 with a redundant atom is equivalent to its core.
+  auto p = TwoQueries("e(X, Y), e(X, Z)", "e(U, W)");
+  EXPECT_TRUE(QueryContained(p.q1, p.q2, p.vocab.get()));
+  EXPECT_TRUE(QueryContained(p.q2, p.q1, p.vocab.get()));
+}
+
+TEST(ContainmentTest, LoopNotContainedInPath) {
+  auto p = TwoQueries("e(X, X)", "e(U, W), e(W, V)");
+  // Loop ⊆ path-of-2? Frozen loop: e(c,c) — the path maps (U=W=V=c): yes!
+  EXPECT_TRUE(QueryContained(p.q1, p.q2, p.vocab.get()));
+  // Path-of-2 ⊆ loop? Frozen path has no loop: no.
+  EXPECT_FALSE(QueryContained(p.q2, p.q1, p.vocab.get()));
+}
+
+TEST(ContainmentTest, ConstantsMustAlign) {
+  auto program = ParseProgram("? :- e(a, X).\n? :- e(b, Y).");
+  ASSERT_TRUE(program.ok());
+  EXPECT_FALSE(QueryContained(program->queries[0].atoms,
+                              program->queries[1].atoms,
+                              program->kb.vocab.get()));
+}
+
+TEST(ContainmentUnderRulesTest, RulesEnableContainment) {
+  // Under transitivity, "path of length 2" is contained in "t-edge".
+  auto program = ParseProgram(R"(
+    [base] t(X, Y) :- e(X, Y).
+    [step] t(X, Z) :- t(X, Y), e(Y, Z).
+    ? :- e(X, Y), e(Y, Z).
+    ? :- t(U, W), t(W, V).
+  )");
+  ASSERT_TRUE(program.ok()) << program.status();
+  auto result =
+      QueryContainedUnder(program->kb, program->queries[0].atoms,
+                          program->queries[1].atoms, 100);
+  EXPECT_EQ(result.verdict, EntailmentVerdict::kEntailed);
+  // Without rules, not contained.
+  EXPECT_FALSE(QueryContained(program->queries[0].atoms,
+                              program->queries[1].atoms,
+                              program->kb.vocab.get()));
+}
+
+TEST(ContainmentUnderRulesTest, NegativeExactWhenChaseTerminates) {
+  auto program = ParseProgram(R"(
+    [base] t(X, Y) :- e(X, Y).
+    ? :- e(X, Y).
+    ? :- t(Y, X), t(X, Y).
+  )");
+  ASSERT_TRUE(program.ok());
+  auto result =
+      QueryContainedUnder(program->kb, program->queries[0].atoms,
+                          program->queries[1].atoms, 100);
+  EXPECT_EQ(result.verdict, EntailmentVerdict::kNotEntailed);
+}
+
+TEST(ContainmentUnderRulesTest, NonTerminatingPositive) {
+  // Under r(X,Y) → ∃Z r(Y,Z), "some r-edge" is contained in "r-path of 3".
+  auto program = ParseProgram(R"(
+    [grow] r(Y, Z) :- r(X, Y).
+    ? :- r(X, Y).
+    ? :- r(A, B), r(B, C), r(C, D).
+  )");
+  ASSERT_TRUE(program.ok());
+  auto result =
+      QueryContainedUnder(program->kb, program->queries[0].atoms,
+                          program->queries[1].atoms, 40);
+  EXPECT_EQ(result.verdict, EntailmentVerdict::kEntailed);
+}
+
+}  // namespace
+}  // namespace twchase

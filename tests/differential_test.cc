@@ -1,0 +1,219 @@
+// Differential tests: core algorithms checked against brute-force reference
+// implementations on exhaustively small inputs.
+//   * homomorphism existence vs. enumeration of all variable assignments;
+//   * exact treewidth vs. the minimum over all elimination-order
+//     permutations;
+//   * AtomSet vs. a naive std::set<Atom> reference under a random operation
+//     stream (inserts, erases, queries, postings).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "hom/matcher.h"
+#include "kb/generators.h"
+#include "model/predicate.h"
+#include "tw/exact.h"
+#include "tw/tree_decomposition.h"
+#include "util/random.h"
+
+namespace twchase {
+namespace {
+
+// Brute force: try all |terms(target)|^|vars(pattern)| assignments.
+bool BruteForceHomExists(const AtomSet& pattern, const AtomSet& target) {
+  std::vector<Term> vars = pattern.Variables();
+  std::vector<Term> universe = target.Terms();
+  if (vars.empty()) {
+    bool ok = true;
+    pattern.ForEach([&](const Atom& atom) {
+      if (!target.Contains(atom)) ok = false;
+    });
+    return ok;
+  }
+  std::vector<size_t> choice(vars.size(), 0);
+  while (true) {
+    Substitution sub;
+    for (size_t i = 0; i < vars.size(); ++i) {
+      sub.Bind(vars[i], universe[choice[i]]);
+    }
+    bool ok = true;
+    pattern.ForEach([&](const Atom& atom) {
+      if (ok && !target.Contains(sub.Apply(atom))) ok = false;
+    });
+    if (ok) return true;
+    // Odometer increment.
+    size_t pos = 0;
+    while (pos < vars.size()) {
+      if (++choice[pos] < universe.size()) break;
+      choice[pos] = 0;
+      ++pos;
+    }
+    if (pos == vars.size()) return false;
+  }
+}
+
+class HomDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HomDifferential, MatcherAgreesWithBruteForce) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 30; ++trial) {
+    Vocabulary vocab;
+    Rng trng(GetParam() * 131 + trial);
+    AtomSet target = MakeRandomBinaryInstance(&vocab, "e", 4, 6, &trng);
+    Vocabulary qvocab;
+    AtomSet pattern = MakeRandomBinaryInstance(&qvocab, "e", 3, 3, &trng);
+    bool expected = BruteForceHomExists(pattern, target);
+    EXPECT_EQ(ExistsHomomorphism(pattern, target), expected)
+        << "trial " << trial;
+  }
+}
+
+TEST_P(HomDifferential, FindAllMatchesBruteForceCount) {
+  Rng rng(GetParam());
+  Vocabulary vocab;
+  AtomSet target = MakeRandomBinaryInstance(&vocab, "e", 3, 5, &rng);
+  Vocabulary qvocab;
+  AtomSet pattern = MakeRandomBinaryInstance(&qvocab, "e", 2, 2, &rng);
+  // Count brute-force satisfying assignments over pattern variables.
+  std::vector<Term> vars = pattern.Variables();
+  std::vector<Term> universe = target.Terms();
+  size_t expected = 0;
+  std::vector<size_t> choice(vars.size(), 0);
+  bool done = universe.empty() && !vars.empty();
+  while (!done) {
+    Substitution sub;
+    for (size_t i = 0; i < vars.size(); ++i) {
+      sub.Bind(vars[i], universe[choice[i]]);
+    }
+    bool ok = true;
+    pattern.ForEach([&](const Atom& atom) {
+      if (ok && !target.Contains(sub.Apply(atom))) ok = false;
+    });
+    if (ok) ++expected;
+    size_t pos = 0;
+    while (pos < vars.size()) {
+      if (++choice[pos] < universe.size()) break;
+      choice[pos] = 0;
+      ++pos;
+    }
+    if (pos == vars.size() || vars.empty()) done = true;
+  }
+  HomOptions options;
+  options.limit = 0;
+  EXPECT_EQ(FindAllHomomorphisms(pattern, target, options).size(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HomDifferential,
+                         ::testing::Values(3, 17, 29, 71, 97));
+
+class TreewidthDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TreewidthDifferential, ExactMatchesPermutationMinimum) {
+  Rng rng(GetParam());
+  int n = 6;
+  Graph g(n);
+  for (int i = 0; i < 9; ++i) {
+    g.AddEdge(static_cast<int>(rng.Uniform(0, n - 1)),
+              static_cast<int>(rng.Uniform(0, n - 1)));
+  }
+  std::vector<int> perm(n);
+  for (int i = 0; i < n; ++i) perm[i] = i;
+  int best = n;
+  do {
+    best = std::min(best, WidthOfEliminationOrder(g, perm));
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  EXPECT_EQ(ExactTreewidth(g).value(), best);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreewidthDifferential,
+                         ::testing::Values(5, 6, 7, 8, 9, 10));
+
+TEST(AtomSetDifferential, RandomOperationStream) {
+  Rng rng(20260706);
+  Vocabulary vocab;
+  PredicateId p = vocab.MustPredicate("p", 2);
+  PredicateId q = vocab.MustPredicate("q", 1);
+  std::vector<Term> terms;
+  for (int i = 0; i < 6; ++i) terms.push_back(vocab.NamedVariable("T" + std::to_string(i)));
+  for (int i = 0; i < 3; ++i) terms.push_back(vocab.Constant("c" + std::to_string(i)));
+
+  auto random_atom = [&]() {
+    if (rng.Bernoulli(0.3)) {
+      return Atom(q, {terms[rng.Uniform(0, terms.size() - 1)]});
+    }
+    return Atom(p, {terms[rng.Uniform(0, terms.size() - 1)],
+                    terms[rng.Uniform(0, terms.size() - 1)]});
+  };
+
+  AtomSet subject;
+  std::set<Atom> reference;
+  for (int op = 0; op < 3000; ++op) {
+    Atom atom = random_atom();
+    double dice = rng.UniformReal();
+    if (dice < 0.55) {
+      EXPECT_EQ(subject.Insert(atom), reference.insert(atom).second);
+    } else if (dice < 0.85) {
+      EXPECT_EQ(subject.Erase(atom), reference.erase(atom) > 0);
+    } else {
+      EXPECT_EQ(subject.Contains(atom), reference.contains(atom));
+    }
+    if (op % 101 == 0) {
+      // Full-state comparison.
+      ASSERT_EQ(subject.size(), reference.size()) << "op " << op;
+      for (const Atom& a : reference) {
+        ASSERT_TRUE(subject.Contains(a)) << "op " << op;
+      }
+      // Posting consistency.
+      size_t p_count = 0, q_count = 0;
+      std::map<Term, size_t> term_counts;
+      for (const Atom& a : reference) {
+        (a.predicate() == p ? p_count : q_count)++;
+        for (Term t : a.DistinctTerms()) term_counts[t]++;
+      }
+      ASSERT_EQ(subject.CountByPredicate(p), p_count) << "op " << op;
+      ASSERT_EQ(subject.CountByPredicate(q), q_count) << "op " << op;
+      ASSERT_EQ(subject.ByPredicate(p).size(), p_count) << "op " << op;
+      for (Term t : terms) {
+        ASSERT_EQ(subject.CountByTerm(t), term_counts[t]) << "op " << op;
+        ASSERT_EQ(subject.ByTerm(t).size(), term_counts[t]) << "op " << op;
+      }
+    }
+  }
+}
+
+TEST(SubstitutionDifferential, CompositionAssociativity) {
+  Rng rng(99);
+  Vocabulary vocab;
+  std::vector<Term> vars;
+  for (int i = 0; i < 6; ++i) vars.push_back(vocab.NamedVariable("V" + std::to_string(i)));
+  std::vector<Term> consts;
+  for (int i = 0; i < 2; ++i) consts.push_back(vocab.Constant("k" + std::to_string(i)));
+  auto random_sub = [&]() {
+    Substitution s;
+    for (Term v : vars) {
+      if (rng.Bernoulli(0.6)) {
+        if (rng.Bernoulli(0.7)) {
+          s.Bind(v, vars[rng.Uniform(0, vars.size() - 1)]);
+        } else {
+          s.Bind(v, consts[rng.Uniform(0, consts.size() - 1)]);
+        }
+      }
+    }
+    return s;
+  };
+  for (int trial = 0; trial < 50; ++trial) {
+    Substitution a = random_sub(), b = random_sub(), c = random_sub();
+    Substitution left = Substitution::Compose(Substitution::Compose(a, b), c);
+    Substitution right = Substitution::Compose(a, Substitution::Compose(b, c));
+    for (Term v : vars) {
+      EXPECT_EQ(left.Apply(v), right.Apply(v)) << "trial " << trial;
+      // Definition check: (a • b)(v) = a⁺(b⁺(v)).
+      EXPECT_EQ(Substitution::Compose(a, b).Apply(v), a.Apply(b.Apply(v)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace twchase

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "core/trigger.h"
+#include "hom/core.h"
+#include "hom/isomorphism.h"
+#include "hom/matcher.h"
+#include "kb/examples.h"
+#include "tw/grid.h"
+#include "tw/treewidth.h"
+
+namespace twchase {
+namespace {
+
+// Transcription check: every trigger found on an inner prefix of the
+// (infinite) closed-form model must be satisfied in a slightly larger
+// prefix — i.e. the generated structure is a model "away from the boundary".
+void ExpectModelAwayFromBoundary(const KnowledgeBase& kb,
+                                 const AtomSet& inner, const AtomSet& outer) {
+  for (int r = 0; r < static_cast<int>(kb.rules.size()); ++r) {
+    const Rule& rule = kb.rules[r];
+    for (const Trigger& tr : FindTriggers(rule, r, inner)) {
+      EXPECT_TRUE(TriggerIsSatisfied(rule, tr.match, outer))
+          << "rule " << rule.label() << " trigger unsatisfied: "
+          << tr.match.ToString(*kb.vocab);
+    }
+  }
+}
+
+TEST(StaircaseWorldTest, FactsEmbedInUniversalModelPrefix) {
+  StaircaseWorld world;
+  AtomSet prefix = world.UniversalModelPrefix(3);
+  EXPECT_TRUE(world.kb().facts.IsSubsetOf(prefix));
+}
+
+TEST(StaircaseWorldTest, UniversalModelPrefixIsModelAwayFromBoundary) {
+  StaircaseWorld world;
+  ExpectModelAwayFromBoundary(world.kb(), world.UniversalModelPrefix(4),
+                              world.UniversalModelPrefix(7));
+}
+
+TEST(StaircaseWorldTest, StepRetractsToNextColumn) {
+  // Section 6: C^h_{k+1} is a retract of S^h_k that is a core.
+  StaircaseWorld world;
+  for (int k = 0; k <= 4; ++k) {
+    AtomSet step = world.Step(k);
+    AtomSet next_column = world.Column(k + 1);
+    CoreResult core = ComputeCore(step);
+    EXPECT_TRUE(AreIsomorphic(core.core, next_column)) << "k=" << k;
+  }
+}
+
+TEST(StaircaseWorldTest, ColumnsAreCores) {
+  StaircaseWorld world;
+  for (int k = 1; k <= 5; ++k) {
+    EXPECT_TRUE(IsCore(world.Column(k))) << "k=" << k;
+  }
+}
+
+TEST(StaircaseWorldTest, StepsHaveTreewidthTwo) {
+  // Proposition 4's engine: every S^h_k (k ≥ 1) has treewidth exactly 2.
+  StaircaseWorld world;
+  for (int k = 1; k <= 6; ++k) {
+    EXPECT_EQ(MustExactTreewidth(world.Step(k)), 2) << "k=" << k;
+  }
+  // Columns are paths: treewidth 1.
+  EXPECT_EQ(MustExactTreewidth(world.Column(5)), 1);
+}
+
+TEST(StaircaseWorldTest, UniversalModelPrefixTreewidthGrows) {
+  StaircaseWorld world;
+  int tw4 = ComputeTreewidth(world.UniversalModelPrefix(4)).lower_bound;
+  int tw8 = ComputeTreewidth(world.UniversalModelPrefix(8)).lower_bound;
+  EXPECT_GE(tw8, tw4);
+  EXPECT_GE(tw8, 3);
+}
+
+TEST(StaircaseWorldTest, InfiniteColumnIsModelAwayFromBoundaryButNotUniversal) {
+  StaircaseWorld world;
+  // Model away from the boundary (its top cell's triggers need more cells).
+  AtomSet inner = world.InfiniteColumnPrefix(3);
+  AtomSet outer = world.InfiniteColumnPrefix(6);
+  ExpectModelAwayFromBoundary(world.kb(), inner, outer);
+  // Not universal: a long v-path does not map into I^h, whose v-paths are
+  // bounded by the column heights (Section 6 discussion of Ỹ^h).
+  AtomSet tall_column = world.InfiniteColumnPrefix(8);
+  AtomSet model_prefix = world.UniversalModelPrefix(5);
+  EXPECT_FALSE(ExistsHomomorphism(tall_column, model_prefix));
+  // Short columns do embed.
+  AtomSet short_column = world.InfiniteColumnPrefix(2);
+  EXPECT_TRUE(ExistsHomomorphism(short_column, model_prefix));
+}
+
+TEST(ElevatorWorldTest, FactsEmbedInUniversalModelPrefix) {
+  ElevatorWorld world;
+  AtomSet prefix = world.UniversalModelPrefix(3);
+  EXPECT_TRUE(world.kb().facts.IsSubsetOf(prefix));
+}
+
+TEST(ElevatorWorldTest, UniversalModelPrefixIsModelAwayFromBoundary) {
+  ElevatorWorld world;
+  ExpectModelAwayFromBoundary(world.kb(), world.UniversalModelPrefix(3),
+                              world.UniversalModelPrefix(6));
+}
+
+TEST(ElevatorWorldTest, CeilingIsModelAwayFromBoundary) {
+  // Proposition 7: I^v* is a model (and universal).
+  ElevatorWorld world;
+  ExpectModelAwayFromBoundary(world.kb(), world.CeilingPrefix(3),
+                              world.CeilingPrefix(6));
+}
+
+TEST(ElevatorWorldTest, UniversalModelFoldsOntoCeiling) {
+  // The universality of I^v* is witnessed by the column-collapse fold
+  // X^i_j ↦ X^i_{2i}.
+  ElevatorWorld world;
+  AtomSet model = world.UniversalModelPrefix(5);
+  AtomSet ceiling = world.CeilingPrefix(5);
+  EXPECT_TRUE(ceiling.IsSubsetOf(model));
+  EXPECT_TRUE(ExistsHomomorphism(model, ceiling));
+}
+
+TEST(ElevatorWorldTest, CeilingHasTreewidthOne) {
+  ElevatorWorld world;
+  EXPECT_EQ(MustExactTreewidth(world.CeilingPrefix(8)), 1);
+}
+
+TEST(ElevatorWorldTest, CoreObstructionsAreCores) {
+  // Proposition 8(1).
+  ElevatorWorld world;
+  for (int n = 1; n <= 4; ++n) {
+    AtomSet obstruction = world.CoreObstruction(n);
+    EXPECT_FALSE(obstruction.empty()) << "n=" << n;
+    EXPECT_TRUE(IsCore(obstruction)) << "n=" << n;
+  }
+}
+
+TEST(ElevatorWorldTest, CoreObstructionTreewidthGrows) {
+  // Proposition 8(2): tw(I^v_n) ≥ ⌊n/3⌋ + 1, witnessed by grids.
+  ElevatorWorld world;
+  for (int n = 3; n <= 6; n += 3) {
+    AtomSet obstruction = world.CoreObstruction(n);
+    int expected = n / 3 + 1;
+    EXPECT_GE(GridLowerBound(obstruction, expected + 1), expected)
+        << "n=" << n;
+  }
+}
+
+TEST(ElevatorWorldTest, CoreObstructionEmbedsInUniversalModel) {
+  // I^v_n is (isomorphic to) a subset of I^v by construction; embedding must
+  // hold homomorphically.
+  ElevatorWorld world;
+  AtomSet obstruction = world.CoreObstruction(3);
+  AtomSet model = world.UniversalModelPrefix(10);
+  EXPECT_TRUE(ExistsHomomorphism(obstruction, model));
+}
+
+TEST(ClassExamplesTest, TransitiveClosureIsFesAndBts) {
+  auto kb = MakeTransitiveClosure(3);
+  EXPECT_EQ(kb.rules.size(), 2u);
+  EXPECT_TRUE(kb.rules[0].IsDatalog());
+}
+
+TEST(ClassExamplesTest, SeparatingRulesetsParseAsIntended) {
+  auto bts = MakeBtsNotFes();
+  ASSERT_EQ(bts.rules.size(), 1u);
+  EXPECT_EQ(bts.rules[0].existential().size(), 1u);
+  auto fes = MakeFesNotBts();
+  ASSERT_EQ(fes.rules.size(), 1u);
+  EXPECT_EQ(fes.rules[0].existential().size(), 1u);
+  EXPECT_EQ(fes.rules[0].frontier().size(), 2u);
+}
+
+}  // namespace
+}  // namespace twchase

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "kb/generators.h"
+#include "model/predicate.h"
+#include "tw/graph.h"
+
+namespace twchase {
+namespace {
+
+TEST(GraphTest, AddEdgeIsIdempotentAndSymmetric) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  g.AddEdge(0, 1);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_EQ(g.Degree(0), 1);
+}
+
+TEST(GraphTest, SelfLoopsIgnored) {
+  Graph g(2);
+  g.AddEdge(0, 0);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_FALSE(g.HasEdge(0, 0));
+}
+
+TEST(GraphTest, FactoryShapes) {
+  Graph grid = Graph::Grid(3, 4);
+  EXPECT_EQ(grid.num_vertices(), 12);
+  EXPECT_EQ(grid.num_edges(), 3 * 3 + 2 * 4);  // horizontal + vertical
+  Graph k5 = Graph::Complete(5);
+  EXPECT_EQ(k5.num_edges(), 10);
+  Graph c7 = Graph::Cycle(7);
+  EXPECT_EQ(c7.num_edges(), 7);
+  for (int v = 0; v < 7; ++v) EXPECT_EQ(c7.Degree(v), 2);
+}
+
+TEST(GraphTest, GaifmanOfBinaryAtoms) {
+  Vocabulary vocab;
+  AtomSet path = MakePathInstance(&vocab, "e", 3);  // 4 terms, 3 edges
+  std::vector<Term> terms;
+  Graph g = Graph::GaifmanOf(path, &terms);
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(terms.size(), 4u);
+}
+
+TEST(GraphTest, GaifmanCliquesFromWideAtoms) {
+  Vocabulary vocab;
+  PredicateId p = vocab.MustPredicate("p", 4);
+  AtomSet s;
+  s.Insert(Atom(p, {vocab.NamedVariable("A"), vocab.NamedVariable("B"),
+                    vocab.NamedVariable("C"), vocab.NamedVariable("D")}));
+  Graph g = Graph::GaifmanOf(s, nullptr);
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.num_edges(), 6);  // K4
+}
+
+TEST(GraphTest, GaifmanIgnoresSelfLoopsAndRepeats) {
+  Vocabulary vocab;
+  PredicateId e = vocab.MustPredicate("e", 2);
+  Term x = vocab.NamedVariable("X");
+  AtomSet s;
+  s.Insert(Atom(e, {x, x}));
+  Graph g = Graph::GaifmanOf(s, nullptr);
+  EXPECT_EQ(g.num_vertices(), 1);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+}  // namespace
+}  // namespace twchase

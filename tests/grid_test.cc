@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "kb/examples.h"
+#include "kb/generators.h"
+#include "model/predicate.h"
+#include "tw/grid.h"
+
+namespace twchase {
+namespace {
+
+TEST(GridDetectionTest, GridGraphContainsItselfAndSmaller) {
+  Graph g = Graph::Grid(4, 4);
+  EXPECT_TRUE(GraphContainsGrid(g, 1));
+  EXPECT_TRUE(GraphContainsGrid(g, 2));
+  EXPECT_TRUE(GraphContainsGrid(g, 3));
+  EXPECT_TRUE(GraphContainsGrid(g, 4));
+  EXPECT_FALSE(GraphContainsGrid(g, 5));
+}
+
+TEST(GridDetectionTest, PathContainsNoTwoGrid) {
+  Graph path(6);
+  for (int i = 0; i < 5; ++i) path.AddEdge(i, i + 1);
+  EXPECT_TRUE(GraphContainsGrid(path, 1));
+  EXPECT_FALSE(GraphContainsGrid(path, 2));
+}
+
+TEST(GridDetectionTest, CycleOfFourIsATwoGrid) {
+  // C4 is exactly the 2×2 grid.
+  EXPECT_TRUE(GraphContainsGrid(Graph::Cycle(4), 2));
+  // C5 contains no 2×2 grid as a subgraph (it has no 4-cycle).
+  EXPECT_FALSE(GraphContainsGrid(Graph::Cycle(5), 2));
+}
+
+TEST(GridDetectionTest, AtomSetGridViaGaifman) {
+  Vocabulary vocab;
+  AtomSet grid = MakeGridInstance(&vocab, "h", "v", 3, 3);
+  EXPECT_TRUE(ContainsGrid(grid, 3));
+  EXPECT_FALSE(ContainsGrid(grid, 4));
+  EXPECT_EQ(GridLowerBound(grid, 6), 3);
+}
+
+TEST(GridDetectionTest, RectangularContainsMinSide) {
+  Vocabulary vocab;
+  AtomSet grid = MakeGridInstance(&vocab, "h", "v", 3, 6);
+  EXPECT_TRUE(ContainsGrid(grid, 3));
+  EXPECT_FALSE(ContainsGrid(grid, 4));
+}
+
+TEST(GridDetectionTest, StaircaseUniversalModelPrefixGrowsGrids) {
+  // Proposition 5's engine: I^h contains n×n grids for every n; the prefix
+  // P^h_k contains grids growing with k.
+  StaircaseWorld world;
+  AtomSet prefix = world.UniversalModelPrefix(6);
+  EXPECT_TRUE(ContainsGrid(prefix, 2));
+  EXPECT_TRUE(ContainsGrid(prefix, 3));
+  AtomSet small_prefix = world.UniversalModelPrefix(2);
+  EXPECT_FALSE(ContainsGrid(small_prefix, 3));
+}
+
+}  // namespace
+}  // namespace twchase

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "hom/isomorphism.h"
+#include "kb/generators.h"
+#include "model/predicate.h"
+
+namespace twchase {
+namespace {
+
+TEST(IsomorphismTest, CyclesOfSameLengthAreIsomorphic) {
+  Vocabulary v1, v2;
+  AtomSet c5a = MakeCycleInstance(&v1, "e", 5);
+  AtomSet c5b = MakeCycleInstance(&v2, "e", 5);
+  auto iso = FindIsomorphism(c5a, c5b);
+  ASSERT_TRUE(iso.has_value());
+  EXPECT_TRUE(AreIsomorphic(c5a, c5b));
+}
+
+TEST(IsomorphismTest, DifferentSizesAreNot) {
+  Vocabulary v1, v2;
+  AtomSet c5 = MakeCycleInstance(&v1, "e", 5);
+  AtomSet c6 = MakeCycleInstance(&v2, "e", 6);
+  EXPECT_FALSE(AreIsomorphic(c5, c6));
+}
+
+TEST(IsomorphismTest, HomEquivalentButNotIsomorphic) {
+  // C2 versus C2 plus a redundant pendant edge: each maps into the other
+  // (inclusion one way, folding the pendant the other), but the sizes differ.
+  Vocabulary vocab;
+  PredicateId e = vocab.MustPredicate("e", 2);
+  AtomSet c2 = MakeCycleInstance(&vocab, "e", 2);
+  AtomSet bigger = c2;
+  Term y = vocab.NamedVariable("cyc_1");
+  Term z = vocab.NamedVariable("pendant");
+  bigger.Insert(Atom(e, {y, z}));  // z folds onto cyc_0 via the cycle edge
+  EXPECT_TRUE(AreHomEquivalent(c2, bigger));
+  EXPECT_FALSE(AreIsomorphic(c2, bigger));
+}
+
+TEST(IsomorphismTest, ConstantsMustMatchExactly) {
+  Vocabulary vocab;
+  PredicateId e = vocab.MustPredicate("e", 2);
+  Term a = vocab.Constant("a"), b = vocab.Constant("b");
+  AtomSet s1, s2;
+  s1.Insert(Atom(e, {a, a}));
+  s2.Insert(Atom(e, {b, b}));
+  EXPECT_FALSE(AreIsomorphic(s1, s2));
+  EXPECT_TRUE(AreIsomorphic(s1, s1));
+}
+
+TEST(IsomorphismTest, VariableRenamingIsIsomorphism) {
+  Vocabulary vocab;
+  PredicateId e = vocab.MustPredicate("e", 2);
+  Term x = vocab.NamedVariable("X"), y = vocab.NamedVariable("Y");
+  Term u = vocab.NamedVariable("U"), w = vocab.NamedVariable("W");
+  AtomSet s1, s2;
+  s1.Insert(Atom(e, {x, y}));
+  s2.Insert(Atom(e, {u, w}));
+  auto iso = FindIsomorphism(s1, s2);
+  ASSERT_TRUE(iso.has_value());
+  EXPECT_NE(iso->Apply(x), iso->Apply(y));
+}
+
+TEST(IsomorphismTest, SameSizeDifferentShape) {
+  Vocabulary v1, v2;
+  AtomSet path3 = MakePathInstance(&v1, "e", 3);   // 3 atoms, 4 terms
+  AtomSet cycle3 = MakeCycleInstance(&v2, "e", 3); // 3 atoms, 3 terms
+  EXPECT_FALSE(AreIsomorphic(path3, cycle3));
+}
+
+TEST(IsomorphismTest, GridsAreIsomorphicUnderRelabeling) {
+  Vocabulary v1, v2;
+  AtomSet g1 = MakeGridInstance(&v1, "h", "v", 3, 2);
+  AtomSet g2 = MakeGridInstance(&v2, "h", "v", 3, 2);
+  EXPECT_TRUE(AreIsomorphic(g1, g2));
+  // A transposed grid keeps the vertex count but swaps the h/v edge counts,
+  // so it is not isomorphic when predicates must match.
+  AtomSet g3 = MakeGridInstance(&v2, "h", "v", 2, 3);
+  EXPECT_FALSE(AreIsomorphic(g1, g3));
+}
+
+}  // namespace
+}  // namespace twchase

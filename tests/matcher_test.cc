@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "hom/matcher.h"
+#include "kb/generators.h"
+#include "model/predicate.h"
+
+namespace twchase {
+namespace {
+
+class MatcherTest : public ::testing::Test {
+ protected:
+  MatcherTest() {
+    e_ = vocab_.MustPredicate("e", 2);
+    a_ = vocab_.Constant("a");
+    b_ = vocab_.Constant("b");
+    c_ = vocab_.Constant("c");
+    x_ = vocab_.NamedVariable("X");
+    y_ = vocab_.NamedVariable("Y");
+    z_ = vocab_.NamedVariable("Z");
+  }
+
+  AtomSet Edges(std::initializer_list<std::pair<Term, Term>> edges) {
+    AtomSet out;
+    for (const auto& [s, t] : edges) out.Insert(Atom(e_, {s, t}));
+    return out;
+  }
+
+  Vocabulary vocab_;
+  PredicateId e_;
+  Term a_, b_, c_, x_, y_, z_;
+};
+
+TEST_F(MatcherTest, FindsSimpleMatch) {
+  AtomSet target = Edges({{a_, b_}, {b_, c_}});
+  AtomSet pattern = Edges({{x_, y_}, {y_, z_}});
+  auto hom = FindHomomorphism(pattern, target);
+  ASSERT_TRUE(hom.has_value());
+  EXPECT_EQ(hom->Apply(x_), a_);
+  EXPECT_EQ(hom->Apply(y_), b_);
+  EXPECT_EQ(hom->Apply(z_), c_);
+}
+
+TEST_F(MatcherTest, RespectsConstants) {
+  AtomSet target = Edges({{a_, b_}});
+  AtomSet pattern_ok = Edges({{a_, x_}});
+  AtomSet pattern_bad = Edges({{b_, x_}});
+  EXPECT_TRUE(ExistsHomomorphism(pattern_ok, target));
+  EXPECT_FALSE(ExistsHomomorphism(pattern_bad, target));
+}
+
+TEST_F(MatcherTest, RepeatedVariableForcesSameImage) {
+  AtomSet target = Edges({{a_, b_}});
+  AtomSet loop_pattern = Edges({{x_, x_}});
+  EXPECT_FALSE(ExistsHomomorphism(loop_pattern, target));
+  target.Insert(Atom(e_, {c_, c_}));
+  auto hom = FindHomomorphism(loop_pattern, target);
+  ASSERT_TRUE(hom.has_value());
+  EXPECT_EQ(hom->Apply(x_), c_);
+}
+
+TEST_F(MatcherTest, PathsAndCycles) {
+  Vocabulary vocab;
+  AtomSet path5 = MakePathInstance(&vocab, "e", 5);
+  // A path folds into a 2-cycle by alternating endpoints.
+  AtomSet cycle2 = MakeCycleInstance(&vocab, "e", 2);
+  EXPECT_TRUE(ExistsHomomorphism(path5, cycle2));
+  // A directed 3-cycle cannot map into an acyclic path.
+  AtomSet cycle3 = MakeCycleInstance(&vocab, "e", 3);
+  EXPECT_FALSE(ExistsHomomorphism(cycle3, path5));
+}
+
+TEST_F(MatcherTest, DirectedCycleDivisibility) {
+  // A directed m-cycle maps into a directed n-cycle iff n divides m.
+  Vocabulary vocab;
+  AtomSet c3 = MakeCycleInstance(&vocab, "e", 3);
+  Vocabulary vocab2;
+  AtomSet c4 = MakeCycleInstance(&vocab2, "e", 4);
+  Vocabulary vocab3;
+  AtomSet c6 = MakeCycleInstance(&vocab3, "e", 6);
+  EXPECT_FALSE(ExistsHomomorphism(c3, c4));
+  EXPECT_FALSE(ExistsHomomorphism(c4, c3));
+  EXPECT_TRUE(ExistsHomomorphism(c6, c3));
+  EXPECT_FALSE(ExistsHomomorphism(c3, c6));
+}
+
+TEST_F(MatcherTest, FindAllEnumeratesEveryHom) {
+  AtomSet target = Edges({{a_, b_}, {b_, c_}});
+  AtomSet pattern = Edges({{x_, y_}});
+  HomOptions options;
+  options.limit = 0;
+  auto all = FindAllHomomorphisms(pattern, target, options);
+  EXPECT_EQ(all.size(), 2u);
+}
+
+TEST_F(MatcherTest, LimitStopsEarly) {
+  AtomSet target = Edges({{a_, b_}, {b_, c_}});
+  AtomSet pattern = Edges({{x_, y_}});
+  HomOptions options;
+  options.limit = 1;
+  auto some = FindAllHomomorphisms(pattern, target, options);
+  EXPECT_EQ(some.size(), 1u);
+}
+
+TEST_F(MatcherTest, SeedConstrainsSearch) {
+  AtomSet target = Edges({{a_, b_}, {b_, c_}});
+  AtomSet pattern = Edges({{x_, y_}});
+  Substitution seed;
+  seed.Bind(x_, b_);
+  EXPECT_TRUE(ExistsHomomorphismExtending(pattern, target, seed));
+  Substitution bad_seed;
+  bad_seed.Bind(x_, c_);
+  EXPECT_FALSE(ExistsHomomorphismExtending(pattern, target, bad_seed));
+}
+
+TEST_F(MatcherTest, ForbiddenImageTermExcludesAtoms) {
+  AtomSet target = Edges({{a_, b_}, {b_, c_}});
+  AtomSet pattern = Edges({{x_, y_}});
+  HomOptions options;
+  options.limit = 0;
+  options.forbidden_image_term = a_;
+  auto homs = FindAllHomomorphisms(pattern, target, options);
+  ASSERT_EQ(homs.size(), 1u);
+  EXPECT_EQ(homs[0].Apply(x_), b_);
+}
+
+TEST_F(MatcherTest, InjectiveModeRejectsMerging) {
+  AtomSet target = Edges({{a_, a_}});
+  AtomSet pattern = Edges({{x_, y_}});
+  EXPECT_TRUE(ExistsHomomorphism(pattern, target));
+  HomOptions options;
+  options.injective = true;
+  EXPECT_FALSE(FindHomomorphism(pattern, target, options).has_value());
+}
+
+TEST_F(MatcherTest, VarsToVarsRejectsConstants) {
+  AtomSet target = Edges({{a_, b_}});
+  AtomSet pattern = Edges({{x_, y_}});
+  HomOptions options;
+  options.vars_to_vars = true;
+  EXPECT_FALSE(FindHomomorphism(pattern, target, options).has_value());
+  target.Insert(Atom(e_, {z_, z_}));
+  EXPECT_TRUE(FindHomomorphism(pattern, target, options).has_value());
+}
+
+TEST_F(MatcherTest, EmptyPatternHasExactlyTheSeed) {
+  AtomSet target = Edges({{a_, b_}});
+  AtomSet pattern;
+  HomOptions options;
+  options.limit = 0;
+  auto homs = FindAllHomomorphisms(pattern, target, options);
+  ASSERT_EQ(homs.size(), 1u);
+  EXPECT_TRUE(homs[0].empty());
+}
+
+TEST_F(MatcherTest, EntailsHelper) {
+  AtomSet target = Edges({{a_, b_}, {b_, a_}});
+  AtomSet query = Edges({{x_, y_}, {y_, x_}});
+  EXPECT_TRUE(Entails(target, query));
+}
+
+}  // namespace
+}  // namespace twchase

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "model/atom.h"
+#include "model/predicate.h"
+#include "model/term.h"
+
+namespace twchase {
+namespace {
+
+TEST(TermTest, ConstantAndVariableAreDistinct) {
+  Term c = Term::Constant(7);
+  Term v = Term::Variable(7);
+  EXPECT_TRUE(c.is_constant());
+  EXPECT_FALSE(c.is_variable());
+  EXPECT_TRUE(v.is_variable());
+  EXPECT_NE(c, v);
+  EXPECT_EQ(c.index(), 7u);
+  EXPECT_EQ(v.index(), 7u);
+}
+
+TEST(TermTest, RankFollowsCreationIndex) {
+  EXPECT_LT(Term::Variable(1).rank(), Term::Variable(2).rank());
+}
+
+TEST(TermTest, OrderingIsTotal) {
+  Term a = Term::Constant(1), b = Term::Constant(2);
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(b < a);
+  EXPECT_TRUE(a == Term::Constant(1));
+}
+
+TEST(VocabularyTest, InternsConstants) {
+  Vocabulary vocab;
+  Term a1 = vocab.Constant("a");
+  Term a2 = vocab.Constant("a");
+  Term b = vocab.Constant("b");
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+  EXPECT_EQ(vocab.TermName(a1), "a");
+  EXPECT_EQ(vocab.TermName(b), "b");
+  EXPECT_EQ(vocab.num_constants(), 2u);
+}
+
+TEST(VocabularyTest, InternsNamedVariables) {
+  Vocabulary vocab;
+  Term x1 = vocab.NamedVariable("X");
+  Term x2 = vocab.NamedVariable("X");
+  EXPECT_EQ(x1, x2);
+  EXPECT_TRUE(x1.is_variable());
+}
+
+TEST(VocabularyTest, FreshVariablesNeverCollide) {
+  Vocabulary vocab;
+  Term a = vocab.FreshVariable();
+  Term b = vocab.FreshVariable();
+  Term c = vocab.FreshVariable("Z");
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+  EXPECT_NE(vocab.TermName(a), vocab.TermName(b));
+}
+
+TEST(VocabularyTest, PredicateArityClashIsError) {
+  Vocabulary vocab;
+  auto p1 = vocab.AddPredicate("p", 2);
+  ASSERT_TRUE(p1.ok());
+  auto p2 = vocab.AddPredicate("p", 2);
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(p1.value(), p2.value());
+  auto p3 = vocab.AddPredicate("p", 3);
+  EXPECT_FALSE(p3.ok());
+  EXPECT_EQ(p3.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(VocabularyTest, FindPredicate) {
+  Vocabulary vocab;
+  vocab.MustPredicate("edge", 2);
+  EXPECT_TRUE(vocab.FindPredicate("edge").ok());
+  EXPECT_FALSE(vocab.FindPredicate("missing").ok());
+}
+
+TEST(AtomTest, EqualityAndHash) {
+  Vocabulary vocab;
+  PredicateId p = vocab.MustPredicate("p", 2);
+  PredicateId q = vocab.MustPredicate("q", 2);
+  Term a = vocab.Constant("a");
+  Term x = vocab.NamedVariable("X");
+  Atom pa(p, {a, x});
+  Atom pa2(p, {a, x});
+  Atom qa(q, {a, x});
+  EXPECT_EQ(pa, pa2);
+  EXPECT_EQ(pa.Hash(), pa2.Hash());
+  EXPECT_NE(pa, qa);
+}
+
+TEST(AtomTest, DistinctTermsDeduplicates) {
+  Vocabulary vocab;
+  PredicateId p = vocab.MustPredicate("p", 3);
+  Term x = vocab.NamedVariable("X");
+  Term a = vocab.Constant("a");
+  Atom atom(p, {x, a, x});
+  auto distinct = atom.DistinctTerms();
+  EXPECT_EQ(distinct.size(), 2u);
+}
+
+TEST(AtomTest, HasVariables) {
+  Vocabulary vocab;
+  PredicateId p = vocab.MustPredicate("p", 2);
+  Term a = vocab.Constant("a"), b = vocab.Constant("b");
+  Term x = vocab.NamedVariable("X");
+  EXPECT_FALSE(Atom(p, {a, b}).HasVariables());
+  EXPECT_TRUE(Atom(p, {a, x}).HasVariables());
+}
+
+TEST(AtomTest, ToStringUsesNames) {
+  Vocabulary vocab;
+  PredicateId p = vocab.MustPredicate("edge", 2);
+  Atom atom(p, {vocab.Constant("a"), vocab.NamedVariable("X")});
+  EXPECT_EQ(atom.ToString(vocab), "edge(a, X)");
+}
+
+}  // namespace
+}  // namespace twchase

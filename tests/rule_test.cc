@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "kb/knowledge_base.h"
+#include "kb/rule.h"
+
+namespace twchase {
+namespace {
+
+TEST(RuleTest, VariableClassification) {
+  KbBuilder b;
+  Term x = b.V("X"), y = b.V("Y"), z = b.V("Z");
+  Rule rule = Rule::Must(AtomSet::FromAtoms({b.A("p", {x, y})}),
+                         AtomSet::FromAtoms({b.A("q", {y, z})}), "r");
+  EXPECT_EQ(rule.frontier().size(), 1u);
+  EXPECT_EQ(rule.frontier()[0], y);
+  EXPECT_EQ(rule.existential().size(), 1u);
+  EXPECT_EQ(rule.existential()[0], z);
+  EXPECT_FALSE(rule.IsDatalog());
+}
+
+TEST(RuleTest, DatalogRuleHasNoExistentials) {
+  KbBuilder b;
+  Term x = b.V("X"), y = b.V("Y");
+  Rule rule = Rule::Must(AtomSet::FromAtoms({b.A("p", {x, y})}),
+                         AtomSet::FromAtoms({b.A("q", {x, y})}), "dl");
+  EXPECT_TRUE(rule.IsDatalog());
+  EXPECT_EQ(rule.frontier().size(), 2u);
+}
+
+TEST(RuleTest, EmptyBodyOrHeadRejected) {
+  KbBuilder b;
+  Term x = b.V("X");
+  AtomSet nonempty = AtomSet::FromAtoms({b.A("p", {x})});
+  EXPECT_FALSE(Rule::Create(AtomSet(), nonempty, "bad").ok());
+  EXPECT_FALSE(Rule::Create(nonempty, AtomSet(), "bad").ok());
+}
+
+TEST(RuleTest, BodyAndHeadUnion) {
+  KbBuilder b;
+  Term x = b.V("X"), y = b.V("Y");
+  Rule rule = Rule::Must(AtomSet::FromAtoms({b.A("p", {x, y})}),
+                         AtomSet::FromAtoms({b.A("p", {x, y}), b.A("q", {x})}),
+                         "r");
+  EXPECT_EQ(rule.body_and_head().size(), 2u);
+}
+
+TEST(KnowledgeBaseTest, IsModelChecksRules) {
+  KbBuilder b;
+  Term x = b.V("X"), y = b.V("Y");
+  b.Fact("e", {b.C("a"), b.C("b")});
+  b.AddRule("sym", {b.A("e", {x, y})}, {b.A("e", {y, x})});
+  KnowledgeBase kb = b.Build();
+
+  // The fact set alone is not a model (missing e(b,a)).
+  EXPECT_FALSE(kb.IsModel(kb.facts));
+  AtomSet closed = kb.facts;
+  closed.Insert(Atom(kb.vocab->FindPredicate("e").value(),
+                     {kb.vocab->Constant("b"), kb.vocab->Constant("a")}));
+  EXPECT_TRUE(kb.IsModel(closed));
+}
+
+TEST(KnowledgeBaseTest, IsModelChecksFactsEmbedding) {
+  KbBuilder b;
+  Term x = b.V("X");
+  b.Fact("p", {b.C("a")});
+  b.AddRule("noop", {b.A("p", {x})}, {b.A("p", {x})});
+  KnowledgeBase kb = b.Build();
+  AtomSet unrelated;
+  unrelated.Insert(Atom(kb.vocab->FindPredicate("p").value(),
+                        {kb.vocab->Constant("other")}));
+  EXPECT_FALSE(kb.IsModel(unrelated));
+}
+
+TEST(KnowledgeBaseTest, BuilderProducesSharedVocabulary) {
+  KbBuilder b;
+  b.Fact("p", {b.C("a")});
+  KnowledgeBase kb = b.Build();
+  ASSERT_NE(kb.vocab, nullptr);
+  EXPECT_TRUE(kb.vocab->FindPredicate("p").ok());
+  EXPECT_EQ(kb.facts.size(), 1u);
+}
+
+}  // namespace
+}  // namespace twchase

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "model/predicate.h"
+#include "model/substitution.h"
+
+namespace twchase {
+namespace {
+
+class SubstitutionTest : public ::testing::Test {
+ protected:
+  SubstitutionTest() {
+    p_ = vocab_.MustPredicate("p", 2);
+    a_ = vocab_.Constant("a");
+    x_ = vocab_.NamedVariable("X");
+    y_ = vocab_.NamedVariable("Y");
+    z_ = vocab_.NamedVariable("Z");
+  }
+
+  Vocabulary vocab_;
+  PredicateId p_;
+  Term a_, x_, y_, z_;
+};
+
+TEST_F(SubstitutionTest, ApplyIsIdentityOutsideDomain) {
+  Substitution s;
+  s.Bind(x_, a_);
+  EXPECT_EQ(s.Apply(x_), a_);
+  EXPECT_EQ(s.Apply(y_), y_);
+  EXPECT_EQ(s.Apply(a_), a_);
+}
+
+TEST_F(SubstitutionTest, ApplyToAtomAndSet) {
+  Substitution s;
+  s.Bind(x_, a_);
+  Atom atom(p_, {x_, y_});
+  EXPECT_EQ(s.Apply(atom), Atom(p_, {a_, y_}));
+  AtomSet set;
+  set.Insert(Atom(p_, {x_, y_}));
+  set.Insert(Atom(p_, {a_, y_}));
+  AtomSet image = s.Apply(set);
+  // Both atoms collapse onto p(a, Y).
+  EXPECT_EQ(image.size(), 1u);
+  EXPECT_TRUE(image.Contains(Atom(p_, {a_, y_})));
+}
+
+TEST_F(SubstitutionTest, ComposeAppliesInnerFirst) {
+  Substitution inner, outer;
+  inner.Bind(x_, y_);
+  outer.Bind(y_, z_);
+  Substitution composed = Substitution::Compose(outer, inner);
+  EXPECT_EQ(composed.Apply(x_), z_);  // outer(inner(X)) = outer(Y) = Z
+  EXPECT_EQ(composed.Apply(y_), z_);  // outer's own binding preserved
+}
+
+TEST_F(SubstitutionTest, ComposeDomainIsUnion) {
+  Substitution inner, outer;
+  inner.Bind(x_, a_);
+  outer.Bind(y_, z_);
+  Substitution composed = Substitution::Compose(outer, inner);
+  EXPECT_EQ(composed.size(), 2u);
+}
+
+TEST_F(SubstitutionTest, CompatibleWith) {
+  Substitution s1, s2, s3;
+  s1.Bind(x_, a_);
+  s2.Bind(x_, a_);
+  s2.Bind(y_, z_);
+  s3.Bind(x_, y_);
+  EXPECT_TRUE(s1.CompatibleWith(s2));
+  EXPECT_TRUE(s2.CompatibleWith(s1));
+  EXPECT_FALSE(s1.CompatibleWith(s3));
+}
+
+TEST_F(SubstitutionTest, RetractionRecognition) {
+  // A = {p(X, Y), p(Y, Y)}; σ = {X → Y} maps A onto {p(Y,Y)} and is the
+  // identity on Y: a retraction.
+  AtomSet a;
+  a.Insert(Atom(p_, {x_, y_}));
+  a.Insert(Atom(p_, {y_, y_}));
+  Substitution sigma;
+  sigma.Bind(x_, y_);
+  EXPECT_TRUE(sigma.IsEndomorphismOf(a));
+  EXPECT_TRUE(sigma.IsRetractionOf(a));
+  // Swapping X and Y is an automorphism candidate but not an endomorphism
+  // here: p(X, X) is absent.
+  Substitution swap;
+  swap.Bind(x_, y_);
+  swap.Bind(y_, x_);
+  EXPECT_FALSE(swap.IsEndomorphismOf(a));
+}
+
+TEST_F(SubstitutionTest, NonRetractionEndomorphism) {
+  // Cycle of length 2: rotation is an endomorphism but not a retraction.
+  AtomSet a;
+  a.Insert(Atom(p_, {x_, y_}));
+  a.Insert(Atom(p_, {y_, x_}));
+  Substitution rot;
+  rot.Bind(x_, y_);
+  rot.Bind(y_, x_);
+  EXPECT_TRUE(rot.IsEndomorphismOf(a));
+  EXPECT_FALSE(rot.IsRetractionOf(a));
+}
+
+TEST_F(SubstitutionTest, PreimageIncludesFixedSelf) {
+  Substitution s;
+  s.Bind(x_, y_);
+  auto pre_y = s.Preimage(y_);
+  // Y is fixed (not in domain) and X maps to it.
+  EXPECT_EQ(pre_y.size(), 2u);
+  auto pre_x = s.Preimage(x_);
+  // X is moved away, so nothing maps to it.
+  EXPECT_TRUE(pre_x.empty());
+}
+
+TEST_F(SubstitutionTest, InverseOfRenaming) {
+  Substitution s;
+  s.Bind(x_, y_);
+  s.Bind(z_, z_);  // identity binding is dropped by Inverse
+  Substitution inv = s.Inverse();
+  EXPECT_EQ(inv.Apply(y_), x_);
+  EXPECT_EQ(inv.Apply(z_), z_);
+}
+
+TEST_F(SubstitutionTest, RestrictTo) {
+  Substitution s;
+  s.Bind(x_, a_);
+  s.Bind(y_, z_);
+  Substitution r = s.RestrictTo({x_});
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_EQ(r.Apply(x_), a_);
+  EXPECT_EQ(r.Apply(y_), y_);
+}
+
+TEST_F(SubstitutionTest, IsIdentity) {
+  Substitution s;
+  EXPECT_TRUE(s.IsIdentity());
+  s.Bind(x_, x_);
+  EXPECT_TRUE(s.IsIdentity());
+  s.Bind(y_, z_);
+  EXPECT_FALSE(s.IsIdentity());
+}
+
+TEST_F(SubstitutionTest, UnbindRemovesBinding) {
+  Substitution s;
+  s.Bind(x_, a_);
+  s.Unbind(x_);
+  EXPECT_FALSE(s.Lookup(x_).has_value());
+  EXPECT_TRUE(s.empty());
+}
+
+}  // namespace
+}  // namespace twchase

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "core/chase.h"
+#include "core/trace.h"
+#include "kb/examples.h"
+#include "tw/dot.h"
+#include "tw/heuristics.h"
+#include "tw/tree_decomposition.h"
+
+namespace twchase {
+namespace {
+
+TEST(TraceTest, ListsStepsWithRulesAndSizes) {
+  auto kb = MakeTransitiveClosure(3);
+  ChaseOptions options;
+  auto run = RunChase(kb, options);
+  ASSERT_TRUE(run.ok());
+  std::string trace = DerivationTrace(run->derivation, *kb.vocab);
+  EXPECT_NE(trace.find("F_0 = initial"), std::string::npos);
+  EXPECT_NE(trace.find("base"), std::string::npos);
+  EXPECT_NE(trace.find("step"), std::string::npos);
+  EXPECT_NE(trace.find("|F| = "), std::string::npos);
+}
+
+TEST(TraceTest, MaxStepsTruncates) {
+  auto kb = MakeTransitiveClosure(3);
+  ChaseOptions options;
+  auto run = RunChase(kb, options);
+  ASSERT_TRUE(run.ok());
+  TraceOptions trace_options;
+  trace_options.max_steps = 2;
+  std::string trace =
+      DerivationTrace(run->derivation, *kb.vocab, trace_options);
+  EXPECT_NE(trace.find("more steps"), std::string::npos);
+  EXPECT_EQ(trace.find("F_3"), std::string::npos);
+}
+
+TEST(TraceTest, ShowsSimplifications) {
+  StaircaseWorld world;
+  ChaseOptions options;
+  options.variant = ChaseVariant::kCore;
+  options.max_steps = 10;
+  auto run = RunChase(world.kb(), options);
+  ASSERT_TRUE(run.ok());
+  std::string trace = DerivationTrace(run->derivation, *world.vocab());
+  EXPECT_NE(trace.find("simplified"), std::string::npos);
+}
+
+TEST(TraceTest, PrintInstancesOption) {
+  auto kb = MakeTransitiveClosure(2);
+  ChaseOptions options;
+  auto run = RunChase(kb, options);
+  ASSERT_TRUE(run.ok());
+  TraceOptions trace_options;
+  trace_options.print_instances = true;
+  std::string trace =
+      DerivationTrace(run->derivation, *kb.vocab, trace_options);
+  EXPECT_NE(trace.find("e(n0, n1)"), std::string::npos);
+}
+
+TEST(DotTest, GraphExportContainsEdges) {
+  Graph g = Graph::Cycle(3);
+  std::string dot = GraphToDot(g, {"a", "b", "c"});
+  EXPECT_NE(dot.find("graph G {"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -- n1"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"a\""), std::string::npos);
+}
+
+TEST(DotTest, GaifmanExportUsesTermNames) {
+  StaircaseWorld world;
+  std::string dot = GaifmanToDot(world.Column(2), *world.vocab());
+  EXPECT_NE(dot.find("X_2_0"), std::string::npos);
+  EXPECT_NE(dot.find(" -- "), std::string::npos);
+}
+
+TEST(DotTest, DecompositionExport) {
+  Graph g = Graph::Grid(2, 3);
+  std::vector<int> order =
+      GreedyEliminationOrder(g, EliminationHeuristic::kMinFill);
+  TreeDecomposition td = DecompositionFromEliminationOrder(g, order);
+  std::string dot = DecompositionToDot(td, {});
+  EXPECT_NE(dot.find("graph TD {"), std::string::npos);
+  EXPECT_NE(dot.find("b0"), std::string::npos);
+  // One bag box per vertex eliminated.
+  size_t boxes = 0;
+  for (size_t pos = dot.find("shape=box"); pos != std::string::npos;) {
+    ++boxes;
+    pos = dot.find("shape=box", pos + 1);
+  }
+  EXPECT_EQ(boxes, 1u);  // style line only; bags are labelled nodes
+}
+
+TEST(DotTest, EscapesQuotes) {
+  Graph g(1);
+  std::string dot = GraphToDot(g, {"we\"ird"});
+  EXPECT_NE(dot.find("we\\\"ird"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace twchase

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "tw/graph.h"
+#include "tw/heuristics.h"
+#include "tw/tree_decomposition.h"
+
+namespace twchase {
+namespace {
+
+TEST(TreeDecompositionTest, WidthOfBags) {
+  TreeDecomposition td;
+  EXPECT_EQ(td.Width(), -1);
+  td.bags = {{0, 1}, {1, 2, 3}};
+  td.edges = {{0, 1}};
+  EXPECT_EQ(td.Width(), 2);
+}
+
+TEST(TreeDecompositionTest, ValidDecompositionOfTriangle) {
+  Graph g = Graph::Complete(3);
+  TreeDecomposition td;
+  td.bags = {{0, 1, 2}};
+  EXPECT_TRUE(td.Validate(g).ok());
+}
+
+TEST(TreeDecompositionTest, MissingEdgeCoverageDetected) {
+  Graph g = Graph::Complete(3);
+  TreeDecomposition td;
+  td.bags = {{0, 1}, {1, 2}};
+  td.edges = {{0, 1}};
+  Status status = td.Validate(g);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("edge"), std::string::npos);
+}
+
+TEST(TreeDecompositionTest, MissingVertexDetected) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  TreeDecomposition td;
+  td.bags = {{0, 1}};
+  Status status = td.Validate(g);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("vertex"), std::string::npos);
+}
+
+TEST(TreeDecompositionTest, DisconnectedOccurrencesDetected) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  TreeDecomposition td;
+  // Vertex 0 appears in bags 0 and 2, which are joined only through bag 1
+  // that does not contain 0 → invalid.
+  td.bags = {{0, 1}, {1, 2}, {0, 2}};
+  td.edges = {{0, 1}, {1, 2}};
+  Status status = td.Validate(g);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("connected"), std::string::npos);
+}
+
+TEST(TreeDecompositionTest, CycleInBagGraphDetected) {
+  Graph g(2);
+  g.AddEdge(0, 1);
+  TreeDecomposition td;
+  td.bags = {{0, 1}, {0, 1}, {0, 1}};
+  td.edges = {{0, 1}, {1, 2}, {2, 0}};
+  EXPECT_FALSE(td.Validate(g).ok());
+}
+
+TEST(TreeDecompositionTest, EliminationOrderOnPath) {
+  // Path 0-1-2-3: any order gives width 1 when eliminating ends first.
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  std::vector<int> order = {0, 1, 2, 3};
+  EXPECT_EQ(WidthOfEliminationOrder(g, order), 1);
+  TreeDecomposition td = DecompositionFromEliminationOrder(g, order);
+  EXPECT_TRUE(td.Validate(g).ok());
+  EXPECT_EQ(td.Width(), 1);
+}
+
+TEST(TreeDecompositionTest, BadOrderGivesLargerWidthButValidDecomposition) {
+  // Eliminating the middle of a star early creates a big clique.
+  Graph star(5);
+  for (int leaf = 1; leaf < 5; ++leaf) star.AddEdge(0, leaf);
+  std::vector<int> center_first = {0, 1, 2, 3, 4};
+  EXPECT_EQ(WidthOfEliminationOrder(star, center_first), 4);
+  std::vector<int> leaves_first = {1, 2, 3, 4, 0};
+  EXPECT_EQ(WidthOfEliminationOrder(star, leaves_first), 1);
+  TreeDecomposition td = DecompositionFromEliminationOrder(star, center_first);
+  EXPECT_TRUE(td.Validate(star).ok());
+}
+
+TEST(TreeDecompositionTest, HeuristicOrdersProduceValidDecompositions) {
+  Graph grid = Graph::Grid(4, 4);
+  for (auto heuristic :
+       {EliminationHeuristic::kMinFill, EliminationHeuristic::kMinDegree}) {
+    std::vector<int> order = GreedyEliminationOrder(grid, heuristic);
+    TreeDecomposition td = DecompositionFromEliminationOrder(grid, order);
+    EXPECT_TRUE(td.Validate(grid).ok());
+    EXPECT_GE(td.Width(), 4);  // tw(4×4 grid) = 4
+  }
+}
+
+TEST(TreeDecompositionTest, EmptyGraph) {
+  Graph g(0);
+  TreeDecomposition td = DecompositionFromEliminationOrder(g, {});
+  EXPECT_TRUE(td.Validate(g).ok());
+  EXPECT_EQ(td.Width(), -1);
+}
+
+TEST(TreeDecompositionTest, DisconnectedGraphStillOneTree) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 3);
+  std::vector<int> order = {0, 1, 2, 3};
+  TreeDecomposition td = DecompositionFromEliminationOrder(g, order);
+  EXPECT_TRUE(td.Validate(g).ok());
+}
+
+}  // namespace
+}  // namespace twchase

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "kb/generators.h"
+#include "model/predicate.h"
+#include "tw/exact.h"
+#include "tw/heuristics.h"
+#include "tw/lower_bounds.h"
+#include "tw/treewidth.h"
+
+namespace twchase {
+namespace {
+
+TEST(ExactTreewidthTest, KnownGraphs) {
+  EXPECT_EQ(ExactTreewidth(Graph(0)).value(), -1);
+  Graph one(1);
+  EXPECT_EQ(ExactTreewidth(one).value(), 0);
+  Graph two_isolated(2);
+  EXPECT_EQ(ExactTreewidth(two_isolated).value(), 0);
+
+  Graph path(5);
+  for (int i = 0; i < 4; ++i) path.AddEdge(i, i + 1);
+  EXPECT_EQ(ExactTreewidth(path).value(), 1);
+
+  EXPECT_EQ(ExactTreewidth(Graph::Cycle(6)).value(), 2);
+  EXPECT_EQ(ExactTreewidth(Graph::Complete(5)).value(), 4);
+  EXPECT_EQ(ExactTreewidth(Graph::Grid(2, 2)).value(), 2);
+  EXPECT_EQ(ExactTreewidth(Graph::Grid(3, 3)).value(), 3);
+  EXPECT_EQ(ExactTreewidth(Graph::Grid(4, 4)).value(), 4);
+  EXPECT_EQ(ExactTreewidth(Graph::Grid(3, 5)).value(), 3);
+}
+
+TEST(ExactTreewidthTest, TreeHasWidthOne) {
+  // A complete binary tree on 15 vertices.
+  Graph tree(15);
+  for (int v = 1; v < 15; ++v) tree.AddEdge(v, (v - 1) / 2);
+  EXPECT_EQ(ExactTreewidth(tree).value(), 1);
+}
+
+TEST(ExactTreewidthTest, RefusesLargeGraphs) {
+  Graph big(kMaxExactVertices + 1);
+  auto result = ExactTreewidth(big);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ExactTreewidthTest, RecoveredOrderAchievesOptimum) {
+  for (const Graph& g : {Graph::Grid(3, 4), Graph::Cycle(9), Graph::Complete(6)}) {
+    int tw = ExactTreewidth(g).value();
+    auto order = ExactEliminationOrder(g);
+    ASSERT_TRUE(order.ok());
+    EXPECT_EQ(WidthOfEliminationOrder(g, order.value()), tw);
+  }
+}
+
+TEST(LowerBoundTest, BoundsAreBelowExact) {
+  for (const Graph& g :
+       {Graph::Grid(3, 3), Graph::Cycle(8), Graph::Complete(5), Graph::Grid(2, 6)}) {
+    int exact = ExactTreewidth(g).value();
+    EXPECT_LE(DegeneracyLowerBound(g), exact);
+    EXPECT_LE(MmdPlusLowerBound(g), exact);
+    EXPECT_LE(BestLowerBound(g), exact);
+  }
+}
+
+TEST(LowerBoundTest, CliqueBoundIsTight) {
+  EXPECT_EQ(BestLowerBound(Graph::Complete(6)), 5);
+}
+
+TEST(HeuristicTest, UpperBoundsAreAboveExact) {
+  for (const Graph& g :
+       {Graph::Grid(3, 3), Graph::Cycle(8), Graph::Complete(5), Graph::Grid(4, 4)}) {
+    int exact = ExactTreewidth(g).value();
+    EXPECT_GE(HeuristicUpperBound(g, EliminationHeuristic::kMinFill), exact);
+    EXPECT_GE(HeuristicUpperBound(g, EliminationHeuristic::kMinDegree), exact);
+  }
+}
+
+TEST(HeuristicTest, MinFillIsOptimalOnEasyGraphs) {
+  EXPECT_EQ(HeuristicUpperBound(Graph::Cycle(10), EliminationHeuristic::kMinFill),
+            2);
+  Graph path(8);
+  for (int i = 0; i < 7; ++i) path.AddEdge(i, i + 1);
+  EXPECT_EQ(HeuristicUpperBound(path, EliminationHeuristic::kMinFill), 1);
+}
+
+TEST(TreewidthFacadeTest, CertifiesSmallGraphsExactly) {
+  TreewidthResult r = ComputeTreewidth(Graph::Grid(3, 3));
+  EXPECT_TRUE(r.exact());
+  EXPECT_EQ(r.value().value_or(-2), 3);
+  EXPECT_TRUE(r.decomposition.Validate(Graph::Grid(3, 3)).ok());
+  EXPECT_EQ(r.decomposition.Width(), 3);
+}
+
+TEST(TreewidthFacadeTest, LargeGraphGetsInterval) {
+  Graph grid = Graph::Grid(6, 6);  // 36 vertices: no exact DP
+  TreewidthResult r = ComputeTreewidth(grid);
+  EXPECT_GE(r.upper_bound, 6);
+  EXPECT_GE(r.lower_bound, 2);
+  EXPECT_LE(r.lower_bound, r.upper_bound);
+  EXPECT_TRUE(r.decomposition.Validate(grid).ok());
+}
+
+TEST(TreewidthFacadeTest, GridLowerBoundOptionTightensInterval) {
+  Graph grid = Graph::Grid(6, 6);
+  TreewidthOptions options;
+  options.max_grid_lower_bound = 6;
+  TreewidthResult r = ComputeTreewidth(grid, options);
+  EXPECT_TRUE(r.exact());
+  EXPECT_EQ(r.upper_bound, 6);
+}
+
+TEST(TreewidthFacadeTest, AtomSetOverloadUsesGaifman) {
+  Vocabulary vocab;
+  AtomSet grid = MakeGridInstance(&vocab, "h", "v", 3, 3);
+  EXPECT_EQ(MustExactTreewidth(grid), 3);
+  AtomSet path = MakePathInstance(&vocab, "e", 6);
+  EXPECT_EQ(MustExactTreewidth(path), 1);
+}
+
+TEST(TreewidthFacadeTest, MonotoneUnderSubsets) {
+  // Fact 1: A ⊆ B implies tw(A) ≤ tw(B).
+  Vocabulary vocab;
+  AtomSet grid = MakeGridInstance(&vocab, "h", "v", 3, 3);
+  AtomSet subset;
+  int count = 0;
+  grid.ForEach([&](const Atom& atom) {
+    if (count++ % 2 == 0) subset.Insert(atom);
+  });
+  EXPECT_LE(MustExactTreewidth(subset), MustExactTreewidth(grid));
+}
+
+TEST(TreewidthFacadeTest, EmptyAtomSet) {
+  AtomSet empty;
+  TreewidthResult r = ComputeTreewidth(empty);
+  EXPECT_EQ(r.upper_bound, -1);
+  EXPECT_TRUE(r.exact());
+}
+
+}  // namespace
+}  // namespace twchase

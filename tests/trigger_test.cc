@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "core/trigger.h"
+#include "kb/knowledge_base.h"
+
+namespace twchase {
+namespace {
+
+class TriggerTest : public ::testing::Test {
+ protected:
+  TriggerTest() {
+    x_ = builder_.V("X");
+    y_ = builder_.V("Y");
+    z_ = builder_.V("Z");
+    a_ = builder_.C("a");
+    b_ = builder_.C("b");
+    rule_ = std::make_unique<Rule>(Rule::Must(
+        AtomSet::FromAtoms({builder_.A("e", {x_, y_})}),
+        AtomSet::FromAtoms({builder_.A("e", {y_, z_})}), "grow"));
+    e_ = builder_.vocab()->FindPredicate("e").value();
+  }
+
+  KbBuilder builder_;
+  Term x_, y_, z_, a_, b_;
+  std::unique_ptr<Rule> rule_;
+  PredicateId e_;
+};
+
+TEST_F(TriggerTest, FindTriggersEnumeratesBodyHoms) {
+  AtomSet instance;
+  instance.Insert(Atom(e_, {a_, b_}));
+  instance.Insert(Atom(e_, {b_, a_}));
+  auto triggers = FindTriggers(*rule_, 0, instance);
+  EXPECT_EQ(triggers.size(), 2u);
+  for (const Trigger& tr : triggers) {
+    EXPECT_TRUE(IsTriggerFor(*rule_, tr.match, instance));
+  }
+}
+
+TEST_F(TriggerTest, SatisfactionRequiresHeadExtension) {
+  AtomSet instance;
+  instance.Insert(Atom(e_, {a_, b_}));
+  Substitution match;
+  match.Bind(x_, a_);
+  match.Bind(y_, b_);
+  // Needs e(b, Z) for some Z: absent.
+  EXPECT_FALSE(TriggerIsSatisfied(*rule_, match, instance));
+  instance.Insert(Atom(e_, {b_, a_}));
+  EXPECT_TRUE(TriggerIsSatisfied(*rule_, match, instance));
+}
+
+TEST_F(TriggerTest, ApplicationAddsFreshNulls) {
+  AtomSet instance;
+  instance.Insert(Atom(e_, {a_, b_}));
+  Substitution match;
+  match.Bind(x_, a_);
+  match.Bind(y_, b_);
+  size_t vars_before = builder_.vocab()->num_variables();
+  TriggerApplication app =
+      ApplyTrigger(*rule_, match, &instance, builder_.vocab().get());
+  EXPECT_EQ(instance.size(), 2u);
+  ASSERT_EQ(app.added_atoms.size(), 1u);
+  const Atom& added = app.added_atoms[0];
+  EXPECT_EQ(added.arg(0), b_);
+  EXPECT_TRUE(added.arg(1).is_variable());
+  EXPECT_GT(builder_.vocab()->num_variables(), vars_before);
+  // The new trigger (x=b, y=fresh) is unsatisfied: chase would continue.
+  Substitution next;
+  next.Bind(x_, b_);
+  next.Bind(y_, added.arg(1));
+  EXPECT_TRUE(IsTriggerFor(*rule_, next, instance));
+  EXPECT_FALSE(TriggerIsSatisfied(*rule_, next, instance));
+}
+
+TEST_F(TriggerTest, ApplicationOfDatalogRuleAddsNoNulls) {
+  KbBuilder b;
+  Term x = b.V("X"), y = b.V("Y");
+  Rule sym = Rule::Must(AtomSet::FromAtoms({b.A("e", {x, y})}),
+                        AtomSet::FromAtoms({b.A("e", {y, x})}), "sym");
+  PredicateId e = b.vocab()->FindPredicate("e").value();
+  AtomSet instance;
+  Term a = b.C("a"), c = b.C("c");
+  instance.Insert(Atom(e, {a, c}));
+  Substitution match;
+  match.Bind(x, a);
+  match.Bind(y, c);
+  size_t vars_before = b.vocab()->num_variables();
+  TriggerApplication app = ApplyTrigger(sym, match, &instance, b.vocab().get());
+  EXPECT_EQ(b.vocab()->num_variables(), vars_before);
+  EXPECT_TRUE(instance.Contains(Atom(e, {c, a})));
+  EXPECT_EQ(app.added_atoms.size(), 1u);
+}
+
+TEST_F(TriggerTest, ReapplicationAddsNothingNew) {
+  KbBuilder b;
+  Term x = b.V("X");
+  Rule refl = Rule::Must(AtomSet::FromAtoms({b.A("p", {x})}),
+                         AtomSet::FromAtoms({b.A("q", {x, x})}), "refl");
+  PredicateId p = b.vocab()->FindPredicate("p").value();
+  AtomSet instance;
+  Term a = b.C("a");
+  instance.Insert(Atom(p, {a}));
+  Substitution match;
+  match.Bind(x, a);
+  ApplyTrigger(refl, match, &instance, b.vocab().get());
+  TriggerApplication again = ApplyTrigger(refl, match, &instance, b.vocab().get());
+  EXPECT_TRUE(again.added_atoms.empty());
+}
+
+}  // namespace
+}  // namespace twchase
