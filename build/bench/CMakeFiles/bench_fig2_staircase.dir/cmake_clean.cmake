@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_staircase.dir/bench_fig2_staircase.cc.o"
+  "CMakeFiles/bench_fig2_staircase.dir/bench_fig2_staircase.cc.o.d"
+  "bench_fig2_staircase"
+  "bench_fig2_staircase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_staircase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_elevator.dir/bench_fig3_elevator.cc.o"
+  "CMakeFiles/bench_fig3_elevator.dir/bench_fig3_elevator.cc.o.d"
+  "bench_fig3_elevator"
+  "bench_fig3_elevator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_elevator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_robust.dir/bench_fig5_robust.cc.o"
+  "CMakeFiles/bench_fig5_robust.dir/bench_fig5_robust.cc.o.d"
+  "bench_fig5_robust"
+  "bench_fig5_robust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_robust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_schedule.dir/bench_tab1_schedule.cc.o"
+  "CMakeFiles/bench_tab1_schedule.dir/bench_tab1_schedule.cc.o.d"
+  "bench_tab1_schedule"
+  "bench_tab1_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elevator_tour.dir/elevator_tour.cpp.o"
+  "CMakeFiles/elevator_tour.dir/elevator_tour.cpp.o.d"
+  "elevator_tour"
+  "elevator_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elevator_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/entailment_demo.dir/entailment_demo.cpp.o"
+  "CMakeFiles/entailment_demo.dir/entailment_demo.cpp.o.d"
+  "entailment_demo"
+  "entailment_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/entailment_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staircase_tour.dir/staircase_tour.cpp.o"
+  "CMakeFiles/staircase_tour.dir/staircase_tour.cpp.o.d"
+  "staircase_tour"
+  "staircase_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staircase_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregation.cc" "src/CMakeFiles/twchase.dir/core/aggregation.cc.o" "gcc" "src/CMakeFiles/twchase.dir/core/aggregation.cc.o.d"
+  "/root/repo/src/core/chase.cc" "src/CMakeFiles/twchase.dir/core/chase.cc.o" "gcc" "src/CMakeFiles/twchase.dir/core/chase.cc.o.d"
+  "/root/repo/src/core/classes.cc" "src/CMakeFiles/twchase.dir/core/classes.cc.o" "gcc" "src/CMakeFiles/twchase.dir/core/classes.cc.o.d"
+  "/root/repo/src/core/containment.cc" "src/CMakeFiles/twchase.dir/core/containment.cc.o" "gcc" "src/CMakeFiles/twchase.dir/core/containment.cc.o.d"
+  "/root/repo/src/core/derivation.cc" "src/CMakeFiles/twchase.dir/core/derivation.cc.o" "gcc" "src/CMakeFiles/twchase.dir/core/derivation.cc.o.d"
+  "/root/repo/src/core/entailment.cc" "src/CMakeFiles/twchase.dir/core/entailment.cc.o" "gcc" "src/CMakeFiles/twchase.dir/core/entailment.cc.o.d"
+  "/root/repo/src/core/measures.cc" "src/CMakeFiles/twchase.dir/core/measures.cc.o" "gcc" "src/CMakeFiles/twchase.dir/core/measures.cc.o.d"
+  "/root/repo/src/core/robust.cc" "src/CMakeFiles/twchase.dir/core/robust.cc.o" "gcc" "src/CMakeFiles/twchase.dir/core/robust.cc.o.d"
+  "/root/repo/src/core/trace.cc" "src/CMakeFiles/twchase.dir/core/trace.cc.o" "gcc" "src/CMakeFiles/twchase.dir/core/trace.cc.o.d"
+  "/root/repo/src/core/trigger.cc" "src/CMakeFiles/twchase.dir/core/trigger.cc.o" "gcc" "src/CMakeFiles/twchase.dir/core/trigger.cc.o.d"
+  "/root/repo/src/hom/answers.cc" "src/CMakeFiles/twchase.dir/hom/answers.cc.o" "gcc" "src/CMakeFiles/twchase.dir/hom/answers.cc.o.d"
+  "/root/repo/src/hom/core.cc" "src/CMakeFiles/twchase.dir/hom/core.cc.o" "gcc" "src/CMakeFiles/twchase.dir/hom/core.cc.o.d"
+  "/root/repo/src/hom/decomposed.cc" "src/CMakeFiles/twchase.dir/hom/decomposed.cc.o" "gcc" "src/CMakeFiles/twchase.dir/hom/decomposed.cc.o.d"
+  "/root/repo/src/hom/endomorphism.cc" "src/CMakeFiles/twchase.dir/hom/endomorphism.cc.o" "gcc" "src/CMakeFiles/twchase.dir/hom/endomorphism.cc.o.d"
+  "/root/repo/src/hom/isomorphism.cc" "src/CMakeFiles/twchase.dir/hom/isomorphism.cc.o" "gcc" "src/CMakeFiles/twchase.dir/hom/isomorphism.cc.o.d"
+  "/root/repo/src/hom/matcher.cc" "src/CMakeFiles/twchase.dir/hom/matcher.cc.o" "gcc" "src/CMakeFiles/twchase.dir/hom/matcher.cc.o.d"
+  "/root/repo/src/kb/analysis.cc" "src/CMakeFiles/twchase.dir/kb/analysis.cc.o" "gcc" "src/CMakeFiles/twchase.dir/kb/analysis.cc.o.d"
+  "/root/repo/src/kb/examples.cc" "src/CMakeFiles/twchase.dir/kb/examples.cc.o" "gcc" "src/CMakeFiles/twchase.dir/kb/examples.cc.o.d"
+  "/root/repo/src/kb/generators.cc" "src/CMakeFiles/twchase.dir/kb/generators.cc.o" "gcc" "src/CMakeFiles/twchase.dir/kb/generators.cc.o.d"
+  "/root/repo/src/kb/knowledge_base.cc" "src/CMakeFiles/twchase.dir/kb/knowledge_base.cc.o" "gcc" "src/CMakeFiles/twchase.dir/kb/knowledge_base.cc.o.d"
+  "/root/repo/src/kb/rule.cc" "src/CMakeFiles/twchase.dir/kb/rule.cc.o" "gcc" "src/CMakeFiles/twchase.dir/kb/rule.cc.o.d"
+  "/root/repo/src/model/atom.cc" "src/CMakeFiles/twchase.dir/model/atom.cc.o" "gcc" "src/CMakeFiles/twchase.dir/model/atom.cc.o.d"
+  "/root/repo/src/model/atom_set.cc" "src/CMakeFiles/twchase.dir/model/atom_set.cc.o" "gcc" "src/CMakeFiles/twchase.dir/model/atom_set.cc.o.d"
+  "/root/repo/src/model/predicate.cc" "src/CMakeFiles/twchase.dir/model/predicate.cc.o" "gcc" "src/CMakeFiles/twchase.dir/model/predicate.cc.o.d"
+  "/root/repo/src/model/substitution.cc" "src/CMakeFiles/twchase.dir/model/substitution.cc.o" "gcc" "src/CMakeFiles/twchase.dir/model/substitution.cc.o.d"
+  "/root/repo/src/model/term.cc" "src/CMakeFiles/twchase.dir/model/term.cc.o" "gcc" "src/CMakeFiles/twchase.dir/model/term.cc.o.d"
+  "/root/repo/src/parser/lexer.cc" "src/CMakeFiles/twchase.dir/parser/lexer.cc.o" "gcc" "src/CMakeFiles/twchase.dir/parser/lexer.cc.o.d"
+  "/root/repo/src/parser/parser.cc" "src/CMakeFiles/twchase.dir/parser/parser.cc.o" "gcc" "src/CMakeFiles/twchase.dir/parser/parser.cc.o.d"
+  "/root/repo/src/parser/printer.cc" "src/CMakeFiles/twchase.dir/parser/printer.cc.o" "gcc" "src/CMakeFiles/twchase.dir/parser/printer.cc.o.d"
+  "/root/repo/src/tw/dot.cc" "src/CMakeFiles/twchase.dir/tw/dot.cc.o" "gcc" "src/CMakeFiles/twchase.dir/tw/dot.cc.o.d"
+  "/root/repo/src/tw/exact.cc" "src/CMakeFiles/twchase.dir/tw/exact.cc.o" "gcc" "src/CMakeFiles/twchase.dir/tw/exact.cc.o.d"
+  "/root/repo/src/tw/graph.cc" "src/CMakeFiles/twchase.dir/tw/graph.cc.o" "gcc" "src/CMakeFiles/twchase.dir/tw/graph.cc.o.d"
+  "/root/repo/src/tw/grid.cc" "src/CMakeFiles/twchase.dir/tw/grid.cc.o" "gcc" "src/CMakeFiles/twchase.dir/tw/grid.cc.o.d"
+  "/root/repo/src/tw/heuristics.cc" "src/CMakeFiles/twchase.dir/tw/heuristics.cc.o" "gcc" "src/CMakeFiles/twchase.dir/tw/heuristics.cc.o.d"
+  "/root/repo/src/tw/hypergraph.cc" "src/CMakeFiles/twchase.dir/tw/hypergraph.cc.o" "gcc" "src/CMakeFiles/twchase.dir/tw/hypergraph.cc.o.d"
+  "/root/repo/src/tw/lower_bounds.cc" "src/CMakeFiles/twchase.dir/tw/lower_bounds.cc.o" "gcc" "src/CMakeFiles/twchase.dir/tw/lower_bounds.cc.o.d"
+  "/root/repo/src/tw/tree_decomposition.cc" "src/CMakeFiles/twchase.dir/tw/tree_decomposition.cc.o" "gcc" "src/CMakeFiles/twchase.dir/tw/tree_decomposition.cc.o.d"
+  "/root/repo/src/tw/treewidth.cc" "src/CMakeFiles/twchase.dir/tw/treewidth.cc.o" "gcc" "src/CMakeFiles/twchase.dir/tw/treewidth.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/twchase.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/twchase.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/twchase.dir/util/random.cc.o" "gcc" "src/CMakeFiles/twchase.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/twchase.dir/util/status.cc.o" "gcc" "src/CMakeFiles/twchase.dir/util/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

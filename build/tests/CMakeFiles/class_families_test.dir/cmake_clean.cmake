@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/class_families_test.dir/class_families_test.cc.o"
+  "CMakeFiles/class_families_test.dir/class_families_test.cc.o.d"
+  "class_families_test"
+  "class_families_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/class_families_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

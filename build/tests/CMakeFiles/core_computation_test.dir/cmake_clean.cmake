@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_computation_test.dir/core_computation_test.cc.o"
+  "CMakeFiles/core_computation_test.dir/core_computation_test.cc.o.d"
+  "core_computation_test"
+  "core_computation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_computation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elevator_test.dir/elevator_test.cc.o"
+  "CMakeFiles/elevator_test.dir/elevator_test.cc.o.d"
+  "elevator_test"
+  "elevator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elevator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

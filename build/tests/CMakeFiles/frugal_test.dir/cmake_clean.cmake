@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frugal_test.dir/frugal_test.cc.o"
+  "CMakeFiles/frugal_test.dir/frugal_test.cc.o.d"
+  "frugal_test"
+  "frugal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frugal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

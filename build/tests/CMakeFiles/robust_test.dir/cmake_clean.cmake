@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robust_test.dir/robust_test.cc.o"
+  "CMakeFiles/robust_test.dir/robust_test.cc.o.d"
+  "robust_test"
+  "robust_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robust_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

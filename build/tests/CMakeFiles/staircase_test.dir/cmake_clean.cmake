@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staircase_test.dir/staircase_test.cc.o"
+  "CMakeFiles/staircase_test.dir/staircase_test.cc.o.d"
+  "staircase_test"
+  "staircase_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staircase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

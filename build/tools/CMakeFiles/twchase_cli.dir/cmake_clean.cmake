@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twchase_cli.dir/twchase_cli.cc.o"
+  "CMakeFiles/twchase_cli.dir/twchase_cli.cc.o.d"
+  "twchase_cli"
+  "twchase_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twchase_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
