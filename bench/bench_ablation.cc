@@ -4,11 +4,22 @@
 //       (on/off), measured on the fold searches that dominate the chase;
 //   (c) coring spacing (core_every 1/3/6) on the elevator: cost versus the
 //       treewidth the budget reaches;
-//   (d) chase-variant cost ladder on one KB (oblivious → core).
+//   (d) chase-variant cost ladder on one KB (oblivious → core);
+//   (e) trigger keys: packed binding words versus the decimal-string keys
+//       the engine used before (identity + deterministic order for the
+//       scheduler);
+//   (f) incremental core maintenance versus full recomputation in the core
+//       chase.
+#include <algorithm>
 #include <cstdio>
+#include <string>
+#include <unordered_set>
+#include <vector>
 
 #include "core/chase.h"
 #include "core/measures.h"
+#include "core/trigger.h"
+#include "core/trigger_key.h"
 #include "hom/core.h"
 #include "hom/endomorphism.h"
 #include "hom/matcher.h"
@@ -16,6 +27,28 @@
 #include "kb/generators.h"
 #include "tw/treewidth.h"
 #include "util/stopwatch.h"
+
+namespace {
+
+// The decimal-string sort key the chase used before packed keys — kept here
+// verbatim as the ablation baseline.
+std::string LegacyStringKey(const twchase::Substitution& match) {
+  std::vector<std::pair<uint32_t, uint32_t>> entries;
+  for (const auto& [var, term] : match.map()) {
+    entries.emplace_back(var.raw(), term.raw());
+  }
+  std::sort(entries.begin(), entries.end());
+  std::string key;
+  for (const auto& [a, b] : entries) {
+    key += std::to_string(a);
+    key += ',';
+    key += std::to_string(b);
+    key += ';';
+  }
+  return key;
+}
+
+}  // namespace
 
 int main() {
   using namespace twchase;
@@ -121,6 +154,100 @@ int main() {
     std::printf("%-16s %8zu %8s %10zu %7.2fs\n", ChaseVariantName(variant),
                 run->steps, run->terminated ? "yes" : "no",
                 run->derivation.Last().size(), w.ElapsedSeconds());
+  }
+
+  std::printf("\nABL (e): trigger keys — packed words vs legacy decimal strings\n");
+  {
+    // Real match population: all triggers of the transitive-closure rules on
+    // the chased instance — the workload the round snapshot keys every round.
+    auto kb = MakeTransitiveClosure(14);
+    ChaseOptions chase_options;
+    chase_options.max_steps = 5000;
+    chase_options.keep_snapshots = false;
+    auto run = RunChase(kb, chase_options);
+    std::vector<Substitution> matches;
+    if (run.ok()) {
+      const AtomSet& instance = run->derivation.Last();
+      for (int r = 0; r < static_cast<int>(kb.rules.size()); ++r) {
+        for (Trigger& tr : FindTriggers(kb.rules[r], r, instance)) {
+          matches.push_back(std::move(tr.match));
+        }
+      }
+    }
+    std::printf("  %zu matches\n", matches.size());
+    const int kReps = 20;
+    {
+      Stopwatch w;
+      size_t dedup = 0, order_checksum = 0;
+      for (int rep = 0; rep < kReps; ++rep) {
+        std::unordered_set<std::string> keys;
+        std::vector<std::string> sort_keys;
+        sort_keys.reserve(matches.size());
+        for (const Substitution& m : matches) {
+          std::string key = LegacyStringKey(m);
+          keys.insert(key);
+          sort_keys.push_back(std::move(key));
+        }
+        std::sort(sort_keys.begin(), sort_keys.end());
+        dedup = keys.size();
+        order_checksum = sort_keys.empty() ? 0 : sort_keys.front().size();
+      }
+      std::printf("  legacy strings: %7.2fms (%zu distinct, checksum %zu)\n",
+                  w.ElapsedMillis(), dedup, order_checksum);
+    }
+    {
+      Stopwatch w;
+      size_t dedup = 0, order_checksum = 0;
+      for (int rep = 0; rep < kReps; ++rep) {
+        std::unordered_set<PackedBindings, PackedBindingsHash> keys;
+        std::vector<PackedBindings> sort_keys;
+        sort_keys.reserve(matches.size());
+        for (const Substitution& m : matches) {
+          PackedBindings key = PackedBindings::FromMatch(m);
+          keys.insert(key);
+          sort_keys.push_back(std::move(key));
+        }
+        std::sort(sort_keys.begin(), sort_keys.end(),
+                  PackedBindings::LegacyLess);
+        dedup = keys.size();
+        order_checksum =
+            sort_keys.empty() ? 0 : sort_keys.front().words().size();
+      }
+      std::printf("  packed words:   %7.2fms (%zu distinct, checksum %zu)\n",
+                  w.ElapsedMillis(), dedup, order_checksum);
+    }
+  }
+
+  std::printf("\nABL (f): core chase — incremental core maintenance vs full\n");
+  std::printf("%-22s %12s %8s %8s %12s %10s\n", "workload", "mode", "steps",
+              "time", "incremental", "fallbacks");
+  {
+    struct CoreCase {
+      const char* name;
+      bool elevator;
+      size_t max_steps;
+    };
+    for (const CoreCase& c :
+         {CoreCase{"staircase-core", false, 45},
+          CoreCase{"elevator-core", true, 60}}) {
+      for (bool incremental : {false, true}) {
+        ChaseOptions options;
+        options.variant = ChaseVariant::kCore;
+        options.max_steps = c.max_steps;
+        options.keep_snapshots = false;
+        options.incremental_core = incremental;
+        Stopwatch w;
+        StaircaseWorld staircase;
+        ElevatorWorld elevator;
+        auto run = RunChase(c.elevator ? elevator.kb() : staircase.kb(),
+                            options);
+        if (!run.ok()) continue;
+        std::printf("%-22s %12s %8zu %7.2fs %12zu %10zu\n", c.name,
+                    incremental ? "incremental" : "full", run->steps,
+                    w.ElapsedSeconds(), run->stats.core_incremental,
+                    run->stats.core_fallbacks);
+      }
+    }
   }
   return 0;
 }

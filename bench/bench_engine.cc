@@ -1,7 +1,23 @@
-// ENG — engine microbenchmarks (google-benchmark): the substrate costs
-// underlying every figure. Not from the paper; included so readers can
-// judge where the core chase's time goes (spoiler: core computation).
+// ENG — engine benchmarks.
+//
+// Default mode: the delta-evaluation sweep. Runs every chase workload twice
+// (semi-naive delta trigger generation ON and OFF — identical runs by
+// construction, see tests/delta_differential_test.cc) and writes the
+// machine-readable comparison to BENCH_engine.json in the working directory:
+// per workload the rounds, steps, trigger counts, wall milliseconds and the
+// peak instance size, plus the OFF/ON speedup.
+//
+// `--micro` mode: the google-benchmark microbenchmarks of the substrate
+// costs underlying every figure (homomorphism search, core computation,
+// treewidth). Extra arguments are passed through to google-benchmark.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "core/chase.h"
 #include "hom/core.h"
@@ -13,6 +29,7 @@
 #include "tw/heuristics.h"
 #include "tw/treewidth.h"
 #include "util/random.h"
+#include "util/stopwatch.h"
 
 namespace twchase {
 namespace {
@@ -127,7 +144,153 @@ void BM_StaircaseCoreChase(benchmark::State& state) {
 }
 BENCHMARK(BM_StaircaseCoreChase)->Arg(15)->Arg(30)->Arg(45);
 
+// ---------------------------------------------------------------------------
+// Delta-evaluation sweep (default mode).
+
+struct SweepWorkload {
+  std::string name;
+  ChaseVariant variant;
+  size_t max_steps;
+  std::function<KnowledgeBase()> make_kb;  // fresh KB per run (nulls are minted
+                                           // into the KB's vocabulary)
+};
+
+struct SweepMeasurement {
+  double wall_ms = 0;
+  ChaseResult result;
+};
+
+SweepMeasurement MeasureChase(const SweepWorkload& workload, bool delta_on,
+                              int repetitions) {
+  SweepMeasurement best;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    KnowledgeBase kb = workload.make_kb();
+    ChaseOptions options;
+    options.variant = workload.variant;
+    options.max_steps = workload.max_steps;
+    options.keep_snapshots = false;
+    options.delta_evaluation = delta_on;
+    Stopwatch watch;
+    auto run = RunChase(kb, options);
+    double ms = watch.ElapsedMillis();
+    if (!run.ok()) {
+      std::fprintf(stderr, "workload %s failed: %s\n", workload.name.c_str(),
+                   run.status().message().c_str());
+      continue;
+    }
+    if (rep == 0 || ms < best.wall_ms) {
+      best.wall_ms = ms;
+      best.result = std::move(*run);
+    }
+  }
+  return best;
+}
+
+void AppendSide(std::string* json, const char* key,
+                const SweepMeasurement& m) {
+  char buffer[512];
+  std::snprintf(buffer, sizeof(buffer),
+                "      \"%s\": {\"rounds\": %zu, \"steps\": %zu, "
+                "\"terminated\": %s, \"wall_ms\": %.3f, "
+                "\"triggers_found\": %zu, \"triggers_considered\": %zu, "
+                "\"full_enumerations\": %zu, \"seed_probes\": %zu, "
+                "\"matches_invalidated\": %zu, \"peak_atoms\": %zu, "
+                "\"final_atoms\": %zu}",
+                key, m.result.rounds, m.result.steps,
+                m.result.terminated ? "true" : "false", m.wall_ms,
+                m.result.stats.triggers_found,
+                m.result.stats.triggers_considered,
+                m.result.stats.full_enumerations, m.result.stats.seed_probes,
+                m.result.stats.matches_invalidated,
+                m.result.stats.peak_instance_size,
+                m.result.derivation.Last().size());
+  *json += buffer;
+}
+
+int RunDeltaSweep(const char* output_path) {
+  std::vector<SweepWorkload> workloads;
+  workloads.push_back({"transitive-closure-12", ChaseVariant::kRestricted,
+                       2000, [] { return MakeTransitiveClosure(12); }});
+  workloads.push_back({"guarded-chain-oblivious", ChaseVariant::kOblivious,
+                       400, [] { return MakeGuardedChain(3); }});
+  workloads.push_back({"bts-not-fes-oblivious", ChaseVariant::kOblivious, 300,
+                       [] { return MakeBtsNotFes(); }});
+  workloads.push_back({"pipeline-semi-oblivious", ChaseVariant::kSemiOblivious,
+                       600, [] { return MakeWeaklyAcyclicPipeline(40); }});
+  workloads.push_back({"staircase-restricted", ChaseVariant::kRestricted, 120,
+                       [] { return StaircaseWorld().kb(); }});
+  workloads.push_back({"staircase-core", ChaseVariant::kCore, 45,
+                       [] { return StaircaseWorld().kb(); }});
+  workloads.push_back({"elevator-core", ChaseVariant::kCore, 60,
+                       [] { return ElevatorWorld().kb(); }});
+
+  std::string json = "{\n  \"benchmark\": \"delta_evaluation_sweep\",\n"
+                     "  \"workloads\": [\n";
+  std::printf("%-26s %-14s %8s %10s %10s %8s\n", "workload", "variant",
+              "steps", "off ms", "on ms", "speedup");
+  for (size_t i = 0; i < workloads.size(); ++i) {
+    const SweepWorkload& workload = workloads[i];
+    SweepMeasurement off = MeasureChase(workload, /*delta_on=*/false, 3);
+    SweepMeasurement on = MeasureChase(workload, /*delta_on=*/true, 3);
+    // The two runs must be the same run; anything else is an engine bug.
+    if (on.result.steps != off.result.steps ||
+        on.result.rounds != off.result.rounds ||
+        !(on.result.derivation.Last() == off.result.derivation.Last())) {
+      std::fprintf(stderr, "PARITY VIOLATION on %s: delta on/off disagree\n",
+                   workload.name.c_str());
+      return 1;
+    }
+    double speedup = on.wall_ms > 0 ? off.wall_ms / on.wall_ms : 0;
+    std::printf("%-26s %-14s %8zu %9.2f %9.2f %7.2fx\n", workload.name.c_str(),
+                ChaseVariantName(workload.variant), on.result.steps,
+                off.wall_ms, on.wall_ms, speedup);
+    json += "    {\n      \"name\": \"" + workload.name + "\",\n";
+    json += "      \"variant\": \"";
+    json += ChaseVariantName(workload.variant);
+    json += "\",\n";
+    AppendSide(&json, "delta_off", off);
+    json += ",\n";
+    AppendSide(&json, "delta_on", on);
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), ",\n      \"speedup\": %.2f\n",
+                  speedup);
+    json += buffer;
+    json += (i + 1 < workloads.size()) ? "    },\n" : "    }\n";
+  }
+  json += "  ]\n}\n";
+
+  if (FILE* out = std::fopen(output_path, "w")) {
+    std::fwrite(json.data(), 1, json.size(), out);
+    std::fclose(out);
+    std::printf("\nwrote %s\n", output_path);
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", output_path);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace twchase
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool micro = false;
+  const char* output_path = "BENCH_engine.json";
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--micro") == 0) {
+      micro = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      output_path = argv[++i];
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (!micro) return twchase::RunDeltaSweep(output_path);
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

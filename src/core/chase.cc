@@ -1,11 +1,13 @@
 #include "core/chase.h"
 
 #include <algorithm>
-#include <string>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
+#include "core/delta.h"
 #include "core/trigger.h"
+#include "core/trigger_key.h"
 #include "hom/core.h"
 #include "hom/endomorphism.h"
 #include "util/logging.h"
@@ -31,45 +33,55 @@ const char* ChaseVariantName(ChaseVariant variant) {
 
 namespace {
 
-// Canonical string key for the (semi-)oblivious applied-trigger sets.
-std::string TriggerKey(int rule_index, const Substitution& match,
-                       const std::vector<Term>& restrict_to) {
-  std::vector<std::pair<uint32_t, uint32_t>> entries;
-  if (restrict_to.empty()) {
-    for (const auto& [var, term] : match.map()) {
-      entries.emplace_back(var.raw(), term.raw());
-    }
-  } else {
-    for (Term var : restrict_to) {
-      entries.emplace_back(var.raw(), match.Apply(var).raw());
-    }
-  }
-  std::sort(entries.begin(), entries.end());
-  std::string key = std::to_string(rule_index);
-  for (const auto& [a, b] : entries) {
-    key += ':';
-    key += std::to_string(a);
-    key += ',';
-    key += std::to_string(b);
-  }
-  return key;
-}
+// A body match of one rule. Under delta evaluation it is kept across rounds;
+// under naive evaluation it lives for one round. `key` packs the full
+// binding map and serves as both the deduplication identity and the
+// within-rule sort key (via PackedBindings::LegacyLess, which reproduces the
+// engine's historical string-key order exactly).
+struct StoredMatch {
+  Substitution match;
+  PackedBindings key;
 
-// Deterministic sort key for a trigger within a round.
-std::string MatchSortKey(const Substitution& match) {
-  std::vector<std::pair<uint32_t, uint32_t>> entries;
-  for (const auto& [var, term] : match.map()) {
-    entries.emplace_back(var.raw(), term.raw());
+  // Monotone variants only: this match was considered this round and can
+  // never be active again (applied, duplicate, or satisfied in a growing
+  // instance); dropped from the stored set at round end.
+  bool retired = false;
+};
+
+struct RuleState {
+  bool datalog = false;
+
+  // Predicates occurring in the rule body — the probe filter for inserted
+  // atoms.
+  std::unordered_set<PredicateId> body_predicates;
+
+  // Invariant under delta evaluation (at every round start): `matches` is
+  // exactly the set of homomorphisms body → current instance, minus retired
+  // ones, and `match_keys` contains the key of every match ever stored and
+  // not invalidated (retired keys are kept: their atoms can never be
+  // re-inserted in a monotone run, so the probes cannot rediscover them).
+  std::vector<StoredMatch> matches;
+  std::unordered_set<PackedBindings, PackedBindingsHash> match_keys;
+
+  // (Semi-)oblivious: keys already applied, persistent for the whole run.
+  std::unordered_set<PackedBindings, PackedBindingsHash> applied;
+};
+
+// Records the effect of replacing `before` by retraction(before) into the
+// delta index: exactly the atoms containing a moved variable disappear (a
+// retraction is the identity on all terms of its image, so an atom of the
+// image never contains a moved variable), and their images appear. An image
+// atom may have existed already — recording it as inserted is harmless, the
+// seeded probes deduplicate against the stored keys.
+void RecordRetractionDelta(const Substitution& retraction,
+                           const AtomSet& before, DeltaIndex* delta) {
+  for (const auto& [var, image] : retraction.map()) {
+    if (var == image) continue;
+    for (const Atom* atom : before.ByTerm(var)) {
+      delta->RecordErase(*atom);
+      delta->RecordInsert(retraction.Apply(*atom));
+    }
   }
-  std::sort(entries.begin(), entries.end());
-  std::string key;
-  for (const auto& [a, b] : entries) {
-    key += std::to_string(a);
-    key += ',';
-    key += std::to_string(b);
-    key += ';';
-  }
-  return key;
 }
 
 }  // namespace
@@ -82,8 +94,25 @@ StatusOr<ChaseResult> RunChase(const KnowledgeBase& kb,
   if (options.core_every == 0) {
     return Status::InvalidArgument("core_every must be positive");
   }
+  if (options.incremental_core &&
+      (options.core_every != 1 || options.core_at_round_end)) {
+    return Status::InvalidArgument(
+        "incremental_core requires core_every == 1 and "
+        "core_at_round_end == false");
+  }
   Vocabulary* vocab = kb.vocab.get();
   const bool is_core = options.variant == ChaseVariant::kCore;
+  const bool use_incremental_core = is_core && options.incremental_core;
+  const bool delta_on = options.delta_evaluation;
+  // Monotone variants never erase atoms, so a trigger once applied — or, for
+  // the restricted chase, once satisfied — can never become active again:
+  // the delta evaluation retires such matches instead of re-checking them
+  // every round. Frugal and core runs erase atoms (satisfaction is not
+  // stable), so their matches are kept and re-checked.
+  const bool retire_considered =
+      delta_on && (options.variant == ChaseVariant::kOblivious ||
+                   options.variant == ChaseVariant::kSemiOblivious ||
+                   options.variant == ChaseVariant::kRestricted);
 
   ChaseResult result;
   result.derivation = Derivation(options.keep_snapshots);
@@ -96,82 +125,186 @@ StatusOr<ChaseResult> RunChase(const KnowledgeBase& kb,
     sigma0 = std::move(cored.retraction);
   }
   result.derivation.AddInitial(current, std::move(sigma0));
+  result.stats.peak_instance_size = current.size();
 
-  std::unordered_set<std::string> applied_keys;  // (semi-)oblivious only
+  std::vector<RuleState> rule_states(kb.rules.size());
+  for (size_t r = 0; r < kb.rules.size(); ++r) {
+    rule_states[r].datalog = kb.rules[r].IsDatalog();
+    kb.rules[r].body().ForEach([&](const Atom& atom) {
+      rule_states[r].body_predicates.insert(atom.predicate());
+    });
+  }
+
+  DeltaIndex pending_delta;
+  bool delta_primed = false;
+  if (delta_on) current.EnableDeltaJournal();
+
   size_t since_last_core = 0;
 
   while (result.steps < options.max_steps) {
     ++result.rounds;
-    // Snapshot this round's triggers.
+
+    // Establish this round's match sets: naive evaluation re-enumerates
+    // from scratch; delta evaluation repairs the stored sets from the atoms
+    // inserted/erased since the last round. Either way, afterwards each
+    // rule's matches (minus retired ones, which are inactive by
+    // construction) are exactly its triggers for `current`.
+    if (!delta_on || !delta_primed) {
+      for (size_t r = 0; r < kb.rules.size(); ++r) {
+        RuleState& state = rule_states[r];
+        state.matches.clear();
+        for (Trigger& tr :
+             FindTriggers(kb.rules[r], static_cast<int>(r), current)) {
+          PackedBindings key = PackedBindings::FromMatch(tr.match);
+          if (delta_on) state.match_keys.insert(key);
+          state.matches.push_back(
+              StoredMatch{std::move(tr.match), std::move(key)});
+        }
+        ++result.stats.full_enumerations;
+      }
+      delta_primed = true;
+    } else {
+      pending_delta.Absorb(current.DrainDelta());
+      if (pending_delta.has_erasures()) {
+        for (size_t r = 0; r < kb.rules.size(); ++r) {
+          RuleState& state = rule_states[r];
+          size_t kept = 0;
+          for (size_t i = 0; i < state.matches.size(); ++i) {
+            if (IsTriggerFor(kb.rules[r], state.matches[i].match, current)) {
+              if (kept != i) state.matches[kept] = std::move(state.matches[i]);
+              ++kept;
+            } else {
+              state.match_keys.erase(state.matches[i].key);
+              ++result.stats.matches_invalidated;
+            }
+          }
+          state.matches.resize(kept);
+        }
+      }
+      for (const Atom& fact : pending_delta.inserted()) {
+        // An atom inserted and erased again within the round yields no
+        // matches (the probe pins a body atom's image to it).
+        if (!current.Contains(fact)) continue;
+        for (size_t r = 0; r < kb.rules.size(); ++r) {
+          RuleState& state = rule_states[r];
+          if (!state.body_predicates.contains(fact.predicate())) continue;
+          ++result.stats.seed_probes;
+          for (Substitution& m :
+               FindSeededMatches(kb.rules[r], fact, current)) {
+            PackedBindings key = PackedBindings::FromMatch(m);
+            if (state.match_keys.insert(key).second) {
+              state.matches.push_back(StoredMatch{std::move(m), std::move(key)});
+            }
+          }
+        }
+      }
+      pending_delta.Clear();
+    }
+
+    // Snapshot and order the round's triggers. The order is total — within
+    // a rule, distinct matches have distinct packed keys — and equals the
+    // historical (datalog_first, rule_index, string sort key) order.
     struct PendingTrigger {
       int rule_index;
-      Trigger trigger;
       bool datalog;
-      std::string sort_key;
+      size_t match_index;
     };
     std::vector<PendingTrigger> pending;
-    for (int r = 0; r < static_cast<int>(kb.rules.size()); ++r) {
-      for (Trigger& tr : FindTriggers(kb.rules[r], r, current)) {
-        PendingTrigger p;
-        p.rule_index = r;
-        p.datalog = kb.rules[r].IsDatalog();
-        p.sort_key = MatchSortKey(tr.match);
-        p.trigger = std::move(tr);
-        pending.push_back(std::move(p));
+    for (size_t r = 0; r < rule_states.size(); ++r) {
+      for (size_t i = 0; i < rule_states[r].matches.size(); ++i) {
+        pending.push_back(
+            PendingTrigger{static_cast<int>(r), rule_states[r].datalog, i});
       }
     }
-    std::stable_sort(pending.begin(), pending.end(),
-                     [&](const PendingTrigger& a, const PendingTrigger& b) {
-                       if (options.datalog_first && a.datalog != b.datalog) {
-                         return a.datalog;
-                       }
-                       if (a.rule_index != b.rule_index) {
-                         return a.rule_index < b.rule_index;
-                       }
-                       return a.sort_key < b.sort_key;
-                     });
+    std::sort(pending.begin(), pending.end(),
+              [&](const PendingTrigger& a, const PendingTrigger& b) {
+                if (options.datalog_first && a.datalog != b.datalog) {
+                  return a.datalog;
+                }
+                if (a.rule_index != b.rule_index) {
+                  return a.rule_index < b.rule_index;
+                }
+                return PackedBindings::LegacyLess(
+                    rule_states[a.rule_index].matches[a.match_index].key,
+                    rule_states[b.rule_index].matches[b.match_index].key);
+              });
+    result.stats.triggers_found += pending.size();
 
     bool progressed = false;
     Substitution sigma_round;  // composition of simplifications this round
-    for (PendingTrigger& p : pending) {
+    for (const PendingTrigger& p : pending) {
       if (result.steps >= options.max_steps) break;
       const Rule& rule = kb.rules[p.rule_index];
+      RuleState& state = rule_states[p.rule_index];
+      StoredMatch& stored = state.matches[p.match_index];
+      ++result.stats.triggers_considered;
       // Re-map the trigger through the simplifications applied since the
       // round snapshot (σ^j_i of Definition 2); σ is a homomorphism between
       // successive instances, so the image is still a trigger.
-      Substitution match = sigma_round.empty()
-                               ? std::move(p.trigger.match)
-                               : Substitution::Compose(sigma_round,
-                                                       p.trigger.match);
+      Substitution composed;
+      const Substitution* match = &stored.match;
+      if (!sigma_round.empty()) {
+        composed = Substitution::Compose(sigma_round, stored.match);
+        match = &composed;
+      }
       // Activeness per variant.
       switch (options.variant) {
         case ChaseVariant::kOblivious: {
-          std::string key = TriggerKey(p.rule_index, match, {});
-          if (!applied_keys.insert(std::move(key)).second) continue;
+          PackedBindings key = match == &stored.match
+                                   ? stored.key
+                                   : PackedBindings::FromMatch(*match);
+          bool fresh = state.applied.insert(std::move(key)).second;
+          stored.retired = true;
+          if (!fresh) continue;
           break;
         }
         case ChaseVariant::kSemiOblivious: {
-          std::string key = TriggerKey(p.rule_index, match, rule.frontier());
-          if (!applied_keys.insert(std::move(key)).second) continue;
+          PackedBindings key =
+              PackedBindings::FromRestricted(*match, rule.frontier());
+          bool fresh = state.applied.insert(std::move(key)).second;
+          stored.retired = true;
+          if (!fresh) continue;
           break;
         }
         case ChaseVariant::kRestricted:
         case ChaseVariant::kFrugal:
         case ChaseVariant::kCore: {
-          if (TriggerIsSatisfied(rule, match, current)) continue;
+          bool satisfied = TriggerIsSatisfied(rule, *match, current);
+          if (retire_considered) stored.retired = true;
+          if (satisfied) continue;
           break;
         }
       }
 
       TriggerApplication application =
-          ApplyTrigger(rule, match, &current, vocab);
+          ApplyTrigger(rule, *match, &current, vocab);
       Substitution sigma;
       if (is_core && !options.core_at_round_end &&
           ++since_last_core >= options.core_every) {
-        CoreResult cored = ComputeCore(current);
-        current = std::move(cored.core);
-        sigma = std::move(cored.retraction);
         since_last_core = 0;
+        if (use_incremental_core) {
+          IncrementalCoreOptions inc_options;
+          inc_options.dirty_radius = options.dirty_radius;
+          IncrementalCoreResult inc =
+              IncrementalCoreUpdate(&current, application.added_atoms,
+                                    inc_options);
+          sigma = std::move(inc.retraction);
+          if (inc.fell_back) {
+            ++result.stats.core_fallbacks;
+          } else {
+            ++result.stats.core_incremental;
+          }
+        } else {
+          if (delta_on) pending_delta.Absorb(current.DrainDelta());
+          CoreResult cored = ComputeCore(current);
+          if (delta_on) {
+            RecordRetractionDelta(cored.retraction, current, &pending_delta);
+          }
+          current = std::move(cored.core);
+          if (delta_on) current.EnableDeltaJournal();
+          sigma = std::move(cored.retraction);
+          ++result.stats.core_full;
+        }
       } else if (options.variant == ChaseVariant::kFrugal &&
                  !rule.existential().empty()) {
         std::vector<Term> fresh;
@@ -180,13 +313,28 @@ StatusOr<ChaseResult> RunChase(const KnowledgeBase& kb,
         }
         sigma = FoldVariablesKeepingRestFixed(&current, fresh);
       }
-      result.derivation.AddStep(p.rule_index, rule.label(), match, sigma,
-                                std::move(application.added_atoms), current);
+      if (match == &composed) {
+        result.derivation.AddStep(p.rule_index, rule.label(),
+                                  std::move(composed), sigma,
+                                  std::move(application.added_atoms), current);
+      } else if (!delta_on || stored.retired) {
+        // The stored match will not be used again: naive evaluation rebuilds
+        // the set next round, and retired matches are dropped below.
+        result.derivation.AddStep(p.rule_index, rule.label(),
+                                  std::move(stored.match), sigma,
+                                  std::move(application.added_atoms), current);
+      } else {
+        result.derivation.AddStep(p.rule_index, rule.label(), stored.match,
+                                  sigma, std::move(application.added_atoms),
+                                  current);
+      }
       if (!sigma.IsIdentity()) {
         sigma_round = Substitution::Compose(sigma, sigma_round);
       }
       ++result.steps;
       progressed = true;
+      result.stats.peak_instance_size =
+          std::max(result.stats.peak_instance_size, current.size());
       if (options.max_instance_size != 0 &&
           current.size() > options.max_instance_size) {
         result.size_guard_tripped = true;
@@ -194,10 +342,28 @@ StatusOr<ChaseResult> RunChase(const KnowledgeBase& kb,
       }
     }
     if (is_core && options.core_at_round_end && progressed) {
+      if (delta_on) pending_delta.Absorb(current.DrainDelta());
       CoreResult cored = ComputeCore(current);
+      ++result.stats.core_full;
       if (!cored.retraction.IsIdentity()) {
+        if (delta_on) {
+          RecordRetractionDelta(cored.retraction, current, &pending_delta);
+        }
         current = std::move(cored.core);
+        if (delta_on) current.EnableDeltaJournal();
         result.derivation.AmendLastSimplification(cored.retraction, current);
+      }
+    }
+    if (retire_considered) {
+      for (RuleState& state : rule_states) {
+        size_t kept = 0;
+        for (size_t i = 0; i < state.matches.size(); ++i) {
+          if (!state.matches[i].retired) {
+            if (kept != i) state.matches[kept] = std::move(state.matches[i]);
+            ++kept;
+          }
+        }
+        state.matches.resize(kept);
       }
     }
     if (!progressed) {

@@ -68,6 +68,62 @@ struct ChaseOptions {
   /// Also core the initial fact set (the core chase does; other variants
   /// keep F as-is).
   bool core_initial = true;
+
+  /// Semi-naive (delta-driven) trigger generation: keep each rule's set of
+  /// body matches across rounds and repair/extend it from the atoms inserted
+  /// and erased since the previous round, instead of re-enumerating all
+  /// matches of the whole instance every round. A pure optimisation: the
+  /// produced run is identical — same instances, same steps, same trigger
+  /// order — to the naive evaluation for every variant.
+  bool delta_evaluation = true;
+
+  /// Core chase: maintain the core incrementally after each application
+  /// (fold only variables within dirty_radius of the new atoms, then verify
+  /// the rest) instead of recomputing from scratch; falls back to a full
+  /// ComputeCore when a fold cascades or verification finds a distant fold.
+  /// Requires core_every == 1 and core_at_round_end == false. The instance
+  /// is still a core after every application, but the chosen folds — and
+  /// hence null names and trigger order — may differ from the full
+  /// recomputation, so runs agree only up to isomorphism. Off by default.
+  bool incremental_core = false;
+
+  /// Incremental core: BFS radius (in atom hops from the added atoms'
+  /// terms) defining the dirty variables eligible for folding.
+  size_t dirty_radius = 2;
+};
+
+/// Evaluation counters, for benchmarks and the ablation tables. Not part of
+/// run equivalence: delta ON and OFF produce identical derivations but
+/// different counter values.
+struct ChaseStats {
+  /// Pending triggers snapshotted, summed over rounds.
+  size_t triggers_found = 0;
+
+  /// Activeness checks performed (pending entries actually examined).
+  size_t triggers_considered = 0;
+
+  /// Whole-instance trigger enumerations (one per rule per naive round,
+  /// plus one per rule to prime the delta state).
+  size_t full_enumerations = 0;
+
+  /// Delta-seeded match probes (one per inserted atom per rule whose body
+  /// mentions its predicate).
+  size_t seed_probes = 0;
+
+  /// Stored matches dropped because an atom of their image was erased.
+  size_t matches_invalidated = 0;
+
+  /// Full ComputeCore invocations.
+  size_t core_full = 0;
+
+  /// Incremental core updates that completed without falling back.
+  size_t core_incremental = 0;
+
+  /// Incremental core updates that fell back to a full recomputation.
+  size_t core_fallbacks = 0;
+
+  /// Largest |F_i| seen.
+  size_t peak_instance_size = 0;
 };
 
 struct ChaseResult {
@@ -84,6 +140,8 @@ struct ChaseResult {
 
   /// Scheduler rounds performed.
   size_t rounds = 0;
+
+  ChaseStats stats;
 };
 
 /// Runs the chase on kb. Fresh nulls are minted in *kb.vocab.

@@ -1,0 +1,35 @@
+#include "core/delta.h"
+
+namespace twchase {
+
+void DeltaIndex::RecordInsert(const Atom& atom) {
+  if (!inserted_seen_.insert(atom).second) return;
+  inserted_by_predicate_[atom.predicate()].push_back(inserted_.size());
+  inserted_.push_back(atom);
+}
+
+void DeltaIndex::RecordErase(const Atom& atom) {
+  if (!erased_seen_.insert(atom).second) return;
+  erased_.push_back(atom);
+}
+
+void DeltaIndex::Absorb(AtomSet::Delta delta) {
+  for (Atom& atom : delta.inserted) RecordInsert(atom);
+  for (Atom& atom : delta.erased) RecordErase(atom);
+}
+
+const std::vector<size_t>* DeltaIndex::InsertedWithPredicate(
+    PredicateId predicate) const {
+  auto it = inserted_by_predicate_.find(predicate);
+  return it == inserted_by_predicate_.end() ? nullptr : &it->second;
+}
+
+void DeltaIndex::Clear() {
+  inserted_.clear();
+  erased_.clear();
+  inserted_seen_.clear();
+  erased_seen_.clear();
+  inserted_by_predicate_.clear();
+}
+
+}  // namespace twchase

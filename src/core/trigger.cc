@@ -50,4 +50,43 @@ std::vector<Trigger> FindTriggers(const Rule& rule, int rule_index,
   return out;
 }
 
+std::optional<Substitution> UnifyBodyAtomWithFact(const Atom& body_atom,
+                                                  const Atom& fact) {
+  if (body_atom.predicate() != fact.predicate()) return std::nullopt;
+  if (body_atom.args().size() != fact.args().size()) return std::nullopt;
+  Substitution unifier;
+  for (size_t i = 0; i < body_atom.args().size(); ++i) {
+    Term pat = body_atom.arg(i);
+    Term image = fact.arg(i);
+    if (pat.is_constant()) {
+      if (pat != image) return std::nullopt;
+      continue;
+    }
+    std::optional<Term> bound = unifier.Lookup(pat);
+    if (bound.has_value()) {
+      if (*bound != image) return std::nullopt;
+    } else {
+      unifier.Bind(pat, image);
+    }
+  }
+  return unifier;
+}
+
+std::vector<Substitution> FindSeededMatches(const Rule& rule, const Atom& fact,
+                                            const AtomSet& instance) {
+  std::vector<Substitution> out;
+  rule.body().ForEach([&](const Atom& body_atom) {
+    std::optional<Substitution> seed = UnifyBodyAtomWithFact(body_atom, fact);
+    if (!seed.has_value()) return;
+    HomOptions options;
+    options.seed = std::move(*seed);
+    options.limit = 0;  // all
+    for (Substitution& match :
+         FindAllHomomorphisms(rule.body(), instance, options)) {
+      out.push_back(std::move(match));
+    }
+  });
+  return out;
+}
+
 }  // namespace twchase

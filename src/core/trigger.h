@@ -45,6 +45,21 @@ TriggerApplication ApplyTrigger(const Rule& rule, const Substitution& match,
 std::vector<Trigger> FindTriggers(const Rule& rule, int rule_index,
                                   const AtomSet& instance);
 
+/// The binding obtained by unifying `body_atom` with `fact` position-wise
+/// (constants must coincide; a repeated variable must meet equal terms), or
+/// nullopt on clash or predicate/arity mismatch.
+std::optional<Substitution> UnifyBodyAtomWithFact(const Atom& body_atom,
+                                                  const Atom& fact);
+
+/// Semi-naive probe: all matches of body(rule) into `instance` that map at
+/// least one body atom onto `fact`. For each compatible body atom the
+/// homomorphism search is seeded with the unifier, which pins that atom's
+/// image to `fact` — so if `fact` is not (or no longer) in `instance` the
+/// probe finds nothing. A match mapping several body atoms onto `fact` is
+/// found once per such atom; callers deduplicate by binding key.
+std::vector<Substitution> FindSeededMatches(const Rule& rule, const Atom& fact,
+                                            const AtomSet& instance);
+
 }  // namespace twchase
 
 #endif  // TWCHASE_CORE_TRIGGER_H_

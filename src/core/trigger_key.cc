@@ -1,0 +1,110 @@
+#include "core/trigger_key.h"
+
+#include <algorithm>
+
+namespace twchase {
+namespace {
+
+int NumDigits(uint32_t x) {
+  int d = 1;
+  while (x >= 10) {
+    x /= 10;
+    ++d;
+  }
+  return d;
+}
+
+uint32_t Pow10(int e) {
+  uint32_t p = 1;
+  while (e-- > 0) p *= 10;
+  return p;
+}
+
+// Compares the decimal renderings of x and y lexicographically, where each
+// rendering is followed by a terminator byte. terminator_greater says whether
+// that byte compares greater than any digit (';' after terms) or smaller
+// (',' after variables); it only matters when one rendering is a proper
+// prefix of the other.
+int CompareDecimal(uint32_t x, uint32_t y, bool terminator_greater) {
+  if (x == y) return 0;
+  int dx = NumDigits(x);
+  int dy = NumDigits(y);
+  if (dx == dy) return x < y ? -1 : 1;
+  if (dx < dy) {
+    uint32_t prefix = y / Pow10(dy - dx);
+    if (x != prefix) return x < prefix ? -1 : 1;
+    // str(x) is a proper prefix of str(y): x's next byte is the terminator.
+    return terminator_greater ? 1 : -1;
+  }
+  uint32_t prefix = x / Pow10(dx - dy);
+  if (prefix != y) return prefix < y ? -1 : 1;
+  return terminator_greater ? -1 : 1;
+}
+
+std::vector<uint64_t> PackSorted(std::vector<uint64_t> words) {
+  std::sort(words.begin(), words.end());
+  return words;
+}
+
+}  // namespace
+
+PackedBindings PackedBindings::FromMatch(const Substitution& match) {
+  PackedBindings key;
+  key.words_.reserve(match.size());
+  for (const auto& [var, term] : match.map()) {
+    key.words_.push_back(static_cast<uint64_t>(var.raw()) << 32 | term.raw());
+  }
+  key.words_ = PackSorted(std::move(key.words_));
+  return key;
+}
+
+PackedBindings PackedBindings::FromRestricted(const Substitution& match,
+                                              const std::vector<Term>& vars) {
+  PackedBindings key;
+  key.words_.reserve(vars.size());
+  for (Term var : vars) {
+    key.words_.push_back(static_cast<uint64_t>(var.raw()) << 32 |
+                         match.Apply(var).raw());
+  }
+  key.words_ = PackSorted(std::move(key.words_));
+  return key;
+}
+
+size_t PackedBindings::Hash() const {
+  // splitmix-style combine over the words.
+  uint64_t h = 0x9e3779b97f4a7c15ULL + words_.size();
+  for (uint64_t w : words_) {
+    uint64_t x = w + h;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    h = x ^ (x >> 31);
+  }
+  return static_cast<size_t>(h);
+}
+
+bool PackedBindings::LegacyLess(const PackedBindings& a,
+                                const PackedBindings& b) {
+  size_t n = std::min(a.words_.size(), b.words_.size());
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t var_a = static_cast<uint32_t>(a.words_[i] >> 32);
+    uint32_t var_b = static_cast<uint32_t>(b.words_[i] >> 32);
+    // Variables are followed by ',' in the legacy rendering (smaller than
+    // any digit, so a decimal prefix sorts first).
+    if (int c = CompareDecimal(var_a, var_b, /*terminator_greater=*/false)) {
+      return c < 0;
+    }
+    uint32_t term_a = static_cast<uint32_t>(a.words_[i]);
+    uint32_t term_b = static_cast<uint32_t>(b.words_[i]);
+    // Terms are followed by ';' (greater than any digit).
+    if (int c = CompareDecimal(term_a, term_b, /*terminator_greater=*/true)) {
+      return c < 0;
+    }
+  }
+  return a.words_.size() < b.words_.size();
+}
+
+bool LegacyDecimalLess(uint32_t x, uint32_t y) {
+  return CompareDecimal(x, y, /*terminator_greater=*/true) < 0;
+}
+
+}  // namespace twchase

@@ -1,0 +1,66 @@
+// Packed trigger keys. The chase identifies and orders triggers by their
+// match bindings; these used to be rendered as decimal strings
+// ("12:3,4;5,6;"), which allocated and hashed a string per trigger per
+// round. PackedBindings stores the same information as a sorted vector of
+// (variable, term) words with O(words) hashing and comparison.
+//
+// Ordering: the engine's deterministic trigger order was defined by
+// lexicographic comparison of the old decimal strings, and the golden tests
+// pin derivation skeletons produced under that order. LegacyLess reproduces
+// it exactly (decimal-digit lexicographic semantics, including the
+// terminator artefacts) so that replacing the representation cannot move a
+// single trigger in the schedule.
+#ifndef TWCHASE_CORE_TRIGGER_KEY_H_
+#define TWCHASE_CORE_TRIGGER_KEY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "model/substitution.h"
+#include "model/term.h"
+
+namespace twchase {
+
+class PackedBindings {
+ public:
+  PackedBindings() = default;
+
+  /// Key over the full binding map (oblivious trigger identity; also the
+  /// within-rule sort key, since a trigger's domain is exactly vars(body)).
+  static PackedBindings FromMatch(const Substitution& match);
+
+  /// Key over σ⁺(var) for var in `vars` (semi-oblivious frontier identity).
+  static PackedBindings FromRestricted(const Substitution& match,
+                                       const std::vector<Term>& vars);
+
+  bool empty() const { return words_.empty(); }
+  const std::vector<uint64_t>& words() const { return words_; }
+
+  size_t Hash() const;
+
+  friend bool operator==(const PackedBindings& a, const PackedBindings& b) {
+    return a.words_ == b.words_;
+  }
+
+  /// Strict weak order equal to lexicographic order of the legacy decimal
+  /// string keys ("a,b;a,b;..." over the sorted pairs).
+  static bool LegacyLess(const PackedBindings& a, const PackedBindings& b);
+
+ private:
+  // Sorted (var.raw << 32 | term.raw) words.
+  std::vector<uint64_t> words_;
+};
+
+struct PackedBindingsHash {
+  size_t operator()(const PackedBindings& key) const { return key.Hash(); }
+};
+
+/// The legacy order on a term component: compares x and y as decimal strings,
+/// each followed by the legacy ';' terminator. Since ';' is greater than any
+/// digit, a number whose decimal rendering is a proper prefix of the other's
+/// sorts *after* it (e.g. 12 after 123, but 9 after 10). Exposed for tests.
+bool LegacyDecimalLess(uint32_t x, uint32_t y);
+
+}  // namespace twchase
+
+#endif  // TWCHASE_CORE_TRIGGER_KEY_H_

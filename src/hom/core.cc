@@ -1,6 +1,10 @@
 #include "hom/core.h"
 
+#include <algorithm>
 #include <optional>
+#include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "hom/endomorphism.h"
 #include "util/status.h"
@@ -8,61 +12,64 @@
 namespace twchase {
 namespace {
 
-// Fast pre-pass: a "singular" fold moves exactly one variable X onto another
-// term Y and leaves everything else fixed. It is a retraction iff replacing
-// X by Y in every atom containing X yields atoms already present. Checking
-// all (X, Y) pairs costs |ByTerm(X)| lookups per candidate Y — orders of
-// magnitude cheaper than a general fold search, and in chase workloads most
-// redundancy collapses this way.
+// A "singular" fold moves exactly one variable X onto another term Y and
+// leaves everything else fixed. It is a retraction iff replacing X by Y in
+// every atom containing X yields atoms already present. Checking all (X, Y)
+// pairs costs |ByTerm(X)| lookups per candidate Y — orders of magnitude
+// cheaper than a general fold search, and in chase workloads most redundancy
+// collapses this way. Candidate targets for X are derived positionally from
+// the same-predicate postings of X's first atom; each is verified against
+// all of X's atoms, and the first verified candidate wins.
+bool FindSingularFold(const AtomSet& atoms, Term x, Substitution* fold) {
+  std::vector<const Atom*> x_atoms = atoms.ByTerm(x);
+  if (x_atoms.empty()) return false;
+  const Atom& probe = *x_atoms.front();
+  for (const Atom* cand : atoms.ByPredicate(probe.predicate())) {
+    if (cand->arity() != probe.arity()) continue;
+    std::optional<Term> y;
+    bool consistent = true;
+    for (size_t i = 0; i < probe.args().size() && consistent; ++i) {
+      if (probe.arg(i) == x) {
+        if (!y.has_value() || *y == cand->arg(i)) {
+          y = cand->arg(i);
+        } else {
+          consistent = false;
+        }
+      } else if (probe.arg(i) != cand->arg(i)) {
+        consistent = false;
+      }
+    }
+    if (!consistent || !y.has_value() || *y == x) continue;
+    Substitution attempt;
+    attempt.Bind(x, *y);
+    bool ok = true;
+    for (const Atom* atom : x_atoms) {
+      if (!atoms.Contains(attempt.Apply(*atom))) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    *fold = std::move(attempt);
+    return true;
+  }
+  return false;
+}
+
+// Fast pre-pass of ComputeCore: exhaust singular folds.
 bool ApplySingularFolds(AtomSet* atoms, Substitution* accumulated) {
   bool any = false;
   bool changed = true;
   while (changed) {
     changed = false;
     for (Term x : atoms->Variables()) {
-      // Candidate targets for x: terms y such that substituting y for x in
-      // x's first atom yields an existing atom (derived positionally from
-      // the same-predicate postings). Each candidate is then verified
-      // against all of x's atoms.
-      std::vector<const Atom*> x_atoms = atoms->ByTerm(x);
-      if (x_atoms.empty()) continue;
-      const Atom& probe = *x_atoms.front();
-      std::vector<Term> candidates;
-      for (const Atom* cand : atoms->ByPredicate(probe.predicate())) {
-        if (cand->arity() != probe.arity()) continue;
-        std::optional<Term> y;
-        bool consistent = true;
-        for (size_t i = 0; i < probe.args().size() && consistent; ++i) {
-          if (probe.arg(i) == x) {
-            if (!y.has_value() || *y == cand->arg(i)) {
-              y = cand->arg(i);
-            } else {
-              consistent = false;
-            }
-          } else if (probe.arg(i) != cand->arg(i)) {
-            consistent = false;
-          }
-        }
-        if (consistent && y.has_value() && *y != x) candidates.push_back(*y);
-      }
-      for (Term y : candidates) {
-        Substitution fold;
-        fold.Bind(x, y);
-        bool ok = true;
-        for (const Atom* atom : x_atoms) {
-          if (!atoms->Contains(fold.Apply(*atom))) {
-            ok = false;
-            break;
-          }
-        }
-        if (!ok) continue;
-        *atoms = fold.Apply(*atoms);
-        *accumulated = Substitution::Compose(fold, *accumulated);
-        changed = true;
-        any = true;
-        break;
-      }
-      if (changed) break;  // variable snapshot is stale; restart
+      Substitution fold;
+      if (!FindSingularFold(*atoms, x, &fold)) continue;
+      *atoms = fold.Apply(*atoms);
+      *accumulated = Substitution::Compose(fold, *accumulated);
+      changed = true;
+      any = true;
+      break;  // variable snapshot is stale; restart
     }
   }
   return any;
@@ -106,6 +113,95 @@ bool IsCore(const AtomSet& atoms) {
     if (FindFoldingEndomorphism(atoms, var).has_value()) return false;
   }
   return true;
+}
+
+IncrementalCoreResult IncrementalCoreUpdate(
+    AtomSet* atoms, const std::vector<Atom>& added,
+    const IncrementalCoreOptions& options) {
+  IncrementalCoreResult result;
+
+  // Dirty terms: BFS over the atom-incidence graph from the added atoms'
+  // terms, in deterministic first-seen order.
+  std::unordered_set<Term, TermHash> dirty;
+  std::vector<Term> dirty_order;
+  std::vector<Term> frontier;
+  for (const Atom& atom : added) {
+    for (Term t : atom.DistinctTerms()) {
+      if (dirty.insert(t).second) {
+        dirty_order.push_back(t);
+        frontier.push_back(t);
+      }
+    }
+  }
+  for (size_t hop = 0; hop < options.dirty_radius && !frontier.empty();
+       ++hop) {
+    std::vector<Term> next;
+    for (Term t : frontier) {
+      for (const Atom* atom : atoms->ByTerm(t)) {
+        for (Term u : atom->DistinctTerms()) {
+          if (dirty.insert(u).second) {
+            dirty_order.push_back(u);
+            next.push_back(u);
+          }
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  // Targeted folds over the dirty variables: cheap singular folds first,
+  // then general fold searches, to fixpoint. A general fold's retraction may
+  // move non-dirty variables too (that is the beginning of a cascade); the
+  // fold budget caps how far we chase it.
+  const size_t fold_budget =
+      std::max<size_t>(8, options.cascade_factor * added.size());
+  size_t folds = 0;
+  bool cascade = false;
+  bool changed = true;
+  while (changed && !cascade) {
+    changed = false;
+    for (Term x : dirty_order) {
+      if (!x.is_variable() || !atoms->ContainsTerm(x)) continue;
+      Substitution retraction;
+      if (!FindSingularFold(*atoms, x, &retraction)) {
+        auto endo = FindFoldingEndomorphism(*atoms, x);
+        if (!endo.has_value()) continue;
+        retraction = RetractionFromEndomorphism(*atoms, *endo);
+      }
+      ApplyRetractionInPlace(atoms, retraction);
+      result.retraction = Substitution::Compose(retraction, result.retraction);
+      changed = true;
+      if (++folds > fold_budget) {
+        cascade = true;
+        break;
+      }
+    }
+  }
+
+  // Verification: the dirty variables are now unfoldable, but an added atom
+  // can unlock a fold of a variable arbitrarily far away (its atoms' new
+  // images may only now exist). Exactness requires scanning the rest; any
+  // hit means the redundancy is non-local and a full recomputation takes
+  // over from the current (already partially folded) instance — the
+  // composition of retractions is again a retraction of the original.
+  bool is_core = !cascade;
+  if (is_core) {
+    for (Term var : atoms->Variables()) {
+      if (dirty.contains(var)) continue;
+      if (FindFoldingEndomorphism(*atoms, var).has_value()) {
+        is_core = false;
+        break;
+      }
+    }
+  }
+  if (!is_core) {
+    result.fell_back = true;
+    CoreResult full = ComputeCore(*atoms, options.full);
+    ApplyRetractionInPlace(atoms, full.retraction);
+    result.retraction =
+        Substitution::Compose(full.retraction, result.retraction);
+  }
+  return result;
 }
 
 }  // namespace twchase

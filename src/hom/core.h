@@ -36,6 +36,43 @@ CoreResult ComputeCore(const AtomSet& atoms, const CoreOptions& options = {});
 /// True iff `atoms` admits no proper retraction.
 bool IsCore(const AtomSet& atoms);
 
+struct IncrementalCoreOptions {
+  /// BFS radius (in atom hops from the added atoms' terms) defining the
+  /// dirty variables eligible for targeted folding.
+  size_t dirty_radius = 2;
+
+  /// Cascade guard: fall back to a full recomputation once more than
+  /// max(8, cascade_factor * |added|) folds fire in one update — the
+  /// redundancy is not local to the new atoms, so chasing it fold by fold
+  /// is no cheaper than starting over.
+  size_t cascade_factor = 4;
+
+  /// Options for the fallback ComputeCore.
+  CoreOptions full;
+};
+
+struct IncrementalCoreResult {
+  /// A retraction of the pre-update instance onto the final one.
+  Substitution retraction;
+
+  /// True when the update fell back to a full ComputeCore (cascade guard or
+  /// a verification hit outside the dirty neighbourhood).
+  bool fell_back = false;
+};
+
+/// Restores the core property of *atoms after the atoms in `added` were
+/// inserted, assuming *atoms was a core beforehand: folds only variables
+/// within dirty_radius of the added atoms, then verifies that no other
+/// variable became foldable (new atoms can unlock folds arbitrarily far
+/// away, so the verification pass is what makes the result exact — the
+/// output is always a genuine core, never an approximation). Mutates
+/// *atoms through Insert/Erase, so an enabled delta journal records the
+/// changes automatically. The fold choices may differ from ComputeCore's,
+/// so the resulting core agrees with it only up to isomorphism.
+IncrementalCoreResult IncrementalCoreUpdate(
+    AtomSet* atoms, const std::vector<Atom>& added,
+    const IncrementalCoreOptions& options = {});
+
 }  // namespace twchase
 
 #endif  // TWCHASE_HOM_CORE_H_

@@ -70,10 +70,41 @@ Substitution FoldVariablesKeepingRestFixed(
     auto endo = FindHomomorphism(*atoms, *atoms, options);
     if (!endo.has_value()) continue;
     Substitution retraction = RetractionFromEndomorphism(*atoms, *endo);
-    *atoms = retraction.Apply(*atoms);
+    ApplyRetractionRebuild(atoms, retraction);
     accumulated = Substitution::Compose(retraction, accumulated);
   }
   return accumulated;
+}
+
+void ApplyRetractionInPlace(AtomSet* atoms, const Substitution& retraction) {
+  for (const auto& [var, image] : retraction.map()) {
+    if (var == image) continue;
+    // Copy first: Erase/Insert invalidate the postings the pointers are into.
+    std::vector<Atom> moved;
+    for (const Atom* atom : atoms->ByTerm(var)) moved.push_back(*atom);
+    for (const Atom& atom : moved) {
+      atoms->Erase(atom);
+      atoms->Insert(retraction.Apply(atom));
+    }
+  }
+}
+
+void ApplyRetractionRebuild(AtomSet* atoms, const Substitution& retraction) {
+  AtomSet next = retraction.Apply(*atoms);
+  if (atoms->delta_journal_enabled()) {
+    next.EnableDeltaJournal();
+    AtomSet::Delta carried = atoms->DrainDelta();
+    for (const Atom& atom : carried.inserted) next.NoteExternalInsert(atom);
+    for (const Atom& atom : carried.erased) next.NoteExternalErase(atom);
+    for (const auto& [var, image] : retraction.map()) {
+      if (var == image) continue;
+      for (const Atom* atom : atoms->ByTerm(var)) {
+        next.NoteExternalErase(*atom);
+        next.NoteExternalInsert(retraction.Apply(*atom));
+      }
+    }
+  }
+  *atoms = std::move(next);
 }
 
 }  // namespace twchase

@@ -35,9 +35,24 @@ std::optional<Substitution> FindProperRetraction(const AtomSet& atoms);
 /// *other* term fixed (the simplification of the frugal chase: only the
 /// nulls freshly introduced by a rule application may be recognised as
 /// redundant). Applies the folds to *atoms and returns the accumulated
-/// retraction.
+/// retraction. Preserves an enabled delta journal (see ApplyRetractionRebuild).
 Substitution FoldVariablesKeepingRestFixed(AtomSet* atoms,
                                            const std::vector<Term>& candidates);
+
+/// Applies `retraction` to *atoms in place: every atom containing a moved
+/// variable is erased and its image inserted (a retraction is the identity
+/// on its image's terms, so no other atom changes). Set-equal to assigning
+/// retraction.Apply(*atoms), but untouched atoms keep their slots and the
+/// mutations flow through Insert/Erase — so an enabled delta journal records
+/// them automatically. Used by the incremental core maintenance.
+void ApplyRetractionInPlace(AtomSet* atoms, const Substitution& retraction);
+
+/// Replaces *atoms with retraction(*atoms) exactly as assignment from
+/// Substitution::Apply would (identical slot order — the chase's
+/// deterministic schedules depend on it), carrying an enabled delta journal
+/// across the rebuild: entries journaled so far are kept and the rebuild's
+/// net changes (moved atoms erased, their images inserted) are appended.
+void ApplyRetractionRebuild(AtomSet* atoms, const Substitution& retraction);
 
 }  // namespace twchase
 

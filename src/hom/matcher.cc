@@ -177,8 +177,10 @@ class HomSearch {
     return true;
   }
 
-  bool TryUnify(const PatAtom& pat, const Atom& cand,
-                std::vector<uint32_t>* trail) {
+  // Bindings made by TryUnify go onto the shared trail_; RollbackTo(mark)
+  // undoes everything pushed after the mark. One growing vector instead of a
+  // fresh vector per search node.
+  bool TryUnify(const PatAtom& pat, const Atom& cand) {
     if (cand.args().size() != pat.args.size()) return false;
     for (size_t i = 0; i < pat.args.size(); ++i) {
       const Arg& arg = pat.args[i];
@@ -198,13 +200,15 @@ class HomSearch {
       }
       binding_[arg.var] = image;
       bound_[arg.var] = true;
-      trail->push_back(arg.var);
+      trail_.push_back(arg.var);
     }
     return true;
   }
 
-  void Rollback(const std::vector<uint32_t>& trail) {
-    for (uint32_t var : trail) {
+  void RollbackTo(size_t mark) {
+    while (trail_.size() > mark) {
+      uint32_t var = trail_.back();
+      trail_.pop_back();
       if (options_.injective) used_targets_.erase(binding_[var]);
       bound_[var] = false;
     }
@@ -246,15 +250,15 @@ class HomSearch {
     if (pat.focus) --remaining_focus_;
     bool stop = false;
     for (const Atom* cand : Candidates(pat)) {
-      std::vector<uint32_t> trail;
-      if (TryUnify(pat, *cand, &trail)) {
+      size_t mark = trail_.size();
+      if (TryUnify(pat, *cand)) {
         if (Search(remaining - 1)) {
-          Rollback(trail);
+          RollbackTo(mark);
           stop = true;
           break;
         }
       }
-      Rollback(trail);
+      RollbackTo(mark);
     }
     assigned_[chosen] = false;
     if (pat.focus) ++remaining_focus_;
@@ -270,6 +274,7 @@ class HomSearch {
   std::vector<char> bound_;
   std::vector<char> assigned_;
   size_t remaining_focus_ = 0;
+  std::vector<uint32_t> trail_;
   std::unordered_set<Term, TermHash> used_targets_;
   std::vector<Substitution> results_;
 };

@@ -19,9 +19,11 @@ bool AtomSet::Insert(Atom&& atom) {
     ++live_by_term_[t];
   }
   index_.emplace(atom, slot);
+  if (journal_enabled_) journal_.inserted.push_back(atom);
   slots_.push_back(std::move(atom));
   alive_.push_back(1);
   ++live_count_;
+  ++generation_;
   return true;
 }
 
@@ -36,10 +38,26 @@ bool AtomSet::Erase(const Atom& atom) {
     --live_by_term_[t];
   }
   index_.erase(it);
+  if (journal_enabled_) journal_.erased.push_back(slots_[slot]);
   --live_count_;
   ++dead_count_;
+  ++generation_;
   MaybeCompact();
   return true;
+}
+
+AtomSet::Delta AtomSet::DrainDelta() {
+  Delta out = std::move(journal_);
+  journal_ = Delta{};
+  return out;
+}
+
+void AtomSet::NoteExternalInsert(const Atom& atom) {
+  if (journal_enabled_) journal_.inserted.push_back(atom);
+}
+
+void AtomSet::NoteExternalErase(const Atom& atom) {
+  if (journal_enabled_) journal_.erased.push_back(atom);
 }
 
 bool AtomSet::Contains(const Atom& atom) const { return index_.contains(atom); }
@@ -161,6 +179,7 @@ void AtomSet::CompactPostings() {
   slots_ = std::move(new_slots);
   alive_.assign(slots_.size(), 1);
   dead_count_ = 0;
+  ++compactions_;
   index_.clear();
   by_predicate_.clear();
   by_term_.clear();

@@ -4,6 +4,12 @@
 //   * by term: all atoms mentioning a given term.
 // Storage is slot-based with tombstones so postings stay valid across erases;
 // postings are filtered on read and compacted when the dead fraction grows.
+//
+// Delta hooks: a generation counter stamps every successful mutation, and an
+// opt-in delta journal records inserted/erased atoms until drained — the
+// chase's semi-naive trigger generation consumes it to evaluate rules against
+// the change set instead of the whole instance. The journal stores atom
+// values, not slots, so tombstone compaction never invalidates it.
 #ifndef TWCHASE_MODEL_ATOM_SET_H_
 #define TWCHASE_MODEL_ATOM_SET_H_
 
@@ -81,6 +87,38 @@ class AtomSet {
   /// Builds a set from a list (deduplicating).
   static AtomSet FromAtoms(const std::vector<Atom>& atoms);
 
+  /// Mutation stamp: incremented on every successful Insert and Erase (not
+  /// on compaction, which preserves contents). Lets incremental consumers
+  /// assert they have not missed a change.
+  uint64_t generation() const { return generation_; }
+
+  /// Atoms inserted into / erased from the set since the last drain.
+  struct Delta {
+    std::vector<Atom> inserted;
+    std::vector<Atom> erased;
+    bool empty() const { return inserted.empty() && erased.empty(); }
+  };
+
+  /// Starts journaling mutations. Off by default (zero overhead); enabling
+  /// is idempotent and keeps any entries already recorded.
+  void EnableDeltaJournal() { journal_enabled_ = true; }
+  bool delta_journal_enabled() const { return journal_enabled_; }
+
+  /// Returns and clears the journal. Entries appear in mutation order; an
+  /// atom erased and re-inserted appears in both lists.
+  Delta DrainDelta();
+
+  /// Appends a journal entry without mutating the set. Used by bulk rebuild
+  /// operations (e.g. applying a retraction via a fresh set) that replace
+  /// contents wholesale and report the net changes themselves. No-ops when
+  /// the journal is disabled.
+  void NoteExternalInsert(const Atom& atom);
+  void NoteExternalErase(const Atom& atom);
+
+  /// Introspection for compaction tests.
+  size_t dead_slots() const { return dead_count_; }
+  size_t compactions() const { return compactions_; }
+
  private:
   void MaybeCompact();
   void CompactPostings();
@@ -94,6 +132,10 @@ class AtomSet {
   std::unordered_map<Term, size_t, TermHash> live_by_term_;
   size_t live_count_ = 0;
   size_t dead_count_ = 0;
+  uint64_t generation_ = 0;
+  size_t compactions_ = 0;
+  bool journal_enabled_ = false;
+  Delta journal_;
 };
 
 }  // namespace twchase

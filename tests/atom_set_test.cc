@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 #include "model/atom_set.h"
 #include "model/predicate.h"
@@ -132,6 +134,103 @@ TEST_F(AtomSetTest, ForEachVisitsExactlyLiveAtoms) {
 TEST_F(AtomSetTest, FromAtomsDeduplicates) {
   AtomSet s = AtomSet::FromAtoms({Atom(q_, {a_}), Atom(q_, {a_}), Atom(q_, {b_})});
   EXPECT_EQ(s.size(), 2u);
+}
+
+TEST_F(AtomSetTest, GenerationCountsOnlySuccessfulMutations) {
+  AtomSet s;
+  EXPECT_EQ(s.generation(), 0u);
+  s.Insert(Atom(q_, {a_}));
+  EXPECT_EQ(s.generation(), 1u);
+  s.Insert(Atom(q_, {a_}));  // duplicate: no change
+  EXPECT_EQ(s.generation(), 1u);
+  s.Erase(Atom(q_, {b_}));  // absent: no change
+  EXPECT_EQ(s.generation(), 1u);
+  s.Erase(Atom(q_, {a_}));
+  EXPECT_EQ(s.generation(), 2u);
+}
+
+TEST_F(AtomSetTest, DeltaJournalRecordsNetMutations) {
+  AtomSet s;
+  s.Insert(Atom(q_, {a_}));  // before enabling: not journaled
+  s.EnableDeltaJournal();
+  s.Insert(Atom(q_, {b_}));
+  s.Insert(Atom(q_, {b_}));  // duplicate: not journaled
+  s.Erase(Atom(q_, {a_}));
+  AtomSet::Delta delta = s.DrainDelta();
+  ASSERT_EQ(delta.inserted.size(), 1u);
+  EXPECT_EQ(delta.inserted[0], Atom(q_, {b_}));
+  ASSERT_EQ(delta.erased.size(), 1u);
+  EXPECT_EQ(delta.erased[0], Atom(q_, {a_}));
+  EXPECT_TRUE(s.DrainDelta().empty());  // drain clears
+}
+
+TEST_F(AtomSetTest, DeltaJournalEraseThenReinsertAppearsInBothLists) {
+  AtomSet s;
+  s.Insert(Atom(q_, {a_}));
+  s.EnableDeltaJournal();
+  s.Erase(Atom(q_, {a_}));
+  s.Insert(Atom(q_, {a_}));
+  AtomSet::Delta delta = s.DrainDelta();
+  ASSERT_EQ(delta.erased.size(), 1u);
+  ASSERT_EQ(delta.inserted.size(), 1u);
+  EXPECT_EQ(delta.erased[0], delta.inserted[0]);
+}
+
+TEST_F(AtomSetTest, DeltaJournalDisabledHasNoEntries) {
+  AtomSet s;
+  s.Insert(Atom(q_, {a_}));
+  s.Erase(Atom(q_, {a_}));
+  EXPECT_FALSE(s.delta_journal_enabled());
+  EXPECT_TRUE(s.DrainDelta().empty());
+}
+
+TEST_F(AtomSetTest, NoteExternalEntriesNeedEnabledJournal) {
+  AtomSet s;
+  s.NoteExternalInsert(Atom(q_, {a_}));  // disabled: dropped
+  EXPECT_TRUE(s.DrainDelta().empty());
+  s.EnableDeltaJournal();
+  s.NoteExternalInsert(Atom(q_, {a_}));
+  s.NoteExternalErase(Atom(q_, {b_}));
+  AtomSet::Delta delta = s.DrainDelta();
+  ASSERT_EQ(delta.inserted.size(), 1u);
+  ASSERT_EQ(delta.erased.size(), 1u);
+  EXPECT_EQ(s.size(), 0u);  // notes never mutate the set itself
+}
+
+TEST_F(AtomSetTest, CompactionPreservesJournalAndGeneration) {
+  // The journal stores atom values, not slots, so tombstone compaction must
+  // neither lose nor duplicate entries; the generation counter counts
+  // mutations only, not the (content-preserving) compaction.
+  AtomSet s;
+  s.EnableDeltaJournal();
+  std::vector<Atom> atoms;
+  for (int i = 0; i < 200; ++i) {
+    Atom atom(p_, {vocab_.FreshVariable(), vocab_.FreshVariable()});
+    atoms.push_back(atom);
+    s.Insert(std::move(atom));
+  }
+  EXPECT_EQ(s.compactions(), 0u);
+  for (int i = 0; i < 150; ++i) s.Erase(atoms[i]);
+  EXPECT_GE(s.compactions(), 1u);  // churn crossed the compaction threshold
+  EXPECT_LT(s.dead_slots(), 64u);  // compaction reclaimed the tombstones
+  EXPECT_EQ(s.generation(), 350u);
+  AtomSet::Delta delta = s.DrainDelta();
+  EXPECT_EQ(delta.inserted.size(), 200u);
+  EXPECT_EQ(delta.erased.size(), 150u);
+  // Postings survive compaction with the journal intact.
+  EXPECT_EQ(s.ByPredicate(p_).size(), 50u);
+  for (int i = 150; i < 200; ++i) EXPECT_TRUE(s.Contains(atoms[i]));
+}
+
+TEST_F(AtomSetTest, JournalSurvivesMoveAssignment) {
+  AtomSet s;
+  s.EnableDeltaJournal();
+  s.Insert(Atom(q_, {a_}));
+  AtomSet moved = std::move(s);
+  EXPECT_TRUE(moved.delta_journal_enabled());
+  AtomSet::Delta delta = moved.DrainDelta();
+  ASSERT_EQ(delta.inserted.size(), 1u);
+  EXPECT_EQ(delta.inserted[0], Atom(q_, {a_}));
 }
 
 }  // namespace

@@ -1,0 +1,178 @@
+// Differential tests for semi-naive delta evaluation (ChaseOptions::
+// delta_evaluation): for every chase variant and every paper KB, the run
+// with delta-driven trigger generation must be *identical* — not merely
+// equivalent — to the naive re-enumerating run: same steps, same rounds,
+// same rule at every step, same match, same simplification, and the same
+// instance after every step. This is the correctness bar that lets delta
+// evaluation default to ON without touching a single golden schedule.
+//
+// Incremental core maintenance (ChaseOptions::incremental_core) promises
+// less — runs agree only up to isomorphism — so its differential checks are
+// structural: the instance is a genuine core after every application and the
+// final instances of both modes have equal size and predicate profile.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/chase.h"
+#include "hom/core.h"
+#include "hom/matcher.h"
+#include "kb/examples.h"
+#include "kb/knowledge_base.h"
+
+namespace twchase {
+namespace {
+
+struct Workload {
+  std::string name;
+  size_t max_steps;
+  std::function<KnowledgeBase()> make_kb;  // fresh KB per run: nulls are
+                                           // minted into the KB's vocabulary
+};
+
+std::vector<Workload> PaperWorkloads() {
+  std::vector<Workload> workloads;
+  workloads.push_back({"transitive-closure-6", 400,
+                       [] { return MakeTransitiveClosure(6); }});
+  workloads.push_back({"guarded-chain-2", 120,
+                       [] { return MakeGuardedChain(2); }});
+  workloads.push_back({"bts-not-fes", 80, [] { return MakeBtsNotFes(); }});
+  workloads.push_back({"fes-not-bts", 150, [] { return MakeFesNotBts(); }});
+  workloads.push_back({"weakly-acyclic-pipeline-12", 200,
+                       [] { return MakeWeaklyAcyclicPipeline(12); }});
+  workloads.push_back({"staircase", 40, [] { return StaircaseWorld().kb(); }});
+  workloads.push_back({"elevator", 40, [] { return ElevatorWorld().kb(); }});
+  return workloads;
+}
+
+ChaseResult RunWorkload(const Workload& workload, ChaseVariant variant, bool delta,
+                bool incremental = false) {
+  KnowledgeBase kb = workload.make_kb();
+  ChaseOptions options;
+  options.variant = variant;
+  options.max_steps = workload.max_steps;
+  options.delta_evaluation = delta;
+  options.incremental_core = incremental;
+  auto run = RunChase(kb, options);
+  EXPECT_TRUE(run.ok()) << workload.name << ": " << run.status().message();
+  return run.ok() ? std::move(*run) : ChaseResult{};
+}
+
+void ExpectIdenticalRuns(const ChaseResult& off, const ChaseResult& on,
+                         const std::string& context) {
+  SCOPED_TRACE(context);
+  EXPECT_EQ(off.steps, on.steps);
+  EXPECT_EQ(off.rounds, on.rounds);
+  EXPECT_EQ(off.terminated, on.terminated);
+  ASSERT_EQ(off.derivation.size(), on.derivation.size());
+  for (size_t i = 0; i < off.derivation.size(); ++i) {
+    SCOPED_TRACE("step " + std::to_string(i));
+    const DerivationStep& a = off.derivation.step(i);
+    const DerivationStep& b = on.derivation.step(i);
+    EXPECT_EQ(a.rule_index, b.rule_index);
+    EXPECT_EQ(a.match, b.match);
+    EXPECT_EQ(a.simplification, b.simplification);
+    EXPECT_EQ(a.added_atoms, b.added_atoms);
+    EXPECT_EQ(a.instance_size, b.instance_size);
+    EXPECT_EQ(a.instance, b.instance);
+  }
+  EXPECT_EQ(off.derivation.Last(), on.derivation.Last());
+}
+
+// The predicate profile |{a in F : pred(a) = p}| per p — an isomorphism
+// invariant, used where runs only agree up to isomorphism.
+std::map<PredicateId, size_t> PredicateProfile(const AtomSet& atoms) {
+  std::map<PredicateId, size_t> profile;
+  atoms.ForEach([&](const Atom& atom) { ++profile[atom.predicate()]; });
+  return profile;
+}
+
+class DeltaDifferentialTest
+    : public ::testing::TestWithParam<ChaseVariant> {};
+
+TEST_P(DeltaDifferentialTest, DeltaOnEqualsDeltaOffOnAllPaperKbs) {
+  ChaseVariant variant = GetParam();
+  for (const Workload& workload : PaperWorkloads()) {
+    ChaseResult off = RunWorkload(workload, variant, /*delta=*/false);
+    ChaseResult on = RunWorkload(workload, variant, /*delta=*/true);
+    ExpectIdenticalRuns(off, on,
+                        std::string(ChaseVariantName(variant)) + " / " +
+                            workload.name);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, DeltaDifferentialTest,
+    ::testing::Values(ChaseVariant::kOblivious, ChaseVariant::kSemiOblivious,
+                      ChaseVariant::kRestricted, ChaseVariant::kFrugal,
+                      ChaseVariant::kCore),
+    [](const ::testing::TestParamInfo<ChaseVariant>& info) {
+      std::string name = ChaseVariantName(info.param);
+      name.erase(std::remove_if(name.begin(), name.end(),
+                                [](char c) { return !std::isalnum(
+                                      static_cast<unsigned char>(c)); }),
+                 name.end());
+      return name;
+    });
+
+TEST(IncrementalCoreDifferentialTest, EveryInstanceIsACore) {
+  for (const Workload& workload : PaperWorkloads()) {
+    if (workload.name != "staircase" && workload.name != "elevator") continue;
+    ChaseResult run = RunWorkload(workload, ChaseVariant::kCore, /*delta=*/true,
+                          /*incremental=*/true);
+    SCOPED_TRACE(workload.name);
+    EXPECT_GT(run.stats.core_incremental + run.stats.core_fallbacks, 0u);
+    for (size_t i = 0; i < run.derivation.size(); ++i) {
+      EXPECT_TRUE(IsCore(run.derivation.Instance(i)))
+          << "instance " << i << " is not a core";
+    }
+  }
+}
+
+TEST(IncrementalCoreDifferentialTest, AgreesWithFullRecomputationUpToIso) {
+  for (const Workload& workload : PaperWorkloads()) {
+    if (workload.name != "staircase" && workload.name != "elevator") continue;
+    SCOPED_TRACE(workload.name);
+    ChaseResult full = RunWorkload(workload, ChaseVariant::kCore, /*delta=*/true,
+                           /*incremental=*/false);
+    ChaseResult inc = RunWorkload(workload, ChaseVariant::kCore, /*delta=*/true,
+                          /*incremental=*/true);
+    EXPECT_EQ(full.steps, inc.steps);
+    EXPECT_EQ(full.terminated, inc.terminated);
+    ASSERT_EQ(full.derivation.size(), inc.derivation.size());
+    for (size_t i = 0; i < full.derivation.size(); ++i) {
+      EXPECT_EQ(full.derivation.step(i).instance_size,
+                inc.derivation.step(i).instance_size)
+          << "instance " << i;
+    }
+    EXPECT_EQ(PredicateProfile(full.derivation.Last()),
+              PredicateProfile(inc.derivation.Last()));
+    // Cores of homomorphically equivalent instances are isomorphic; two
+    // cores of equal size with a homomorphism each way are isomorphic.
+    EXPECT_TRUE(ExistsHomomorphism(full.derivation.Last(),
+                                   inc.derivation.Last()));
+    EXPECT_TRUE(ExistsHomomorphism(inc.derivation.Last(),
+                                   full.derivation.Last()));
+  }
+}
+
+TEST(IncrementalCoreDifferentialTest, RejectsUnsupportedCoringSchedules) {
+  StaircaseWorld world;
+  ChaseOptions options;
+  options.variant = ChaseVariant::kCore;
+  options.incremental_core = true;
+  options.core_every = 3;
+  EXPECT_FALSE(RunChase(world.kb(), options).ok());
+  options.core_every = 1;
+  options.core_at_round_end = true;
+  EXPECT_FALSE(RunChase(world.kb(), options).ok());
+}
+
+}  // namespace
+}  // namespace twchase

@@ -1,0 +1,171 @@
+// PackedBindings replaced the decimal-string trigger keys the chase engine
+// sorted and deduplicated by. The golden derivation schedules are pinned
+// under the *string* order, so these tests verify — by property testing
+// against a faithful reconstruction of the legacy string builder — that the
+// packed representation reproduces the old order and identity exactly.
+#include "core/trigger_key.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "model/substitution.h"
+#include "model/term.h"
+#include "util/random.h"
+
+namespace twchase {
+namespace {
+
+// The decimal-string sort key the chase used before packed keys.
+std::string LegacyStringKey(const Substitution& match) {
+  std::vector<std::pair<uint32_t, uint32_t>> entries;
+  for (const auto& [var, term] : match.map()) {
+    entries.emplace_back(var.raw(), term.raw());
+  }
+  std::sort(entries.begin(), entries.end());
+  std::string key;
+  for (const auto& [a, b] : entries) {
+    key += std::to_string(a);
+    key += ',';
+    key += std::to_string(b);
+    key += ';';
+  }
+  return key;
+}
+
+// Reconstruct a Term from the raw handle value the keys pack.
+Term TermFromRaw(uint32_t raw) {
+  return (raw & 0x80000000u) ? Term::Variable(raw & 0x7FFFFFFFu)
+                             : Term::Constant(raw);
+}
+
+// A random variable/term raw value with digit-count variety: uniform draws
+// over uint32 almost always have 10 digits, which never exercises the
+// decimal-prefix corner the legacy order is famous for (9 sorting after 10).
+uint32_t RandomRaw(Rng* rng, bool variable) {
+  int digits = static_cast<int>(rng->Uniform(1, 9));
+  uint32_t lo = 1;
+  for (int i = 1; i < digits; ++i) lo *= 10;
+  uint32_t value =
+      static_cast<uint32_t>(rng->Uniform(lo == 1 ? 0 : lo, lo * 10 - 1));
+  return variable ? (value | 0x80000000u) : value;
+}
+
+Substitution RandomMatch(Rng* rng, int max_bindings) {
+  Substitution match;
+  int n = static_cast<int>(rng->Uniform(0, max_bindings));
+  for (int i = 0; i < n; ++i) {
+    Term var = TermFromRaw(RandomRaw(rng, /*variable=*/true));
+    Term image = TermFromRaw(RandomRaw(rng, rng->Bernoulli(0.5)));
+    match.Bind(var, image);
+  }
+  return match;
+}
+
+TEST(TriggerKeyTest, LegacyDecimalLessMatchesStringOrder) {
+  Rng rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    uint32_t x = RandomRaw(&rng, rng.Bernoulli(0.5));
+    uint32_t y = RandomRaw(&rng, rng.Bernoulli(0.5));
+    std::string sx = std::to_string(x) + ';';
+    std::string sy = std::to_string(y) + ';';
+    EXPECT_EQ(LegacyDecimalLess(x, y), sx < sy)
+        << "x=" << x << " y=" << y;
+  }
+}
+
+TEST(TriggerKeyTest, LegacyDecimalLessPrefixCorners) {
+  // "9;" > "10;" (digit '9' > '1'), "12;" > "123;" (';' > '3'),
+  // "123;" < "13;" ('2' < '3').
+  EXPECT_FALSE(LegacyDecimalLess(9, 10));
+  EXPECT_TRUE(LegacyDecimalLess(10, 9));
+  EXPECT_FALSE(LegacyDecimalLess(12, 123));
+  EXPECT_TRUE(LegacyDecimalLess(123, 12));
+  EXPECT_TRUE(LegacyDecimalLess(123, 13));
+  EXPECT_FALSE(LegacyDecimalLess(5, 5));
+}
+
+TEST(TriggerKeyTest, LegacyLessMatchesStringOrderOnRandomMatches) {
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    Substitution a = RandomMatch(&rng, 4);
+    Substitution b = RandomMatch(&rng, 4);
+    PackedBindings ka = PackedBindings::FromMatch(a);
+    PackedBindings kb = PackedBindings::FromMatch(b);
+    std::string sa = LegacyStringKey(a);
+    std::string sb = LegacyStringKey(b);
+    EXPECT_EQ(PackedBindings::LegacyLess(ka, kb), sa < sb)
+        << "a=" << sa << " b=" << sb;
+    EXPECT_EQ(PackedBindings::LegacyLess(kb, ka), sb < sa)
+        << "a=" << sa << " b=" << sb;
+  }
+}
+
+TEST(TriggerKeyTest, LegacyLessSharedPrefixStress) {
+  // Force matches sharing binding prefixes so the comparison has to walk
+  // deep before deciding, including equal-variable different-term cases.
+  Rng rng(13);
+  for (int i = 0; i < 5000; ++i) {
+    Substitution base = RandomMatch(&rng, 3);
+    Substitution a = base;
+    Substitution b = base;
+    Term var = TermFromRaw(RandomRaw(&rng, /*variable=*/true));
+    a.Bind(var, TermFromRaw(RandomRaw(&rng, rng.Bernoulli(0.5))));
+    b.Bind(var, TermFromRaw(RandomRaw(&rng, rng.Bernoulli(0.5))));
+    PackedBindings ka = PackedBindings::FromMatch(a);
+    PackedBindings kb = PackedBindings::FromMatch(b);
+    EXPECT_EQ(PackedBindings::LegacyLess(ka, kb),
+              LegacyStringKey(a) < LegacyStringKey(b));
+  }
+}
+
+TEST(TriggerKeyTest, IdentityMatchesStringIdentity) {
+  // Same key ⇔ same legacy string: dedup behaviour is unchanged.
+  Rng rng(17);
+  std::unordered_set<PackedBindings, PackedBindingsHash> packed;
+  std::unordered_set<std::string> strings;
+  for (int i = 0; i < 3000; ++i) {
+    Substitution m = RandomMatch(&rng, 3);
+    packed.insert(PackedBindings::FromMatch(m));
+    strings.insert(LegacyStringKey(m));
+  }
+  EXPECT_EQ(packed.size(), strings.size());
+}
+
+TEST(TriggerKeyTest, FromRestrictedProjectsThroughTheMatch) {
+  Substitution match;
+  Term x = TermFromRaw(0x80000001u);
+  Term y = TermFromRaw(0x80000002u);
+  Term a = TermFromRaw(5u);
+  match.Bind(x, a);
+  match.Bind(y, a);
+  // Restricting to {x} keys only x's image; an unbound variable keys itself.
+  PackedBindings restricted = PackedBindings::FromRestricted(match, {x});
+  PackedBindings full = PackedBindings::FromMatch(match);
+  EXPECT_FALSE(restricted == full);
+  ASSERT_EQ(restricted.words().size(), 1u);
+  EXPECT_EQ(restricted.words()[0],
+            (static_cast<uint64_t>(x.raw()) << 32) | a.raw());
+  Term unbound = TermFromRaw(0x80000003u);
+  PackedBindings self = PackedBindings::FromRestricted(match, {unbound});
+  ASSERT_EQ(self.words().size(), 1u);
+  EXPECT_EQ(self.words()[0],
+            (static_cast<uint64_t>(unbound.raw()) << 32) | unbound.raw());
+}
+
+TEST(TriggerKeyTest, EmptyKeyBehaviour) {
+  Substitution empty;
+  PackedBindings key = PackedBindings::FromMatch(empty);
+  EXPECT_TRUE(key.empty());
+  EXPECT_FALSE(PackedBindings::LegacyLess(key, key));
+  PackedBindings nonempty = PackedBindings::FromRestricted(
+      empty, {TermFromRaw(0x80000001u)});
+  EXPECT_TRUE(PackedBindings::LegacyLess(key, nonempty));   // "" < anything
+  EXPECT_FALSE(PackedBindings::LegacyLess(nonempty, key));
+}
+
+}  // namespace
+}  // namespace twchase
