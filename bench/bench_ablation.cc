@@ -92,7 +92,7 @@ int main() {
     ElevatorWorld world;
     ChaseOptions chase_options;
     chase_options.variant = ChaseVariant::kCore;
-    chase_options.max_steps = 35;
+    chase_options.limits.max_steps = 35;
     chase_options.keep_snapshots = false;
     auto run = RunChase(world.kb(), chase_options);
     if (run.ok()) {
@@ -123,8 +123,8 @@ int main() {
     ElevatorWorld world;
     ChaseOptions options;
     options.variant = ChaseVariant::kCore;
-    options.core_every = spacing;
-    options.max_steps = 60;
+    options.core.core_every = spacing;
+    options.limits.max_steps = 60;
     Stopwatch w;
     auto run = RunChase(world.kb(), options);
     if (!run.ok()) continue;
@@ -146,7 +146,7 @@ int main() {
     auto kb = MakeFesNotBts();
     ChaseOptions options;
     options.variant = variant;
-    options.max_steps = 300;
+    options.limits.max_steps = 300;
     options.keep_snapshots = false;
     Stopwatch w;
     auto run = RunChase(kb, options);
@@ -162,7 +162,7 @@ int main() {
     // the chased instance — the workload the round snapshot keys every round.
     auto kb = MakeTransitiveClosure(14);
     ChaseOptions chase_options;
-    chase_options.max_steps = 5000;
+    chase_options.limits.max_steps = 5000;
     chase_options.keep_snapshots = false;
     auto run = RunChase(kb, chase_options);
     std::vector<Substitution> matches;
@@ -233,9 +233,9 @@ int main() {
       for (bool incremental : {false, true}) {
         ChaseOptions options;
         options.variant = ChaseVariant::kCore;
-        options.max_steps = c.max_steps;
+        options.limits.max_steps = c.max_steps;
         options.keep_snapshots = false;
-        options.incremental_core = incremental;
+        options.core.incremental_core = incremental;
         Stopwatch w;
         StaircaseWorld staircase;
         ElevatorWorld elevator;

@@ -22,6 +22,7 @@
 #include "core/chase.h"
 #include "hom/core.h"
 #include "hom/matcher.h"
+#include "obs/metrics.h"
 #include "kb/examples.h"
 #include "kb/generators.h"
 #include "tw/exact.h"
@@ -116,7 +117,7 @@ void BM_ChaseVariant(benchmark::State& state) {
     state.ResumeTiming();
     ChaseOptions options;
     options.variant = variant;
-    options.max_steps = 500;
+    options.limits.max_steps = 500;
     options.keep_snapshots = false;
     auto run = RunChase(kb, options);
     benchmark::DoNotOptimize(run->steps);
@@ -136,7 +137,7 @@ void BM_StaircaseCoreChase(benchmark::State& state) {
     state.ResumeTiming();
     ChaseOptions options;
     options.variant = ChaseVariant::kCore;
-    options.max_steps = steps;
+    options.limits.max_steps = steps;
     options.keep_snapshots = false;
     auto run = RunChase(world.kb(), options);
     benchmark::DoNotOptimize(run->steps);
@@ -161,18 +162,19 @@ struct SweepMeasurement {
 };
 
 SweepMeasurement MeasureChase(const SweepWorkload& workload, bool delta_on,
-                              int repetitions) {
+                              int repetitions, Histogram* phase_ms) {
   SweepMeasurement best;
   for (int rep = 0; rep < repetitions; ++rep) {
     KnowledgeBase kb = workload.make_kb();
     ChaseOptions options;
     options.variant = workload.variant;
-    options.max_steps = workload.max_steps;
+    options.limits.max_steps = workload.max_steps;
     options.keep_snapshots = false;
-    options.delta_evaluation = delta_on;
+    options.delta.enabled = delta_on;
     Stopwatch watch;
     auto run = RunChase(kb, options);
     double ms = watch.ElapsedMillis();
+    if (phase_ms != nullptr) phase_ms->Observe(ms);
     if (!run.ok()) {
       std::fprintf(stderr, "workload %s failed: %s\n", workload.name.c_str(),
                    run.status().message().c_str());
@@ -224,14 +226,22 @@ int RunDeltaSweep(const char* output_path) {
   workloads.push_back({"elevator-core", ChaseVariant::kCore, 60,
                        [] { return ElevatorWorld().kb(); }});
 
+  // Per-phase wall times (one observation per repetition, so min is the
+  // reported best) go into a registry and are embedded into the artifact
+  // under "metrics". The measured runs themselves carry no observer.
+  MetricsRegistry registry;
   std::string json = "{\n  \"benchmark\": \"delta_evaluation_sweep\",\n"
                      "  \"workloads\": [\n";
   std::printf("%-26s %-14s %8s %10s %10s %8s\n", "workload", "variant",
               "steps", "off ms", "on ms", "speedup");
   for (size_t i = 0; i < workloads.size(); ++i) {
     const SweepWorkload& workload = workloads[i];
-    SweepMeasurement off = MeasureChase(workload, /*delta_on=*/false, 3);
-    SweepMeasurement on = MeasureChase(workload, /*delta_on=*/true, 3);
+    SweepMeasurement off = MeasureChase(
+        workload, /*delta_on=*/false, 3,
+        registry.GetHistogram("phase." + workload.name + ".off.wall_ms"));
+    SweepMeasurement on = MeasureChase(
+        workload, /*delta_on=*/true, 3,
+        registry.GetHistogram("phase." + workload.name + ".on.wall_ms"));
     // The two runs must be the same run; anything else is an engine bug.
     if (on.result.steps != off.result.steps ||
         on.result.rounds != off.result.rounds ||
@@ -257,7 +267,7 @@ int RunDeltaSweep(const char* output_path) {
     json += buffer;
     json += (i + 1 < workloads.size()) ? "    },\n" : "    }\n";
   }
-  json += "  ]\n}\n";
+  json += "  ],\n  \"metrics\": " + registry.ToJson(2) + "\n}\n";
 
   if (FILE* out = std::fopen(output_path, "w")) {
     std::fwrite(json.data(), 1, json.size(), out);

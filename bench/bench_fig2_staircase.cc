@@ -22,7 +22,7 @@ int main() {
 
   ChaseOptions options;
   options.variant = ChaseVariant::kCore;
-  options.max_steps = 70;
+  options.limits.max_steps = 70;
   Stopwatch sw;
   auto run = RunChase(world.kb(), options);
   if (!run.ok()) {

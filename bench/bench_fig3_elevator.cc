@@ -23,8 +23,8 @@ int main() {
 
   ChaseOptions options;
   options.variant = ChaseVariant::kCore;
-  options.core_every = 3;
-  options.max_steps = 100;
+  options.core.core_every = 3;
+  options.limits.max_steps = 100;
   Stopwatch sw;
   auto run = RunChase(world.kb(), options);
   if (!run.ok()) {

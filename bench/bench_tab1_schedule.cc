@@ -18,7 +18,7 @@ int main() {
 
   ChaseOptions options;
   options.variant = ChaseVariant::kCore;
-  options.max_steps = 90;
+  options.limits.max_steps = 90;
   auto run = RunChase(world.kb(), options);
   if (!run.ok()) {
     std::printf("chase failed: %s\n", run.status().ToString().c_str());

@@ -17,7 +17,7 @@ void Row(const char* name, const twchase::KnowledgeBase& kb,
   RulesetAnalysis analysis = AnalyzeRuleset(kb.rules);
   ChaseOptions options;
   options.variant = ChaseVariant::kCore;
-  options.max_steps = budget;
+  options.limits.max_steps = budget;
   auto run = RunChase(kb, options);
   const char* behaviour = "?";
   if (run.ok()) {

@@ -19,7 +19,7 @@ int main() {
 
   ChaseOptions options;
   options.variant = ChaseVariant::kCore;
-  options.max_steps = 60;  // the coring cost grows steeply; see bench_fig3
+  options.limits.max_steps = 60;  // the coring cost grows steeply; see bench_fig3
   auto run = RunChase(world.kb(), options);
   if (!run.ok()) {
     std::printf("core chase failed: %s\n", run.status().ToString().c_str());

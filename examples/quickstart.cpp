@@ -43,7 +43,7 @@ int main() {
   // universal model, which decides every CQ.
   ChaseOptions options;
   options.variant = ChaseVariant::kCore;
-  options.max_steps = 200;
+  options.limits.max_steps = 200;
   auto run = RunChase(program->kb, options);
   if (!run.ok()) {
     std::printf("chase error: %s\n", run.status().ToString().c_str());

@@ -23,7 +23,7 @@ int main() {
 
   ChaseOptions core_options;
   core_options.variant = ChaseVariant::kCore;
-  core_options.max_steps = 60;
+  core_options.limits.max_steps = 60;
   auto core_run = RunChase(world.kb(), core_options);
   if (!core_run.ok()) {
     std::printf("core chase failed: %s\n", core_run.status().ToString().c_str());

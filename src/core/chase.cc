@@ -10,6 +10,7 @@
 #include "core/trigger_key.h"
 #include "hom/core.h"
 #include "hom/endomorphism.h"
+#include "obs/observer.h"
 #include "util/logging.h"
 #include "util/status.h"
 
@@ -29,6 +30,19 @@ const char* ChaseVariantName(ChaseVariant variant) {
       return "core";
   }
   return "unknown";
+}
+
+Status ChaseOptions::Validate() const {
+  if (core.core_every == 0) {
+    return Status::InvalidArgument("core_every must be positive");
+  }
+  if (core.incremental_core &&
+      (core.core_every != 1 || core.core_at_round_end)) {
+    return Status::InvalidArgument(
+        "incremental_core requires core_every == 1 and "
+        "core_at_round_end == false");
+  }
+  return Status::OK();
 }
 
 namespace {
@@ -91,19 +105,14 @@ StatusOr<ChaseResult> RunChase(const KnowledgeBase& kb,
   if (kb.vocab == nullptr) {
     return Status::InvalidArgument("knowledge base has no vocabulary");
   }
-  if (options.core_every == 0) {
-    return Status::InvalidArgument("core_every must be positive");
-  }
-  if (options.incremental_core &&
-      (options.core_every != 1 || options.core_at_round_end)) {
-    return Status::InvalidArgument(
-        "incremental_core requires core_every == 1 and "
-        "core_at_round_end == false");
-  }
+  TWCHASE_RETURN_IF_ERROR(options.Validate());
   Vocabulary* vocab = kb.vocab.get();
   const bool is_core = options.variant == ChaseVariant::kCore;
-  const bool use_incremental_core = is_core && options.incremental_core;
-  const bool delta_on = options.delta_evaluation;
+  const bool use_incremental_core = is_core && options.core.incremental_core;
+  const bool delta_on = options.delta.enabled;
+  // The observer is a read-only tap; every emission site below is a single
+  // untaken branch when no observer is attached.
+  ChaseObserver* const obs = options.observer;
   // Monotone variants never erase atoms, so a trigger once applied — or, for
   // the restricted chase, once satisfied — can never become active again:
   // the delta evaluation retires such matches instead of re-checking them
@@ -119,13 +128,34 @@ StatusOr<ChaseResult> RunChase(const KnowledgeBase& kb,
 
   AtomSet current = kb.facts;
   Substitution sigma0;
-  if (is_core && options.core_initial) {
+  size_t initial_folds = 0;
+  size_t initial_size_before = current.size();
+  if (is_core && options.core.core_initial) {
     CoreResult cored = ComputeCore(current);
     current = std::move(cored.core);
     sigma0 = std::move(cored.retraction);
+    initial_folds = cored.folds;
   }
   result.derivation.AddInitial(current, std::move(sigma0));
   result.stats.peak_instance_size = current.size();
+
+  if (obs != nullptr) {
+    RunBeginEvent begin;
+    begin.variant = options.variant;
+    begin.rule_count = kb.rules.size();
+    begin.initial_size = current.size();
+    begin.initial_simplification = &result.derivation.step(0).simplification;
+    begin.instance = &current;
+    obs->OnRunBegin(begin);
+    if (is_core && options.core.core_initial) {
+      CoreRetractionEvent retraction;
+      retraction.step = 0;
+      retraction.folds = initial_folds;
+      retraction.size_before = initial_size_before;
+      retraction.size_after = current.size();
+      obs->OnCoreRetraction(retraction);
+    }
+  }
 
   std::vector<RuleState> rule_states(kb.rules.size());
   for (size_t r = 0; r < kb.rules.size(); ++r) {
@@ -141,8 +171,9 @@ StatusOr<ChaseResult> RunChase(const KnowledgeBase& kb,
 
   size_t since_last_core = 0;
 
-  while (result.steps < options.max_steps) {
+  while (result.steps < options.limits.max_steps) {
     ++result.rounds;
+    const size_t steps_at_round_start = result.steps;
 
     // Establish this round's match sets: naive evaluation re-enumerates
     // from scratch; delta evaluation repairs the stored sets from the atoms
@@ -165,6 +196,10 @@ StatusOr<ChaseResult> RunChase(const KnowledgeBase& kb,
       delta_primed = true;
     } else {
       pending_delta.Absorb(current.DrainDelta());
+      DeltaRepairEvent repair;
+      repair.round = result.rounds;
+      repair.inserted_atoms = pending_delta.inserted().size();
+      repair.erased_atoms = pending_delta.erased().size();
       if (pending_delta.has_erasures()) {
         for (size_t r = 0; r < kb.rules.size(); ++r) {
           RuleState& state = rule_states[r];
@@ -176,6 +211,12 @@ StatusOr<ChaseResult> RunChase(const KnowledgeBase& kb,
             } else {
               state.match_keys.erase(state.matches[i].key);
               ++result.stats.matches_invalidated;
+              ++repair.matches_invalidated;
+              if (obs != nullptr) {
+                obs->OnTriggerRetired(
+                    {result.rounds, static_cast<int>(r),
+                     TriggerRetireReason::kInvalidated});
+              }
             }
           }
           state.matches.resize(kept);
@@ -189,16 +230,19 @@ StatusOr<ChaseResult> RunChase(const KnowledgeBase& kb,
           RuleState& state = rule_states[r];
           if (!state.body_predicates.contains(fact.predicate())) continue;
           ++result.stats.seed_probes;
+          ++repair.seed_probes;
           for (Substitution& m :
                FindSeededMatches(kb.rules[r], fact, current)) {
             PackedBindings key = PackedBindings::FromMatch(m);
             if (state.match_keys.insert(key).second) {
               state.matches.push_back(StoredMatch{std::move(m), std::move(key)});
+              ++repair.matches_added;
             }
           }
         }
       }
       pending_delta.Clear();
+      if (obs != nullptr) obs->OnDeltaRepair(repair);
     }
 
     // Snapshot and order the round's triggers. The order is total — within
@@ -230,14 +274,21 @@ StatusOr<ChaseResult> RunChase(const KnowledgeBase& kb,
               });
     result.stats.triggers_found += pending.size();
 
+    if (obs != nullptr) {
+      obs->OnRoundBegin({result.rounds, pending.size(), current.size()});
+    }
+
     bool progressed = false;
     Substitution sigma_round;  // composition of simplifications this round
     for (const PendingTrigger& p : pending) {
-      if (result.steps >= options.max_steps) break;
+      if (result.steps >= options.limits.max_steps) break;
       const Rule& rule = kb.rules[p.rule_index];
       RuleState& state = rule_states[p.rule_index];
       StoredMatch& stored = state.matches[p.match_index];
       ++result.stats.triggers_considered;
+      if (obs != nullptr) {
+        obs->OnTriggerConsidered({result.rounds, p.rule_index});
+      }
       // Re-map the trigger through the simplifications applied since the
       // round snapshot (σ^j_i of Definition 2); σ is a homomorphism between
       // successive instances, so the image is still a trigger.
@@ -255,6 +306,11 @@ StatusOr<ChaseResult> RunChase(const KnowledgeBase& kb,
                                    : PackedBindings::FromMatch(*match);
           bool fresh = state.applied.insert(std::move(key)).second;
           stored.retired = true;
+          if (obs != nullptr && retire_considered) {
+            obs->OnTriggerRetired({result.rounds, p.rule_index,
+                                   fresh ? TriggerRetireReason::kApplied
+                                         : TriggerRetireReason::kDuplicate});
+          }
           if (!fresh) continue;
           break;
         }
@@ -263,6 +319,11 @@ StatusOr<ChaseResult> RunChase(const KnowledgeBase& kb,
               PackedBindings::FromRestricted(*match, rule.frontier());
           bool fresh = state.applied.insert(std::move(key)).second;
           stored.retired = true;
+          if (obs != nullptr && retire_considered) {
+            obs->OnTriggerRetired({result.rounds, p.rule_index,
+                                   fresh ? TriggerRetireReason::kApplied
+                                         : TriggerRetireReason::kDuplicate});
+          }
           if (!fresh) continue;
           break;
         }
@@ -270,7 +331,15 @@ StatusOr<ChaseResult> RunChase(const KnowledgeBase& kb,
         case ChaseVariant::kFrugal:
         case ChaseVariant::kCore: {
           bool satisfied = TriggerIsSatisfied(rule, *match, current);
-          if (retire_considered) stored.retired = true;
+          if (retire_considered) {
+            stored.retired = true;
+            if (obs != nullptr) {
+              obs->OnTriggerRetired({result.rounds, p.rule_index,
+                                     satisfied
+                                         ? TriggerRetireReason::kSatisfied
+                                         : TriggerRetireReason::kApplied});
+            }
+          }
           if (satisfied) continue;
           break;
         }
@@ -279,12 +348,15 @@ StatusOr<ChaseResult> RunChase(const KnowledgeBase& kb,
       TriggerApplication application =
           ApplyTrigger(rule, *match, &current, vocab);
       Substitution sigma;
-      if (is_core && !options.core_at_round_end &&
-          ++since_last_core >= options.core_every) {
+      bool have_core_event = false;
+      CoreRetractionEvent core_event;
+      if (is_core && !options.core.core_at_round_end &&
+          ++since_last_core >= options.core.core_every) {
         since_last_core = 0;
+        core_event.size_before = current.size();
         if (use_incremental_core) {
           IncrementalCoreOptions inc_options;
-          inc_options.dirty_radius = options.dirty_radius;
+          inc_options.dirty_radius = options.core.dirty_radius;
           IncrementalCoreResult inc =
               IncrementalCoreUpdate(&current, application.added_atoms,
                                     inc_options);
@@ -294,6 +366,9 @@ StatusOr<ChaseResult> RunChase(const KnowledgeBase& kb,
           } else {
             ++result.stats.core_incremental;
           }
+          core_event.incremental = true;
+          core_event.fell_back = inc.fell_back;
+          core_event.folds = inc.folds;
         } else {
           if (delta_on) pending_delta.Absorb(current.DrainDelta());
           CoreResult cored = ComputeCore(current);
@@ -304,7 +379,10 @@ StatusOr<ChaseResult> RunChase(const KnowledgeBase& kb,
           if (delta_on) current.EnableDeltaJournal();
           sigma = std::move(cored.retraction);
           ++result.stats.core_full;
+          core_event.folds = cored.folds;
         }
+        core_event.size_after = current.size();
+        have_core_event = true;
       } else if (options.variant == ChaseVariant::kFrugal &&
                  !rule.existential().empty()) {
         std::vector<Term> fresh;
@@ -333,18 +411,39 @@ StatusOr<ChaseResult> RunChase(const KnowledgeBase& kb,
       }
       ++result.steps;
       progressed = true;
+      if (obs != nullptr) {
+        const DerivationStep& last =
+            result.derivation.step(result.derivation.size() - 1);
+        TriggerAppliedEvent applied;
+        applied.step = result.steps;
+        applied.round = result.rounds;
+        applied.rule_index = p.rule_index;
+        applied.rule_label = &last.rule_label;
+        applied.match = &last.match;
+        applied.simplification = &last.simplification;
+        applied.added_atoms = last.added_atoms.size();
+        applied.instance_size = current.size();
+        applied.instance = &current;
+        obs->OnTriggerApplied(applied);
+        if (have_core_event) {
+          core_event.step = result.steps;
+          obs->OnCoreRetraction(core_event);
+        }
+      }
       result.stats.peak_instance_size =
           std::max(result.stats.peak_instance_size, current.size());
-      if (options.max_instance_size != 0 &&
-          current.size() > options.max_instance_size) {
+      if (options.limits.max_instance_size != 0 &&
+          current.size() > options.limits.max_instance_size) {
         result.size_guard_tripped = true;
         break;
       }
     }
-    if (is_core && options.core_at_round_end && progressed) {
+    if (is_core && options.core.core_at_round_end && progressed) {
       if (delta_on) pending_delta.Absorb(current.DrainDelta());
+      size_t size_before = current.size();
       CoreResult cored = ComputeCore(current);
       ++result.stats.core_full;
+      size_t round_end_folds = cored.folds;
       if (!cored.retraction.IsIdentity()) {
         if (delta_on) {
           RecordRetractionDelta(cored.retraction, current, &pending_delta);
@@ -352,6 +451,14 @@ StatusOr<ChaseResult> RunChase(const KnowledgeBase& kb,
         current = std::move(cored.core);
         if (delta_on) current.EnableDeltaJournal();
         result.derivation.AmendLastSimplification(cored.retraction, current);
+      }
+      if (obs != nullptr) {
+        CoreRetractionEvent retraction;
+        retraction.step = result.steps;
+        retraction.folds = round_end_folds;
+        retraction.size_before = size_before;
+        retraction.size_after = current.size();
+        obs->OnCoreRetraction(retraction);
       }
     }
     if (retire_considered) {
@@ -366,11 +473,19 @@ StatusOr<ChaseResult> RunChase(const KnowledgeBase& kb,
         state.matches.resize(kept);
       }
     }
+    if (obs != nullptr) {
+      obs->OnRoundEnd({result.rounds, result.steps - steps_at_round_start,
+                       current.size(), progressed});
+    }
     if (!progressed) {
       result.terminated = true;
       break;
     }
     if (result.size_guard_tripped) break;
+  }
+  if (obs != nullptr) {
+    obs->OnRunEnd({result.steps, result.rounds, result.terminated,
+                   result.size_guard_tripped, current.size()});
   }
   TWCHASE_LOG(Debug) << "chase " << ChaseVariantName(options.variant) << ": "
                      << result.steps << " steps, " << result.rounds

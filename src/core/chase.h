@@ -36,15 +36,73 @@ enum class ChaseVariant {
 
 const char* ChaseVariantName(ChaseVariant variant);
 
+class ChaseObserver;  // obs/observer.h
+
+/// Chase configuration, grouped by concern: `limits` (budgets), `core`
+/// (coring schedule of the core chase), `delta` (semi-naive evaluation).
+/// Invariants across groups are checked by Validate(), which RunChase calls
+/// first — inconsistent combinations are rejected, never silently patched.
 struct ChaseOptions {
   ChaseVariant variant = ChaseVariant::kRestricted;
 
-  /// Budget in rule applications; the run stops unterminated when exhausted.
-  size_t max_steps = 1000;
+  /// Run budgets. The run stops (unterminated) when one is exhausted.
+  struct LimitOptions {
+    /// Budget in rule applications.
+    size_t max_steps = 1000;
 
-  /// Instance-size guardrail: stop (unterminated) once |F_i| exceeds this
-  /// (0 = unlimited). Protects callers from runaway oblivious chases.
-  size_t max_instance_size = 0;
+    /// Instance-size guardrail: stop (unterminated) once |F_i| exceeds this
+    /// (0 = unlimited). Protects callers from runaway oblivious chases.
+    size_t max_instance_size = 0;
+  };
+
+  /// Coring schedule (core chase only; ignored by the other variants).
+  struct CoreOptions {
+    /// Retract to a core after every k-th application (the paper allows any
+    /// finite spacing; 1 = after every application).
+    size_t core_every = 1;
+
+    /// Instead of per-application coring, core once at the end of each
+    /// scheduler round — the Deutsch–Nash–Remmel presentation (apply all
+    /// active triggers "in parallel", then take the core). The retraction
+    /// is recorded as the simplification of the round's last application,
+    /// which keeps the run a valid derivation (Definition 1) and a core
+    /// chase sequence (finitely many applications between corings).
+    bool core_at_round_end = false;
+
+    /// Also core the initial fact set (the core chase does; other variants
+    /// keep F as-is).
+    bool core_initial = true;
+
+    /// Maintain the core incrementally after each application (fold only
+    /// variables within dirty_radius of the new atoms, then verify the
+    /// rest) instead of recomputing from scratch; falls back to a full
+    /// ComputeCore when a fold cascades or verification finds a distant
+    /// fold. Requires core_every == 1 and core_at_round_end == false
+    /// (Validate rejects other combinations). The instance is still a core
+    /// after every application, but the chosen folds — and hence null names
+    /// and trigger order — may differ from the full recomputation, so runs
+    /// agree only up to isomorphism. Off by default.
+    bool incremental_core = false;
+
+    /// Incremental core: BFS radius (in atom hops from the added atoms'
+    /// terms) defining the dirty variables eligible for folding.
+    size_t dirty_radius = 2;
+  };
+
+  /// Semi-naive (delta-driven) trigger generation.
+  struct DeltaOptions {
+    /// Keep each rule's set of body matches across rounds and repair/extend
+    /// it from the atoms inserted and erased since the previous round,
+    /// instead of re-enumerating all matches of the whole instance every
+    /// round. A pure optimisation: the produced run is identical — same
+    /// instances, same steps, same trigger order — to the naive evaluation
+    /// for every variant.
+    bool enabled = true;
+  };
+
+  LimitOptions limits;
+  CoreOptions core;
+  DeltaOptions delta;
 
   /// Process datalog (non-existential) rules before existential ones within
   /// a round, as the paper's constructions assume (Proposition 6).
@@ -53,43 +111,71 @@ struct ChaseOptions {
   /// Keep per-step instance snapshots (needed by aggregations and measures).
   bool keep_snapshots = true;
 
-  /// Core chase: retract to a core after every k-th application (the paper
-  /// allows any finite spacing; 1 = after every application).
-  size_t core_every = 1;
+  /// Structured event tap (obs/observer.h), non-owning. Null (the default)
+  /// means zero observation overhead; attached observers see every round,
+  /// trigger and retraction but must never mutate the run — runs with and
+  /// without observers are bit-identical.
+  ChaseObserver* observer = nullptr;
 
-  /// Core chase: instead of per-application coring, core once at the end of
-  /// each scheduler round — the Deutsch–Nash–Remmel presentation (apply all
-  /// active triggers "in parallel", then take the core). The retraction is
-  /// recorded as the simplification of the round's last application, which
-  /// keeps the run a valid derivation (Definition 1) and a core chase
-  /// sequence (finitely many applications between corings).
-  bool core_at_round_end = false;
+  /// Rejects inconsistent option combinations (core_every == 0,
+  /// incremental_core with an unsupported coring schedule, ...). RunChase
+  /// validates first and surfaces the same Status.
+  Status Validate() const;
 
-  /// Also core the initial fact set (the core chase does; other variants
-  /// keep F as-is).
-  bool core_initial = true;
+  // --- Deprecated flat accessors ------------------------------------------
+  // The flat fields moved into the nested groups above; these forward for
+  // one release so external callers can migrate (`o.max_steps = n` becomes
+  // `o.limits.max_steps = n`, or transitionally `o.max_steps() = n`).
 
-  /// Semi-naive (delta-driven) trigger generation: keep each rule's set of
-  /// body matches across rounds and repair/extend it from the atoms inserted
-  /// and erased since the previous round, instead of re-enumerating all
-  /// matches of the whole instance every round. A pure optimisation: the
-  /// produced run is identical — same instances, same steps, same trigger
-  /// order — to the naive evaluation for every variant.
-  bool delta_evaluation = true;
-
-  /// Core chase: maintain the core incrementally after each application
-  /// (fold only variables within dirty_radius of the new atoms, then verify
-  /// the rest) instead of recomputing from scratch; falls back to a full
-  /// ComputeCore when a fold cascades or verification finds a distant fold.
-  /// Requires core_every == 1 and core_at_round_end == false. The instance
-  /// is still a core after every application, but the chosen folds — and
-  /// hence null names and trigger order — may differ from the full
-  /// recomputation, so runs agree only up to isomorphism. Off by default.
-  bool incremental_core = false;
-
-  /// Incremental core: BFS radius (in atom hops from the added atoms'
-  /// terms) defining the dirty variables eligible for folding.
-  size_t dirty_radius = 2;
+  [[deprecated("use limits.max_steps")]] size_t& max_steps() {
+    return limits.max_steps;
+  }
+  [[deprecated("use limits.max_steps")]] size_t max_steps() const {
+    return limits.max_steps;
+  }
+  [[deprecated("use limits.max_instance_size")]] size_t& max_instance_size() {
+    return limits.max_instance_size;
+  }
+  [[deprecated("use limits.max_instance_size")]] size_t max_instance_size()
+      const {
+    return limits.max_instance_size;
+  }
+  [[deprecated("use core.core_every")]] size_t& core_every() {
+    return core.core_every;
+  }
+  [[deprecated("use core.core_every")]] size_t core_every() const {
+    return core.core_every;
+  }
+  [[deprecated("use core.core_at_round_end")]] bool& core_at_round_end() {
+    return core.core_at_round_end;
+  }
+  [[deprecated("use core.core_at_round_end")]] bool core_at_round_end() const {
+    return core.core_at_round_end;
+  }
+  [[deprecated("use core.core_initial")]] bool& core_initial() {
+    return core.core_initial;
+  }
+  [[deprecated("use core.core_initial")]] bool core_initial() const {
+    return core.core_initial;
+  }
+  [[deprecated("use core.incremental_core")]] bool& incremental_core() {
+    return core.incremental_core;
+  }
+  [[deprecated("use core.incremental_core")]] bool incremental_core() const {
+    return core.incremental_core;
+  }
+  [[deprecated("use core.dirty_radius")]] size_t& dirty_radius() {
+    return core.dirty_radius;
+  }
+  [[deprecated("use core.dirty_radius")]] size_t dirty_radius() const {
+    return core.dirty_radius;
+  }
+  [[deprecated("use delta.enabled")]] bool& delta_evaluation() {
+    return delta.enabled;
+  }
+  [[deprecated("use delta.enabled")]] bool delta_evaluation() const {
+    return delta.enabled;
+  }
 };
 
 /// Evaluation counters, for benchmarks and the ablation tables. Not part of

@@ -12,7 +12,7 @@ ClassificationReport ClassifyKb(const KnowledgeBase& kb,
 
   ChaseOptions core_opts;
   core_opts.variant = ChaseVariant::kCore;
-  core_opts.max_steps = options.max_steps;
+  core_opts.limits.max_steps = options.max_steps;
   auto core_run = RunChase(kb, core_opts);
   TWCHASE_CHECK_MSG(core_run.ok(), core_run.status().ToString());
   report.core_chase_terminated = core_run->terminated;
@@ -24,7 +24,7 @@ ClassificationReport ClassifyKb(const KnowledgeBase& kb,
 
   ChaseOptions restricted_opts;
   restricted_opts.variant = ChaseVariant::kRestricted;
-  restricted_opts.max_steps = options.max_steps;
+  restricted_opts.limits.max_steps = options.max_steps;
   auto restricted_run = RunChase(kb, restricted_opts);
   TWCHASE_CHECK_MSG(restricted_run.ok(), restricted_run.status().ToString());
   report.restricted_terminated = restricted_run->terminated;

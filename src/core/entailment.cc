@@ -7,9 +7,26 @@
 #include "core/trigger.h"
 #include "hom/core.h"
 #include "hom/matcher.h"
+#include "obs/observer.h"
 #include "util/status.h"
+#include "util/stopwatch.h"
 
 namespace twchase {
+
+namespace {
+
+// Emits one OnPhase per completed sub-procedure.
+void EmitPhase(ChaseObserver* observer, const char* name,
+               const Stopwatch& watch, size_t chase_steps) {
+  if (observer == nullptr) return;
+  PhaseEvent phase;
+  phase.name = name;
+  phase.wall_ms = watch.ElapsedMillis();
+  phase.chase_steps = chase_steps;
+  observer->OnPhase(phase);
+}
+
+}  // namespace
 
 const char* EntailmentVerdictName(EntailmentVerdict verdict) {
   switch (verdict) {
@@ -24,11 +41,14 @@ const char* EntailmentVerdictName(EntailmentVerdict verdict) {
 }
 
 EntailmentResult DecideByCoreChase(const KnowledgeBase& kb,
-                                   const AtomSet& query, size_t max_steps) {
+                                   const AtomSet& query, size_t max_steps,
+                                   ChaseObserver* observer) {
+  Stopwatch watch;
   ChaseOptions options;
   options.variant = ChaseVariant::kCore;
-  options.max_steps = max_steps;
+  options.limits.max_steps = max_steps;
   options.keep_snapshots = false;
+  options.observer = observer;
   auto run = RunChase(kb, options);
   TWCHASE_CHECK_MSG(run.ok(), run.status().ToString());
   EntailmentResult result;
@@ -45,16 +65,19 @@ EntailmentResult DecideByCoreChase(const KnowledgeBase& kb,
     result.verdict =
         maps ? EntailmentVerdict::kEntailed : EntailmentVerdict::kUnknown;
   }
+  EmitPhase(observer, "core-chase", watch, result.chase_steps);
   return result;
 }
 
 EntailmentResult SaturationSemiDecision(const KnowledgeBase& kb,
-                                        const AtomSet& query,
-                                        size_t max_steps) {
+                                        const AtomSet& query, size_t max_steps,
+                                        ChaseObserver* observer) {
+  Stopwatch watch;
   ChaseOptions options;
   options.variant = ChaseVariant::kRestricted;
-  options.max_steps = max_steps;
+  options.limits.max_steps = max_steps;
   options.keep_snapshots = false;
+  options.observer = observer;
   auto run = RunChase(kb, options);
   TWCHASE_CHECK_MSG(run.ok(), run.status().ToString());
   EntailmentResult result;
@@ -68,19 +91,24 @@ EntailmentResult SaturationSemiDecision(const KnowledgeBase& kb,
   } else {
     result.verdict = EntailmentVerdict::kUnknown;
   }
+  EmitPhase(observer, "restricted-saturation", watch, result.chase_steps);
   return result;
 }
 
 EntailmentResult DecideByRobustAggregation(const KnowledgeBase& kb,
                                            const AtomSet& query,
-                                           size_t max_steps) {
+                                           size_t max_steps,
+                                           ChaseObserver* observer) {
+  Stopwatch watch;
   ChaseOptions options;
   options.variant = ChaseVariant::kCore;
-  options.max_steps = max_steps;
+  options.limits.max_steps = max_steps;
   options.keep_snapshots = true;  // the aggregator replays the derivation
+  options.observer = observer;
   auto run = RunChase(kb, options);
   TWCHASE_CHECK_MSG(run.ok(), run.status().ToString());
-  RobustAggregator agg = RobustAggregator::FromDerivation(run->derivation);
+  RobustAggregator agg =
+      RobustAggregator::FromDerivation(run->derivation, 0, observer);
   EntailmentResult result;
   result.chase_steps = run->steps;
   result.method = "robust-aggregation";
@@ -96,6 +124,7 @@ EntailmentResult DecideByRobustAggregation(const KnowledgeBase& kb,
   } else {
     result.verdict = EntailmentVerdict::kUnknown;
   }
+  EmitPhase(observer, "robust-aggregation", watch, result.chase_steps);
   return result;
 }
 
@@ -197,16 +226,18 @@ std::optional<AtomSet> FindFiniteCounterModel(
 
 EntailmentResult DovetailEntailment(const KnowledgeBase& kb,
                                     const AtomSet& query, size_t base_steps,
-                                    int rounds) {
+                                    int rounds, ChaseObserver* observer) {
   EntailmentResult last;
   size_t steps = base_steps;
   for (int r = 0; r < rounds; ++r) {
-    EntailmentResult by_chase = DecideByCoreChase(kb, query, steps);
+    EntailmentResult by_chase = DecideByCoreChase(kb, query, steps, observer);
     last = by_chase;
     if (by_chase.verdict != EntailmentVerdict::kUnknown) return by_chase;
     CounterModelOptions cm;
     cm.max_extra_elements = r;
+    Stopwatch cm_watch;
     auto counter_model = FindFiniteCounterModel(kb, query, cm);
+    EmitPhase(observer, "counter-model", cm_watch, 0);
     if (counter_model.has_value()) {
       EntailmentResult result;
       result.verdict = EntailmentVerdict::kNotEntailed;
@@ -222,10 +253,13 @@ EntailmentResult DovetailEntailment(const KnowledgeBase& kb,
 
 EntailmentResult CombinedEntailment(const KnowledgeBase& kb,
                                     const AtomSet& query, size_t max_steps,
-                                    const CounterModelOptions& cm_options) {
-  EntailmentResult by_chase = DecideByCoreChase(kb, query, max_steps);
+                                    const CounterModelOptions& cm_options,
+                                    ChaseObserver* observer) {
+  EntailmentResult by_chase = DecideByCoreChase(kb, query, max_steps, observer);
   if (by_chase.verdict != EntailmentVerdict::kUnknown) return by_chase;
+  Stopwatch cm_watch;
   auto counter_model = FindFiniteCounterModel(kb, query, cm_options);
+  EmitPhase(observer, "counter-model", cm_watch, 0);
   if (counter_model.has_value()) {
     EntailmentResult result;
     result.verdict = EntailmentVerdict::kNotEntailed;

@@ -22,6 +22,12 @@
 
 namespace twchase {
 
+// Each procedure takes an optional trailing observer: it is attached to the
+// underlying chase run(s) and additionally receives one OnPhase event per
+// completed sub-procedure (named "core-chase", "restricted-saturation",
+// "robust-aggregation", "counter-model", ...), carrying its wall time and
+// chase step count.
+
 enum class EntailmentVerdict { kEntailed, kNotEntailed, kUnknown };
 
 const char* EntailmentVerdictName(EntailmentVerdict verdict);
@@ -36,13 +42,14 @@ struct EntailmentResult {
 /// otherwise kEntailed if the query already maps into the last prefix, else
 /// kUnknown.
 EntailmentResult DecideByCoreChase(const KnowledgeBase& kb,
-                                   const AtomSet& query, size_t max_steps);
+                                   const AtomSet& query, size_t max_steps,
+                                   ChaseObserver* observer = nullptr);
 
 /// Positive semi-decision via the restricted chase: kEntailed as soon as the
 /// query maps into a prefix; kNotEntailed only if the chase terminates.
 EntailmentResult SaturationSemiDecision(const KnowledgeBase& kb,
-                                        const AtomSet& query,
-                                        size_t max_steps);
+                                        const AtomSet& query, size_t max_steps,
+                                        ChaseObserver* observer = nullptr);
 
 /// Theorem 2's surface: run the core chase and test the query against the
 /// robust aggregation prefix D⊛ (a finitely universal model, Proposition 11;
@@ -52,7 +59,8 @@ EntailmentResult SaturationSemiDecision(const KnowledgeBase& kb,
 /// *aggregated* structure, not in any single chase element.
 EntailmentResult DecideByRobustAggregation(const KnowledgeBase& kb,
                                            const AtomSet& query,
-                                           size_t max_steps);
+                                           size_t max_steps,
+                                           ChaseObserver* observer = nullptr);
 
 /// Minimizes a query to its core before answering (hom-equivalent, never
 /// larger; answering against any instance is unaffected).
@@ -75,7 +83,8 @@ std::optional<AtomSet> FindFiniteCounterModel(const KnowledgeBase& kb,
 /// Interleaves the three procedures (Theorem 1's architecture under budget).
 EntailmentResult CombinedEntailment(const KnowledgeBase& kb,
                                     const AtomSet& query, size_t max_steps,
-                                    const CounterModelOptions& cm_options);
+                                    const CounterModelOptions& cm_options,
+                                    ChaseObserver* observer = nullptr);
 
 /// Theorem 1's dovetailing loop made explicit: alternately grow the chase
 /// budget (positive semi-decision) and the counter-model domain size
@@ -84,7 +93,8 @@ EntailmentResult CombinedEntailment(const KnowledgeBase& kb,
 /// r extra domain elements.
 EntailmentResult DovetailEntailment(const KnowledgeBase& kb,
                                     const AtomSet& query, size_t base_steps,
-                                    int rounds);
+                                    int rounds,
+                                    ChaseObserver* observer = nullptr);
 
 }  // namespace twchase
 

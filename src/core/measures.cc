@@ -2,34 +2,15 @@
 
 #include <algorithm>
 
-#include "util/status.h"
+#include "obs/stock_observers.h"
 
 namespace twchase {
 
 std::vector<int> MeasureSeries(const Derivation& derivation, Measure measure,
                                const TreewidthOptions& tw_options) {
-  std::vector<int> out;
-  out.reserve(derivation.size());
-  for (size_t i = 0; i < derivation.size(); ++i) {
-    switch (measure) {
-      case Measure::kSize:
-        out.push_back(static_cast<int>(derivation.step(i).instance_size));
-        break;
-      case Measure::kTreewidthUpper: {
-        TreewidthResult tw =
-            ComputeTreewidth(derivation.Instance(i), tw_options);
-        out.push_back(tw.upper_bound);
-        break;
-      }
-      case Measure::kTreewidthLower: {
-        TreewidthResult tw =
-            ComputeTreewidth(derivation.Instance(i), tw_options);
-        out.push_back(tw.lower_bound);
-        break;
-      }
-    }
-  }
-  return out;
+  MeasuresObserver observer(measure, tw_options);
+  ReplayDerivation(derivation, ChaseVariant::kRestricted, &observer);
+  return observer.series();
 }
 
 BoundednessSummary SummarizeBoundedness(const std::vector<int>& series,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/observer.h"
 #include "util/status.h"
 
 namespace twchase {
@@ -94,9 +95,11 @@ void RobustAggregator::Step(const AtomSet& pre, const Substitution& sigma_i) {
 }
 
 RobustAggregator RobustAggregator::FromDerivation(const Derivation& derivation,
-                                                  size_t limit) {
+                                                  size_t limit,
+                                                  ChaseObserver* observer) {
   TWCHASE_CHECK(derivation.keeps_snapshots());
   RobustAggregator agg;
+  agg.set_observer(observer);
   TWCHASE_CHECK(!derivation.empty());
   size_t n = derivation.size();
   if (limit != 0 && limit < n) n = limit;
@@ -124,6 +127,15 @@ void RobustAggregator::RecordStats(size_t renamed) {
     if (step_index > since) ++s.stable_variables;
   }
   stats_.push_back(s);
+  if (observer_ != nullptr) {
+    RobustRenameEvent event;
+    event.step = step_index;
+    event.renamed_variables = s.renamed_variables;
+    event.stable_variables = s.stable_variables;
+    event.g_size = s.g_size;
+    event.union_size = s.union_size;
+    observer_->OnRobustRename(event);
+  }
 }
 
 }  // namespace twchase

@@ -26,6 +26,8 @@
 
 namespace twchase {
 
+class ChaseObserver;  // obs/observer.h
+
 /// The robust renaming ρ_σ of a retraction σ of A (Definition 14): maps each
 /// variable Y of σ(A) to the <_X-smallest variable of σ⁻¹(Y). Identity
 /// bindings are included for variables of σ(A) untouched by σ.
@@ -50,9 +52,11 @@ class RobustAggregator {
   void Step(const AtomSet& pre, const Substitution& sigma_i);
 
   /// Replays a derivation prefix: elements F_0 .. F_{limit-1}, or the whole
-  /// derivation when limit is 0 or exceeds it (requires snapshots).
+  /// derivation when limit is 0 or exceeds it (requires snapshots). An
+  /// observer, if given, receives one OnRobustRename per processed element.
   static RobustAggregator FromDerivation(const Derivation& derivation,
-                                         size_t limit = 0);
+                                         size_t limit = 0,
+                                         ChaseObserver* observer = nullptr);
 
   /// G_i for the latest step.
   const AtomSet& CurrentG() const { return g_; }
@@ -79,6 +83,11 @@ class RobustAggregator {
   /// G_{i-1} into G_i (tests verify Lemma 1's monotone forwarding on these).
   const std::vector<Substitution>& pis() const { return pis_; }
 
+  /// Attaches a read-only event tap: each processed element additionally
+  /// emits an OnRobustRename carrying that step's RobustStepStats. Non-owning;
+  /// call before Begin to see every step.
+  void set_observer(ChaseObserver* observer) { observer_ = observer; }
+
  private:
   void RecordStats(size_t renamed);
 
@@ -88,6 +97,7 @@ class RobustAggregator {
   std::vector<RobustStepStats> stats_;
   std::vector<Substitution> pis_;
   std::unordered_map<Term, size_t, TermHash> stable_since_;
+  ChaseObserver* observer_ = nullptr;
 };
 
 }  // namespace twchase

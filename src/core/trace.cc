@@ -1,44 +1,15 @@
 #include "core/trace.h"
 
-#include <string>
+#include "obs/stock_observers.h"
 
 namespace twchase {
 
 std::string DerivationTrace(const Derivation& derivation,
                             const Vocabulary& vocab,
                             const TraceOptions& options) {
-  std::string out;
-  size_t limit = options.max_steps == 0
-                     ? derivation.size()
-                     : std::min(options.max_steps, derivation.size());
-  for (size_t i = 0; i < limit; ++i) {
-    const DerivationStep& step = derivation.step(i);
-    out += "F_" + std::to_string(i);
-    if (i == 0) {
-      out += " = initial";
-      if (!step.simplification.empty() && !step.simplification.IsIdentity()) {
-        out += ", cored via " + step.simplification.ToString(vocab);
-      }
-    } else {
-      out += " = ";
-      out += step.rule_label.empty() ? ("rule#" + std::to_string(step.rule_index))
-                                     : step.rule_label;
-      out += " @ " + step.match.ToString(vocab);
-      out += " +" + std::to_string(step.added_atoms.size()) + " atoms";
-      if (!step.simplification.empty() && !step.simplification.IsIdentity()) {
-        out += ", simplified " + step.simplification.ToString(vocab);
-      }
-    }
-    out += " -> |F| = " + std::to_string(step.instance_size) + "\n";
-    if (options.print_instances && derivation.keeps_snapshots()) {
-      out += "    " + derivation.Instance(i).ToString(vocab) + "\n";
-    }
-  }
-  if (limit < derivation.size()) {
-    out += "... (" + std::to_string(derivation.size() - limit) +
-           " more steps)\n";
-  }
-  return out;
+  TraceObserver observer(&vocab, options);
+  ReplayDerivation(derivation, ChaseVariant::kRestricted, &observer);
+  return observer.text();
 }
 
 }  // namespace twchase

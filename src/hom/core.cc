@@ -56,9 +56,10 @@ bool FindSingularFold(const AtomSet& atoms, Term x, Substitution* fold) {
   return false;
 }
 
-// Fast pre-pass of ComputeCore: exhaust singular folds.
-bool ApplySingularFolds(AtomSet* atoms, Substitution* accumulated) {
-  bool any = false;
+// Fast pre-pass of ComputeCore: exhaust singular folds. Returns the number
+// of folds applied.
+size_t ApplySingularFolds(AtomSet* atoms, Substitution* accumulated) {
+  size_t folds = 0;
   bool changed = true;
   while (changed) {
     changed = false;
@@ -68,11 +69,11 @@ bool ApplySingularFolds(AtomSet* atoms, Substitution* accumulated) {
       *atoms = fold.Apply(*atoms);
       *accumulated = Substitution::Compose(fold, *accumulated);
       changed = true;
-      any = true;
+      ++folds;
       break;  // variable snapshot is stale; restart
     }
   }
-  return any;
+  return folds;
 }
 
 }  // namespace
@@ -81,7 +82,7 @@ CoreResult ComputeCore(const AtomSet& atoms, const CoreOptions& options) {
   CoreResult result;
   result.core = atoms;
   if (options.singular_prepass) {
-    ApplySingularFolds(&result.core, &result.retraction);
+    result.folds += ApplySingularFolds(&result.core, &result.retraction);
   }
   // Folding one variable can unlock folds of previously unfoldable variables
   // (removing atoms only makes the pattern side easier and never blocks a
@@ -97,8 +98,9 @@ CoreResult ComputeCore(const AtomSet& atoms, const CoreOptions& options) {
           RetractionFromEndomorphism(result.core, *endo);
       result.core = retraction.Apply(result.core);
       result.retraction = Substitution::Compose(retraction, result.retraction);
+      ++result.folds;
       if (options.singular_prepass) {
-        ApplySingularFolds(&result.core, &result.retraction);
+        result.folds += ApplySingularFolds(&result.core, &result.retraction);
       }
       changed = true;
     }
@@ -194,12 +196,14 @@ IncrementalCoreResult IncrementalCoreUpdate(
       }
     }
   }
+  result.folds = folds;
   if (!is_core) {
     result.fell_back = true;
     CoreResult full = ComputeCore(*atoms, options.full);
     ApplyRetractionInPlace(atoms, full.retraction);
     result.retraction =
         Substitution::Compose(full.retraction, result.retraction);
+    result.folds += full.folds;
   }
   return result;
 }

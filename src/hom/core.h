@@ -17,6 +17,10 @@ struct CoreResult {
 
   /// A retraction of the input onto `core` (identity on core's terms).
   Substitution retraction;
+
+  /// Fold operations performed (singular pre-pass folds plus general
+  /// retractions applied). 0 iff the input was already a core.
+  size_t folds = 0;
 };
 
 struct CoreOptions {
@@ -58,6 +62,10 @@ struct IncrementalCoreResult {
   /// True when the update fell back to a full ComputeCore (cascade guard or
   /// a verification hit outside the dirty neighbourhood).
   bool fell_back = false;
+
+  /// Fold operations performed; on fallback, the count includes the full
+  /// recomputation's folds.
+  size_t folds = 0;
 };
 
 /// Restores the core property of *atoms after the atoms in `added` were

@@ -1,0 +1,194 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/status.h"
+
+namespace twchase {
+
+void Histogram::Observe(double value) {
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  ++count_;
+  sum_ += value;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(const std::string& name,
+                                                      Kind kind) {
+  auto it = index_.find(name);
+  if (it != index_.end()) {
+    Entry& entry = entries_[it->second];
+    TWCHASE_CHECK_MSG(entry.kind == kind,
+                      "metric '" + name + "' registered under another kind");
+    return &entry;
+  }
+  index_.emplace(name, entries_.size());
+  Entry entry;
+  entry.name = name;
+  entry.kind = kind;
+  switch (kind) {
+    case Kind::kCounter:
+      entry.counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      entry.gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      entry.histogram = std::make_unique<Histogram>();
+      break;
+  }
+  entries_.push_back(std::move(entry));
+  return &entries_.back();
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  return FindOrCreate(name, Kind::kCounter)->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  return FindOrCreate(name, Kind::kGauge)->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  return FindOrCreate(name, Kind::kHistogram)->histogram.get();
+}
+
+std::vector<MetricColumn> MetricsRegistry::SnapshotColumns() const {
+  std::vector<MetricColumn> columns;
+  columns.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        columns.push_back(
+            {entry.name, static_cast<double>(entry.counter->value())});
+        break;
+      case Kind::kGauge:
+        columns.push_back({entry.name, entry.gauge->value()});
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        columns.push_back(
+            {entry.name + ".count", static_cast<double>(h.count())});
+        columns.push_back({entry.name + ".sum", h.sum()});
+        columns.push_back({entry.name + ".min", h.min()});
+        columns.push_back({entry.name + ".max", h.max()});
+        break;
+      }
+    }
+  }
+  return columns;
+}
+
+void MetricsRegistry::EmitRow(MetricsSink* sink, size_t step) const {
+  if (sink == nullptr) return;
+  sink->Row(step, SnapshotColumns());
+}
+
+std::string FormatMetricNumber(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::abs(value) < 1e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+    return buffer;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
+}
+
+namespace {
+
+// Metric names are dotted identifiers we mint ourselves, but escape anyway
+// so a stray quote can never produce invalid JSON.
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToJson(int indent) const {
+  const std::string pad(static_cast<size_t>(indent), ' ');
+  std::string counters;
+  std::string gauges;
+  std::string histograms;
+  for (const Entry& entry : entries_) {
+    std::string* group = &counters;
+    std::string rendered = "\"" + JsonEscape(entry.name) + "\": ";
+    switch (entry.kind) {
+      case Kind::kCounter:
+        group = &counters;
+        rendered +=
+            FormatMetricNumber(static_cast<double>(entry.counter->value()));
+        break;
+      case Kind::kGauge:
+        group = &gauges;
+        rendered += FormatMetricNumber(entry.gauge->value());
+        break;
+      case Kind::kHistogram: {
+        group = &histograms;
+        const Histogram& h = *entry.histogram;
+        rendered += "{\"count\": " +
+                    FormatMetricNumber(static_cast<double>(h.count())) +
+                    ", \"sum\": " + FormatMetricNumber(h.sum()) +
+                    ", \"min\": " + FormatMetricNumber(h.min()) +
+                    ", \"max\": " + FormatMetricNumber(h.max()) +
+                    ", \"mean\": " + FormatMetricNumber(h.mean()) + "}";
+        break;
+      }
+    }
+    if (!group->empty()) *group += ",\n";
+    *group += pad + "    " + rendered;
+  }
+  std::string out = "{\n";
+  auto append_group = [&](const char* key, const std::string& body,
+                          bool last) {
+    out += pad + "  \"" + key + "\": {";
+    if (!body.empty()) out += "\n" + body + "\n" + pad + "  ";
+    out += "}";
+    if (!last) out += ",";
+    out += "\n";
+  };
+  append_group("counters", counters, false);
+  append_group("gauges", gauges, false);
+  append_group("histograms", histograms, true);
+  out += pad + "}";
+  return out;
+}
+
+void JsonlSink::Row(size_t step, const std::vector<MetricColumn>& columns) {
+  if (out_ == nullptr) return;
+  *out_ << "{\"step\": " << step;
+  for (const MetricColumn& column : columns) {
+    *out_ << ", \"" << JsonEscape(column.name)
+          << "\": " << FormatMetricNumber(column.value);
+  }
+  *out_ << "}\n";
+}
+
+void CsvSink::Row(size_t step, const std::vector<MetricColumn>& columns) {
+  if (out_ == nullptr) return;
+  if (!header_written_) {
+    *out_ << "step";
+    for (const MetricColumn& column : columns) *out_ << "," << column.name;
+    *out_ << "\n";
+    header_written_ = true;
+    header_columns_ = columns.size();
+  }
+  TWCHASE_CHECK_MSG(columns.size() == header_columns_,
+                    "metrics column set changed after the CSV header; "
+                    "register all instruments before the first row");
+  *out_ << step;
+  for (const MetricColumn& column : columns) {
+    *out_ << "," << FormatMetricNumber(column.value);
+  }
+  *out_ << "\n";
+}
+
+}  // namespace twchase

@@ -1,0 +1,149 @@
+// MetricsRegistry: named counters, gauges and summary histograms with
+// deterministic (registration-order) iteration, plus row-oriented sinks.
+//
+// Two consumption modes:
+//   * Snapshot — ToJson() renders every instrument once (benches embed this
+//     into their BENCH_*.json artifacts).
+//   * Series — EmitRow(sink, step) appends one row with the current value of
+//     every instrument; JsonlSink writes one JSON object per line (the CLI's
+//     --metrics-out), CsvSink writes a header plus comma-separated rows.
+//     Histograms expand into .count/.sum/.min/.max columns so rows stay
+//     flat. The column set is fixed at the first row: register every
+//     instrument before emitting (stock observers do this in their
+//     constructors).
+//
+// Instruments are plain (non-atomic) — the engine is single-threaded by
+// design (DESIGN.md §7 non-goals) and pointer-stable: Counter/Gauge/
+// Histogram pointers remain valid for the registry's lifetime.
+#ifndef TWCHASE_OBS_METRICS_H_
+#define TWCHASE_OBS_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace twchase {
+
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) { value_ += delta; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+/// Summary histogram: count/sum/min/max (no buckets — enough for the
+/// per-phase timing and per-step distribution series the benches report).
+class Histogram {
+ public:
+  void Observe(double value);
+  size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double mean() const { return count_ == 0 ? 0 : sum_ / count_; }
+
+ private:
+  size_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// One flat (column, value) pair of a metrics row.
+struct MetricColumn {
+  std::string name;
+  double value = 0;
+};
+
+/// Receives one row per EmitRow call. Column order and names are identical
+/// across the rows of one registry.
+class MetricsSink {
+ public:
+  virtual ~MetricsSink() = default;
+  virtual void Row(size_t step, const std::vector<MetricColumn>& columns) = 0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Get-or-create by name. The returned pointer is stable. A name may be
+  /// registered under one instrument kind only.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Flattens every instrument into columns, registration order.
+  std::vector<MetricColumn> SnapshotColumns() const;
+
+  /// Appends one row with the current value of every instrument.
+  void EmitRow(MetricsSink* sink, size_t step) const;
+
+  /// Renders all instruments as one JSON object, grouped by kind:
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name:
+  /// {"count":..,"sum":..,"min":..,"max":..,"mean":..}}}. `indent` shifts
+  /// every line for embedding into an enclosing document.
+  std::string ToJson(int indent = 0) const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    std::string name;
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* FindOrCreate(const std::string& name, Kind kind);
+
+  std::vector<Entry> entries_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+/// Renders a double the way our JSON artifacts expect: integral values
+/// without a fraction ("42"), others with up to 6 significant decimals.
+std::string FormatMetricNumber(double value);
+
+/// One JSON object per row, one row per line:
+/// {"step":3,"chase.instance.size":14,...}
+class JsonlSink : public MetricsSink {
+ public:
+  explicit JsonlSink(std::ostream* out) : out_(out) {}
+  void Row(size_t step, const std::vector<MetricColumn>& columns) override;
+
+ private:
+  std::ostream* out_;
+};
+
+/// Header row ("step,<col>,..."), then one comma-separated row per call.
+/// The header is written lazily at the first row and the column set is
+/// checked to stay identical afterwards.
+class CsvSink : public MetricsSink {
+ public:
+  explicit CsvSink(std::ostream* out) : out_(out) {}
+  void Row(size_t step, const std::vector<MetricColumn>& columns) override;
+
+ private:
+  std::ostream* out_;
+  size_t header_columns_ = 0;
+  bool header_written_ = false;
+};
+
+}  // namespace twchase
+
+#endif  // TWCHASE_OBS_METRICS_H_

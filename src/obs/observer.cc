@@ -1,0 +1,89 @@
+#include "obs/observer.h"
+
+namespace twchase {
+
+const char* TriggerRetireReasonName(TriggerRetireReason reason) {
+  switch (reason) {
+    case TriggerRetireReason::kApplied:
+      return "applied";
+    case TriggerRetireReason::kDuplicate:
+      return "duplicate";
+    case TriggerRetireReason::kSatisfied:
+      return "satisfied";
+    case TriggerRetireReason::kInvalidated:
+      return "invalidated";
+  }
+  return "unknown";
+}
+
+void ObserverList::Add(ChaseObserver* observer) {
+  if (observer != nullptr) observers_.push_back(observer);
+}
+
+void ObserverList::OnRunBegin(const RunBeginEvent& event) {
+  for (ChaseObserver* o : observers_) o->OnRunBegin(event);
+}
+void ObserverList::OnRoundBegin(const RoundBeginEvent& event) {
+  for (ChaseObserver* o : observers_) o->OnRoundBegin(event);
+}
+void ObserverList::OnDeltaRepair(const DeltaRepairEvent& event) {
+  for (ChaseObserver* o : observers_) o->OnDeltaRepair(event);
+}
+void ObserverList::OnTriggerConsidered(const TriggerConsideredEvent& event) {
+  for (ChaseObserver* o : observers_) o->OnTriggerConsidered(event);
+}
+void ObserverList::OnTriggerApplied(const TriggerAppliedEvent& event) {
+  for (ChaseObserver* o : observers_) o->OnTriggerApplied(event);
+}
+void ObserverList::OnTriggerRetired(const TriggerRetiredEvent& event) {
+  for (ChaseObserver* o : observers_) o->OnTriggerRetired(event);
+}
+void ObserverList::OnCoreRetraction(const CoreRetractionEvent& event) {
+  for (ChaseObserver* o : observers_) o->OnCoreRetraction(event);
+}
+void ObserverList::OnRoundEnd(const RoundEndEvent& event) {
+  for (ChaseObserver* o : observers_) o->OnRoundEnd(event);
+}
+void ObserverList::OnRobustRename(const RobustRenameEvent& event) {
+  for (ChaseObserver* o : observers_) o->OnRobustRename(event);
+}
+void ObserverList::OnPhase(const PhaseEvent& event) {
+  for (ChaseObserver* o : observers_) o->OnPhase(event);
+}
+void ObserverList::OnRunEnd(const RunEndEvent& event) {
+  for (ChaseObserver* o : observers_) o->OnRunEnd(event);
+}
+
+void ReplayDerivation(const Derivation& derivation, ChaseVariant variant,
+                      ChaseObserver* observer) {
+  if (observer == nullptr || derivation.empty()) return;
+  const bool snapshots = derivation.keeps_snapshots();
+
+  RunBeginEvent begin;
+  begin.variant = variant;
+  begin.initial_size = derivation.step(0).instance_size;
+  begin.initial_simplification = &derivation.step(0).simplification;
+  if (snapshots) begin.instance = &derivation.Instance(0);
+  observer->OnRunBegin(begin);
+
+  for (size_t i = 1; i < derivation.size(); ++i) {
+    const DerivationStep& step = derivation.step(i);
+    TriggerAppliedEvent applied;
+    applied.step = i;
+    applied.rule_index = step.rule_index;
+    applied.rule_label = &step.rule_label;
+    applied.match = &step.match;
+    applied.simplification = &step.simplification;
+    applied.added_atoms = step.added_atoms.size();
+    applied.instance_size = step.instance_size;
+    if (snapshots) applied.instance = &derivation.Instance(i);
+    observer->OnTriggerApplied(applied);
+  }
+
+  RunEndEvent end;
+  end.steps = derivation.size() - 1;
+  end.final_size = derivation.Last().size();
+  observer->OnRunEnd(end);
+}
+
+}  // namespace twchase

@@ -1,0 +1,159 @@
+// Stock ChaseObserver implementations — the built-in consumers of the event
+// stream. These are what the CLI's --trace / --measures / --metrics-out /
+// --events-out surfaces are made of; they also serve as reference
+// implementations for custom observers.
+//
+//   * TraceObserver    — renders the human-readable derivation trace
+//                        (byte-identical to the historical trace.cc format).
+//   * MeasuresObserver — collects a per-step measure series (|F_i| or
+//                        certified treewidth bounds), the engine behind
+//                        MeasureSeries.
+//   * MetricsObserver  — folds events into a MetricsRegistry and optionally
+//                        emits one metrics row per derivation step.
+//   * EventLogObserver — writes every event as one JSON object per line
+//                        (the --events-out stream).
+#ifndef TWCHASE_OBS_STOCK_OBSERVERS_H_
+#define TWCHASE_OBS_STOCK_OBSERVERS_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/measures.h"
+#include "core/trace.h"
+#include "obs/metrics.h"
+#include "obs/observer.h"
+
+namespace twchase {
+
+/// Builds the trace text incrementally from run events. When attached to a
+/// live core chase with round-end coring, the per-step simplifications are
+/// rendered as emitted (before any round-end amendment); the post-hoc
+/// DerivationTrace replay shows the amended derivation.
+class TraceObserver : public ChaseObserver {
+ public:
+  explicit TraceObserver(const Vocabulary* vocab,
+                         const TraceOptions& options = {})
+      : vocab_(vocab), options_(options) {}
+
+  void OnRunBegin(const RunBeginEvent& event) override;
+  void OnTriggerApplied(const TriggerAppliedEvent& event) override;
+  void OnRunEnd(const RunEndEvent& event) override;
+
+  const std::string& text() const { return text_; }
+
+ private:
+  void AppendInstance(const AtomSet* instance);
+
+  const Vocabulary* vocab_;
+  TraceOptions options_;
+  std::string text_;
+  size_t elements_seen_ = 0;
+  size_t elements_printed_ = 0;
+};
+
+/// Per-step series of one measure. Treewidth measures need instance
+/// payloads (live runs always have them; replays need snapshots).
+class MeasuresObserver : public ChaseObserver {
+ public:
+  explicit MeasuresObserver(Measure measure,
+                            const TreewidthOptions& tw_options = {})
+      : measure_(measure), tw_options_(tw_options) {}
+
+  void OnRunBegin(const RunBeginEvent& event) override;
+  void OnTriggerApplied(const TriggerAppliedEvent& event) override;
+
+  const std::vector<int>& series() const { return series_; }
+
+ private:
+  void Record(size_t instance_size, const AtomSet* instance);
+
+  Measure measure_;
+  TreewidthOptions tw_options_;
+  std::vector<int> series_;
+};
+
+struct MetricsObserverOptions {
+  /// Also maintain a chase.treewidth.upper gauge per step (runs the
+  /// treewidth solver on every F_i — as costly as --measures).
+  bool treewidth_upper = false;
+  TreewidthOptions tw;
+
+  /// When set, one row per derivation step (step 0 = F_0) is emitted with
+  /// the current value of every instrument.
+  MetricsSink* sink = nullptr;
+};
+
+/// Folds the event stream into counters/gauges/histograms. All instruments
+/// are registered up front (constructor), so sink rows have a stable column
+/// set from the first row. Instrument names:
+///   counters   chase.triggers.{considered,applied,retired}
+///              chase.delta.{repairs,inserted,erased,invalidated,seed_probes}
+///              chase.core.{retractions,folds,fallbacks}
+///   gauges     chase.round, chase.instance.size
+///              chase.treewidth.upper (treewidth_upper only)
+///   histograms chase.round.pending, chase.step.added_atoms
+class MetricsObserver : public ChaseObserver {
+ public:
+  MetricsObserver(MetricsRegistry* registry,
+                  const MetricsObserverOptions& options = {});
+
+  void OnRunBegin(const RunBeginEvent& event) override;
+  void OnRoundBegin(const RoundBeginEvent& event) override;
+  void OnDeltaRepair(const DeltaRepairEvent& event) override;
+  void OnTriggerConsidered(const TriggerConsideredEvent& event) override;
+  void OnTriggerApplied(const TriggerAppliedEvent& event) override;
+  void OnTriggerRetired(const TriggerRetiredEvent& event) override;
+  void OnCoreRetraction(const CoreRetractionEvent& event) override;
+  void OnPhase(const PhaseEvent& event) override;
+
+ private:
+  void UpdatePerStepGauges(size_t step, size_t instance_size,
+                           const AtomSet* instance);
+
+  MetricsRegistry* registry_;
+  MetricsObserverOptions options_;
+  Counter* considered_;
+  Counter* applied_;
+  Counter* retired_;
+  Counter* delta_repairs_;
+  Counter* delta_inserted_;
+  Counter* delta_erased_;
+  Counter* delta_invalidated_;
+  Counter* delta_seed_probes_;
+  Counter* core_retractions_;
+  Counter* core_folds_;
+  Counter* core_fallbacks_;
+  Gauge* round_;
+  Gauge* instance_size_;
+  Gauge* treewidth_upper_ = nullptr;
+  Histogram* round_pending_;
+  Histogram* step_added_atoms_;
+};
+
+/// Serialises every event as one JSON object per line, e.g.
+///   {"event": "round_begin", "round": 1, "pending": 5, "size": 4}
+/// The stream is append-only and flush-free; callers own the ostream.
+class EventLogObserver : public ChaseObserver {
+ public:
+  explicit EventLogObserver(std::ostream* out) : out_(out) {}
+
+  void OnRunBegin(const RunBeginEvent& event) override;
+  void OnRoundBegin(const RoundBeginEvent& event) override;
+  void OnDeltaRepair(const DeltaRepairEvent& event) override;
+  void OnTriggerConsidered(const TriggerConsideredEvent& event) override;
+  void OnTriggerApplied(const TriggerAppliedEvent& event) override;
+  void OnTriggerRetired(const TriggerRetiredEvent& event) override;
+  void OnCoreRetraction(const CoreRetractionEvent& event) override;
+  void OnRoundEnd(const RoundEndEvent& event) override;
+  void OnRobustRename(const RobustRenameEvent& event) override;
+  void OnPhase(const PhaseEvent& event) override;
+  void OnRunEnd(const RunEndEvent& event) override;
+
+ private:
+  std::ostream* out_;
+};
+
+}  // namespace twchase
+
+#endif  // TWCHASE_OBS_STOCK_OBSERVERS_H_

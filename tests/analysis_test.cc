@@ -105,7 +105,7 @@ TEST(AnalysisTest, JointlyAcyclicRulesetChaseTerminates) {
   ASSERT_TRUE(IsJointlyAcyclic(kb.rules));
   ChaseOptions options;
   options.variant = ChaseVariant::kSemiOblivious;
-  options.max_steps = 300;
+  options.limits.max_steps = 300;
   auto run = RunChase(kb, options);
   ASSERT_TRUE(run.ok());
   EXPECT_TRUE(run->terminated);

@@ -20,7 +20,7 @@ TEST(ChaseTest, TransitiveClosureTerminatesForAllVariants) {
     auto kb = MakeTransitiveClosure(4);
     ChaseOptions options;
     options.variant = variant;
-    options.max_steps = 200;
+    options.limits.max_steps = 200;
     auto run = RunChase(kb, options);
     ASSERT_TRUE(run.ok()) << ChaseVariantName(variant);
     EXPECT_TRUE(run->terminated) << ChaseVariantName(variant);
@@ -38,7 +38,7 @@ TEST(ChaseTest, BtsNotFesDoesNotTerminate) {
         ChaseVariant::kCore}) {
     ChaseOptions options;
     options.variant = variant;
-    options.max_steps = 60;
+    options.limits.max_steps = 60;
     auto run = RunChase(kb, options);
     ASSERT_TRUE(run.ok());
     EXPECT_FALSE(run->terminated) << ChaseVariantName(variant);
@@ -49,7 +49,7 @@ TEST(ChaseTest, FesNotBtsCoreChaseTerminates) {
   auto kb = MakeFesNotBts();
   ChaseOptions options;
   options.variant = ChaseVariant::kCore;
-  options.max_steps = 2000;
+  options.limits.max_steps = 2000;
   auto run = RunChase(kb, options);
   ASSERT_TRUE(run.ok());
   EXPECT_TRUE(run->terminated);
@@ -63,7 +63,7 @@ TEST(ChaseTest, CoreChaseElementsAreCores) {
   auto kb = MakeBtsNotFes();
   ChaseOptions options;
   options.variant = ChaseVariant::kCore;
-  options.max_steps = 10;
+  options.limits.max_steps = 10;
   auto run = RunChase(kb, options);
   ASSERT_TRUE(run.ok());
   for (size_t i = 0; i < run->derivation.size(); ++i) {
@@ -75,7 +75,7 @@ TEST(ChaseTest, SimplificationsAreRetractions) {
   auto kb = MakeFesNotBts();
   ChaseOptions options;
   options.variant = ChaseVariant::kCore;
-  options.max_steps = 100;
+  options.limits.max_steps = 100;
   auto run = RunChase(kb, options);
   ASSERT_TRUE(run.ok());
   for (size_t i = 1; i < run->derivation.size(); ++i) {
@@ -89,7 +89,7 @@ TEST(ChaseTest, RestrictedChaseIsMonotone) {
   auto kb = MakeBtsNotFes();
   ChaseOptions options;
   options.variant = ChaseVariant::kRestricted;
-  options.max_steps = 20;
+  options.limits.max_steps = 20;
   auto run = RunChase(kb, options);
   ASSERT_TRUE(run.ok());
   EXPECT_TRUE(run->derivation.IsMonotonic());
@@ -110,7 +110,7 @@ TEST(ChaseTest, ObliviousProducesMoreAtomsThanRestricted) {
 
   ChaseOptions oblivious;
   oblivious.variant = ChaseVariant::kOblivious;
-  oblivious.max_steps = 30;
+  oblivious.limits.max_steps = 30;
   auto r2 = RunChase(program->kb, oblivious);
   ASSERT_TRUE(r2.ok());
   EXPECT_FALSE(r2->terminated);
@@ -124,12 +124,12 @@ TEST(ChaseTest, SemiObliviousReusesFrontierKeys) {
   ASSERT_TRUE(program.ok());
   ChaseOptions semi;
   semi.variant = ChaseVariant::kSemiOblivious;
-  semi.max_steps = 50;
+  semi.limits.max_steps = 50;
   auto r_semi = RunChase(program->kb, semi);
   ASSERT_TRUE(r_semi.ok());
   ChaseOptions obl;
   obl.variant = ChaseVariant::kOblivious;
-  obl.max_steps = 50;
+  obl.limits.max_steps = 50;
   auto r_obl = RunChase(program->kb, obl);
   ASSERT_TRUE(r_obl.ok());
   EXPECT_TRUE(r_semi->terminated);
@@ -143,7 +143,7 @@ TEST(ChaseTest, FairnessOnPrefixes) {
   auto kb = MakeBtsNotFes();
   ChaseOptions options;
   options.variant = ChaseVariant::kCore;
-  options.max_steps = 8;
+  options.limits.max_steps = 8;
   auto run = RunChase(kb, options);
   ASSERT_TRUE(run.ok());
   // The truncated run leaves the last element's fresh trigger open; every
@@ -163,8 +163,8 @@ TEST(ChaseTest, CoreEveryTwoStillProducesCoreChase) {
   auto kb = MakeFesNotBts();
   ChaseOptions options;
   options.variant = ChaseVariant::kCore;
-  options.core_every = 2;
-  options.max_steps = 2000;
+  options.core.core_every = 2;
+  options.limits.max_steps = 2000;
   auto run = RunChase(kb, options);
   ASSERT_TRUE(run.ok());
   EXPECT_TRUE(run->terminated);
@@ -189,7 +189,7 @@ TEST(ChaseTest, ChaseVariantsAgreeOnEntailedQueries) {
         ChaseVariant::kCore}) {
     ChaseOptions options;
     options.variant = variant;
-    options.max_steps = 300;
+    options.limits.max_steps = 300;
     auto run = RunChase(program->kb, options);
     ASSERT_TRUE(run.ok());
     const AtomSet& result = run->derivation.Last();
@@ -209,14 +209,14 @@ TEST(ChaseTest, RoundEndCoringMatchesDnrPresentation) {
   auto kb1 = MakeFesNotBts();
   ChaseOptions per_application;
   per_application.variant = ChaseVariant::kCore;
-  per_application.max_steps = 2000;
+  per_application.limits.max_steps = 2000;
   auto r1 = RunChase(kb1, per_application);
   ASSERT_TRUE(r1.ok());
   ASSERT_TRUE(r1->terminated);
 
   auto kb2 = MakeFesNotBts();
   ChaseOptions round_end = per_application;
-  round_end.core_at_round_end = true;
+  round_end.core.core_at_round_end = true;
   auto r2 = RunChase(kb2, round_end);
   ASSERT_TRUE(r2.ok());
   ASSERT_TRUE(r2->terminated);
@@ -235,8 +235,8 @@ TEST(ChaseTest, RoundEndCoringOnStaircaseStaysBounded) {
   StaircaseWorld world;
   ChaseOptions options;
   options.variant = ChaseVariant::kCore;
-  options.core_at_round_end = true;
-  options.max_steps = 40;
+  options.core.core_at_round_end = true;
+  options.limits.max_steps = 40;
   auto run = RunChase(world.kb(), options);
   ASSERT_TRUE(run.ok());
   // Round-cored elements are cores; mid-round growth is absorbed before the
@@ -255,7 +255,7 @@ TEST(ChaseTest, DeterministicAcrossRuns) {
   StaircaseWorld w1, w2;
   ChaseOptions options;
   options.variant = ChaseVariant::kCore;
-  options.max_steps = 25;
+  options.limits.max_steps = 25;
   auto r1 = RunChase(w1.kb(), options);
   auto r2 = RunChase(w2.kb(), options);
   ASSERT_TRUE(r1.ok() && r2.ok());
@@ -274,8 +274,8 @@ TEST(ChaseTest, SizeGuardStopsRunawayChase) {
   auto kb = MakeBtsNotFes();
   ChaseOptions options;
   options.variant = ChaseVariant::kOblivious;
-  options.max_steps = 100000;
-  options.max_instance_size = 25;
+  options.limits.max_steps = 100000;
+  options.limits.max_instance_size = 25;
   auto run = RunChase(kb, options);
   ASSERT_TRUE(run.ok());
   EXPECT_FALSE(run->terminated);
@@ -291,7 +291,7 @@ TEST(ChaseTest, DatalogFirstOffStillSoundOnElevator) {
   ChaseOptions options;
   options.variant = ChaseVariant::kCore;
   options.datalog_first = false;
-  options.max_steps = 30;
+  options.limits.max_steps = 30;
   auto run = RunChase(world.kb(), options);
   ASSERT_TRUE(run.ok());
   AtomSet ceiling = world.CeilingPrefix(100);
@@ -301,7 +301,7 @@ TEST(ChaseTest, DatalogFirstOffStillSoundOnElevator) {
 TEST(ChaseTest, InvalidOptionsRejected) {
   auto kb = MakeTransitiveClosure(2);
   ChaseOptions options;
-  options.core_every = 0;
+  options.core.core_every = 0;
   EXPECT_FALSE(RunChase(kb, options).ok());
   KnowledgeBase no_vocab;
   EXPECT_FALSE(RunChase(no_vocab, ChaseOptions()).ok());

@@ -28,7 +28,7 @@ TEST_P(GuardedChainFamily, ChaseIsTreewidthOnePath) {
   auto kb = MakeGuardedChain(GetParam());
   ChaseOptions options;
   options.variant = ChaseVariant::kRestricted;
-  options.max_steps = 30;
+  options.limits.max_steps = 30;
   auto run = RunChase(kb, options);
   ASSERT_TRUE(run.ok());
   EXPECT_FALSE(run->terminated);
@@ -58,7 +58,7 @@ TEST_P(WeaklyAcyclicFamily, EveryVariantTerminates) {
     auto kb = MakeWeaklyAcyclicPipeline(GetParam());
     ChaseOptions options;
     options.variant = variant;
-    options.max_steps = 500;
+    options.limits.max_steps = 500;
     auto run = RunChase(kb, options);
     ASSERT_TRUE(run.ok());
     EXPECT_TRUE(run->terminated)
@@ -73,7 +73,7 @@ TEST_P(WeaklyAcyclicFamily, DepthGrowsWithStages) {
   auto kb = MakeWeaklyAcyclicPipeline(stages);
   ChaseOptions options;
   options.variant = ChaseVariant::kRestricted;
-  options.max_steps = 500;
+  options.limits.max_steps = 500;
   auto run = RunChase(kb, options);
   ASSERT_TRUE(run.ok());
   ASSERT_TRUE(run->terminated);

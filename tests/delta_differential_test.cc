@@ -56,9 +56,9 @@ ChaseResult RunWorkload(const Workload& workload, ChaseVariant variant, bool del
   KnowledgeBase kb = workload.make_kb();
   ChaseOptions options;
   options.variant = variant;
-  options.max_steps = workload.max_steps;
-  options.delta_evaluation = delta;
-  options.incremental_core = incremental;
+  options.limits.max_steps = workload.max_steps;
+  options.delta.enabled = delta;
+  options.core.incremental_core = incremental;
   auto run = RunChase(kb, options);
   EXPECT_TRUE(run.ok()) << workload.name << ": " << run.status().message();
   return run.ok() ? std::move(*run) : ChaseResult{};
@@ -166,11 +166,11 @@ TEST(IncrementalCoreDifferentialTest, RejectsUnsupportedCoringSchedules) {
   StaircaseWorld world;
   ChaseOptions options;
   options.variant = ChaseVariant::kCore;
-  options.incremental_core = true;
-  options.core_every = 3;
+  options.core.incremental_core = true;
+  options.core.core_every = 3;
   EXPECT_FALSE(RunChase(world.kb(), options).ok());
-  options.core_every = 1;
-  options.core_at_round_end = true;
+  options.core.core_every = 1;
+  options.core.core_at_round_end = true;
   EXPECT_FALSE(RunChase(world.kb(), options).ok());
 }
 

@@ -60,7 +60,7 @@ TEST(DerivationTest, PreSimplificationReconstructsAlpha) {
   auto kb = MakeBtsNotFes();
   ChaseOptions options;
   options.variant = ChaseVariant::kCore;
-  options.max_steps = 5;
+  options.limits.max_steps = 5;
   auto run = RunChase(kb, options);
   ASSERT_TRUE(run.ok());
   ASSERT_GE(run->derivation.size(), 2u);
@@ -78,7 +78,7 @@ TEST(DerivationTest, ProvenanceCoversNaturalAggregation) {
   StaircaseWorld world;
   ChaseOptions options;
   options.variant = ChaseVariant::kCore;
-  options.max_steps = 20;
+  options.limits.max_steps = 20;
   auto run = RunChase(world.kb(), options);
   ASSERT_TRUE(run.ok());
   auto provenance = run->derivation.ProvenanceIndex();

@@ -42,7 +42,7 @@ TEST(EdgeCasesTest, TernaryPredicatesThroughChaseAndTreewidth) {
   ASSERT_TRUE(program.ok());
   ChaseOptions options;
   options.variant = ChaseVariant::kRestricted;
-  options.max_steps = 10;
+  options.limits.max_steps = 10;
   auto run = RunChase(program->kb, options);
   ASSERT_TRUE(run.ok());
   EXPECT_FALSE(run->terminated);

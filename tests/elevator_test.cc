@@ -23,7 +23,7 @@ class ElevatorChaseTest : public ::testing::Test {
   ElevatorChaseTest() {
     ChaseOptions options;
     options.variant = ChaseVariant::kCore;
-    options.max_steps = 50;
+    options.limits.max_steps = 50;
     auto run = RunChase(world_.kb(), options);
     TWCHASE_CHECK(run.ok());
     run_ = std::make_unique<ChaseResult>(std::move(run).value());
@@ -96,7 +96,7 @@ TEST_F(ElevatorChaseTest, RestrictedChaseAlsoGrowsTreewidth) {
   // but chase sequences (restricted included) keep the growing box.
   ChaseOptions options;
   options.variant = ChaseVariant::kRestricted;
-  options.max_steps = 120;
+  options.limits.max_steps = 120;
   auto run = RunChase(world_.kb(), options);
   ASSERT_TRUE(run.ok());
   TreewidthResult tw = ComputeTreewidth(run->derivation.Last());
@@ -109,8 +109,8 @@ TEST_F(ElevatorChaseTest, CoreEverySpacingPreservesGrowth) {
   // elements show the same growth.
   ChaseOptions options;
   options.variant = ChaseVariant::kCore;
-  options.core_every = 3;
-  options.max_steps = 60;
+  options.core.core_every = 3;
+  options.limits.max_steps = 60;
   auto run = RunChase(world_.kb(), options);
   ASSERT_TRUE(run.ok());
   int max_tw = -1;

@@ -1,0 +1,97 @@
+#include "tools/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace twchase {
+namespace {
+
+using flags::ArgMatcher;
+using flags::ParseSize;
+
+TEST(ParseSizeTest, AcceptsPlainDecimals) {
+  size_t value = 99;
+  EXPECT_TRUE(ParseSize("0", &value));
+  EXPECT_EQ(value, 0u);
+  EXPECT_TRUE(ParseSize("1000", &value));
+  EXPECT_EQ(value, 1000u);
+  EXPECT_TRUE(ParseSize("18446744073709551615", &value));  // SIZE_MAX
+  EXPECT_EQ(value, SIZE_MAX);
+}
+
+TEST(ParseSizeTest, RejectsEverythingElse) {
+  size_t value = 7;
+  EXPECT_FALSE(ParseSize("", &value));
+  EXPECT_FALSE(ParseSize("abc", &value));
+  EXPECT_FALSE(ParseSize("12x", &value));   // strtoul would yield 12
+  EXPECT_FALSE(ParseSize("x12", &value));   // strtoul would yield 0
+  EXPECT_FALSE(ParseSize("-3", &value));
+  EXPECT_FALSE(ParseSize("+3", &value));
+  EXPECT_FALSE(ParseSize(" 3", &value));
+  EXPECT_FALSE(ParseSize("3 ", &value));
+  EXPECT_FALSE(ParseSize("18446744073709551616", &value));  // SIZE_MAX + 1
+  EXPECT_EQ(value, 7u) << "failed parses must not clobber the output";
+}
+
+TEST(ArgMatcherTest, BareFlag) {
+  bool hit = false;
+  std::string arg = "--measures";
+  ArgMatcher m(arg);
+  EXPECT_FALSE(m.Flag("--robust", &hit));
+  EXPECT_FALSE(hit);
+  EXPECT_TRUE(m.Flag("--measures", &hit));
+  EXPECT_TRUE(hit);
+  EXPECT_TRUE(m.ok());
+}
+
+TEST(ArgMatcherTest, ValueFlag) {
+  std::string value;
+  std::string arg = "--variant=core";
+  ArgMatcher m(arg);
+  EXPECT_FALSE(m.Value("--var", &value));  // prefix must match exactly
+  EXPECT_TRUE(m.Value("--variant", &value));
+  EXPECT_EQ(value, "core");
+
+  std::string empty_arg = "--events-out=";
+  ArgMatcher m2(empty_arg);
+  EXPECT_TRUE(m2.Value("--events-out", &value));
+  EXPECT_EQ(value, "");
+}
+
+TEST(ArgMatcherTest, SizeValueParsesStrictly) {
+  size_t steps = 0;
+  std::string arg = "--max-steps=250";
+  ArgMatcher m(arg);
+  EXPECT_TRUE(m.SizeValue("--max-steps", &steps));
+  EXPECT_EQ(steps, 250u);
+  EXPECT_TRUE(m.ok());
+}
+
+TEST(ArgMatcherTest, MalformedSizeIsConsumedWithError) {
+  // The historical strtoul parser mapped "--max-steps=abc" silently to 0;
+  // the matcher must consume the token (ending flag dispatch) but report.
+  size_t steps = 42;
+  std::string arg = "--max-steps=abc";
+  ArgMatcher m(arg);
+  EXPECT_TRUE(m.SizeValue("--max-steps", &steps));
+  EXPECT_EQ(steps, 42u);
+  EXPECT_FALSE(m.ok());
+  EXPECT_NE(m.error().find("--max-steps"), std::string::npos);
+  EXPECT_NE(m.error().find("'abc'"), std::string::npos);
+}
+
+TEST(ArgMatcherTest, DoesNotMatchUnrelatedTokens) {
+  size_t steps = 0;
+  bool hit = false;
+  std::string value;
+  std::string arg = "program.twc";
+  ArgMatcher m(arg);
+  EXPECT_FALSE(m.Flag("--trace", &hit));
+  EXPECT_FALSE(m.Value("--variant", &value));
+  EXPECT_FALSE(m.SizeValue("--max-steps", &steps));
+  EXPECT_TRUE(m.ok());
+}
+
+}  // namespace
+}  // namespace twchase

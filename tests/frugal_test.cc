@@ -76,19 +76,19 @@ TEST(FrugalChaseTest, PrunesRedundantNullsThatRestrictedKeeps) {
   auto kb = MakeFesNotBts();
   ChaseOptions restricted;
   restricted.variant = ChaseVariant::kRestricted;
-  restricted.max_steps = 400;
+  restricted.limits.max_steps = 400;
   auto r = RunChase(kb, restricted);
   ASSERT_TRUE(r.ok());
 
   ChaseOptions frugal;
   frugal.variant = ChaseVariant::kFrugal;
-  frugal.max_steps = 400;
+  frugal.limits.max_steps = 400;
   auto f = RunChase(kb, frugal);
   ASSERT_TRUE(f.ok());
 
   ChaseOptions core;
   core.variant = ChaseVariant::kCore;
-  core.max_steps = 2000;
+  core.limits.max_steps = 2000;
   auto c = RunChase(kb, core);
   ASSERT_TRUE(c.ok());
   ASSERT_TRUE(c->terminated);
@@ -108,7 +108,7 @@ TEST(FrugalChaseTest, SimplificationsFixOldTerms) {
   StaircaseWorld world;
   ChaseOptions options;
   options.variant = ChaseVariant::kFrugal;
-  options.max_steps = 30;
+  options.limits.max_steps = 30;
   auto run = RunChase(world.kb(), options);
   ASSERT_TRUE(run.ok());
   const Derivation& d = run->derivation;
@@ -128,14 +128,14 @@ TEST(FrugalChaseTest, StaircaseFrugalStaysLeanerThanRestricted) {
   StaircaseWorld world;
   ChaseOptions frugal;
   frugal.variant = ChaseVariant::kFrugal;
-  frugal.max_steps = 40;
+  frugal.limits.max_steps = 40;
   auto f = RunChase(world.kb(), frugal);
   ASSERT_TRUE(f.ok());
 
   StaircaseWorld world2;
   ChaseOptions restricted;
   restricted.variant = ChaseVariant::kRestricted;
-  restricted.max_steps = 40;
+  restricted.limits.max_steps = 40;
   auto r = RunChase(world2.kb(), restricted);
   ASSERT_TRUE(r.ok());
   EXPECT_LE(f->derivation.Last().size(), r->derivation.Last().size());

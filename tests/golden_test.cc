@@ -14,7 +14,7 @@ TEST(GoldenTest, StaircaseCoreChaseSizeSeries) {
   StaircaseWorld world;
   ChaseOptions options;
   options.variant = ChaseVariant::kCore;
-  options.max_steps = 24;
+  options.limits.max_steps = 24;
   auto run = RunChase(world.kb(), options);
   ASSERT_TRUE(run.ok());
   std::vector<int> sizes = MeasureSeries(run->derivation, Measure::kSize);
@@ -30,7 +30,7 @@ TEST(GoldenTest, StaircaseCollapsePositions) {
   StaircaseWorld world;
   ChaseOptions options;
   options.variant = ChaseVariant::kCore;
-  options.max_steps = 48;
+  options.limits.max_steps = 48;
   auto run = RunChase(world.kb(), options);
   ASSERT_TRUE(run.ok());
   std::vector<size_t> collapses;
@@ -49,7 +49,7 @@ TEST(GoldenTest, ElevatorCoreChaseSizePrefix) {
   ElevatorWorld world;
   ChaseOptions options;
   options.variant = ChaseVariant::kCore;
-  options.max_steps = 12;
+  options.limits.max_steps = 12;
   auto run = RunChase(world.kb(), options);
   ASSERT_TRUE(run.ok());
   std::vector<int> sizes = MeasureSeries(run->derivation, Measure::kSize);
@@ -64,7 +64,7 @@ TEST(GoldenTest, FesNotBtsFixpoint) {
   auto kb = MakeFesNotBts();
   ChaseOptions options;
   options.variant = ChaseVariant::kCore;
-  options.max_steps = 2000;
+  options.limits.max_steps = 2000;
   auto run = RunChase(kb, options);
   ASSERT_TRUE(run.ok());
   ASSERT_TRUE(run->terminated);

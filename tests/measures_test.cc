@@ -27,7 +27,7 @@ TEST(MeasuresTest, TreewidthBoundsOrdered) {
   StaircaseWorld world;
   ChaseOptions options;
   options.variant = ChaseVariant::kCore;
-  options.max_steps = 15;
+  options.limits.max_steps = 15;
   auto run = RunChase(world.kb(), options);
   ASSERT_TRUE(run.ok());
   std::vector<int> ubs =

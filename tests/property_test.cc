@@ -146,7 +146,7 @@ TEST_P(RandomDatalogProperty, AllVariantsTerminateOnSameModel) {
         ChaseVariant::kRestricted, ChaseVariant::kCore}) {
     ChaseOptions options;
     options.variant = variant;
-    options.max_steps = 500;
+    options.limits.max_steps = 500;
     auto run = RunChase(kb, options);
     ASSERT_TRUE(run.ok());
     EXPECT_TRUE(run->terminated) << ChaseVariantName(variant);

@@ -49,7 +49,7 @@ TEST(RobustAggregatorTest, TerminatedChaseAggregateIsModel) {
   auto kb = MakeFesNotBts();
   ChaseOptions options;
   options.variant = ChaseVariant::kCore;
-  options.max_steps = 2000;
+  options.limits.max_steps = 2000;
   auto run = RunChase(kb, options);
   ASSERT_TRUE(run.ok());
   ASSERT_TRUE(run->terminated);
@@ -65,7 +65,7 @@ TEST(RobustAggregatorTest, GIsomorphicToFThroughout) {
   StaircaseWorld world;
   ChaseOptions options;
   options.variant = ChaseVariant::kCore;
-  options.max_steps = 25;
+  options.limits.max_steps = 25;
   auto run = RunChase(world.kb(), options);
   ASSERT_TRUE(run.ok());
   const Derivation& d = run->derivation;
@@ -88,7 +88,7 @@ TEST(RobustAggregatorTest, AggregateFinitelyUniversalOnStaircase) {
   StaircaseWorld world;
   ChaseOptions options;
   options.variant = ChaseVariant::kCore;
-  options.max_steps = 40;
+  options.limits.max_steps = 40;
   auto run = RunChase(world.kb(), options);
   ASSERT_TRUE(run.ok());
   RobustAggregator agg = RobustAggregator::FromDerivation(run->derivation);
@@ -105,7 +105,7 @@ TEST(RobustAggregatorTest, NaturalVsRobustOnStaircase) {
   StaircaseWorld world;
   ChaseOptions options;
   options.variant = ChaseVariant::kCore;
-  options.max_steps = 55;
+  options.limits.max_steps = 55;
   auto run = RunChase(world.kb(), options);
   ASSERT_TRUE(run.ok());
   AtomSet natural = run->derivation.NaturalAggregation();
@@ -124,7 +124,7 @@ TEST(RobustAggregatorTest, UnionGrowsAcrossCollapses) {
   StaircaseWorld world;
   ChaseOptions options;
   options.variant = ChaseVariant::kCore;
-  options.max_steps = 50;
+  options.limits.max_steps = 50;
   auto run = RunChase(world.kb(), options);
   ASSERT_TRUE(run.ok());
   RobustAggregator agg = RobustAggregator::FromDerivation(run->derivation);
@@ -147,7 +147,7 @@ TEST(RobustAggregatorTest, StableSinceTracksOldVariables) {
   StaircaseWorld world;
   ChaseOptions options;
   options.variant = ChaseVariant::kCore;
-  options.max_steps = 40;
+  options.limits.max_steps = 40;
   auto run = RunChase(world.kb(), options);
   ASSERT_TRUE(run.ok());
   RobustAggregator agg = RobustAggregator::FromDerivation(run->derivation);
@@ -170,7 +170,7 @@ TEST(RobustAggregatorTest, ForwardedUnionIsSubsetOfCurrentG) {
     kb = which == 0 ? staircase.kb() : elevator.kb();
     ChaseOptions options;
     options.variant = ChaseVariant::kCore;
-    options.max_steps = which == 0 ? 30 : 25;
+    options.limits.max_steps = which == 0 ? 30 : 25;
     auto run = RunChase(kb, options);
     ASSERT_TRUE(run.ok());
     const Derivation& d = run->derivation;

@@ -30,7 +30,7 @@ class StaircaseChaseTest : public ::testing::Test {
   StaircaseChaseTest() {
     ChaseOptions options;
     options.variant = ChaseVariant::kCore;
-    options.max_steps = 60;
+    options.limits.max_steps = 60;
     auto run = RunChase(world_.kb(), options);
     TWCHASE_CHECK(run.ok());
     run_ = std::make_unique<ChaseResult>(std::move(run).value());
@@ -176,7 +176,7 @@ TEST_F(StaircaseChaseTest, RestrictedChaseTreewidthGrows) {
   // uniform bound of 2.
   ChaseOptions options;
   options.variant = ChaseVariant::kRestricted;
-  options.max_steps = 80;
+  options.limits.max_steps = 80;
   auto run = RunChase(world_.kb(), options);
   ASSERT_TRUE(run.ok());
   int max_lb = -1;

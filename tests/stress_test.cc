@@ -98,7 +98,7 @@ TEST(RobustOnFrugalTest, AggregationIsFinitelyUniversalPrefix) {
   StaircaseWorld world;
   ChaseOptions options;
   options.variant = ChaseVariant::kFrugal;
-  options.max_steps = 35;
+  options.limits.max_steps = 35;
   auto run = RunChase(world.kb(), options);
   ASSERT_TRUE(run.ok());
   RobustAggregator agg = RobustAggregator::FromDerivation(run->derivation);
@@ -120,7 +120,7 @@ TEST(LargeChaseSmokeTest, LongTransitiveClosure) {
   auto kb = MakeTransitiveClosure(12);
   ChaseOptions options;
   options.variant = ChaseVariant::kRestricted;
-  options.max_steps = 2000;
+  options.limits.max_steps = 2000;
   options.keep_snapshots = false;
   auto run = RunChase(kb, options);
   ASSERT_TRUE(run.ok());

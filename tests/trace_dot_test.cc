@@ -39,7 +39,7 @@ TEST(TraceTest, ShowsSimplifications) {
   StaircaseWorld world;
   ChaseOptions options;
   options.variant = ChaseVariant::kCore;
-  options.max_steps = 10;
+  options.limits.max_steps = 10;
   auto run = RunChase(world.kb(), options);
   ASSERT_TRUE(run.ok());
   std::string trace = DerivationTrace(run->derivation, *world.vocab());

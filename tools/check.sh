@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Local gate mirroring what CI would run:
+#   1. tier-1: configure + build + full ctest under the default preset;
+#   2. sanitizers: ASan+UBSan (TWCHASE_SANITIZE) build, then the delta and
+#      obs labelled suites under it.
+# Run from the repository root. Fails fast on the first broken step.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-2}"
+
+echo "== tier-1: default preset =="
+cmake --preset default
+cmake --build --preset default -j "$JOBS"
+ctest --preset default
+
+echo "== sanitizers: asan preset, delta+obs labels =="
+cmake --preset asan
+cmake --build --preset asan -j "$JOBS"
+ctest --test-dir build-asan --output-on-failure -L 'delta|obs'
+
+echo "check.sh: all gates passed"

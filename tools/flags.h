@@ -1,0 +1,83 @@
+// Minimal command-line flag matching shared by the CLI tools. One ArgMatcher
+// wraps one argv token; the tool tries its flags in turn:
+//
+//   twchase::flags::ArgMatcher m(arg);
+//   if (m.Flag("--measures", &measures)) {
+//   } else if (m.SizeValue("--max-steps", &max_steps)) {
+//   } else { ... positional or unknown ... }
+//   if (!m.ok()) { fprintf(stderr, "%s\n", m.error().c_str()); return 2; }
+//
+// Value parsing is strict: "--max-steps=abc" and "--max-steps=" are matched
+// (so the caller's flag dispatch still ends) but record an error instead of
+// silently yielding 0 the way strtoul would.
+#ifndef TWCHASE_TOOLS_FLAGS_H_
+#define TWCHASE_TOOLS_FLAGS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace twchase {
+namespace flags {
+
+/// Strict decimal parse of an entire string into a size_t. Rejects empty
+/// strings, signs, whitespace, trailing garbage and overflow.
+inline bool ParseSize(const std::string& text, size_t* out) {
+  if (text.empty()) return false;
+  size_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    size_t digit = static_cast<size_t>(c - '0');
+    if (value > (SIZE_MAX - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+/// Matches one argv token against flag patterns. Matching methods return
+/// true when the token is consumed by that flag — possibly with a recorded
+/// error (malformed value); check ok() after dispatch.
+class ArgMatcher {
+ public:
+  explicit ArgMatcher(const std::string& arg) : arg_(arg) {}
+
+  /// Bare boolean flag: exactly "name". Sets *out to true on match.
+  bool Flag(const char* name, bool* out) {
+    if (arg_ != name) return false;
+    *out = true;
+    return true;
+  }
+
+  /// String-valued flag: "name=VALUE" (VALUE may be empty).
+  bool Value(const char* name, std::string* out) {
+    std::string prefix = std::string(name) + "=";
+    if (arg_.rfind(prefix, 0) != 0) return false;
+    *out = arg_.substr(prefix.size());
+    return true;
+  }
+
+  /// Size-valued flag: "name=N" with N a strict non-negative decimal.
+  /// A malformed N still consumes the token but records an error.
+  bool SizeValue(const char* name, size_t* out) {
+    std::string text;
+    if (!Value(name, &text)) return false;
+    if (!ParseSize(text, out)) {
+      error_ = std::string("invalid value for ") + name + ": '" + text +
+               "' (expected a non-negative integer)";
+    }
+    return true;
+  }
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+ private:
+  const std::string& arg_;
+  std::string error_;
+};
+
+}  // namespace flags
+}  // namespace twchase
+
+#endif  // TWCHASE_TOOLS_FLAGS_H_

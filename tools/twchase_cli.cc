@@ -1,7 +1,8 @@
 // twchase_cli — command-line driver for the library: parse a program file
 // (facts, rules, queries in the twchase text format), run a chase variant,
 // answer the queries, and optionally report structural measures, static
-// ruleset analysis and the robust aggregation.
+// ruleset analysis, the robust aggregation and structured observability
+// streams (per-step metrics rows, JSONL event log).
 //
 // Usage:
 //   twchase_cli [flags] <program-file>
@@ -13,10 +14,12 @@
 //     --analyze            print static ruleset analysis
 //     --trace              print the derivation trace (rules, triggers)
 //     --print-result       print the final instance
+//     --metrics-out=FILE   write one JSONL metrics row per derivation step
+//     --events-out=FILE    write every observer event as one JSON line
+#include <algorithm>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -27,8 +30,12 @@
 #include "hom/answers.h"
 #include "hom/matcher.h"
 #include "kb/analysis.h"
+#include "obs/metrics.h"
+#include "obs/observer.h"
+#include "obs/stock_observers.h"
 #include "parser/parser.h"
 #include "parser/printer.h"
+#include "tools/flags.h"
 #include "tw/treewidth.h"
 #include "util/stopwatch.h"
 
@@ -41,13 +48,16 @@ struct CliOptions {
   bool analyze = false;
   bool trace = false;
   bool print_result = false;
+  std::string metrics_out;
+  std::string events_out;
   std::string file;
 };
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--variant=V] [--max-steps=N] [--core-every=N] "
-               "[--measures] [--robust] [--analyze] [--print-result] "
+               "[--measures] [--robust] [--analyze] [--trace] "
+               "[--print-result] [--metrics-out=FILE] [--events-out=FILE] "
                "<program-file>\n",
                argv0);
   return 2;
@@ -69,28 +79,33 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
   options->chase.variant = twchase::ChaseVariant::kCore;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg.rfind("--variant=", 0) == 0) {
-      if (!ParseVariant(arg.substr(10), &options->chase.variant)) return false;
-    } else if (arg.rfind("--max-steps=", 0) == 0) {
-      options->chase.max_steps = std::strtoul(arg.c_str() + 12, nullptr, 10);
-    } else if (arg.rfind("--core-every=", 0) == 0) {
-      options->chase.core_every = std::strtoul(arg.c_str() + 13, nullptr, 10);
-    } else if (arg == "--measures") {
-      options->measures = true;
-    } else if (arg == "--robust") {
-      options->robust = true;
-    } else if (arg == "--analyze") {
-      options->analyze = true;
-    } else if (arg == "--trace") {
-      options->trace = true;
-    } else if (arg == "--print-result") {
-      options->print_result = true;
+    twchase::flags::ArgMatcher m(arg);
+    std::string variant_name;
+    if (m.Value("--variant", &variant_name)) {
+      if (!ParseVariant(variant_name, &options->chase.variant)) {
+        std::fprintf(stderr, "unknown variant: %s\n", variant_name.c_str());
+        return false;
+      }
+    } else if (m.SizeValue("--max-steps", &options->chase.limits.max_steps) ||
+               m.SizeValue("--core-every", &options->chase.core.core_every) ||
+               m.Flag("--measures", &options->measures) ||
+               m.Flag("--robust", &options->robust) ||
+               m.Flag("--analyze", &options->analyze) ||
+               m.Flag("--trace", &options->trace) ||
+               m.Flag("--print-result", &options->print_result) ||
+               m.Value("--metrics-out", &options->metrics_out) ||
+               m.Value("--events-out", &options->events_out)) {
+      // dispatched; value errors surface below
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
     } else if (options->file.empty()) {
       options->file = arg;
     } else {
+      return false;
+    }
+    if (!m.ok()) {
+      std::fprintf(stderr, "%s\n", m.error().c_str());
       return false;
     }
   }
@@ -131,6 +146,38 @@ int main(int argc, char** argv) {
                 analysis.ImpliesTreewidthBounded() ? "yes" : "no");
   }
 
+  // Observability surfaces: both files hold one JSON object per line and are
+  // fed by observers attached to the live run.
+  ObserverList observers;
+  std::ofstream metrics_file;
+  std::ofstream events_file;
+  MetricsRegistry registry;
+  std::optional<JsonlSink> metrics_sink;
+  std::optional<MetricsObserver> metrics_observer;
+  if (!options.metrics_out.empty()) {
+    metrics_file.open(options.metrics_out);
+    if (!metrics_file) {
+      std::fprintf(stderr, "cannot open %s\n", options.metrics_out.c_str());
+      return 1;
+    }
+    metrics_sink.emplace(&metrics_file);
+    MetricsObserverOptions metrics_options;
+    metrics_options.sink = &*metrics_sink;
+    metrics_observer.emplace(&registry, metrics_options);
+    observers.Add(&*metrics_observer);
+  }
+  std::optional<EventLogObserver> event_log;
+  if (!options.events_out.empty()) {
+    events_file.open(options.events_out);
+    if (!events_file) {
+      std::fprintf(stderr, "cannot open %s\n", options.events_out.c_str());
+      return 1;
+    }
+    event_log.emplace(&events_file);
+    observers.Add(&*event_log);
+  }
+  if (!observers.empty()) options.chase.observer = &observers;
+
   Stopwatch sw;
   auto run = RunChase(kb, options.chase);
   if (!run.ok()) {
@@ -166,7 +213,8 @@ int main(int argc, char** argv) {
   }
 
   if (options.robust) {
-    RobustAggregator agg = RobustAggregator::FromDerivation(run->derivation);
+    RobustAggregator agg = RobustAggregator::FromDerivation(
+        run->derivation, 0, observers.empty() ? nullptr : &observers);
     TreewidthResult tw = ComputeTreewidth(agg.Aggregate());
     std::printf(
         "robust aggregation D~: %zu atoms, tw <= %d, %zu stable variables\n",
