@@ -1,0 +1,39 @@
+// Fuzz entry point for the text-format parser (src/parser/).
+//
+// Contract under test: ParseProgram must return a Status for ANY byte
+// sequence — never crash, never abort, never trip ASan/UBSan. The parser is
+// the one component that consumes fully untrusted input (program files from
+// the CLI, checkpoint text via ParseCheckpoint's own guards), so it gets a
+// fuzz harness rather than example-based tests alone.
+//
+// Built two ways (see fuzz/CMakeLists.txt):
+//   * with clang: a real libFuzzer target (-fsanitize=fuzzer);
+//   * with gcc (no libFuzzer): linked against the standalone driver in
+//     standalone_driver.cc, which feeds deterministic seeded-random and
+//     grammar-aware inputs through this same function.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "parser/lexer.h"
+#include "parser/parser.h"
+#include "parser/printer.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string text(reinterpret_cast<const char*>(data), size);
+  auto tokens = twchase::Tokenize(text);
+  (void)tokens;
+  auto program = twchase::ParseProgram(text);
+  if (program.ok()) {
+    // Exercise the printing path on accepted inputs: printing a parsed
+    // program must also be total.
+    for (const auto& query : program->queries) {
+      (void)twchase::PrintQuery(query, *program->kb.vocab);
+    }
+    (void)program->kb.ToString();
+  } else {
+    // Error rendering must be total too (it embeds input fragments).
+    (void)program.status().ToString();
+  }
+  return 0;
+}

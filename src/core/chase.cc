@@ -11,6 +11,8 @@
 #include "hom/core.h"
 #include "hom/endomorphism.h"
 #include "obs/observer.h"
+#include "util/fault.h"
+#include "util/governor.h"
 #include "util/logging.h"
 #include "util/status.h"
 
@@ -41,6 +43,12 @@ Status ChaseOptions::Validate() const {
     return Status::InvalidArgument(
         "incremental_core requires core_every == 1 and "
         "core_at_round_end == false");
+  }
+  if (resume.record_log && core.incremental_core) {
+    return Status::InvalidArgument(
+        "resume.record_log requires incremental_core == false: the in-place "
+        "fold order of the incremental path is not reproducible from a "
+        "resume log");
   }
   return Status::OK();
 }
@@ -98,14 +106,36 @@ void RecordRetractionDelta(const Substitution& retraction,
   }
 }
 
+// Walks a recorded ResumeLog in lock-step with the scheduler. While
+// `active`, committed decisions come from the log instead of satisfaction
+// checks, and recorded retractions are applied instead of recomputing
+// cores. The cursor deactivates — execution "goes live" — exactly at the
+// boundary where the recorded run stopped.
+struct ReplayCursor {
+  const ResumeLog* log = nullptr;
+  size_t round_index = 0;
+  size_t bit_index = 0;
+  size_t step_index = 0;
+  bool active = false;
+};
+
 }  // namespace
 
 StatusOr<ChaseResult> RunChase(const KnowledgeBase& kb,
                                const ChaseOptions& options) {
+  return RunChaseWithReplay(kb, options, nullptr);
+}
+
+StatusOr<ChaseResult> RunChaseWithReplay(const KnowledgeBase& kb,
+                                         const ChaseOptions& options,
+                                         const ResumeLog* replay) {
   if (kb.vocab == nullptr) {
     return Status::InvalidArgument("knowledge base has no vocabulary");
   }
   TWCHASE_RETURN_IF_ERROR(options.Validate());
+  // A log that never committed anything records a run that stopped before
+  // the initial element; replaying it is a plain fresh run.
+  if (replay != nullptr && !replay->have_initial) replay = nullptr;
   Vocabulary* vocab = kb.vocab.get();
   const bool is_core = options.variant == ChaseVariant::kCore;
   const bool use_incremental_core = is_core && options.core.incremental_core;
@@ -125,19 +155,110 @@ StatusOr<ChaseResult> RunChase(const KnowledgeBase& kb,
 
   ChaseResult result;
   result.derivation = Derivation(options.keep_snapshots);
+  ScopedCrashContext crash_context("chase run", &result.steps);
 
+  // Cooperative resource governance: the governor is polled at every
+  // trigger/round boundary here and at every search node inside the
+  // homomorphism, coring, entailment and treewidth procedures via the
+  // ambient scope. Once it stops, nothing past the last committed step is
+  // trusted: partial search results are discarded, uncommitted mutations
+  // rolled back, and the run returns the consistent prefix.
+  ResourceLimits governor_limits;
+  governor_limits.deadline_ms = options.limits.deadline_ms;
+  governor_limits.memory_budget_bytes = options.limits.memory_budget_bytes;
+  governor_limits.cancel = options.limits.cancel;
+  ResourceGovernor governor(governor_limits);
+  GovernorScope governor_scope(&governor);
+
+  ResumeLog* const rec = options.resume.record_log ? &result.resume_log
+                                                   : nullptr;
+  ReplayCursor cursor;
+  if (replay != nullptr) {
+    cursor.log = replay;
+    cursor.active = true;
+  }
+  // Set once, when replay reaches the end of the log but the reconstructed
+  // state does not match the checkpointed one.
+  Status replay_error = Status::OK();
   AtomSet current = kb.facts;
+  // Deactivates the cursor (all further decisions are live) and, when the
+  // log carries landing-verification data, cross-checks the reconstructed
+  // state against the checkpointed one. Every deactivation site is a full
+  // consumption of the log, so the check fires exactly at the recorded
+  // stop boundary.
+  auto go_live = [&]() {
+    cursor.active = false;
+    if (cursor.log == nullptr || !cursor.log->verify_landing) return;
+    if (current.size() != cursor.log->expected_instance_size ||
+        current.ContentHash() != cursor.log->expected_instance_hash ||
+        vocab->num_variables() != cursor.log->committed_num_variables) {
+      replay_error = Status::FailedPrecondition(
+          "resume replay did not reconstruct the checkpointed state "
+          "(instance or fresh-null counter mismatch; the checkpoint does "
+          "not belong to this knowledge base / options)");
+    }
+  };
+
+  governor.NoteMemoryUsage(current.ApproxMemoryBytes());
+  bool budget_stop = governor.ShouldStop(FaultSite::kRoundBoundary);
+
   Substitution sigma0;
   size_t initial_folds = 0;
   size_t initial_size_before = current.size();
-  if (is_core && options.core.core_initial) {
-    CoreResult cored = ComputeCore(current);
-    current = std::move(cored.core);
-    sigma0 = std::move(cored.retraction);
-    initial_folds = cored.folds;
+  if (!budget_stop && is_core && options.core.core_initial) {
+    if (cursor.active) {
+      sigma0 = cursor.log->initial_sigma;
+      initial_folds = cursor.log->initial_folds;
+      current = sigma0.Apply(current);
+    } else {
+      CoreResult cored = ComputeCore(current);
+      if (governor.stopped()) {
+        // Coring aborted mid-search: the partial retraction is not a
+        // retraction of anything. Keep F untouched.
+        budget_stop = true;
+      } else {
+        current = std::move(cored.core);
+        sigma0 = std::move(cored.retraction);
+        initial_folds = cored.folds;
+      }
+    }
+  }
+  if (budget_stop) {
+    // Stopped before the initial element committed: the result is the
+    // untouched input (zero steps, empty resume log with have_initial
+    // false — resuming is a fresh run).
+    result.derivation.AddInitial(current, {});
+    result.stop_reason = governor.reason();
+    result.stats.peak_instance_size = current.size();
+    if (obs != nullptr) {
+      RunBeginEvent begin;
+      begin.variant = options.variant;
+      begin.rule_count = kb.rules.size();
+      begin.initial_size = current.size();
+      begin.initial_simplification = &result.derivation.step(0).simplification;
+      begin.instance = &current;
+      obs->OnRunBegin(begin);
+      if (governor.fault_fired()) {
+        obs->OnFaultInjected(
+            {governor.fault_site(), governor.fault_visit(), governor.reason()});
+      }
+      obs->OnRunEnd({result.steps, result.rounds, result.terminated,
+                     result.size_guard_tripped, current.size(),
+                     result.stop_reason});
+    }
+    return result;
+  }
+  if (rec != nullptr) {
+    rec->have_initial = true;
+    rec->initial_sigma = sigma0;
+    rec->initial_folds = initial_folds;
+    rec->initial_num_variables = vocab->num_variables();
   }
   result.derivation.AddInitial(current, std::move(sigma0));
+  if (rec != nullptr) rec->committed_num_variables = vocab->num_variables();
   result.stats.peak_instance_size = current.size();
+  governor.NoteMemoryUsage(current.ApproxMemoryBytes() +
+                           result.derivation.ApproxMemoryBytes());
 
   if (obs != nullptr) {
     RunBeginEvent begin;
@@ -172,7 +293,16 @@ StatusOr<ChaseResult> RunChase(const KnowledgeBase& kb,
   size_t since_last_core = 0;
 
   while (result.steps < options.limits.max_steps) {
+    if (governor.ShouldStop(FaultSite::kRoundBoundary)) {
+      budget_stop = true;
+      break;
+    }
+    if (cursor.active && cursor.round_index >= cursor.log->rounds.size()) {
+      go_live();
+      if (!replay_error.ok()) break;
+    }
     ++result.rounds;
+    if (rec != nullptr) rec->rounds.emplace_back();
     const size_t steps_at_round_start = result.steps;
 
     // Establish this round's match sets: naive evaluation re-enumerates
@@ -244,6 +374,13 @@ StatusOr<ChaseResult> RunChase(const KnowledgeBase& kb,
       pending_delta.Clear();
       if (obs != nullptr) obs->OnDeltaRepair(repair);
     }
+    // The match search polls the governor internally and may have returned
+    // a partial enumeration; a round scheduled from one would not be a fair
+    // round, so stop before snapshotting.
+    if (governor.stopped()) {
+      budget_stop = true;
+      break;
+    }
 
     // Snapshot and order the round's triggers. The order is total — within
     // a rule, distinct matches have distinct packed keys — and equals the
@@ -279,9 +416,35 @@ StatusOr<ChaseResult> RunChase(const KnowledgeBase& kb,
     }
 
     bool progressed = false;
+    // Set when replay hits the end of a round record that carries a
+    // committed round-end coring: the recorded run left its trigger loop
+    // early (step budget or size guard) and then amended — follow it.
+    bool replay_round_cut = false;
     Substitution sigma_round;  // composition of simplifications this round
     for (const PendingTrigger& p : pending) {
       if (result.steps >= options.limits.max_steps) break;
+      if (governor.ShouldStop(FaultSite::kTriggerBoundary)) {
+        budget_stop = true;
+        break;
+      }
+      // Replay: consume this consideration's committed decision, or detect
+      // the recorded stop point and go live at exactly this trigger.
+      bool replaying_this = false;
+      bool replay_bit = false;
+      if (cursor.active) {
+        const ResumeLog::RoundRecord& rr =
+            cursor.log->rounds[cursor.round_index];
+        if (cursor.bit_index < rr.decisions.size()) {
+          replaying_this = true;
+          replay_bit = rr.decisions[cursor.bit_index++] != 0;
+        } else if (rr.have_round_end) {
+          replay_round_cut = true;
+          break;
+        } else {
+          go_live();
+          if (!replay_error.ok()) break;
+        }
+      }
       const Rule& rule = kb.rules[p.rule_index];
       RuleState& state = rule_states[p.rule_index];
       StoredMatch& stored = state.matches[p.match_index];
@@ -298,39 +461,65 @@ StatusOr<ChaseResult> RunChase(const KnowledgeBase& kb,
         composed = Substitution::Compose(sigma_round, stored.match);
         match = &composed;
       }
-      // Activeness per variant.
+      // Activeness per variant. Replay substitutes the recorded decision
+      // for the satisfaction check (the oblivious key bookkeeping still
+      // runs — it is deterministic — and is cross-checked against the log).
+      bool satisfaction_aborted = false;
+      bool skip = false;
       switch (options.variant) {
         case ChaseVariant::kOblivious: {
           PackedBindings key = match == &stored.match
                                    ? stored.key
                                    : PackedBindings::FromMatch(*match);
           bool fresh = state.applied.insert(std::move(key)).second;
+          if (replaying_this) {
+            TWCHASE_CHECK_MSG(fresh == replay_bit,
+                              "resume log diverged from the oblivious "
+                              "application keys");
+          }
           stored.retired = true;
           if (obs != nullptr && retire_considered) {
             obs->OnTriggerRetired({result.rounds, p.rule_index,
                                    fresh ? TriggerRetireReason::kApplied
                                          : TriggerRetireReason::kDuplicate});
           }
-          if (!fresh) continue;
+          if (!fresh) skip = true;
           break;
         }
         case ChaseVariant::kSemiOblivious: {
           PackedBindings key =
               PackedBindings::FromRestricted(*match, rule.frontier());
           bool fresh = state.applied.insert(std::move(key)).second;
+          if (replaying_this) {
+            TWCHASE_CHECK_MSG(fresh == replay_bit,
+                              "resume log diverged from the semi-oblivious "
+                              "application keys");
+          }
           stored.retired = true;
           if (obs != nullptr && retire_considered) {
             obs->OnTriggerRetired({result.rounds, p.rule_index,
                                    fresh ? TriggerRetireReason::kApplied
                                          : TriggerRetireReason::kDuplicate});
           }
-          if (!fresh) continue;
+          if (!fresh) skip = true;
           break;
         }
         case ChaseVariant::kRestricted:
         case ChaseVariant::kFrugal:
         case ChaseVariant::kCore: {
-          bool satisfied = TriggerIsSatisfied(rule, *match, current);
+          bool satisfied;
+          if (replaying_this) {
+            satisfied = !replay_bit;
+          } else {
+            satisfied = TriggerIsSatisfied(rule, *match, current);
+            if (governor.stopped()) {
+              // The satisfaction search aborted; its verdict is not
+              // trustworthy and nothing has been committed for this
+              // consideration — stop exactly here.
+              satisfaction_aborted = true;
+              break;
+            }
+          }
           if (retire_considered) {
             stored.retired = true;
             if (obs != nullptr) {
@@ -340,21 +529,45 @@ StatusOr<ChaseResult> RunChase(const KnowledgeBase& kb,
                                          : TriggerRetireReason::kApplied});
             }
           }
-          if (satisfied) continue;
+          if (satisfied) skip = true;
           break;
         }
+      }
+      if (satisfaction_aborted) {
+        budget_stop = true;
+        break;
+      }
+      if (skip) {
+        if (rec != nullptr) rec->rounds.back().decisions.push_back(0);
+        continue;
       }
 
       TriggerApplication application =
           ApplyTrigger(rule, *match, &current, vocab);
       Substitution sigma;
+      std::vector<Substitution> fold_sigmas;
+      size_t core_folds = 0;
       bool have_core_event = false;
+      bool application_aborted = false;
       CoreRetractionEvent core_event;
-      if (is_core && !options.core.core_at_round_end &&
-          ++since_last_core >= options.core.core_every) {
-        since_last_core = 0;
+      const bool do_core = is_core && !options.core.core_at_round_end &&
+                           ++since_last_core >= options.core.core_every;
+      if (do_core) since_last_core = 0;
+      const ResumeLog::StepRecord* step_record = nullptr;
+      if (replaying_this) {
+        TWCHASE_CHECK_MSG(cursor.step_index < cursor.log->steps.size(),
+                          "resume log diverged: missing step record");
+        step_record = &cursor.log->steps[cursor.step_index++];
+        TWCHASE_CHECK_MSG(step_record->cored == do_core,
+                          "resume log diverged from the coring schedule");
+      }
+      if (do_core) {
         core_event.size_before = current.size();
         if (use_incremental_core) {
+          // In-place maintenance mutates as it folds; an interruption would
+          // leave a half-folded instance, so the whole update is atomic
+          // (polls inside are masked).
+          GovernorAtomicSection atomic_update;
           IncrementalCoreOptions inc_options;
           inc_options.dirty_radius = options.core.dirty_radius;
           IncrementalCoreResult inc =
@@ -369,27 +582,72 @@ StatusOr<ChaseResult> RunChase(const KnowledgeBase& kb,
           core_event.incremental = true;
           core_event.fell_back = inc.fell_back;
           core_event.folds = inc.folds;
+        } else if (step_record != nullptr) {
+          // Replay the recorded retraction through the same mutation
+          // sequence as live coring (drain, record delta, rebuild): the
+          // resulting instance, journal and delta state are identical.
+          if (delta_on) pending_delta.Absorb(current.DrainDelta());
+          if (delta_on) {
+            RecordRetractionDelta(step_record->sigma, current, &pending_delta);
+          }
+          current = step_record->sigma.Apply(current);
+          if (delta_on) current.EnableDeltaJournal();
+          sigma = step_record->sigma;
+          ++result.stats.core_full;
+          core_event.folds = step_record->folds;
         } else {
           if (delta_on) pending_delta.Absorb(current.DrainDelta());
           CoreResult cored = ComputeCore(current);
-          if (delta_on) {
-            RecordRetractionDelta(cored.retraction, current, &pending_delta);
+          if (governor.stopped()) {
+            // Coring aborted mid-search: discard it and roll the
+            // application back to the last committed step (its added atoms
+            // are exactly what it inserted; everything else is untouched).
+            for (const Atom& atom : application.added_atoms) {
+              current.Erase(atom);
+            }
+            application_aborted = true;
+          } else {
+            if (delta_on) {
+              RecordRetractionDelta(cored.retraction, current, &pending_delta);
+            }
+            current = std::move(cored.core);
+            if (delta_on) current.EnableDeltaJournal();
+            sigma = std::move(cored.retraction);
+            ++result.stats.core_full;
+            core_event.folds = cored.folds;
           }
-          current = std::move(cored.core);
-          if (delta_on) current.EnableDeltaJournal();
-          sigma = std::move(cored.retraction);
-          ++result.stats.core_full;
-          core_event.folds = cored.folds;
         }
-        core_event.size_after = current.size();
-        have_core_event = true;
+        if (!application_aborted) {
+          core_event.size_after = current.size();
+          have_core_event = true;
+          core_folds = core_event.folds;
+        }
       } else if (options.variant == ChaseVariant::kFrugal &&
                  !rule.existential().empty()) {
-        std::vector<Term> fresh;
-        for (Term ev : rule.existential()) {
-          fresh.push_back(application.safe.Apply(ev));
+        if (step_record != nullptr) {
+          // Replay the recorded folds one by one through the same rebuild
+          // the live path uses — journal entries included.
+          for (const Substitution& fold : step_record->fold_sigmas) {
+            ApplyRetractionRebuild(&current, fold);
+            sigma = Substitution::Compose(fold, sigma);
+            fold_sigmas.push_back(fold);
+          }
+        } else {
+          std::vector<Term> fresh;
+          for (Term ev : rule.existential()) {
+            fresh.push_back(application.safe.Apply(ev));
+          }
+          // Each fold rebuilds the instance; interrupting between search
+          // and rebuild would lose the committed prefix, so the fold loop
+          // is atomic (bounded by the handful of fresh nulls of one rule).
+          GovernorAtomicSection atomic_fold;
+          sigma = FoldVariablesKeepingRestFixed(
+              &current, fresh, rec != nullptr ? &fold_sigmas : nullptr);
         }
-        sigma = FoldVariablesKeepingRestFixed(&current, fresh);
+      }
+      if (application_aborted) {
+        budget_stop = true;
+        break;
       }
       if (match == &composed) {
         result.derivation.AddStep(p.rule_index, rule.label(),
@@ -411,6 +669,18 @@ StatusOr<ChaseResult> RunChase(const KnowledgeBase& kb,
       }
       ++result.steps;
       progressed = true;
+      if (rec != nullptr) {
+        rec->rounds.back().decisions.push_back(1);
+        ResumeLog::StepRecord step_rec;
+        step_rec.sigma = sigma;
+        step_rec.fold_sigmas = std::move(fold_sigmas);
+        step_rec.cored = do_core;
+        step_rec.folds = core_folds;
+        rec->steps.push_back(std::move(step_rec));
+        rec->committed_num_variables = vocab->num_variables();
+      }
+      governor.NoteMemoryUsage(current.ApproxMemoryBytes() +
+                               result.derivation.ApproxMemoryBytes());
       if (obs != nullptr) {
         const DerivationStep& last =
             result.derivation.step(result.derivation.size() - 1);
@@ -438,29 +708,87 @@ StatusOr<ChaseResult> RunChase(const KnowledgeBase& kb,
         break;
       }
     }
+    if (budget_stop || !replay_error.ok()) break;
+    (void)replay_round_cut;  // consumed by the round-end replay below
     if (is_core && options.core.core_at_round_end && progressed) {
-      if (delta_on) pending_delta.Absorb(current.DrainDelta());
-      size_t size_before = current.size();
-      CoreResult cored = ComputeCore(current);
-      ++result.stats.core_full;
-      size_t round_end_folds = cored.folds;
-      if (!cored.retraction.IsIdentity()) {
-        if (delta_on) {
-          RecordRetractionDelta(cored.retraction, current, &pending_delta);
+      bool round_end_handled = false;
+      if (cursor.active) {
+        const ResumeLog::RoundRecord& rr =
+            cursor.log->rounds[cursor.round_index];
+        if (rr.have_round_end) {
+          // Same mutation sequence as the live path: unconditional drain,
+          // then record/rebuild/amend only for a proper retraction.
+          if (delta_on) pending_delta.Absorb(current.DrainDelta());
+          size_t size_before = current.size();
+          if (!rr.round_end_sigma.IsIdentity()) {
+            if (delta_on) {
+              RecordRetractionDelta(rr.round_end_sigma, current,
+                                    &pending_delta);
+            }
+            current = rr.round_end_sigma.Apply(current);
+            if (delta_on) current.EnableDeltaJournal();
+            result.derivation.AmendLastSimplification(rr.round_end_sigma,
+                                                      current);
+          }
+          ++result.stats.core_full;
+          if (rec != nullptr) {
+            rec->rounds.back().have_round_end = true;
+            rec->rounds.back().round_end_sigma = rr.round_end_sigma;
+            rec->rounds.back().round_end_folds = rr.round_end_folds;
+          }
+          if (obs != nullptr) {
+            CoreRetractionEvent retraction;
+            retraction.step = result.steps;
+            retraction.folds = rr.round_end_folds;
+            retraction.size_before = size_before;
+            retraction.size_after = current.size();
+            obs->OnCoreRetraction(retraction);
+          }
+          round_end_handled = true;
+        } else {
+          // The recorded run stopped at this round-end coring boundary;
+          // resume runs it live.
+          go_live();
         }
-        current = std::move(cored.core);
-        if (delta_on) current.EnableDeltaJournal();
-        result.derivation.AmendLastSimplification(cored.retraction, current);
       }
-      if (obs != nullptr) {
-        CoreRetractionEvent retraction;
-        retraction.step = result.steps;
-        retraction.folds = round_end_folds;
-        retraction.size_before = size_before;
-        retraction.size_after = current.size();
-        obs->OnCoreRetraction(retraction);
+      if (!round_end_handled && replay_error.ok()) {
+        if (delta_on) pending_delta.Absorb(current.DrainDelta());
+        size_t size_before = current.size();
+        CoreResult cored = ComputeCore(current);
+        if (governor.stopped()) {
+          // Aborted mid-search; nothing was mutated — the round's committed
+          // applications stand, the amendment simply has not happened yet
+          // (resume re-runs it).
+          budget_stop = true;
+        } else {
+          ++result.stats.core_full;
+          size_t round_end_folds = cored.folds;
+          if (!cored.retraction.IsIdentity()) {
+            if (delta_on) {
+              RecordRetractionDelta(cored.retraction, current, &pending_delta);
+            }
+            current = std::move(cored.core);
+            if (delta_on) current.EnableDeltaJournal();
+            result.derivation.AmendLastSimplification(cored.retraction,
+                                                      current);
+          }
+          if (rec != nullptr) {
+            rec->rounds.back().have_round_end = true;
+            rec->rounds.back().round_end_sigma = cored.retraction;
+            rec->rounds.back().round_end_folds = round_end_folds;
+          }
+          if (obs != nullptr) {
+            CoreRetractionEvent retraction;
+            retraction.step = result.steps;
+            retraction.folds = round_end_folds;
+            retraction.size_before = size_before;
+            retraction.size_after = current.size();
+            obs->OnCoreRetraction(retraction);
+          }
+        }
       }
     }
+    if (budget_stop || !replay_error.ok()) break;
     if (retire_considered) {
       for (RuleState& state : rule_states) {
         size_t kept = 0;
@@ -477,19 +805,41 @@ StatusOr<ChaseResult> RunChase(const KnowledgeBase& kb,
       obs->OnRoundEnd({result.rounds, result.steps - steps_at_round_start,
                        current.size(), progressed});
     }
+    if (cursor.active) {
+      ++cursor.round_index;
+      cursor.bit_index = 0;
+    }
     if (!progressed) {
       result.terminated = true;
       break;
     }
     if (result.size_guard_tripped) break;
   }
+  if (!replay_error.ok()) return replay_error;
+  if (budget_stop) {
+    result.stop_reason = governor.reason();
+  } else if (result.size_guard_tripped) {
+    result.stop_reason = StopReason::kInstanceSizeGuard;
+  } else if (result.terminated) {
+    result.stop_reason = StopReason::kFixpoint;
+  } else {
+    result.stop_reason = StopReason::kStepBudget;
+  }
+  result.terminated = result.stop_reason == StopReason::kFixpoint;
+  result.size_guard_tripped =
+      result.stop_reason == StopReason::kInstanceSizeGuard;
   if (obs != nullptr) {
+    if (governor.fault_fired()) {
+      obs->OnFaultInjected(
+          {governor.fault_site(), governor.fault_visit(), governor.reason()});
+    }
     obs->OnRunEnd({result.steps, result.rounds, result.terminated,
-                   result.size_guard_tripped, current.size()});
+                   result.size_guard_tripped, current.size(),
+                   result.stop_reason});
   }
   TWCHASE_LOG(Debug) << "chase " << ChaseVariantName(options.variant) << ": "
                      << result.steps << " steps, " << result.rounds
-                     << " rounds, terminated=" << result.terminated
+                     << " rounds, stop=" << StopReasonName(result.stop_reason)
                      << ", |F|=" << current.size();
   return result;
 }

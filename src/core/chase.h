@@ -18,9 +18,12 @@
 #define TWCHASE_CORE_CHASE_H_
 
 #include <cstdint>
+#include <optional>
+#include <vector>
 
 #include "core/derivation.h"
 #include "kb/knowledge_base.h"
+#include "util/governor.h"
 #include "util/status.h"
 
 namespace twchase {
@@ -45,7 +48,9 @@ class ChaseObserver;  // obs/observer.h
 struct ChaseOptions {
   ChaseVariant variant = ChaseVariant::kRestricted;
 
-  /// Run budgets. The run stops (unterminated) when one is exhausted.
+  /// Run budgets. The run stops (unterminated) when one is exhausted; the
+  /// exhausted budget is reported as ChaseResult::stop_reason and the
+  /// result carries the consistent prefix completed so far.
   struct LimitOptions {
     /// Budget in rule applications.
     size_t max_steps = 1000;
@@ -53,6 +58,24 @@ struct ChaseOptions {
     /// Instance-size guardrail: stop (unterminated) once |F_i| exceeds this
     /// (0 = unlimited). Protects callers from runaway oblivious chases.
     size_t max_instance_size = 0;
+
+    /// Wall-clock budget in milliseconds, measured from the start of the
+    /// run (nullopt = unlimited; 0 = already expired, so the run stops at
+    /// the first boundary with the initial instance unmodified). Enforced
+    /// cooperatively at trigger/round boundaries, so the overshoot is
+    /// bounded by one trigger application.
+    std::optional<uint64_t> deadline_ms;
+
+    /// Budget on estimated resident bytes of instance + retained
+    /// derivation (0 = unlimited). An estimate (see
+    /// AtomSet::ApproxMemoryBytes), not an allocator hook; the CLI's
+    /// --memory-budget-mb converts to bytes.
+    size_t memory_budget_bytes = 0;
+
+    /// External cooperative cancellation; inert by default. Another thread
+    /// may call cancel.RequestCancel() to stop the run at the next
+    /// boundary with StopReason::kCancelled.
+    CancelToken cancel;
   };
 
   /// Coring schedule (core chase only; ignored by the other variants).
@@ -100,9 +123,21 @@ struct ChaseOptions {
     bool enabled = true;
   };
 
+  /// Checkpoint/resume support (core/checkpoint.h).
+  struct ResumeOptions {
+    /// Record the resume log (per-round decision bits and recorded coring
+    /// retractions) alongside the derivation, so a checkpoint can be
+    /// written from the result. Off by default (the log costs memory
+    /// proportional to the run). Incompatible with core.incremental_core:
+    /// the in-place fold order of the incremental path is not reproducible
+    /// from the log, and incremental runs are only iso-equivalent anyway.
+    bool record_log = false;
+  };
+
   LimitOptions limits;
   CoreOptions core;
   DeltaOptions delta;
+  ResumeOptions resume;
 
   /// Process datalog (non-existential) rules before existential ones within
   /// a round, as the paper's constructions assume (Proposition 6).
@@ -118,64 +153,14 @@ struct ChaseOptions {
   ChaseObserver* observer = nullptr;
 
   /// Rejects inconsistent option combinations (core_every == 0,
-  /// incremental_core with an unsupported coring schedule, ...). RunChase
-  /// validates first and surfaces the same Status.
+  /// incremental_core with an unsupported coring schedule, resume
+  /// recording with incremental_core, ...). RunChase validates first and
+  /// surfaces the same Status.
   Status Validate() const;
 
-  // --- Deprecated flat accessors ------------------------------------------
-  // The flat fields moved into the nested groups above; these forward for
-  // one release so external callers can migrate (`o.max_steps = n` becomes
-  // `o.limits.max_steps = n`, or transitionally `o.max_steps() = n`).
-
-  [[deprecated("use limits.max_steps")]] size_t& max_steps() {
-    return limits.max_steps;
-  }
-  [[deprecated("use limits.max_steps")]] size_t max_steps() const {
-    return limits.max_steps;
-  }
-  [[deprecated("use limits.max_instance_size")]] size_t& max_instance_size() {
-    return limits.max_instance_size;
-  }
-  [[deprecated("use limits.max_instance_size")]] size_t max_instance_size()
-      const {
-    return limits.max_instance_size;
-  }
-  [[deprecated("use core.core_every")]] size_t& core_every() {
-    return core.core_every;
-  }
-  [[deprecated("use core.core_every")]] size_t core_every() const {
-    return core.core_every;
-  }
-  [[deprecated("use core.core_at_round_end")]] bool& core_at_round_end() {
-    return core.core_at_round_end;
-  }
-  [[deprecated("use core.core_at_round_end")]] bool core_at_round_end() const {
-    return core.core_at_round_end;
-  }
-  [[deprecated("use core.core_initial")]] bool& core_initial() {
-    return core.core_initial;
-  }
-  [[deprecated("use core.core_initial")]] bool core_initial() const {
-    return core.core_initial;
-  }
-  [[deprecated("use core.incremental_core")]] bool& incremental_core() {
-    return core.incremental_core;
-  }
-  [[deprecated("use core.incremental_core")]] bool incremental_core() const {
-    return core.incremental_core;
-  }
-  [[deprecated("use core.dirty_radius")]] size_t& dirty_radius() {
-    return core.dirty_radius;
-  }
-  [[deprecated("use core.dirty_radius")]] size_t dirty_radius() const {
-    return core.dirty_radius;
-  }
-  [[deprecated("use delta.enabled")]] bool& delta_evaluation() {
-    return delta.enabled;
-  }
-  [[deprecated("use delta.enabled")]] bool delta_evaluation() const {
-    return delta.enabled;
-  }
+  // The deprecated flat accessors (max_steps() et al.) that bridged the
+  // PR-2 regrouping were removed after their one-release grace period; use
+  // the nested groups (limits.max_steps, core.core_every, delta.enabled).
 };
 
 /// Evaluation counters, for benchmarks and the ablation tables. Not part of
@@ -212,13 +197,99 @@ struct ChaseStats {
   size_t peak_instance_size = 0;
 };
 
+/// Everything needed to replay a recorded run deterministically: one
+/// decision bit per committed trigger consideration, plus the coring /
+/// folding retractions actually chosen (recomputing a core is expensive
+/// and its fold choices are history-dependent; replaying the recorded
+/// retraction is exact and cheap). Produced when
+/// ChaseOptions::resume.record_log is set; consumed by ResumeChase
+/// (core/checkpoint.h) via the replay path of the scheduler.
+struct ResumeLog {
+  struct StepRecord {
+    /// The simplification σ_i committed for this application: the coring
+    /// retraction (core variant), or identity. Frugal folds are recorded
+    /// separately in fold_sigmas so replay can reproduce the per-fold
+    /// journal entries exactly.
+    Substitution sigma;
+
+    /// Frugal chase: the per-fold retractions, in fold order.
+    std::vector<Substitution> fold_sigmas;
+
+    /// True when this application was followed by a per-application coring
+    /// (so replay knows whether sigma came from a core event or is a
+    /// trivial identity).
+    bool cored = false;
+
+    /// Fold count of the coring (CoreRetractionEvent::folds is not
+    /// derivable from the retraction alone, and replayed runs must emit
+    /// the same event payloads as live ones).
+    size_t folds = 0;
+  };
+
+  struct RoundRecord {
+    /// One bit per committed trigger consideration this round, in pending
+    /// order after the canonical sort: 1 = applied, 0 = skipped (inactive
+    /// or satisfied).
+    std::vector<uint8_t> decisions;
+
+    /// Round-end coring (core.core_at_round_end): true iff the round's
+    /// ComputeCore committed (the sigma may still be the identity). False
+    /// on the final record when the run stopped at the round-end coring
+    /// boundary — replay resumes live exactly there.
+    bool have_round_end = false;
+    Substitution round_end_sigma;
+    size_t round_end_folds = 0;
+  };
+
+  /// True once the initial element F_0 was committed. A log with
+  /// have_initial == false records nothing (the run stopped before any
+  /// commitment) and replaying it is a plain fresh run.
+  bool have_initial = false;
+
+  /// Initial coring retraction (σ_0); identity when core_initial is off or
+  /// the variant is not core.
+  Substitution initial_sigma;
+  size_t initial_folds = 0;
+
+  std::vector<StepRecord> steps;
+  std::vector<RoundRecord> rounds;
+
+  /// vocab->num_variables() when the recorded run started. Replay must
+  /// start from the same vocabulary state (same program, freshly parsed) or
+  /// the minted null ids diverge; ResumeChase verifies this up front.
+  size_t initial_num_variables = 0;
+
+  /// vocab->num_variables() after the last committed step: resuming mints
+  /// fresh nulls starting here, and replay must land exactly on it.
+  size_t committed_num_variables = 0;
+
+  /// Landing verification, filled by ResumeChase from the checkpoint: when
+  /// verify_landing is set, the replay checks — at the boundary where the
+  /// log is exhausted and execution goes live — that the reconstructed
+  /// instance and fresh-null counter match the checkpointed ones, and the
+  /// run fails with FailedPrecondition otherwise (a corrupted or mismatched
+  /// checkpoint must not silently produce a diverged chase).
+  bool verify_landing = false;
+  size_t expected_instance_size = 0;
+  uint64_t expected_instance_hash = 0;
+
+  bool empty() const { return steps.empty() && rounds.empty(); }
+};
+
 struct ChaseResult {
   Derivation derivation{true};
 
-  /// True iff a fixpoint was reached within the budget.
+  /// Why the run stopped. kFixpoint is the terminated case; every other
+  /// reason leaves `derivation` holding the consistent prefix completed
+  /// when the budget ran out.
+  StopReason stop_reason = StopReason::kFixpoint;
+
+  /// True iff a fixpoint was reached within the budget. Mirrors
+  /// stop_reason == kFixpoint (kept for existing callers).
   bool terminated = false;
 
   /// Set when the run stopped because max_instance_size was exceeded.
+  /// Mirrors stop_reason == kInstanceSizeGuard (kept for existing callers).
   bool size_guard_tripped = false;
 
   /// Rule applications performed.
@@ -228,11 +299,25 @@ struct ChaseResult {
   size_t rounds = 0;
 
   ChaseStats stats;
+
+  /// Populated when options.resume.record_log was set; otherwise empty.
+  ResumeLog resume_log;
 };
 
 /// Runs the chase on kb. Fresh nulls are minted in *kb.vocab.
 StatusOr<ChaseResult> RunChase(const KnowledgeBase& kb,
                                const ChaseOptions& options);
+
+/// RunChase, deterministically replaying the prefix recorded in `replay`
+/// (decision bits consumed instead of satisfaction checks, recorded
+/// retractions applied instead of recomputing cores) before continuing
+/// live. The backbone of ResumeChase (core/checkpoint.h); `replay` may be
+/// null, which is plain RunChase. Replay requires the same kb, options and
+/// a fresh vocabulary state — callers go through ResumeChase, which
+/// validates all of that.
+StatusOr<ChaseResult> RunChaseWithReplay(const KnowledgeBase& kb,
+                                         const ChaseOptions& options,
+                                         const ResumeLog* replay);
 
 }  // namespace twchase
 

@@ -10,6 +10,8 @@ void Derivation::AddInitial(const AtomSet& f0, Substitution sigma0) {
   step.simplification = std::move(sigma0);
   step.instance_size = f0.size();
   if (keep_snapshots_) step.instance = f0;
+  last_step_bytes_ = StepBytes(step);
+  approx_bytes_ += last_step_bytes_;
   steps_.push_back(std::move(step));
   last_ = f0;
 }
@@ -27,6 +29,8 @@ void Derivation::AddStep(int rule_index, std::string rule_label,
   step.added_atoms = std::move(added_atoms);
   step.instance_size = instance.size();
   if (keep_snapshots_) step.instance = instance;
+  last_step_bytes_ = StepBytes(step);
+  approx_bytes_ += last_step_bytes_;
   steps_.push_back(std::move(step));
   last_ = instance;
 }
@@ -38,7 +42,20 @@ void Derivation::AmendLastSimplification(const Substitution& sigma,
   last.simplification = Substitution::Compose(sigma, last.simplification);
   last.instance_size = instance.size();
   if (keep_snapshots_) last.instance = instance;
+  approx_bytes_ -= last_step_bytes_;
+  last_step_bytes_ = StepBytes(last);
+  approx_bytes_ += last_step_bytes_;
   last_ = instance;
+}
+
+size_t Derivation::StepBytes(const DerivationStep& step) const {
+  // Rough per-step footprint; the snapshot (when kept) dominates. The
+  // 48-byte constant approximates one hash-map node per substitution entry.
+  size_t bytes = sizeof(DerivationStep) + step.rule_label.capacity();
+  bytes += (step.match.size() + step.simplification.size()) * 48;
+  bytes += step.added_atoms.size() * 64;
+  if (keep_snapshots_) bytes += step.instance.ApproxMemoryBytes();
+  return bytes;
 }
 
 const AtomSet& Derivation::Instance(size_t i) const {

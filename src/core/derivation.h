@@ -89,10 +89,19 @@ class Derivation {
   /// it (0 for initial atoms). Keys cover the natural aggregation.
   std::unordered_map<Atom, size_t, AtomHash> ProvenanceIndex() const;
 
+  /// Rough estimate of resident bytes across all recorded steps (snapshots
+  /// dominate when kept). Maintained incrementally so the chase's
+  /// memory-budget poll can read it per step.
+  size_t ApproxMemoryBytes() const { return approx_bytes_; }
+
  private:
+  size_t StepBytes(const DerivationStep& step) const;
+
   bool keep_snapshots_;
   std::vector<DerivationStep> steps_;
   AtomSet last_;
+  size_t approx_bytes_ = 0;
+  size_t last_step_bytes_ = 0;
 };
 
 }  // namespace twchase

@@ -8,6 +8,8 @@
 #include "hom/core.h"
 #include "hom/matcher.h"
 #include "obs/observer.h"
+#include "util/fault.h"
+#include "util/governor.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
 
@@ -55,7 +57,11 @@ EntailmentResult DecideByCoreChase(const KnowledgeBase& kb,
   result.chase_steps = run->steps;
   result.method = "core-chase";
   bool maps = ExistsHomomorphism(query, run->derivation.Last());
-  if (run->terminated) {
+  if (GovernorStopped() && !maps) {
+    // The query match search may have been cut short: a found match is a
+    // real certificate, but absence proves nothing once the governor fired.
+    result.verdict = EntailmentVerdict::kUnknown;
+  } else if (run->terminated) {
     // The fixpoint is the finite universal model: exact decision.
     result.verdict =
         maps ? EntailmentVerdict::kEntailed : EntailmentVerdict::kNotEntailed;
@@ -86,7 +92,7 @@ EntailmentResult SaturationSemiDecision(const KnowledgeBase& kb,
   bool maps = ExistsHomomorphism(query, run->derivation.Last());
   if (maps) {
     result.verdict = EntailmentVerdict::kEntailed;
-  } else if (run->terminated) {
+  } else if (run->terminated && !GovernorStopped()) {
     result.verdict = EntailmentVerdict::kNotEntailed;
   } else {
     result.verdict = EntailmentVerdict::kUnknown;
@@ -119,7 +125,7 @@ EntailmentResult DecideByRobustAggregation(const KnowledgeBase& kb,
     // (universal) G_k, so any match certifies entailment (Proposition 9's
     // forward direction via Lemma 1).
     result.verdict = EntailmentVerdict::kEntailed;
-  } else if (run->terminated) {
+  } else if (run->terminated && !GovernorStopped()) {
     result.verdict = EntailmentVerdict::kNotEntailed;
   } else {
     result.verdict = EntailmentVerdict::kUnknown;
@@ -221,15 +227,25 @@ std::optional<AtomSet> FindFiniteCounterModel(
     const KnowledgeBase& kb, const AtomSet& query,
     const CounterModelOptions& options) {
   CounterModelSearch search(kb, query, options);
-  return search.Run();
+  auto result = search.Run();
+  // An interrupted search is untrustworthy in both directions: its internal
+  // satisfaction / query checks may have been cut short, so a "model" could
+  // be bogus and absence proves nothing. Degrade to "none found".
+  if (GovernorStopped()) return std::nullopt;
+  return result;
 }
 
 EntailmentResult DovetailEntailment(const KnowledgeBase& kb,
                                     const AtomSet& query, size_t base_steps,
                                     int rounds, ChaseObserver* observer) {
   EntailmentResult last;
+  last.method = "dovetail/interrupted";
   size_t steps = base_steps;
   for (int r = 0; r < rounds; ++r) {
+    // Cooperative checkpoint between dovetail rounds: a stop here returns
+    // the best (sound) verdict so far — kUnknown unless a certificate was
+    // already found.
+    if (GovernorPoll(FaultSite::kEntailmentRound)) return last;
     EntailmentResult by_chase = DecideByCoreChase(kb, query, steps, observer);
     last = by_chase;
     if (by_chase.verdict != EntailmentVerdict::kUnknown) return by_chase;

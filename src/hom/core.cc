@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "hom/endomorphism.h"
+#include "util/fault.h"
+#include "util/governor.h"
 #include "util/status.h"
 
 namespace twchase {
@@ -92,6 +94,11 @@ CoreResult ComputeCore(const AtomSet& atoms, const CoreOptions& options) {
   while (changed) {
     changed = false;
     for (Term var : result.core.Variables()) {
+      // Cooperative checkpoint between folds. Aborting here leaves a valid
+      // partial state (each committed fold's composition is a retraction of
+      // the input), but the result is not a core — callers that run under a
+      // governor must check GovernorStopped() and discard.
+      if (GovernorPoll(FaultSite::kCoreFold)) return result;
       auto endo = FindFoldingEndomorphism(result.core, var);
       if (!endo.has_value()) continue;
       Substitution retraction =

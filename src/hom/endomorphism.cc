@@ -48,7 +48,8 @@ std::optional<Substitution> FindProperRetraction(const AtomSet& atoms) {
 }
 
 Substitution FoldVariablesKeepingRestFixed(
-    AtomSet* atoms, const std::vector<Term>& candidates) {
+    AtomSet* atoms, const std::vector<Term>& candidates,
+    std::vector<Substitution>* fold_steps) {
   Substitution accumulated;
   for (Term x : candidates) {
     if (!atoms->ContainsTerm(x)) continue;
@@ -71,6 +72,7 @@ Substitution FoldVariablesKeepingRestFixed(
     if (!endo.has_value()) continue;
     Substitution retraction = RetractionFromEndomorphism(*atoms, *endo);
     ApplyRetractionRebuild(atoms, retraction);
+    if (fold_steps != nullptr) fold_steps->push_back(retraction);
     accumulated = Substitution::Compose(retraction, accumulated);
   }
   return accumulated;

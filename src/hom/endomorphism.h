@@ -36,8 +36,13 @@ std::optional<Substitution> FindProperRetraction(const AtomSet& atoms);
 /// nulls freshly introduced by a rule application may be recognised as
 /// redundant). Applies the folds to *atoms and returns the accumulated
 /// retraction. Preserves an enabled delta journal (see ApplyRetractionRebuild).
-Substitution FoldVariablesKeepingRestFixed(AtomSet* atoms,
-                                           const std::vector<Term>& candidates);
+/// When `fold_steps` is non-null, the individual fold retractions are
+/// appended in application order — replaying them one by one through
+/// ApplyRetractionRebuild reproduces this call exactly, journal entries
+/// included (the chase's checkpoint/resume path depends on it).
+Substitution FoldVariablesKeepingRestFixed(
+    AtomSet* atoms, const std::vector<Term>& candidates,
+    std::vector<Substitution>* fold_steps = nullptr);
 
 /// Applies `retraction` to *atoms in place: every atom containing a moved
 /// variable is erased and its image inserted (a retraction is the identity

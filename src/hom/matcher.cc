@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "util/fault.h"
+#include "util/governor.h"
 #include "util/status.h"
 
 namespace twchase {
@@ -222,8 +224,13 @@ class HomSearch {
     results_.push_back(std::move(result));
   }
 
-  // Returns true when the search should stop (limit reached).
+  // Returns true when the search should stop (limit reached, or the ambient
+  // resource governor fired — callers that must distinguish check
+  // GovernorStopped(): results found before the stop are returned, but the
+  // enumeration may be incomplete and a "no homomorphism" verdict is then
+  // not trustworthy).
   bool Search(size_t remaining) {
+    if (GovernorPoll(FaultSite::kHomNode)) return true;
     if (remaining == 0) {
       Emit();
       return options_.limit != 0 && results_.size() >= options_.limit;

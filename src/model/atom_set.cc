@@ -20,6 +20,7 @@ bool AtomSet::Insert(Atom&& atom) {
   }
   index_.emplace(atom, slot);
   if (journal_enabled_) journal_.inserted.push_back(atom);
+  slot_args_ += atom.args().size();
   slots_.push_back(std::move(atom));
   alive_.push_back(1);
   ++live_count_;
@@ -163,6 +164,35 @@ AtomSet AtomSet::FromAtoms(const std::vector<Atom>& atoms) {
   return out;
 }
 
+uint64_t AtomSet::ContentHash() const {
+  // Commutative combine (sum) of per-atom FNV-1a hashes: insertion order
+  // and tombstone layout do not affect the value.
+  uint64_t total = 0;
+  for (Slot s = 0; s < slots_.size(); ++s) {
+    if (!alive_[s]) continue;
+    const Atom& atom = slots_[s];
+    uint64_t h = 1469598103934665603ull;  // FNV offset basis
+    auto mix = [&h](uint64_t value) {
+      h ^= value;
+      h *= 1099511628211ull;  // FNV prime
+    };
+    mix(static_cast<uint64_t>(atom.predicate()));
+    for (Term t : atom.args()) mix(static_cast<uint64_t>(t.raw()) + 1);
+    total += h;
+  }
+  return total;
+}
+
+size_t AtomSet::ApproxMemoryBytes() const {
+  // Per slot: the Atom object, its dedup-index entry, one predicate posting
+  // and the hash-map node overheads; per argument: the stored Term plus its
+  // per-term posting and live counter. The constants bake in typical
+  // libstdc++ node and vector growth overheads.
+  constexpr size_t kPerSlotBytes = 96;
+  constexpr size_t kPerArgBytes = 24;
+  return slots_.size() * kPerSlotBytes + slot_args_ * kPerArgBytes;
+}
+
 void AtomSet::MaybeCompact() {
   // Compact when at least half the slots are tombstones and the set is not
   // tiny; keeps postings from degenerating in long core-chase runs where the
@@ -173,8 +203,12 @@ void AtomSet::MaybeCompact() {
 void AtomSet::CompactPostings() {
   std::vector<Atom> new_slots;
   new_slots.reserve(live_count_);
+  slot_args_ = 0;
   for (Slot s = 0; s < slots_.size(); ++s) {
-    if (alive_[s]) new_slots.push_back(std::move(slots_[s]));
+    if (alive_[s]) {
+      slot_args_ += slots_[s].args().size();
+      new_slots.push_back(std::move(slots_[s]));
+    }
   }
   slots_ = std::move(new_slots);
   alive_.assign(slots_.size(), 1);

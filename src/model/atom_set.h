@@ -119,6 +119,19 @@ class AtomSet {
   size_t dead_slots() const { return dead_count_; }
   size_t compactions() const { return compactions_; }
 
+  /// Order-independent content hash of the live atoms: equal sets hash
+  /// equal regardless of insertion history, and the value is stable across
+  /// processes (plain FNV-1a over term ids, no std::hash). Used by the
+  /// checkpoint layer to cross-check a resumed instance.
+  uint64_t ContentHash() const;
+
+  /// Rough estimate of resident bytes (slot storage plus index entries),
+  /// maintained in O(1) so memory-budget polls can read it per step. An
+  /// estimate, not an allocator hook: allocator slack and hash-table load
+  /// factors are folded into fixed per-slot/per-argument constants.
+  /// Tombstoned slots count until compaction reclaims them.
+  size_t ApproxMemoryBytes() const;
+
  private:
   void MaybeCompact();
   void CompactPostings();
@@ -134,6 +147,7 @@ class AtomSet {
   size_t dead_count_ = 0;
   uint64_t generation_ = 0;
   size_t compactions_ = 0;
+  size_t slot_args_ = 0;  // total argument count over all slots, dead included
   bool journal_enabled_ = false;
   Delta journal_;
 };

@@ -50,6 +50,9 @@ void ObserverList::OnRobustRename(const RobustRenameEvent& event) {
 void ObserverList::OnPhase(const PhaseEvent& event) {
   for (ChaseObserver* o : observers_) o->OnPhase(event);
 }
+void ObserverList::OnFaultInjected(const FaultInjectedEvent& event) {
+  for (ChaseObserver* o : observers_) o->OnFaultInjected(event);
+}
 void ObserverList::OnRunEnd(const RunEndEvent& event) {
   for (ChaseObserver* o : observers_) o->OnRunEnd(event);
 }

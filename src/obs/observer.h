@@ -146,13 +146,24 @@ struct PhaseEvent {
   size_t chase_steps = 0;
 };
 
-/// Run finished (fixpoint, budget exhausted, or size guard).
+/// An injected fault (util/fault.h) stopped the run at a governed boundary.
+/// Emitted once, just before the corresponding OnRunEnd, so event logs can
+/// tell injected stops from organic exhaustion.
+struct FaultInjectedEvent {
+  FaultSite site = FaultSite::kTriggerBoundary;
+  uint64_t visit = 0;  // 1-based unmasked poll count at `site` when it fired
+  StopReason simulated = StopReason::kCancelled;
+};
+
+/// Run finished (fixpoint, budget exhausted, size guard, deadline, memory
+/// budget or cancellation — see stop_reason).
 struct RunEndEvent {
   size_t steps = 0;
   size_t rounds = 0;
   bool terminated = false;
   bool size_guard_tripped = false;
   size_t final_size = 0;
+  StopReason stop_reason = StopReason::kFixpoint;
 };
 
 /// Event sink interface. Every hook has an empty default so observers
@@ -179,6 +190,9 @@ class ChaseObserver {
   virtual void OnRoundEnd(const RoundEndEvent& event) { (void)event; }
   virtual void OnRobustRename(const RobustRenameEvent& event) { (void)event; }
   virtual void OnPhase(const PhaseEvent& event) { (void)event; }
+  virtual void OnFaultInjected(const FaultInjectedEvent& event) {
+    (void)event;
+  }
   virtual void OnRunEnd(const RunEndEvent& event) { (void)event; }
 };
 
@@ -200,6 +214,7 @@ class ObserverList : public ChaseObserver {
   void OnRoundEnd(const RoundEndEvent& event) override;
   void OnRobustRename(const RobustRenameEvent& event) override;
   void OnPhase(const PhaseEvent& event) override;
+  void OnFaultInjected(const FaultInjectedEvent& event) override;
   void OnRunEnd(const RunEndEvent& event) override;
 
  private:

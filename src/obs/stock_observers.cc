@@ -273,13 +273,22 @@ void EventLogObserver::OnPhase(const PhaseEvent& event) {
         << ", \"chase_steps\": " << event.chase_steps << "}\n";
 }
 
+void EventLogObserver::OnFaultInjected(const FaultInjectedEvent& event) {
+  if (out_ == nullptr) return;
+  *out_ << "{\"event\": \"fault_injected\", \"site\": \""
+        << FaultSiteName(event.site) << "\", \"visit\": " << event.visit
+        << ", \"simulated\": \"" << StopReasonName(event.simulated)
+        << "\"}\n";
+}
+
 void EventLogObserver::OnRunEnd(const RunEndEvent& event) {
   if (out_ == nullptr) return;
   *out_ << "{\"event\": \"run_end\", \"steps\": " << event.steps
         << ", \"rounds\": " << event.rounds
         << ", \"terminated\": " << Bool(event.terminated)
         << ", \"size_guard\": " << Bool(event.size_guard_tripped)
-        << ", \"final_size\": " << event.final_size << "}\n";
+        << ", \"stop_reason\": \"" << StopReasonName(event.stop_reason)
+        << "\", \"final_size\": " << event.final_size << "}\n";
 }
 
 }  // namespace twchase

@@ -148,6 +148,7 @@ class EventLogObserver : public ChaseObserver {
   void OnRoundEnd(const RoundEndEvent& event) override;
   void OnRobustRename(const RobustRenameEvent& event) override;
   void OnPhase(const PhaseEvent& event) override;
+  void OnFaultInjected(const FaultInjectedEvent& event) override;
   void OnRunEnd(const RunEndEvent& event) override;
 
  private:

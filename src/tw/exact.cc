@@ -4,6 +4,9 @@
 #include <cstdint>
 #include <string>
 
+#include "util/fault.h"
+#include "util/governor.h"
+
 namespace twchase {
 namespace {
 
@@ -37,12 +40,19 @@ std::vector<uint32_t> AdjacencyBits(const Graph& g) {
   return adj;
 }
 
-// Fills the full DP table tw[S] for all subsets.
+// Fills the full DP table tw[S] for all subsets. Returns an empty table
+// when the ambient resource governor fires mid-computation (the DP is
+// all-or-nothing: a partial table certifies no bound).
 std::vector<int8_t> ComputeTable(const Graph& g) {
   int n = g.num_vertices();
   std::vector<uint32_t> adj = AdjacencyBits(g);
   std::vector<int8_t> tw(size_t{1} << n, 0);
   for (uint32_t s = 1; s < (1u << n); ++s) {
+    // Cooperative checkpoint, amortised: one poll per 1024 subsets keeps
+    // the overhead invisible while bounding the overshoot.
+    if ((s & 1023u) == 0 && GovernorPoll(FaultSite::kTreewidthNode)) {
+      return {};
+    }
     int best = n;
     uint32_t rem = s;
     while (rem != 0) {
@@ -68,6 +78,10 @@ StatusOr<int> ExactTreewidth(const Graph& g) {
   }
   if (n == 0) return -1;
   std::vector<int8_t> tw = ComputeTable(g);
+  if (tw.empty()) {
+    return Status::ResourceExhausted(
+        "exact treewidth DP interrupted by the resource governor");
+  }
   return static_cast<int>(tw[(1u << n) - 1]);
 }
 
@@ -80,6 +94,10 @@ StatusOr<std::vector<int>> ExactEliminationOrder(const Graph& g) {
   }
   if (n == 0) return std::vector<int>{};
   std::vector<int8_t> tw = ComputeTable(g);
+  if (tw.empty()) {
+    return Status::ResourceExhausted(
+        "exact treewidth DP interrupted by the resource governor");
+  }
   std::vector<uint32_t> adj = AdjacencyBits(g);
   // Recover an optimal order back-to-front: for the prefix set S, the vertex
   // eliminated last within S is one attaining the DP minimum.

@@ -5,6 +5,8 @@
 #include <set>
 
 #include "tw/tree_decomposition.h"
+#include "util/fault.h"
+#include "util/governor.h"
 
 namespace twchase {
 namespace {
@@ -33,6 +35,16 @@ std::vector<int> GreedyEliminationOrder(const Graph& g,
   std::vector<int> order;
   order.reserve(n);
   for (int step = 0; step < n; ++step) {
+    // Cooperative checkpoint per elimination step. On a stop, degrade to a
+    // well-defined result: append the remaining vertices in id order — the
+    // output stays a valid elimination order (every caller requires a
+    // permutation), only its width guarantee degrades.
+    if (GovernorPoll(FaultSite::kTreewidthNode)) {
+      for (int v = 0; v < n; ++v) {
+        if (!eliminated[v]) order.push_back(v);
+      }
+      return order;
+    }
     int best = -1;
     long best_score = std::numeric_limits<long>::max();
     for (int v = 0; v < n; ++v) {

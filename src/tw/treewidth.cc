@@ -32,11 +32,15 @@ TreewidthResult ComputeTreewidth(const Graph& g,
       g.num_vertices() <= options.max_exact_vertices &&
       g.num_vertices() <= kMaxExactVertices) {
     auto order = ExactEliminationOrder(g);
-    TWCHASE_CHECK(order.ok());
-    int width = WidthOfEliminationOrder(g, order.value());
-    TWCHASE_CHECK(width <= result.upper_bound);
-    result.lower_bound = result.upper_bound = width;
-    best_order = std::move(order.value());
+    if (order.ok()) {
+      int width = WidthOfEliminationOrder(g, order.value());
+      TWCHASE_CHECK(width <= result.upper_bound);
+      result.lower_bound = result.upper_bound = width;
+      best_order = std::move(order.value());
+    }
+    // !order.ok() means the exact DP was interrupted by the resource
+    // governor (the vertex-count precondition is guarded above): keep the
+    // heuristic bounds already computed instead of aborting.
   }
   result.decomposition = DecompositionFromEliminationOrder(g, best_order);
   return result;

@@ -1,0 +1,77 @@
+#include "util/fault.h"
+
+namespace twchase {
+namespace {
+
+thread_local FaultInjector* g_injector = nullptr;
+
+// splitmix64: tiny, well-mixed, and reproducible across platforms.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kTriggerBoundary: return "trigger-boundary";
+    case FaultSite::kRoundBoundary: return "round-boundary";
+    case FaultSite::kHomNode: return "hom-node";
+    case FaultSite::kCoreFold: return "core-fold";
+    case FaultSite::kEntailmentRound: return "entailment-round";
+    case FaultSite::kTreewidthNode: return "treewidth-node";
+  }
+  return "unknown";
+}
+
+const char* FaultActionName(FaultAction action) {
+  switch (action) {
+    case FaultAction::kCancel: return "cancel";
+    case FaultAction::kAllocationFailure: return "allocation-failure";
+  }
+  return "unknown";
+}
+
+void FaultInjector::Arm(FaultSite site, uint64_t visit, FaultAction action) {
+  armed_.push_back(Armed{site, visit, action});
+}
+
+FaultInjector FaultInjector::FromSeed(uint64_t seed, uint64_t max_visit) {
+  FaultInjector injector;
+  if (max_visit == 0) max_visit = 1;
+  uint64_t h0 = Mix(seed);
+  uint64_t h1 = Mix(h0);
+  uint64_t h2 = Mix(h1);
+  auto site = static_cast<FaultSite>(h0 % kNumFaultSites);
+  auto action = static_cast<FaultAction>(h1 % 2);
+  uint64_t visit = 1 + h2 % max_visit;
+  injector.Arm(site, visit, action);
+  return injector;
+}
+
+bool FaultInjector::Poll(FaultSite site, FaultAction* action) {
+  uint64_t visit = ++visits_[static_cast<size_t>(site)];
+  for (Armed& fault : armed_) {
+    if (!fault.fired && fault.site == site && fault.visit == visit) {
+      fault.fired = true;
+      ++fired_count_;
+      *action = fault.action;
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultInjector* CurrentFaultInjector() { return g_injector; }
+
+FaultInjectorScope::FaultInjectorScope(FaultInjector* injector)
+    : previous_(g_injector) {
+  g_injector = injector;
+}
+
+FaultInjectorScope::~FaultInjectorScope() { g_injector = previous_; }
+
+}  // namespace twchase

@@ -1,0 +1,112 @@
+// Deterministic fault injection for robustness testing.
+//
+// A FaultInjector is armed with (site, visit, action) triples — "on the
+// third homomorphism-search node, fail an allocation" — or seeded so a
+// pseudo-random but reproducible schedule is derived from a single integer.
+// The ResourceGovernor (util/governor.h) consults the ambient injector on
+// every unmasked poll; a firing fault latches the governor with the stop
+// reason the action simulates (kCancelled for an injected cancellation,
+// kMemoryBudget for an injected allocation failure), which exercises
+// exactly the code paths organic exhaustion would.
+//
+// Injection is observer-visible: the chase emits a FaultInjectedEvent when
+// a run stops on a fired fault, so test assertions and the JSONL event log
+// can tell injected stops from organic ones.
+//
+// The injector is inert unless explicitly installed with a
+// FaultInjectorScope — production builds carry only a thread-local pointer
+// check per poll.
+#ifndef TWCHASE_UTIL_FAULT_H_
+#define TWCHASE_UTIL_FAULT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace twchase {
+
+/// Where a governed procedure polls. Sites identify boundary *kinds*; the
+/// visit counter (per site, maintained by the injector) identifies the
+/// exact boundary instance within a run.
+enum class FaultSite {
+  kTriggerBoundary = 0,  // chase.cc: before committing one trigger decision
+  kRoundBoundary,        // chase.cc: top of a chase round
+  kHomNode,              // hom/matcher.cc: one search-tree node expansion
+  kCoreFold,             // hom/core.cc: between folding iterations
+  kEntailmentRound,      // core/entailment.cc: between dovetail rounds
+  kTreewidthNode,        // tw/: between DP blocks / elimination steps
+};
+
+constexpr size_t kNumFaultSites = 6;
+
+const char* FaultSiteName(FaultSite site);
+
+/// What an injected fault simulates.
+enum class FaultAction {
+  kCancel = 0,         // as if CancelToken::RequestCancel had been called
+  kAllocationFailure,  // as if the memory budget had been exhausted
+};
+
+const char* FaultActionName(FaultAction action);
+
+/// Deterministic schedule of faults. Visits are 1-based and counted per
+/// site: Arm(kTriggerBoundary, 3, kCancel) fires on the third unmasked
+/// trigger-boundary poll. Each armed fault fires at most once.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+
+  /// Arms one fault at an exact (site, visit) pair.
+  void Arm(FaultSite site, uint64_t visit, FaultAction action);
+
+  /// Derives a single-fault schedule from `seed`: the seed is hashed
+  /// (splitmix64) into a site, an action, and a visit in [1, max_visit].
+  /// The same seed always yields the same schedule, so a failing seed in
+  /// a test log reproduces exactly.
+  static FaultInjector FromSeed(uint64_t seed, uint64_t max_visit);
+
+  /// Called by the governor on every unmasked poll of `site`. Increments
+  /// the site's visit counter and returns true (filling *action) when an
+  /// armed fault fires on this visit.
+  bool Poll(FaultSite site, FaultAction* action);
+
+  /// Visits observed so far at `site` (for test assertions).
+  uint64_t visits(FaultSite site) const {
+    return visits_[static_cast<size_t>(site)];
+  }
+
+  /// Number of armed faults that have fired.
+  size_t fired_count() const { return fired_count_; }
+
+ private:
+  struct Armed {
+    FaultSite site;
+    uint64_t visit;
+    FaultAction action;
+    bool fired = false;
+  };
+
+  std::vector<Armed> armed_;
+  uint64_t visits_[kNumFaultSites] = {};
+  size_t fired_count_ = 0;
+};
+
+/// The injector ambient on this thread, or nullptr.
+FaultInjector* CurrentFaultInjector();
+
+/// Installs `injector` as the thread's ambient injector for the scope.
+class FaultInjectorScope {
+ public:
+  explicit FaultInjectorScope(FaultInjector* injector);
+  ~FaultInjectorScope();
+
+  FaultInjectorScope(const FaultInjectorScope&) = delete;
+  FaultInjectorScope& operator=(const FaultInjectorScope&) = delete;
+
+ private:
+  FaultInjector* previous_;
+};
+
+}  // namespace twchase
+
+#endif  // TWCHASE_UTIL_FAULT_H_

@@ -38,12 +38,40 @@ std::ostream& operator<<(std::ostream& os, const Status& status) {
   return os << status.ToString();
 }
 
+namespace {
+
+// Crash-context annotations (see ScopedCrashContext). Plain thread-locals:
+// read only on the abort path, written on scope entry/exit.
+thread_local const char* g_crash_phase = nullptr;
+thread_local const size_t* g_crash_step = nullptr;
+
+}  // namespace
+
+ScopedCrashContext::ScopedCrashContext(const char* phase, const size_t* step)
+    : previous_phase_(g_crash_phase), previous_step_(g_crash_step) {
+  g_crash_phase = phase;
+  g_crash_step = step;
+}
+
+ScopedCrashContext::~ScopedCrashContext() {
+  g_crash_phase = previous_phase_;
+  g_crash_step = previous_step_;
+}
+
 namespace internal_status {
 
 void DieBecauseCheckFailed(const char* file, int line, const char* expr,
                            const std::string& msg) {
   std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
                msg.empty() ? "" : " — ", msg.c_str());
+  if (g_crash_phase != nullptr) {
+    if (g_crash_step != nullptr) {
+      std::fprintf(stderr, "  while: %s, step %zu\n", g_crash_phase,
+                   *g_crash_step);
+    } else {
+      std::fprintf(stderr, "  while: %s\n", g_crash_phase);
+    }
+  }
   std::fflush(stderr);
   std::abort();
 }

@@ -4,6 +4,7 @@
 #ifndef TWCHASE_UTIL_STATUS_H_
 #define TWCHASE_UTIL_STATUS_H_
 
+#include <cstddef>
 #include <cstdlib>
 #include <optional>
 #include <ostream>
@@ -98,6 +99,25 @@ namespace internal_status {
 [[noreturn]] void DieBecauseCheckFailed(const char* file, int line,
                                         const char* expr, const std::string& msg);
 }  // namespace internal_status
+
+/// Annotates the current thread with "where the engine is" so that a CHECK
+/// failure deep in a multi-hour run prints an actionable post-mortem line
+/// ("during core chase, step 48211") instead of a bare expression. Scopes
+/// nest; the innermost is reported. `step` may be null (phase-only) or
+/// point at a live counter owned by the caller — it is read only at crash
+/// time, so the annotation costs two thread-local stores.
+class ScopedCrashContext {
+ public:
+  ScopedCrashContext(const char* phase, const size_t* step);
+  ~ScopedCrashContext();
+
+  ScopedCrashContext(const ScopedCrashContext&) = delete;
+  ScopedCrashContext& operator=(const ScopedCrashContext&) = delete;
+
+ private:
+  const char* previous_phase_;
+  const size_t* previous_step_;
+};
 
 // Internal invariant checks. These abort: they guard programmer errors, not
 // user input (user input errors travel through Status).

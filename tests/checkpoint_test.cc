@@ -1,0 +1,306 @@
+// Checkpoint format and resumption contract: serialize/parse round-trips,
+// program fingerprinting, rejection of mismatched resumes, graceful
+// handling of malformed/hostile checkpoint bytes, and budget-interrupt →
+// resume bit-identity without fault injection (deadline and step-budget
+// stops through the public ResumeChase entry point).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/chase.h"
+#include "core/checkpoint.h"
+#include "kb/examples.h"
+
+namespace twchase {
+namespace {
+
+ChaseOptions RecordingOptions(ChaseVariant variant, size_t max_steps) {
+  ChaseOptions options;
+  options.variant = variant;
+  options.limits.max_steps = max_steps;
+  options.resume.record_log = true;
+  return options;
+}
+
+TEST(ProgramFingerprintTest, DeterministicAcrossFreshWorlds) {
+  StaircaseWorld a;
+  StaircaseWorld b;
+  EXPECT_EQ(ProgramFingerprint(a.kb()), ProgramFingerprint(b.kb()));
+  ElevatorWorld c;
+  ElevatorWorld d;
+  EXPECT_EQ(ProgramFingerprint(c.kb()), ProgramFingerprint(d.kb()));
+  EXPECT_NE(ProgramFingerprint(a.kb()), ProgramFingerprint(c.kb()));
+}
+
+TEST(ProgramFingerprintTest, SensitiveToFactsAndRules) {
+  StaircaseWorld a;
+  uint64_t before = ProgramFingerprint(a.kb());
+  // Adding one fact changes the fingerprint.
+  KnowledgeBase more_facts = a.kb();
+  Atom existing;
+  more_facts.facts.ForEach([&](const Atom& atom) { existing = atom; });
+  std::vector<Term> args = existing.args();
+  args.push_back(args.empty() ? Term::Constant(0) : args.back());
+  more_facts.facts.Insert(Atom(existing.predicate(), std::move(args)));
+  EXPECT_NE(ProgramFingerprint(more_facts), before);
+  // Dropping a rule changes the fingerprint.
+  KnowledgeBase fewer_rules = a.kb();
+  fewer_rules.rules.pop_back();
+  EXPECT_NE(ProgramFingerprint(fewer_rules), before);
+  // Facts of a different family differ too.
+  EXPECT_NE(ProgramFingerprint(MakeTransitiveClosure(3)),
+            ProgramFingerprint(MakeTransitiveClosure(4)));
+}
+
+TEST(CheckpointFormatTest, SerializeParseRoundTrip) {
+  StaircaseWorld world;
+  ChaseOptions options = RecordingOptions(ChaseVariant::kCore, 4);
+  auto run = RunChase(world.kb(), options);
+  ASSERT_TRUE(run.ok());
+  StaircaseWorld fresh;
+  ChaseCheckpoint cp = MakeCheckpoint(fresh.kb(), options, *run);
+  std::string text = SerializeCheckpoint(cp);
+
+  auto parsed = ParseCheckpoint(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->version, cp.version);
+  EXPECT_EQ(parsed->variant, cp.variant);
+  EXPECT_EQ(parsed->datalog_first, cp.datalog_first);
+  EXPECT_EQ(parsed->delta_enabled, cp.delta_enabled);
+  EXPECT_EQ(parsed->core_every, cp.core_every);
+  EXPECT_EQ(parsed->program_fingerprint, cp.program_fingerprint);
+  EXPECT_EQ(parsed->stop_reason, cp.stop_reason);
+  EXPECT_EQ(parsed->steps, cp.steps);
+  EXPECT_EQ(parsed->rounds, cp.rounds);
+  EXPECT_EQ(parsed->instance_size, cp.instance_size);
+  EXPECT_EQ(parsed->instance_hash, cp.instance_hash);
+  EXPECT_EQ(parsed->expected_variables, cp.expected_variables);
+  EXPECT_EQ(parsed->log.have_initial, cp.log.have_initial);
+  EXPECT_EQ(parsed->log.initial_sigma, cp.log.initial_sigma);
+  EXPECT_EQ(parsed->log.steps.size(), cp.log.steps.size());
+  for (size_t i = 0; i < cp.log.steps.size(); ++i) {
+    EXPECT_EQ(parsed->log.steps[i].sigma, cp.log.steps[i].sigma) << i;
+    EXPECT_EQ(parsed->log.steps[i].cored, cp.log.steps[i].cored) << i;
+    EXPECT_EQ(parsed->log.steps[i].fold_sigmas.size(),
+              cp.log.steps[i].fold_sigmas.size())
+        << i;
+  }
+  ASSERT_EQ(parsed->log.rounds.size(), cp.log.rounds.size());
+  for (size_t i = 0; i < cp.log.rounds.size(); ++i) {
+    EXPECT_EQ(parsed->log.rounds[i].decisions, cp.log.rounds[i].decisions)
+        << i;
+    EXPECT_EQ(parsed->log.rounds[i].have_round_end,
+              cp.log.rounds[i].have_round_end)
+        << i;
+  }
+  // Serialization is canonical: parse(serialize(x)) serializes identically.
+  EXPECT_EQ(SerializeCheckpoint(*parsed), text);
+}
+
+TEST(CheckpointFormatTest, MalformedInputsAreRejectedNotFatal) {
+  StaircaseWorld world;
+  ChaseOptions options = RecordingOptions(ChaseVariant::kRestricted, 3);
+  auto run = RunChase(world.kb(), options);
+  ASSERT_TRUE(run.ok());
+  StaircaseWorld fresh;
+  std::string good =
+      SerializeCheckpoint(MakeCheckpoint(fresh.kb(), options, *run));
+
+  const std::string cases[] = {
+      "",
+      "not a checkpoint at all",
+      "twchase-checkpoint 99\n",             // unsupported version
+      good.substr(0, good.size() / 2),       // truncated mid-file
+      good.substr(0, good.find("end")),      // missing terminator
+      "twchase-checkpoint 1\nvariant bogus\n",
+      "twchase-checkpoint 1\nvariant core\nschedule x y z\n",
+  };
+  for (const std::string& text : cases) {
+    auto parsed = ParseCheckpoint(text);
+    EXPECT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument)
+        << parsed.status().ToString();
+  }
+
+  // Hostile counts must not cause huge allocations or crashes.
+  std::string hostile = good;
+  size_t steps_pos = hostile.find("\nsteps ");
+  ASSERT_NE(steps_pos, std::string::npos);
+  hostile.replace(steps_pos, 8, "\nsteps 999999999999 ");
+  EXPECT_FALSE(ParseCheckpoint(hostile).ok());
+}
+
+TEST(ResumeChaseTest, RejectsMismatchedVariantAndOptions) {
+  StaircaseWorld world;
+  ChaseOptions options = RecordingOptions(ChaseVariant::kRestricted, 3);
+  auto run = RunChase(world.kb(), options);
+  ASSERT_TRUE(run.ok());
+  StaircaseWorld fresh;
+  ChaseCheckpoint cp = MakeCheckpoint(fresh.kb(), options, *run);
+
+  {
+    ChaseOptions wrong = options;
+    wrong.variant = ChaseVariant::kCore;
+    StaircaseWorld target;
+    auto resumed = ResumeChase(target.kb(), wrong, cp);
+    EXPECT_FALSE(resumed.ok());
+    EXPECT_EQ(resumed.status().code(), StatusCode::kFailedPrecondition);
+  }
+  {
+    ChaseOptions wrong = options;
+    wrong.datalog_first = !wrong.datalog_first;
+    StaircaseWorld target;
+    auto resumed = ResumeChase(target.kb(), wrong, cp);
+    EXPECT_FALSE(resumed.ok());
+    EXPECT_EQ(resumed.status().code(), StatusCode::kFailedPrecondition);
+  }
+}
+
+TEST(ResumeChaseTest, RejectsDifferentProgram) {
+  StaircaseWorld world;
+  ChaseOptions options = RecordingOptions(ChaseVariant::kRestricted, 3);
+  auto run = RunChase(world.kb(), options);
+  ASSERT_TRUE(run.ok());
+  StaircaseWorld fresh;
+  ChaseCheckpoint cp = MakeCheckpoint(fresh.kb(), options, *run);
+
+  // The elevator program is not the staircase program.
+  ElevatorWorld other;
+  auto resumed = ResumeChase(other.kb(), options, cp);
+  EXPECT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ResumeChaseTest, RejectsConsumedVocabulary) {
+  StaircaseWorld world;
+  ChaseOptions options = RecordingOptions(ChaseVariant::kRestricted, 3);
+  auto run = RunChase(world.kb(), options);
+  ASSERT_TRUE(run.ok());
+  ChaseCheckpoint cp = MakeCheckpoint(world.kb(), options, *run);
+  // `world`'s vocabulary already minted the run's fresh nulls; resuming
+  // against it would mint different ids than the recorded substitutions
+  // refer to. (The fingerprint can't see this — the rules and facts are
+  // unchanged — so it is a dedicated precondition.)
+  auto resumed = ResumeChase(world.kb(), options, cp);
+  EXPECT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ResumeChaseTest, StepBudgetInterruptThenResumeMatchesGolden) {
+  for (ChaseVariant variant :
+       {ChaseVariant::kOblivious, ChaseVariant::kSemiOblivious,
+        ChaseVariant::kRestricted, ChaseVariant::kFrugal,
+        ChaseVariant::kCore}) {
+    SCOPED_TRACE(ChaseVariantName(variant));
+    // Golden: 7 steps uninterrupted.
+    ElevatorWorld golden_world;
+    ChaseOptions golden_options;
+    golden_options.variant = variant;
+    golden_options.limits.max_steps = 7;
+    auto golden = RunChase(golden_world.kb(), golden_options);
+    ASSERT_TRUE(golden.ok());
+
+    // Interrupted: stop at 3 via the step budget, checkpoint, resume to 7.
+    ElevatorWorld short_world;
+    ChaseOptions short_options = RecordingOptions(variant, 3);
+    auto shortened = RunChase(short_world.kb(), short_options);
+    ASSERT_TRUE(shortened.ok());
+    EXPECT_EQ(shortened->stop_reason, StopReason::kStepBudget);
+
+    ElevatorWorld fresh;
+    ChaseCheckpoint cp = MakeCheckpoint(fresh.kb(), short_options, *shortened);
+    auto parsed = ParseCheckpoint(SerializeCheckpoint(cp));
+    ASSERT_TRUE(parsed.ok());
+
+    ElevatorWorld target;
+    ChaseOptions resume_options;
+    resume_options.variant = variant;
+    resume_options.limits.max_steps = 7;
+    auto resumed = ResumeChase(target.kb(), resume_options, *parsed);
+    ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+    EXPECT_EQ(resumed->steps, golden->steps);
+    EXPECT_EQ(resumed->rounds, golden->rounds);
+    EXPECT_EQ(resumed->stop_reason, golden->stop_reason);
+    EXPECT_EQ(resumed->derivation.Last().size(),
+              golden->derivation.Last().size());
+    EXPECT_EQ(resumed->derivation.Last().ContentHash(),
+              golden->derivation.Last().ContentHash());
+  }
+}
+
+TEST(ResumeChaseTest, ZeroDeadlineCheckpointResumesFromScratch) {
+  // A run stopped before any work has an empty log; resuming it is simply
+  // running from the start — still bit-identical to a direct run.
+  ElevatorWorld world;
+  ChaseOptions options = RecordingOptions(ChaseVariant::kRestricted, 5);
+  options.limits.deadline_ms = 0;
+  auto stopped = RunChase(world.kb(), options);
+  ASSERT_TRUE(stopped.ok());
+  EXPECT_EQ(stopped->stop_reason, StopReason::kDeadline);
+  EXPECT_EQ(stopped->steps, 0u);
+
+  ElevatorWorld fresh;
+  ChaseCheckpoint cp = MakeCheckpoint(fresh.kb(), options, *stopped);
+  auto parsed = ParseCheckpoint(SerializeCheckpoint(cp));
+  ASSERT_TRUE(parsed.ok());
+
+  ElevatorWorld target;
+  ChaseOptions resume_options;
+  resume_options.variant = ChaseVariant::kRestricted;
+  resume_options.limits.max_steps = 5;
+  auto resumed = ResumeChase(target.kb(), resume_options, *parsed);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+
+  ElevatorWorld direct_world;
+  ChaseOptions direct_options;
+  direct_options.variant = ChaseVariant::kRestricted;
+  direct_options.limits.max_steps = 5;
+  auto direct = RunChase(direct_world.kb(), direct_options);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(resumed->steps, direct->steps);
+  EXPECT_EQ(resumed->derivation.Last().ContentHash(),
+            direct->derivation.Last().ContentHash());
+}
+
+TEST(ResumeChaseTest, ResumedRunCanBeCheckpointedAgain) {
+  // Recording continues through replay, so a resumed run can itself be
+  // checkpointed — chains of budget slices compose.
+  ElevatorWorld w1;
+  ChaseOptions first = RecordingOptions(ChaseVariant::kRestricted, 2);
+  auto run1 = RunChase(w1.kb(), first);
+  ASSERT_TRUE(run1.ok());
+  ElevatorWorld f1;
+  auto cp1 = ParseCheckpoint(
+      SerializeCheckpoint(MakeCheckpoint(f1.kb(), first, *run1)));
+  ASSERT_TRUE(cp1.ok());
+
+  ElevatorWorld w2;
+  ChaseOptions second = RecordingOptions(ChaseVariant::kRestricted, 4);
+  auto run2 = ResumeChase(w2.kb(), second, *cp1);
+  ASSERT_TRUE(run2.ok()) << run2.status().ToString();
+  ElevatorWorld f2;
+  auto cp2 = ParseCheckpoint(
+      SerializeCheckpoint(MakeCheckpoint(f2.kb(), second, *run2)));
+  ASSERT_TRUE(cp2.ok());
+
+  ElevatorWorld w3;
+  ChaseOptions third;
+  third.variant = ChaseVariant::kRestricted;
+  third.limits.max_steps = 6;
+  auto run3 = ResumeChase(w3.kb(), third, *cp2);
+  ASSERT_TRUE(run3.ok()) << run3.status().ToString();
+
+  ElevatorWorld direct_world;
+  ChaseOptions direct;
+  direct.variant = ChaseVariant::kRestricted;
+  direct.limits.max_steps = 6;
+  auto golden = RunChase(direct_world.kb(), direct);
+  ASSERT_TRUE(golden.ok());
+  EXPECT_EQ(run3->steps, golden->steps);
+  EXPECT_EQ(run3->derivation.Last().ContentHash(),
+            golden->derivation.Last().ContentHash());
+}
+
+}  // namespace
+}  // namespace twchase

@@ -1,0 +1,168 @@
+// Budget-boundary tests for the resource governor (satellite of the
+// robustness PR): a deadline of 0ms, a memory budget smaller than the
+// initial instance, and a cancellation requested before the first round
+// must each return immediately with the correct StopReason and an
+// unmodified instance — property-style across all five chase variants.
+// Plus unit coverage of the governor itself: latching, parent chaining,
+// and mid-run deadline stops.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/chase.h"
+#include "kb/examples.h"
+#include "util/governor.h"
+
+namespace twchase {
+namespace {
+
+const ChaseVariant kAllVariants[] = {
+    ChaseVariant::kOblivious, ChaseVariant::kSemiOblivious,
+    ChaseVariant::kRestricted, ChaseVariant::kFrugal, ChaseVariant::kCore};
+
+// Runs the variant under `limits` and asserts the immediate-return
+// contract: zero steps, zero rounds, the expected stop reason, and a final
+// instance identical to the input facts (no coring, no fresh nulls).
+void ExpectImmediateStop(const KnowledgeBase& kb, ChaseVariant variant,
+                         const ChaseOptions::LimitOptions& limits,
+                         StopReason expected) {
+  ChaseOptions options;
+  options.variant = variant;
+  options.limits = limits;
+  options.limits.max_steps = 1000;
+  size_t variables_before = kb.vocab->num_variables();
+  auto run = RunChase(kb, options);
+  ASSERT_TRUE(run.ok()) << ChaseVariantName(variant);
+  EXPECT_EQ(run->stop_reason, expected) << ChaseVariantName(variant);
+  EXPECT_FALSE(run->terminated) << ChaseVariantName(variant);
+  EXPECT_EQ(run->steps, 0u) << ChaseVariantName(variant);
+  EXPECT_EQ(run->rounds, 0u) << ChaseVariantName(variant);
+  EXPECT_EQ(run->derivation.Last().size(), kb.facts.size())
+      << ChaseVariantName(variant);
+  EXPECT_EQ(run->derivation.Last().ContentHash(), kb.facts.ContentHash())
+      << ChaseVariantName(variant);
+  EXPECT_EQ(kb.vocab->num_variables(), variables_before)
+      << ChaseVariantName(variant) << ": immediate stop minted fresh nulls";
+}
+
+TEST(GovernorBoundaryTest, ZeroDeadlineStopsBeforeAnyWork) {
+  for (ChaseVariant variant : kAllVariants) {
+    StaircaseWorld world;
+    ChaseOptions::LimitOptions limits;
+    limits.deadline_ms = 0;  // already expired, NOT unlimited
+    ExpectImmediateStop(world.kb(), variant, limits, StopReason::kDeadline);
+  }
+}
+
+TEST(GovernorBoundaryTest, MemoryBudgetBelowInitialInstanceStops) {
+  for (ChaseVariant variant : kAllVariants) {
+    ElevatorWorld world;
+    ChaseOptions::LimitOptions limits;
+    limits.memory_budget_bytes = 1;  // smaller than any non-empty instance
+    ExpectImmediateStop(world.kb(), variant, limits,
+                        StopReason::kMemoryBudget);
+  }
+}
+
+TEST(GovernorBoundaryTest, PreCancelledTokenStopsBeforeFirstRound) {
+  for (ChaseVariant variant : kAllVariants) {
+    StaircaseWorld world;
+    ChaseOptions::LimitOptions limits;
+    limits.cancel = CancelToken::Create();
+    limits.cancel.RequestCancel();
+    ExpectImmediateStop(world.kb(), variant, limits, StopReason::kCancelled);
+  }
+}
+
+TEST(GovernorBoundaryTest, AbsentDeadlineIsUnlimited) {
+  // nullopt (the default) must not be confused with an expired deadline.
+  auto kb = MakeTransitiveClosure(3);
+  ChaseOptions options;
+  options.variant = ChaseVariant::kRestricted;
+  options.limits.max_steps = 200;
+  ASSERT_FALSE(options.limits.deadline_ms.has_value());
+  auto run = RunChase(kb, options);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->stop_reason, StopReason::kFixpoint);
+  EXPECT_TRUE(run->terminated);
+}
+
+TEST(GovernorBoundaryTest, MidRunCancellationKeepsConsistentPrefix) {
+  // Cancel from "another thread" (here: after a deadline-free run is
+  // prepared) — the run must stop with a consistent prefix: every recorded
+  // step count matches the derivation, and the result is still a valid
+  // chase prefix (non-empty, contains the facts' image).
+  for (ChaseVariant variant : kAllVariants) {
+    StaircaseWorld world;
+    ChaseOptions options;
+    options.variant = variant;
+    options.limits.max_steps = 1000000;
+    options.limits.deadline_ms = 30;  // stop somewhere mid-run
+    options.limits.max_instance_size = 20000;
+    options.keep_snapshots = false;
+    auto run = RunChase(world.kb(), options);
+    ASSERT_TRUE(run.ok()) << ChaseVariantName(variant);
+    EXPECT_TRUE(run->stop_reason == StopReason::kDeadline ||
+                run->stop_reason == StopReason::kInstanceSizeGuard)
+        << ChaseVariantName(variant);
+    EXPECT_EQ(run->derivation.size(), run->steps + 1)
+        << ChaseVariantName(variant);
+    EXPECT_GE(run->derivation.Last().size(), 1u) << ChaseVariantName(variant);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Governor unit behaviour.
+// ---------------------------------------------------------------------------
+
+TEST(ResourceGovernorTest, LatchesFirstReasonAndStays) {
+  ResourceLimits limits;
+  limits.cancel = CancelToken::Create();
+  limits.cancel.RequestCancel();
+  ResourceGovernor governor(limits, /*parent=*/nullptr);
+  EXPECT_TRUE(governor.ShouldStop(FaultSite::kRoundBoundary));
+  EXPECT_EQ(governor.reason(), StopReason::kCancelled);
+  // Adding memory pressure later must not overwrite the latched reason.
+  governor.NoteMemoryUsage(1u << 30);
+  EXPECT_TRUE(governor.ShouldStop(FaultSite::kTriggerBoundary));
+  EXPECT_EQ(governor.reason(), StopReason::kCancelled);
+}
+
+TEST(ResourceGovernorTest, ChildInheritsParentStopReasonVerbatim) {
+  ResourceLimits parent_limits;
+  parent_limits.deadline_ms = 0;
+  ResourceGovernor parent(parent_limits, /*parent=*/nullptr);
+  EXPECT_TRUE(parent.ShouldStop(FaultSite::kRoundBoundary));
+  ASSERT_EQ(parent.reason(), StopReason::kDeadline);
+
+  ResourceLimits child_limits;  // no budgets of its own
+  ResourceGovernor child(child_limits, &parent);
+  EXPECT_TRUE(child.ShouldStop(FaultSite::kHomNode));
+  EXPECT_EQ(child.reason(), StopReason::kDeadline);
+}
+
+TEST(ResourceGovernorTest, MemoryBudgetTripsOnReportedUsage) {
+  ResourceLimits limits;
+  limits.memory_budget_bytes = 1000;
+  ResourceGovernor governor(limits, /*parent=*/nullptr);
+  governor.NoteMemoryUsage(999);
+  EXPECT_FALSE(governor.ShouldStop(FaultSite::kTriggerBoundary));
+  governor.NoteMemoryUsage(1001);
+  EXPECT_TRUE(governor.ShouldStop(FaultSite::kTriggerBoundary));
+  EXPECT_EQ(governor.reason(), StopReason::kMemoryBudget);
+}
+
+TEST(ResourceGovernorTest, StopReasonNamesAreStable) {
+  // The names feed the event log schema and the checkpoint format; changing
+  // one silently breaks parsing of previously written artifacts.
+  EXPECT_STREQ(StopReasonName(StopReason::kFixpoint), "fixpoint");
+  EXPECT_STREQ(StopReasonName(StopReason::kStepBudget), "step-budget");
+  EXPECT_STREQ(StopReasonName(StopReason::kInstanceSizeGuard),
+               "instance-size-guard");
+  EXPECT_STREQ(StopReasonName(StopReason::kDeadline), "deadline");
+  EXPECT_STREQ(StopReasonName(StopReason::kMemoryBudget), "memory-budget");
+  EXPECT_STREQ(StopReasonName(StopReason::kCancelled), "cancelled");
+}
+
+}  // namespace
+}  // namespace twchase

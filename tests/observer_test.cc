@@ -55,7 +55,7 @@ TEST(ObserverGoldenTest, StaircasePrefixStreams) {
 {"event": "trigger_retired", "round": 1, "rule": 0, "reason": "applied"}
 {"event": "trigger_applied", "step": 2, "round": 1, "rule": 0, "label": "Rh1", "added": 5, "size": 7}
 {"event": "round_end", "round": 1, "steps": 2, "size": 7, "progressed": true}
-{"event": "run_end", "steps": 2, "rounds": 1, "terminated": false, "size_guard": false, "final_size": 7}
+{"event": "run_end", "steps": 2, "rounds": 1, "terminated": false, "size_guard": false, "stop_reason": "step-budget", "final_size": 7}
 )evt"},
       {ChaseVariant::kSemiOblivious,
        R"evt({"event": "run_begin", "variant": "semi-oblivious", "rules": 4, "initial_size": 2}
@@ -67,7 +67,7 @@ TEST(ObserverGoldenTest, StaircasePrefixStreams) {
 {"event": "trigger_retired", "round": 1, "rule": 0, "reason": "applied"}
 {"event": "trigger_applied", "step": 2, "round": 1, "rule": 0, "label": "Rh1", "added": 5, "size": 7}
 {"event": "round_end", "round": 1, "steps": 2, "size": 7, "progressed": true}
-{"event": "run_end", "steps": 2, "rounds": 1, "terminated": false, "size_guard": false, "final_size": 7}
+{"event": "run_end", "steps": 2, "rounds": 1, "terminated": false, "size_guard": false, "stop_reason": "step-budget", "final_size": 7}
 )evt"},
       {ChaseVariant::kRestricted,
        R"evt({"event": "run_begin", "variant": "restricted", "rules": 4, "initial_size": 2}
@@ -84,7 +84,7 @@ TEST(ObserverGoldenTest, StaircasePrefixStreams) {
 {"event": "trigger_retired", "round": 2, "rule": 2, "reason": "applied"}
 {"event": "trigger_applied", "step": 2, "round": 2, "rule": 2, "label": "Rh3", "added": 2, "size": 9}
 {"event": "round_end", "round": 2, "steps": 1, "size": 9, "progressed": true}
-{"event": "run_end", "steps": 2, "rounds": 2, "terminated": false, "size_guard": false, "final_size": 9}
+{"event": "run_end", "steps": 2, "rounds": 2, "terminated": false, "size_guard": false, "stop_reason": "step-budget", "final_size": 9}
 )evt"},
       {ChaseVariant::kFrugal,
        R"evt({"event": "run_begin", "variant": "frugal", "rules": 4, "initial_size": 2}
@@ -99,7 +99,7 @@ TEST(ObserverGoldenTest, StaircasePrefixStreams) {
 {"event": "trigger_considered", "round": 2, "rule": 2}
 {"event": "trigger_applied", "step": 2, "round": 2, "rule": 2, "label": "Rh3", "added": 2, "size": 9}
 {"event": "round_end", "round": 2, "steps": 1, "size": 9, "progressed": true}
-{"event": "run_end", "steps": 2, "rounds": 2, "terminated": false, "size_guard": false, "final_size": 9}
+{"event": "run_end", "steps": 2, "rounds": 2, "terminated": false, "size_guard": false, "stop_reason": "step-budget", "final_size": 9}
 )evt"},
       {ChaseVariant::kCore,
        R"evt({"event": "run_begin", "variant": "core", "rules": 4, "initial_size": 2}
@@ -117,7 +117,7 @@ TEST(ObserverGoldenTest, StaircasePrefixStreams) {
 {"event": "trigger_applied", "step": 2, "round": 2, "rule": 2, "label": "Rh3", "added": 2, "size": 9}
 {"event": "core_retraction", "step": 2, "folds": 0, "incremental": false, "fell_back": false, "before": 9, "after": 9}
 {"event": "round_end", "round": 2, "steps": 1, "size": 9, "progressed": true}
-{"event": "run_end", "steps": 2, "rounds": 2, "terminated": false, "size_guard": false, "final_size": 9}
+{"event": "run_end", "steps": 2, "rounds": 2, "terminated": false, "size_guard": false, "stop_reason": "step-budget", "final_size": 9}
 )evt"},
   };
   for (const GoldenCase& c : kCases) {
@@ -139,7 +139,7 @@ TEST(ObserverGoldenTest, ElevatorPrefixStreams) {
 {"event": "trigger_retired", "round": 1, "rule": 0, "reason": "applied"}
 {"event": "trigger_applied", "step": 2, "round": 1, "rule": 0, "label": "Rv1", "added": 3, "size": 7}
 {"event": "round_end", "round": 1, "steps": 2, "size": 7, "progressed": true}
-{"event": "run_end", "steps": 2, "rounds": 1, "terminated": false, "size_guard": false, "final_size": 7}
+{"event": "run_end", "steps": 2, "rounds": 1, "terminated": false, "size_guard": false, "stop_reason": "step-budget", "final_size": 7}
 )evt"},
       {ChaseVariant::kSemiOblivious,
        R"evt({"event": "run_begin", "variant": "semi-oblivious", "rules": 7, "initial_size": 4}
@@ -151,7 +151,7 @@ TEST(ObserverGoldenTest, ElevatorPrefixStreams) {
 {"event": "trigger_retired", "round": 1, "rule": 0, "reason": "applied"}
 {"event": "trigger_applied", "step": 2, "round": 1, "rule": 0, "label": "Rv1", "added": 3, "size": 7}
 {"event": "round_end", "round": 1, "steps": 2, "size": 7, "progressed": true}
-{"event": "run_end", "steps": 2, "rounds": 1, "terminated": false, "size_guard": false, "final_size": 7}
+{"event": "run_end", "steps": 2, "rounds": 1, "terminated": false, "size_guard": false, "stop_reason": "step-budget", "final_size": 7}
 )evt"},
       {ChaseVariant::kRestricted,
        R"evt({"event": "run_begin", "variant": "restricted", "rules": 7, "initial_size": 4}
@@ -168,7 +168,7 @@ TEST(ObserverGoldenTest, ElevatorPrefixStreams) {
 {"event": "trigger_retired", "round": 2, "rule": 3, "reason": "applied"}
 {"event": "trigger_applied", "step": 2, "round": 2, "rule": 3, "label": "Rv4", "added": 1, "size": 8}
 {"event": "round_end", "round": 2, "steps": 1, "size": 8, "progressed": true}
-{"event": "run_end", "steps": 2, "rounds": 2, "terminated": false, "size_guard": false, "final_size": 8}
+{"event": "run_end", "steps": 2, "rounds": 2, "terminated": false, "size_guard": false, "stop_reason": "step-budget", "final_size": 8}
 )evt"},
       {ChaseVariant::kFrugal,
        R"evt({"event": "run_begin", "variant": "frugal", "rules": 7, "initial_size": 4}
@@ -183,7 +183,7 @@ TEST(ObserverGoldenTest, ElevatorPrefixStreams) {
 {"event": "trigger_considered", "round": 2, "rule": 3}
 {"event": "trigger_applied", "step": 2, "round": 2, "rule": 3, "label": "Rv4", "added": 1, "size": 8}
 {"event": "round_end", "round": 2, "steps": 1, "size": 8, "progressed": true}
-{"event": "run_end", "steps": 2, "rounds": 2, "terminated": false, "size_guard": false, "final_size": 8}
+{"event": "run_end", "steps": 2, "rounds": 2, "terminated": false, "size_guard": false, "stop_reason": "step-budget", "final_size": 8}
 )evt"},
       {ChaseVariant::kCore,
        R"evt({"event": "run_begin", "variant": "core", "rules": 7, "initial_size": 4}
@@ -201,7 +201,7 @@ TEST(ObserverGoldenTest, ElevatorPrefixStreams) {
 {"event": "trigger_applied", "step": 2, "round": 2, "rule": 3, "label": "Rv4", "added": 1, "size": 8}
 {"event": "core_retraction", "step": 2, "folds": 0, "incremental": false, "fell_back": false, "before": 8, "after": 8}
 {"event": "round_end", "round": 2, "steps": 1, "size": 8, "progressed": true}
-{"event": "run_end", "steps": 2, "rounds": 2, "terminated": false, "size_guard": false, "final_size": 8}
+{"event": "run_end", "steps": 2, "rounds": 2, "terminated": false, "size_guard": false, "stop_reason": "step-budget", "final_size": 8}
 )evt"},
   };
   for (const GoldenCase& c : kCases) {

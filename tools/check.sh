@@ -1,23 +1,40 @@
 #!/usr/bin/env sh
 # Local gate mirroring what CI would run:
 #   1. tier-1: configure + build + full ctest under the default preset;
-#   2. sanitizers: ASan+UBSan (TWCHASE_SANITIZE) build, then the delta and
-#      obs labelled suites under it.
-# Run from the repository root. Fails fast on the first broken step.
+#   2. sanitizers: ASan+UBSan (TWCHASE_SANITIZE) build, then the delta, obs
+#      and robustness labelled suites under it (the fault-injection and
+#      checkpoint/resume tests are exactly the ones that must be
+#      memory-clean);
+#   3. fuzz smoke: a short run of the parser fuzz harness under the
+#      sanitizer build (libFuzzer with clang, the deterministic standalone
+#      driver with gcc).
+# Run from the repository root. Fails fast on the first broken step. Every
+# ctest invocation is wrapped in a hard `timeout` so a hung governed run can
+# never wedge the gate (individual tests additionally carry ctest TIMEOUT
+# properties, see tests/CMakeLists.txt).
 set -eu
 
 cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-2}"
+# Hard wall-clock cap per ctest invocation, seconds.
+CTEST_HARD_TIMEOUT="${CTEST_HARD_TIMEOUT:-1200}"
+# Fuzz smoke duration, seconds.
+FUZZ_SECONDS="${FUZZ_SECONDS:-30}"
 
 echo "== tier-1: default preset =="
 cmake --preset default
 cmake --build --preset default -j "$JOBS"
-ctest --preset default
+timeout "$CTEST_HARD_TIMEOUT" ctest --preset default
 
-echo "== sanitizers: asan preset, delta+obs labels =="
-cmake --preset asan
+echo "== sanitizers: asan preset, delta+obs+robustness labels =="
+cmake --preset asan -DTWCHASE_BUILD_FUZZERS=ON
 cmake --build --preset asan -j "$JOBS"
-ctest --test-dir build-asan --output-on-failure -L 'delta|obs'
+timeout "$CTEST_HARD_TIMEOUT" ctest --test-dir build-asan \
+  --output-on-failure -L 'delta|obs|robustness'
+
+echo "== fuzz smoke: parser harness, ${FUZZ_SECONDS}s =="
+timeout $((FUZZ_SECONDS + 30)) ./build-asan/fuzz/parser_fuzzer \
+  "-max_total_time=${FUZZ_SECONDS}" -seed=1
 
 echo "check.sh: all gates passed"

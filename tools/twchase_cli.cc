@@ -16,6 +16,11 @@
 //     --print-result       print the final instance
 //     --metrics-out=FILE   write one JSONL metrics row per derivation step
 //     --events-out=FILE    write every observer event as one JSON line
+//     --deadline-ms=N      wall-clock budget (0 stops at the first boundary;
+//                          omit the flag for unlimited)
+//     --memory-budget-mb=N estimated-memory budget (0 = unlimited)
+//     --checkpoint-out=FILE record the run and write a resumable checkpoint
+//     --resume-from=FILE   resume a checkpointed run (same program file)
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -24,6 +29,7 @@
 #include <string>
 
 #include "core/chase.h"
+#include "core/checkpoint.h"
 #include "core/measures.h"
 #include "core/robust.h"
 #include "core/trace.h"
@@ -50,6 +56,8 @@ struct CliOptions {
   bool print_result = false;
   std::string metrics_out;
   std::string events_out;
+  std::string checkpoint_out;
+  std::string resume_from;
   std::string file;
 };
 
@@ -58,6 +66,8 @@ int Usage(const char* argv0) {
                "usage: %s [--variant=V] [--max-steps=N] [--core-every=N] "
                "[--measures] [--robust] [--analyze] [--trace] "
                "[--print-result] [--metrics-out=FILE] [--events-out=FILE] "
+               "[--deadline-ms=N] [--memory-budget-mb=N] "
+               "[--checkpoint-out=FILE] [--resume-from=FILE] "
                "<program-file>\n",
                argv0);
   return 2;
@@ -77,6 +87,8 @@ bool ParseVariant(const std::string& name, twchase::ChaseVariant* out) {
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
   options->chase.variant = twchase::ChaseVariant::kCore;
+  size_t deadline_ms = 0;
+  size_t memory_budget_mb = 0;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     twchase::flags::ArgMatcher m(arg);
@@ -86,8 +98,13 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
         std::fprintf(stderr, "unknown variant: %s\n", variant_name.c_str());
         return false;
       }
+    } else if (m.SizeValue("--deadline-ms", &deadline_ms)) {
+      options->chase.limits.deadline_ms = deadline_ms;
     } else if (m.SizeValue("--max-steps", &options->chase.limits.max_steps) ||
                m.SizeValue("--core-every", &options->chase.core.core_every) ||
+               m.SizeValue("--memory-budget-mb", &memory_budget_mb) ||
+               m.Value("--checkpoint-out", &options->checkpoint_out) ||
+               m.Value("--resume-from", &options->resume_from) ||
                m.Flag("--measures", &options->measures) ||
                m.Flag("--robust", &options->robust) ||
                m.Flag("--analyze", &options->analyze) ||
@@ -108,6 +125,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       std::fprintf(stderr, "%s\n", m.error().c_str());
       return false;
     }
+  }
+  options->chase.limits.memory_budget_bytes = memory_budget_mb * 1024 * 1024;
+  if (!options->checkpoint_out.empty()) {
+    options->chase.resume.record_log = true;
   }
   return !options->file.empty();
 }
@@ -179,16 +200,50 @@ int main(int argc, char** argv) {
   if (!observers.empty()) options.chase.observer = &observers;
 
   Stopwatch sw;
-  auto run = RunChase(kb, options.chase);
+  StatusOr<ChaseResult> run =
+      Status::Internal("chase did not run");  // replaced below
+  if (!options.resume_from.empty()) {
+    std::ifstream checkpoint_in(options.resume_from);
+    if (!checkpoint_in) {
+      std::fprintf(stderr, "cannot open %s\n", options.resume_from.c_str());
+      return 1;
+    }
+    std::ostringstream checkpoint_text;
+    checkpoint_text << checkpoint_in.rdbuf();
+    auto checkpoint = ParseCheckpoint(checkpoint_text.str());
+    if (!checkpoint.ok()) {
+      std::fprintf(stderr, "checkpoint error: %s\n",
+                   checkpoint.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("resuming from %s: recorded %zu steps in %zu rounds (%s)\n",
+                options.resume_from.c_str(), checkpoint->steps,
+                checkpoint->rounds, StopReasonName(checkpoint->stop_reason));
+    run = ResumeChase(kb, options.chase, *checkpoint);
+  } else {
+    run = RunChase(kb, options.chase);
+  }
   if (!run.ok()) {
     std::fprintf(stderr, "chase error: %s\n", run.status().ToString().c_str());
     return 1;
   }
-  std::printf("%s chase: %zu steps in %zu rounds, %.3fs, %s; |result| = %zu\n",
+  std::printf("%s chase: %zu steps in %zu rounds, %.3fs, stop: %s; "
+              "|result| = %zu\n",
               ChaseVariantName(options.chase.variant), run->steps, run->rounds,
-              sw.ElapsedSeconds(),
-              run->terminated ? "terminated" : "budget exhausted",
+              sw.ElapsedSeconds(), StopReasonName(run->stop_reason),
               run->derivation.Last().size());
+
+  if (!options.checkpoint_out.empty()) {
+    std::ofstream checkpoint_file(options.checkpoint_out);
+    if (!checkpoint_file) {
+      std::fprintf(stderr, "cannot open %s\n", options.checkpoint_out.c_str());
+      return 1;
+    }
+    ChaseCheckpoint checkpoint = MakeCheckpoint(kb, options.chase, *run);
+    checkpoint_file << SerializeCheckpoint(checkpoint);
+    std::printf("checkpoint written to %s (%zu recorded rounds)\n",
+                options.checkpoint_out.c_str(), checkpoint.log.rounds.size());
+  }
 
   if (options.measures) {
     std::vector<int> sizes = MeasureSeries(run->derivation, Measure::kSize);
