@@ -5,7 +5,10 @@
 // construction, see tests/delta_differential_test.cc) and writes the
 // machine-readable comparison to BENCH_engine.json in the working directory:
 // per workload the rounds, steps, trigger counts, wall milliseconds and the
-// peak instance size, plus the OFF/ON speedup.
+// peak instance size, plus the OFF/ON speedup. A second section sweeps
+// --threads over the parallel trigger-evaluation path (1/2/4/hardware
+// concurrency), verifies sequential-vs-parallel parity per workload, and
+// records per-thread-count wall times, speedups and the parallel stats.
 //
 // `--micro` mode: the google-benchmark microbenchmarks of the substrate
 // costs underlying every figure (homomorphism search, core computation,
@@ -31,6 +34,7 @@
 #include "tw/treewidth.h"
 #include "util/random.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace twchase {
 namespace {
@@ -162,7 +166,8 @@ struct SweepMeasurement {
 };
 
 SweepMeasurement MeasureChase(const SweepWorkload& workload, bool delta_on,
-                              int repetitions, Histogram* phase_ms) {
+                              int repetitions, Histogram* phase_ms,
+                              size_t threads = 1) {
   SweepMeasurement best;
   for (int rep = 0; rep < repetitions; ++rep) {
     KnowledgeBase kb = workload.make_kb();
@@ -171,6 +176,7 @@ SweepMeasurement MeasureChase(const SweepWorkload& workload, bool delta_on,
     options.limits.max_steps = workload.max_steps;
     options.keep_snapshots = false;
     options.delta.enabled = delta_on;
+    options.parallel.threads = threads;
     Stopwatch watch;
     auto run = RunChase(kb, options);
     double ms = watch.ElapsedMillis();
@@ -207,6 +213,85 @@ void AppendSide(std::string* json, const char* key,
                 m.result.stats.peak_instance_size,
                 m.result.derivation.Last().size());
   *json += buffer;
+}
+
+// Sweeps --threads over the parallel trigger-evaluation path and returns
+// the "thread_sweep" JSON object (empty string on parity violation). Every
+// thread count must reproduce the threads=1 run exactly — same steps,
+// rounds and final instance — so the sweep doubles as a coarse determinism
+// check on real workloads. Note: speedup is bounded by the host; on a
+// single-core container every parallel count is pure overhead, which the
+// recorded hardware_concurrency makes explicit.
+std::string RunThreadSweep(MetricsRegistry* registry) {
+  std::vector<SweepWorkload> workloads;
+  workloads.push_back({"transitive-closure-12", ChaseVariant::kRestricted,
+                       2000, [] { return MakeTransitiveClosure(12); }});
+  workloads.push_back({"staircase-restricted", ChaseVariant::kRestricted, 120,
+                       [] { return StaircaseWorld().kb(); }});
+  workloads.push_back({"elevator-core", ChaseVariant::kCore, 60,
+                       [] { return ElevatorWorld().kb(); }});
+
+  size_t hw = ThreadPool::HardwareConcurrency();
+  std::vector<size_t> counts = {1, 2, 4};
+  if (hw != 1 && hw != 2 && hw != 4) counts.push_back(hw);
+
+  std::string json = "  \"thread_sweep\": {\n";
+  json += "    \"hardware_concurrency\": " + std::to_string(hw) + ",\n";
+  json += "    \"workloads\": [\n";
+  std::printf("\n%-26s %-14s %8s %10s %10s %8s\n", "workload", "variant",
+              "threads", "wall ms", "speedup", "tasks");
+  for (size_t i = 0; i < workloads.size(); ++i) {
+    const SweepWorkload& workload = workloads[i];
+    json += "      {\n        \"name\": \"" + workload.name + "\",\n";
+    json += "        \"variant\": \"";
+    json += ChaseVariantName(workload.variant);
+    json += "\",\n        \"by_threads\": [\n";
+    SweepMeasurement baseline;
+    for (size_t t = 0; t < counts.size(); ++t) {
+      size_t threads = counts[t];
+      SweepMeasurement m = MeasureChase(
+          workload, /*delta_on=*/true, 3,
+          registry->GetHistogram("phase." + workload.name + ".threads" +
+                                 std::to_string(threads) + ".wall_ms"),
+          threads);
+      if (threads == 1) {
+        baseline = m;
+      } else if (m.result.steps != baseline.result.steps ||
+                 m.result.rounds != baseline.result.rounds ||
+                 !(m.result.derivation.Last() ==
+                   baseline.result.derivation.Last())) {
+        std::fprintf(stderr,
+                     "PARITY VIOLATION on %s: threads=%zu diverges from "
+                     "sequential\n",
+                     workload.name.c_str(), threads);
+        return "";
+      }
+      double speedup = m.wall_ms > 0 ? baseline.wall_ms / m.wall_ms : 0;
+      std::printf("%-26s %-14s %8zu %9.2f %7.2fx %8zu\n",
+                  workload.name.c_str(), ChaseVariantName(workload.variant),
+                  threads, m.wall_ms, speedup, m.result.stats.parallel_tasks);
+      char buffer[512];
+      std::snprintf(buffer, sizeof(buffer),
+                    "          {\"threads\": %zu, \"wall_ms\": %.3f, "
+                    "\"speedup_vs_sequential\": %.2f, \"steps\": %zu, "
+                    "\"parallel_rounds\": %zu, \"parallel_tasks\": %zu, "
+                    "\"parallel_eval_ms\": %.3f, \"parallel_merge_ms\": %.3f, "
+                    "\"max_imbalance\": %zu}",
+                    threads, m.wall_ms,
+                    m.wall_ms > 0 ? baseline.wall_ms / m.wall_ms : 0.0,
+                    m.result.steps, m.result.stats.parallel_rounds,
+                    m.result.stats.parallel_tasks,
+                    m.result.stats.parallel_eval_ms,
+                    m.result.stats.parallel_merge_ms,
+                    m.result.stats.parallel_max_imbalance);
+      json += buffer;
+      json += (t + 1 < counts.size()) ? ",\n" : "\n";
+    }
+    json += "        ]\n";
+    json += (i + 1 < workloads.size()) ? "      },\n" : "      }\n";
+  }
+  json += "    ]\n  }";
+  return json;
 }
 
 int RunDeltaSweep(const char* output_path) {
@@ -267,7 +352,11 @@ int RunDeltaSweep(const char* output_path) {
     json += buffer;
     json += (i + 1 < workloads.size()) ? "    },\n" : "    }\n";
   }
-  json += "  ],\n  \"metrics\": " + registry.ToJson(2) + "\n}\n";
+  json += "  ],\n";
+  std::string thread_sweep = RunThreadSweep(&registry);
+  if (thread_sweep.empty()) return 1;
+  json += thread_sweep + ",\n";
+  json += "  \"metrics\": " + registry.ToJson(2) + "\n}\n";
 
   if (FILE* out = std::fopen(output_path, "w")) {
     std::fwrite(json.data(), 1, json.size(), out);

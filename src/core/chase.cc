@@ -1,11 +1,13 @@
 #include "core/chase.h"
 
 #include <algorithm>
+#include <memory>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "core/delta.h"
+#include "core/parallel.h"
 #include "core/trigger.h"
 #include "core/trigger_key.h"
 #include "hom/core.h"
@@ -15,6 +17,8 @@
 #include "util/governor.h"
 #include "util/logging.h"
 #include "util/status.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace twchase {
 
@@ -49,6 +53,10 @@ Status ChaseOptions::Validate() const {
         "resume.record_log requires incremental_core == false: the in-place "
         "fold order of the incremental path is not reproducible from a "
         "resume log");
+  }
+  if (parallel.threads == 0) {
+    return Status::InvalidArgument(
+        "parallel.threads must be positive (1 = sequential)");
   }
   return Status::OK();
 }
@@ -105,6 +113,28 @@ void RecordRetractionDelta(const Substitution& retraction,
     }
   }
 }
+
+// Telemetry of one round's parallel sections (up to three: priming/naive
+// enumeration, erasure revalidation, seeded probes), aggregated for the
+// ParallelRoundEvent and ChaseStats.
+struct RoundParallelStats {
+  size_t sections = 0;
+  size_t tasks = 0;
+  size_t workers_used = 0;    // max over the round's sections
+  size_t max_imbalance = 0;   // max over sections of (max - min) worker share
+  double eval_ms = 0;
+  double merge_ms = 0;
+
+  void NoteSection(const ParallelSectionStats& section, double section_merge_ms) {
+    ++sections;
+    tasks += section.tasks;
+    workers_used = std::max(workers_used, section.workers_used);
+    max_imbalance = std::max(
+        max_imbalance, section.max_worker_tasks - section.min_worker_tasks);
+    eval_ms += section.eval_ms;
+    merge_ms += section_merge_ms;
+  }
+};
 
 // Walks a recorded ResumeLog in lock-step with the scheduler. While
 // `active`, committed decisions come from the log instead of satisfaction
@@ -257,8 +287,11 @@ StatusOr<ChaseResult> RunChaseWithReplay(const KnowledgeBase& kb,
   result.derivation.AddInitial(current, std::move(sigma0));
   if (rec != nullptr) rec->committed_num_variables = vocab->num_variables();
   result.stats.peak_instance_size = current.size();
-  governor.NoteMemoryUsage(current.ApproxMemoryBytes() +
-                           result.derivation.ApproxMemoryBytes());
+  // The final retained snapshot is the live instance; counting both would
+  // double the estimate (see ApproxMemoryBytesExcludingFinalSnapshot).
+  governor.NoteMemoryUsage(
+      current.ApproxMemoryBytes() +
+      result.derivation.ApproxMemoryBytesExcludingFinalSnapshot());
 
   if (obs != nullptr) {
     RunBeginEvent begin;
@@ -286,6 +319,19 @@ StatusOr<ChaseResult> RunChaseWithReplay(const KnowledgeBase& kb,
     });
   }
 
+  // Parallel trigger evaluation (core/parallel.h): with threads > 1 the
+  // match-establishment phase of each round fans its probes out over a
+  // fixed pool and merges the per-task candidate buffers back in the exact
+  // sequential order, so the run below — instance, journal, events — is
+  // bit-identical at any thread count. threads == 1 takes the untouched
+  // sequential branches (no pool is even constructed).
+  std::unique_ptr<ThreadPool> pool;
+  std::unique_ptr<ParallelTriggerEval> peval;
+  if (options.parallel.threads > 1) {
+    pool = std::make_unique<ThreadPool>(options.parallel.threads);
+    peval = std::make_unique<ParallelTriggerEval>(pool.get(), &governor);
+  }
+
   DeltaIndex pending_delta;
   bool delta_primed = false;
   if (delta_on) current.EnableDeltaJournal();
@@ -304,6 +350,7 @@ StatusOr<ChaseResult> RunChaseWithReplay(const KnowledgeBase& kb,
     ++result.rounds;
     if (rec != nullptr) rec->rounds.emplace_back();
     const size_t steps_at_round_start = result.steps;
+    RoundParallelStats round_par;
 
     // Establish this round's match sets: naive evaluation re-enumerates
     // from scratch; delta evaluation repairs the stored sets from the atoms
@@ -311,17 +358,49 @@ StatusOr<ChaseResult> RunChaseWithReplay(const KnowledgeBase& kb,
     // rule's matches (minus retired ones, which are inactive by
     // construction) are exactly its triggers for `current`.
     if (!delta_on || !delta_primed) {
-      for (size_t r = 0; r < kb.rules.size(); ++r) {
-        RuleState& state = rule_states[r];
-        state.matches.clear();
-        for (Trigger& tr :
-             FindTriggers(kb.rules[r], static_cast<int>(r), current)) {
-          PackedBindings key = PackedBindings::FromMatch(tr.match);
-          if (delta_on) state.match_keys.insert(key);
-          state.matches.push_back(
-              StoredMatch{std::move(tr.match), std::move(key)});
+      if (peval != nullptr) {
+        // One task per rule; results land in per-rule slots and merge in
+        // rule order, which is exactly the sequential loop's order (the
+        // enumeration within a rule is the deterministic hom-search order
+        // either way).
+        std::vector<std::vector<CandidateMatch>> slots(kb.rules.size());
+        ParallelSectionStats section;
+        const bool complete = peval->Run(
+            kb.rules.size(),
+            [&](size_t r) {
+              slots[r] = EnumerateRuleCandidates(kb.rules[r], current);
+              return ApproxCandidateBytes(slots[r]);
+            },
+            &section);
+        if (complete) {
+          Stopwatch merge_timer;
+          for (size_t r = 0; r < kb.rules.size(); ++r) {
+            RuleState& state = rule_states[r];
+            state.matches.clear();
+            for (CandidateMatch& candidate : slots[r]) {
+              if (delta_on) state.match_keys.insert(candidate.key);
+              state.matches.push_back(StoredMatch{std::move(candidate.match),
+                                                  std::move(candidate.key)});
+            }
+            ++result.stats.full_enumerations;
+          }
+          round_par.NoteSection(section, merge_timer.ElapsedMillis());
         }
-        ++result.stats.full_enumerations;
+        // Incomplete sections adopted a stop into the governor; the partial
+        // slots are dropped and the stopped() check below ends the run.
+      } else {
+        for (size_t r = 0; r < kb.rules.size(); ++r) {
+          RuleState& state = rule_states[r];
+          state.matches.clear();
+          for (Trigger& tr :
+               FindTriggers(kb.rules[r], static_cast<int>(r), current)) {
+            PackedBindings key = PackedBindings::FromMatch(tr.match);
+            if (delta_on) state.match_keys.insert(key);
+            state.matches.push_back(
+                StoredMatch{std::move(tr.match), std::move(key)});
+          }
+          ++result.stats.full_enumerations;
+        }
       }
       delta_primed = true;
     } else {
@@ -331,42 +410,154 @@ StatusOr<ChaseResult> RunChaseWithReplay(const KnowledgeBase& kb,
       repair.inserted_atoms = pending_delta.inserted().size();
       repair.erased_atoms = pending_delta.erased().size();
       if (pending_delta.has_erasures()) {
-        for (size_t r = 0; r < kb.rules.size(); ++r) {
-          RuleState& state = rule_states[r];
-          size_t kept = 0;
-          for (size_t i = 0; i < state.matches.size(); ++i) {
-            if (IsTriggerFor(kb.rules[r], state.matches[i].match, current)) {
-              if (kept != i) state.matches[kept] = std::move(state.matches[i]);
-              ++kept;
-            } else {
-              state.match_keys.erase(state.matches[i].key);
-              ++result.stats.matches_invalidated;
-              ++repair.matches_invalidated;
-              if (obs != nullptr) {
-                obs->OnTriggerRetired(
-                    {result.rounds, static_cast<int>(r),
-                     TriggerRetireReason::kInvalidated});
+        if (peval != nullptr) {
+          // Each chunk writes a disjoint range of one rule's valid[] bytes;
+          // the compaction below then replays the sequential (rule, index)
+          // order — key erasures, counters, retire events and all.
+          struct RevalChunk {
+            size_t rule;
+            size_t begin;
+            size_t end;
+          };
+          constexpr size_t kRevalChunk = 32;
+          std::vector<RevalChunk> chunks;
+          std::vector<std::vector<uint8_t>> valid(kb.rules.size());
+          for (size_t r = 0; r < kb.rules.size(); ++r) {
+            const size_t count = rule_states[r].matches.size();
+            valid[r].resize(count);
+            for (size_t b = 0; b < count; b += kRevalChunk) {
+              chunks.push_back(
+                  RevalChunk{r, b, std::min(b + kRevalChunk, count)});
+            }
+          }
+          ParallelSectionStats section;
+          const bool complete = peval->Run(
+              chunks.size(),
+              [&](size_t t) {
+                const RevalChunk& chunk = chunks[t];
+                const RuleState& state = rule_states[chunk.rule];
+                for (size_t i = chunk.begin; i < chunk.end; ++i) {
+                  valid[chunk.rule][i] =
+                      IsTriggerFor(kb.rules[chunk.rule],
+                                   state.matches[i].match, current)
+                          ? 1
+                          : 0;
+                }
+                return size_t{0};
+              },
+              &section);
+          if (complete) {
+            Stopwatch merge_timer;
+            for (size_t r = 0; r < kb.rules.size(); ++r) {
+              RuleState& state = rule_states[r];
+              size_t kept = 0;
+              for (size_t i = 0; i < state.matches.size(); ++i) {
+                if (valid[r][i] != 0) {
+                  if (kept != i) {
+                    state.matches[kept] = std::move(state.matches[i]);
+                  }
+                  ++kept;
+                } else {
+                  state.match_keys.erase(state.matches[i].key);
+                  ++result.stats.matches_invalidated;
+                  ++repair.matches_invalidated;
+                  if (obs != nullptr) {
+                    obs->OnTriggerRetired({result.rounds, static_cast<int>(r),
+                                           TriggerRetireReason::kInvalidated});
+                  }
+                }
+              }
+              state.matches.resize(kept);
+            }
+            round_par.NoteSection(section, merge_timer.ElapsedMillis());
+          }
+        } else {
+          for (size_t r = 0; r < kb.rules.size(); ++r) {
+            RuleState& state = rule_states[r];
+            size_t kept = 0;
+            for (size_t i = 0; i < state.matches.size(); ++i) {
+              if (IsTriggerFor(kb.rules[r], state.matches[i].match, current)) {
+                if (kept != i) state.matches[kept] = std::move(state.matches[i]);
+                ++kept;
+              } else {
+                state.match_keys.erase(state.matches[i].key);
+                ++result.stats.matches_invalidated;
+                ++repair.matches_invalidated;
+                if (obs != nullptr) {
+                  obs->OnTriggerRetired(
+                      {result.rounds, static_cast<int>(r),
+                       TriggerRetireReason::kInvalidated});
+                }
+              }
+            }
+            state.matches.resize(kept);
+          }
+        }
+      }
+      if (peval != nullptr && !governor.stopped()) {
+        // One task per (inserted fact, rule) pair, listed with the exact
+        // filters of the sequential loop; the merge then performs the same
+        // counted probes and key-deduplicated inserts in the same order.
+        struct ProbeTask {
+          const Atom* fact;
+          size_t rule;
+        };
+        std::vector<ProbeTask> probes;
+        for (const Atom& fact : pending_delta.inserted()) {
+          // An atom inserted and erased again within the round yields no
+          // matches (the probe pins a body atom's image to it).
+          if (!current.Contains(fact)) continue;
+          for (size_t r = 0; r < kb.rules.size(); ++r) {
+            if (!rule_states[r].body_predicates.contains(fact.predicate())) {
+              continue;
+            }
+            probes.push_back(ProbeTask{&fact, r});
+          }
+        }
+        std::vector<std::vector<CandidateMatch>> slots(probes.size());
+        ParallelSectionStats section;
+        const bool complete = peval->Run(
+            probes.size(),
+            [&](size_t t) {
+              slots[t] = SeededProbeCandidates(kb.rules[probes[t].rule],
+                                               *probes[t].fact, current);
+              return ApproxCandidateBytes(slots[t]);
+            },
+            &section);
+        if (complete) {
+          Stopwatch merge_timer;
+          for (size_t t = 0; t < probes.size(); ++t) {
+            RuleState& state = rule_states[probes[t].rule];
+            ++result.stats.seed_probes;
+            ++repair.seed_probes;
+            for (CandidateMatch& candidate : slots[t]) {
+              if (state.match_keys.insert(candidate.key).second) {
+                state.matches.push_back(StoredMatch{std::move(candidate.match),
+                                                    std::move(candidate.key)});
+                ++repair.matches_added;
               }
             }
           }
-          state.matches.resize(kept);
+          round_par.NoteSection(section, merge_timer.ElapsedMillis());
         }
-      }
-      for (const Atom& fact : pending_delta.inserted()) {
-        // An atom inserted and erased again within the round yields no
-        // matches (the probe pins a body atom's image to it).
-        if (!current.Contains(fact)) continue;
-        for (size_t r = 0; r < kb.rules.size(); ++r) {
-          RuleState& state = rule_states[r];
-          if (!state.body_predicates.contains(fact.predicate())) continue;
-          ++result.stats.seed_probes;
-          ++repair.seed_probes;
-          for (Substitution& m :
-               FindSeededMatches(kb.rules[r], fact, current)) {
-            PackedBindings key = PackedBindings::FromMatch(m);
-            if (state.match_keys.insert(key).second) {
-              state.matches.push_back(StoredMatch{std::move(m), std::move(key)});
-              ++repair.matches_added;
+      } else if (peval == nullptr) {
+        for (const Atom& fact : pending_delta.inserted()) {
+          // An atom inserted and erased again within the round yields no
+          // matches (the probe pins a body atom's image to it).
+          if (!current.Contains(fact)) continue;
+          for (size_t r = 0; r < kb.rules.size(); ++r) {
+            RuleState& state = rule_states[r];
+            if (!state.body_predicates.contains(fact.predicate())) continue;
+            ++result.stats.seed_probes;
+            ++repair.seed_probes;
+            for (Substitution& m :
+                 FindSeededMatches(kb.rules[r], fact, current)) {
+              PackedBindings key = PackedBindings::FromMatch(m);
+              if (state.match_keys.insert(key).second) {
+                state.matches.push_back(
+                    StoredMatch{std::move(m), std::move(key)});
+                ++repair.matches_added;
+              }
             }
           }
         }
@@ -380,6 +571,26 @@ StatusOr<ChaseResult> RunChaseWithReplay(const KnowledgeBase& kb,
     if (governor.stopped()) {
       budget_stop = true;
       break;
+    }
+    if (round_par.sections > 0) {
+      ++result.stats.parallel_rounds;
+      result.stats.parallel_tasks += round_par.tasks;
+      result.stats.parallel_eval_ms += round_par.eval_ms;
+      result.stats.parallel_merge_ms += round_par.merge_ms;
+      result.stats.parallel_max_imbalance =
+          std::max(result.stats.parallel_max_imbalance, round_par.max_imbalance);
+      if (obs != nullptr) {
+        ParallelRoundEvent par_event;
+        par_event.round = result.rounds;
+        par_event.threads = peval->threads();
+        par_event.sections = round_par.sections;
+        par_event.tasks = round_par.tasks;
+        par_event.workers_used = round_par.workers_used;
+        par_event.max_imbalance = round_par.max_imbalance;
+        par_event.eval_ms = round_par.eval_ms;
+        par_event.merge_ms = round_par.merge_ms;
+        obs->OnParallelRound(par_event);
+      }
     }
 
     // Snapshot and order the round's triggers. The order is total — within
@@ -679,8 +890,9 @@ StatusOr<ChaseResult> RunChaseWithReplay(const KnowledgeBase& kb,
         rec->steps.push_back(std::move(step_rec));
         rec->committed_num_variables = vocab->num_variables();
       }
-      governor.NoteMemoryUsage(current.ApproxMemoryBytes() +
-                               result.derivation.ApproxMemoryBytes());
+      governor.NoteMemoryUsage(
+          current.ApproxMemoryBytes() +
+          result.derivation.ApproxMemoryBytesExcludingFinalSnapshot());
       if (obs != nullptr) {
         const DerivationStep& last =
             result.derivation.step(result.derivation.size() - 1);

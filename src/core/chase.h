@@ -123,6 +123,20 @@ struct ChaseOptions {
     bool enabled = true;
   };
 
+  /// Parallel trigger evaluation (core/parallel.h).
+  struct ParallelOptions {
+    /// Worker threads for the match-establishment phase of each round (the
+    /// priming/naive enumerations, the post-erasure revalidation and the
+    /// delta-seeded probes), calling thread included. 1 (the default) runs
+    /// the untouched sequential path — no pool is created, no code path
+    /// changes. Any N produces bit-identical results (instance, derivation
+    /// journal, observer event stream): candidates are computed in
+    /// per-task slots and merged in the exact sequential order. 0 is
+    /// rejected by Validate(). The CLI defaults its --threads flag to the
+    /// hardware concurrency; the library default stays sequential.
+    size_t threads = 1;
+  };
+
   /// Checkpoint/resume support (core/checkpoint.h).
   struct ResumeOptions {
     /// Record the resume log (per-round decision bits and recorded coring
@@ -137,6 +151,7 @@ struct ChaseOptions {
   LimitOptions limits;
   CoreOptions core;
   DeltaOptions delta;
+  ParallelOptions parallel;
   ResumeOptions resume;
 
   /// Process datalog (non-existential) rules before existential ones within
@@ -154,8 +169,8 @@ struct ChaseOptions {
 
   /// Rejects inconsistent option combinations (core_every == 0,
   /// incremental_core with an unsupported coring schedule, resume
-  /// recording with incremental_core, ...). RunChase validates first and
-  /// surfaces the same Status.
+  /// recording with incremental_core, parallel.threads == 0, ...).
+  /// RunChase validates first and surfaces the same Status.
   Status Validate() const;
 
   // The deprecated flat accessors (max_steps() et al.) that bridged the
@@ -195,6 +210,26 @@ struct ChaseStats {
 
   /// Largest |F_i| seen.
   size_t peak_instance_size = 0;
+
+  /// Parallel evaluation telemetry (all zero when parallel.threads == 1).
+  /// Rounds that ran at least one parallel section.
+  size_t parallel_rounds = 0;
+
+  /// Tasks dispatched to the pool, summed over sections (a task is one
+  /// rule enumeration, one revalidation chunk, or one seeded probe).
+  size_t parallel_tasks = 0;
+
+  /// Wall time spent inside parallel sections (dispatch to join).
+  double parallel_eval_ms = 0;
+
+  /// Wall time spent merging per-task candidate buffers into the stored
+  /// match sets, in sequential order.
+  double parallel_merge_ms = 0;
+
+  /// Worst per-section probe imbalance: max over sections of
+  /// (largest - smallest per-worker task count among participating
+  /// workers). 0 = perfectly balanced.
+  size_t parallel_max_imbalance = 0;
 };
 
 /// Everything needed to replay a recorded run deterministically: one

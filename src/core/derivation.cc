@@ -11,6 +11,7 @@ void Derivation::AddInitial(const AtomSet& f0, Substitution sigma0) {
   step.instance_size = f0.size();
   if (keep_snapshots_) step.instance = f0;
   last_step_bytes_ = StepBytes(step);
+  last_snapshot_bytes_ = keep_snapshots_ ? step.instance.ApproxMemoryBytes() : 0;
   approx_bytes_ += last_step_bytes_;
   steps_.push_back(std::move(step));
   last_ = f0;
@@ -30,6 +31,7 @@ void Derivation::AddStep(int rule_index, std::string rule_label,
   step.instance_size = instance.size();
   if (keep_snapshots_) step.instance = instance;
   last_step_bytes_ = StepBytes(step);
+  last_snapshot_bytes_ = keep_snapshots_ ? step.instance.ApproxMemoryBytes() : 0;
   approx_bytes_ += last_step_bytes_;
   steps_.push_back(std::move(step));
   last_ = instance;
@@ -44,6 +46,7 @@ void Derivation::AmendLastSimplification(const Substitution& sigma,
   if (keep_snapshots_) last.instance = instance;
   approx_bytes_ -= last_step_bytes_;
   last_step_bytes_ = StepBytes(last);
+  last_snapshot_bytes_ = keep_snapshots_ ? last.instance.ApproxMemoryBytes() : 0;
   approx_bytes_ += last_step_bytes_;
   last_ = instance;
 }

@@ -94,6 +94,16 @@ class Derivation {
   /// memory-budget poll can read it per step.
   size_t ApproxMemoryBytes() const { return approx_bytes_; }
 
+  /// ApproxMemoryBytes minus the final step's retained snapshot. The chase
+  /// accounts the live instance separately, and with snapshots kept the
+  /// final snapshot *is* (a copy of) the live instance — adding both
+  /// double-counted it, inflating every estimate by one instance and
+  /// tripping memory budgets early. Budget polls therefore combine the
+  /// live instance's bytes with this.
+  size_t ApproxMemoryBytesExcludingFinalSnapshot() const {
+    return approx_bytes_ - last_snapshot_bytes_;
+  }
+
  private:
   size_t StepBytes(const DerivationStep& step) const;
 
@@ -102,6 +112,7 @@ class Derivation {
   AtomSet last_;
   size_t approx_bytes_ = 0;
   size_t last_step_bytes_ = 0;
+  size_t last_snapshot_bytes_ = 0;  // snapshot share of last_step_bytes_
 };
 
 }  // namespace twchase

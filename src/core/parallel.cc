@@ -1,0 +1,144 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <optional>
+
+#include "core/trigger.h"
+#include "hom/matcher.h"
+#include "kb/rule.h"
+#include "util/fault.h"
+#include "util/stopwatch.h"
+
+namespace twchase {
+
+bool ParallelTriggerEval::Run(size_t tasks,
+                              const std::function<size_t(size_t)>& fn,
+                              ParallelSectionStats* stats) {
+  if (stats != nullptr) *stats = ParallelSectionStats{};
+  if (tasks == 0) return !governor_->stopped();
+
+  Stopwatch timer;
+  const size_t workers = pool_->threads();
+  std::atomic<size_t> cursor{0};
+  std::atomic<size_t> result_bytes{0};
+  // Raised by the first stopping worker so the others drain quickly instead
+  // of finishing the section; the results are discarded either way.
+  std::atomic<bool> abort{false};
+  // Written only by the owning worker, read after the join (RunOnAllWorkers
+  // is a barrier), so plain vectors suffice.
+  std::vector<size_t> worker_tasks(workers, 0);
+  std::vector<std::optional<StopReason>> worker_stops(workers);
+
+  const size_t base_estimate = governor_->memory_estimate();
+  ResourceLimits worker_limits;
+  worker_limits.cancel = governor_->limits().cancel;  // shared, thread-safe
+  worker_limits.memory_budget_bytes = governor_->limits().memory_budget_bytes;
+  worker_limits.deadline_ms = governor_->RemainingDeadlineMs();
+
+  pool_->RunOnAllWorkers([&](size_t worker) {
+    // ResourceGovernor is single-threaded, so each worker polls its own
+    // detached instance (parent == nullptr keeps CheckPassive off the main
+    // governor, which the caller's thread owns).
+    ResourceGovernor worker_governor(worker_limits, /*parent=*/nullptr);
+    worker_governor.NoteMemoryUsage(base_estimate);
+    GovernorScope scope(&worker_governor);
+    // Fault-injection visit counts are part of deterministic test schedules
+    // and the injector is thread-local to the test's thread; workers must
+    // not consume visits in scheduling-dependent order. Injection therefore
+    // covers only the sequential path (threads == 1).
+    FaultInjectorScope no_faults(nullptr);
+    for (;;) {
+      if (abort.load(std::memory_order_relaxed)) break;
+      if (worker_governor.ShouldStop(FaultSite::kTriggerBoundary)) break;
+      const size_t task = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (task >= tasks) break;
+      ++worker_tasks[worker];
+      const size_t bytes = fn(task);
+      const size_t total =
+          result_bytes.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+      worker_governor.NoteMemoryUsage(base_estimate + total);
+      // fn polls the ambient (worker) governor inside the homomorphism
+      // search; a latched stop means this task's results are partial.
+      if (worker_governor.stopped()) break;
+    }
+    if (worker_governor.stopped()) {
+      worker_stops[worker] = worker_governor.reason();
+      abort.store(true, std::memory_order_relaxed);
+    }
+  });
+
+  if (stats != nullptr) {
+    stats->tasks = tasks;
+    stats->result_bytes = result_bytes.load(std::memory_order_relaxed);
+    stats->eval_ms = timer.ElapsedMillis();
+    size_t used = 0;
+    size_t max_tasks = 0;
+    size_t min_tasks = tasks;
+    for (size_t count : worker_tasks) {
+      if (count == 0) continue;
+      ++used;
+      max_tasks = std::max(max_tasks, count);
+      min_tasks = std::min(min_tasks, count);
+    }
+    stats->workers_used = used;
+    stats->max_worker_tasks = max_tasks;
+    stats->min_worker_tasks = used == 0 ? 0 : min_tasks;
+  }
+
+  // Fold the first stop (by worker index, for a stable choice) back into
+  // the main governor. Any stop means unclaimed or half-evaluated tasks:
+  // the section is incomplete and the caller must discard its results.
+  for (const std::optional<StopReason>& stop : worker_stops) {
+    if (stop.has_value()) {
+      governor_->AdoptStop(*stop);
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<CandidateMatch> EnumerateRuleCandidates(const Rule& rule,
+                                                    const AtomSet& instance) {
+  HomOptions options;
+  options.limit = 0;  // all
+  std::vector<CandidateMatch> out;
+  for (Substitution& match :
+       FindAllHomomorphisms(rule.body(), instance, options)) {
+    PackedBindings key = PackedBindings::FromMatch(match);
+    out.push_back(CandidateMatch{std::move(match), std::move(key)});
+  }
+  return out;
+}
+
+std::vector<CandidateMatch> SeededProbeCandidates(const Rule& rule,
+                                                  const Atom& fact,
+                                                  const AtomSet& instance) {
+  std::vector<CandidateMatch> out;
+  rule.body().ForEach([&](const Atom& body_atom) {
+    std::optional<Substitution> seed = UnifyBodyAtomWithFact(body_atom, fact);
+    if (!seed.has_value()) return;
+    HomOptions options;
+    options.seed = std::move(*seed);
+    options.limit = 0;  // all
+    for (Substitution& match :
+         FindAllHomomorphisms(rule.body(), instance, options)) {
+      PackedBindings key = PackedBindings::FromMatch(match);
+      out.push_back(CandidateMatch{std::move(match), std::move(key)});
+    }
+  });
+  return out;
+}
+
+size_t ApproxCandidateBytes(const std::vector<CandidateMatch>& candidates) {
+  size_t bytes = candidates.capacity() * sizeof(CandidateMatch);
+  for (const CandidateMatch& candidate : candidates) {
+    // One hash node (two Terms, a next pointer, allocator overhead) per
+    // binding, plus the packed key words.
+    bytes += candidate.match.size() * 32;
+    bytes += candidate.key.words().capacity() * sizeof(uint64_t);
+  }
+  return bytes;
+}
+
+}  // namespace twchase

@@ -1,0 +1,107 @@
+// Parallel trigger evaluation. A chase round's match establishment — the
+// priming/naive full enumerations, the post-erasure revalidation of stored
+// matches, and the delta-seeded homomorphism probes — is embarrassingly
+// parallel: every probe reads the (immutable within the phase) current
+// instance and writes only its own result slot. ParallelTriggerEval
+// partitions those probes over a fixed ThreadPool and leaves the *merge* of
+// the per-slot candidate buffers to the scheduler, which replays it in the
+// exact order the sequential engine would have produced the same results.
+//
+// Determinism contract: every chase run at threads=N is bit-identical to
+// threads=1 — same instance, same derivation journal, same observer event
+// stream (tests/parallel_chase_test.cc pins this across all five variants).
+// Three properties make that hold:
+//   1. results land in per-task slots, so scheduling never reorders them;
+//   2. the merge walks the slots in sequential probe order and performs the
+//      same key-dedup inserts, and the round's trigger schedule is then the
+//      same PackedBindings::LegacyLess sort either way;
+//   3. workers compute pure functions of (rule, fact, instance) — keys
+//      included — and never touch the vocabulary or the instance.
+//
+// Resource governance: ResourceGovernor is single-threaded by design, so
+// each worker polls its own detached governor derived from the main one
+// (shared thread-safe cancel token, the remaining slice of the deadline,
+// the same memory budget seeded with the main estimate plus the aggregated
+// result-buffer bytes). The first worker stop is adopted into the main
+// governor after the section joins; partial results are then discarded by
+// the caller, exactly like an interrupted sequential enumeration.
+#ifndef TWCHASE_CORE_PARALLEL_H_
+#define TWCHASE_CORE_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "core/trigger_key.h"
+#include "model/atom_set.h"
+#include "model/substitution.h"
+#include "util/governor.h"
+#include "util/thread_pool.h"
+
+namespace twchase {
+
+class Rule;
+
+/// One candidate trigger produced by a worker: the body match plus its
+/// packed key (computed worker-side — FromMatch is a pure function, and
+/// hashing off the main thread is part of the win).
+struct CandidateMatch {
+  Substitution match;
+  PackedBindings key;
+};
+
+/// Telemetry of one parallel section (one Run call).
+struct ParallelSectionStats {
+  size_t tasks = 0;
+  size_t workers_used = 0;      // workers that executed >= 1 task
+  size_t max_worker_tasks = 0;  // largest per-worker share
+  size_t min_worker_tasks = 0;  // smallest share among participating workers
+  size_t result_bytes = 0;      // aggregated estimate of buffered results
+  double eval_ms = 0;           // wall time of the section, join included
+};
+
+class ParallelTriggerEval {
+ public:
+  /// Non-owning; both must outlive this object. `governor` is the chase's
+  /// main governor — worker limits are derived from it per section.
+  ParallelTriggerEval(ThreadPool* pool, ResourceGovernor* governor)
+      : pool_(pool), governor_(governor) {}
+
+  size_t threads() const { return pool_->threads(); }
+
+  /// Runs fn(task) for every task in [0, tasks), partitioned dynamically
+  /// (atomic cursor) across the pool; fn returns the approximate resident
+  /// bytes of the task's buffered results, which are aggregated across
+  /// workers into the governors' memory estimates. Returns true when every
+  /// task ran to completion; false when a worker governor stopped — the
+  /// stop has been adopted into the main governor and the section's
+  /// results are incomplete (callers must discard them and unwind, exactly
+  /// as after an interrupted sequential enumeration).
+  bool Run(size_t tasks, const std::function<size_t(size_t)>& fn,
+           ParallelSectionStats* stats);
+
+ private:
+  ThreadPool* pool_;
+  ResourceGovernor* governor_;
+};
+
+/// Worker-side body of one priming task: all matches of body(rule) into
+/// `instance`, with keys, in the deterministic enumeration order of the
+/// homomorphism search (the same order FindTriggers yields).
+std::vector<CandidateMatch> EnumerateRuleCandidates(const Rule& rule,
+                                                    const AtomSet& instance);
+
+/// Worker-side body of one delta-seeded probe: all matches of body(rule)
+/// into `instance` mapping at least one body atom onto `fact`, with keys,
+/// in FindSeededMatches order.
+std::vector<CandidateMatch> SeededProbeCandidates(const Rule& rule,
+                                                  const Atom& fact,
+                                                  const AtomSet& instance);
+
+/// Rough resident-byte estimate of a candidate buffer (hash-map nodes of
+/// the substitutions plus the packed key words), for the workers' memory
+/// accounting.
+size_t ApproxCandidateBytes(const std::vector<CandidateMatch>& candidates);
+
+}  // namespace twchase
+
+#endif  // TWCHASE_CORE_PARALLEL_H_

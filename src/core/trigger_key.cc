@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/status.h"
+
 namespace twchase {
 namespace {
 
@@ -46,13 +48,25 @@ std::vector<uint64_t> PackSorted(std::vector<uint64_t> words) {
   return words;
 }
 
+// Packs one (variable, term) binding into a key word. Both halves are
+// masked to 32 bits explicitly and range-checked: if Term::raw() is ever
+// widened past 32 bits (or the packing is fed a pre-widened value), an
+// unmasked `hi << 32 | lo` would let the low half bleed into the high
+// half, silently conflating distinct bindings — two different triggers
+// would share a key and one would never be applied. Fail loudly instead.
+uint64_t PackBindingWord(uint64_t hi, uint64_t lo) {
+  TWCHASE_CHECK_MSG(hi <= 0xFFFFFFFFull && lo <= 0xFFFFFFFFull,
+                    "binding id exceeds the 32-bit packed-key field");
+  return hi << 32 | (lo & 0xFFFFFFFFull);
+}
+
 }  // namespace
 
 PackedBindings PackedBindings::FromMatch(const Substitution& match) {
   PackedBindings key;
   key.words_.reserve(match.size());
   for (const auto& [var, term] : match.map()) {
-    key.words_.push_back(static_cast<uint64_t>(var.raw()) << 32 | term.raw());
+    key.words_.push_back(PackBindingWord(var.raw(), term.raw()));
   }
   key.words_ = PackSorted(std::move(key.words_));
   return key;
@@ -63,8 +77,7 @@ PackedBindings PackedBindings::FromRestricted(const Substitution& match,
   PackedBindings key;
   key.words_.reserve(vars.size());
   for (Term var : vars) {
-    key.words_.push_back(static_cast<uint64_t>(var.raw()) << 32 |
-                         match.Apply(var).raw());
+    key.words_.push_back(PackBindingWord(var.raw(), match.Apply(var).raw()));
   }
   key.words_ = PackSorted(std::move(key.words_));
   return key;

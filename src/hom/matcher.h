@@ -6,6 +6,14 @@
 //   * a forbidden image term (folding search used by core computation:
 //     a hom A → A∖{atoms containing X} without materialising the sub-instance);
 //   * term-injective and variable-to-variable modes (isomorphism search).
+//
+// Thread-safety contract (relied on by core/parallel.h): every search here
+// is a pure function of its arguments plus the per-thread ambient governor
+// (util/governor.h, a thread_local) — no static mutable state, no writes to
+// the pattern or target. Concurrent searches over a shared const AtomSet
+// are safe as long as no thread mutates it; the chase's parallel
+// match-establishment phase guarantees that by fanning out only between
+// mutations. Search order, and hence the result vector, is deterministic.
 #ifndef TWCHASE_HOM_MATCHER_H_
 #define TWCHASE_HOM_MATCHER_H_
 

@@ -7,11 +7,44 @@
 
 namespace twchase {
 
+size_t Counter::ShardIndex() {
+  static std::atomic<size_t> next_thread{0};
+  thread_local size_t shard =
+      next_thread.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
 void Histogram::Observe(double value) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (count_ == 0 || value < min_) min_ = value;
   if (count_ == 0 || value > max_) max_ = value;
   ++count_;
   sum_ += value;
+}
+
+size_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+double Histogram::mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0 : sum_ / count_;
 }
 
 MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(const std::string& name,

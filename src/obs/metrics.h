@@ -12,15 +12,24 @@
 //     instrument before emitting (stock observers do this in their
 //     constructors).
 //
-// Instruments are plain (non-atomic) — the engine is single-threaded by
-// design (DESIGN.md §7 non-goals) and pointer-stable: Counter/Gauge/
-// Histogram pointers remain valid for the registry's lifetime.
+// Instruments are thread-safe since the parallel trigger-evaluation
+// subsystem (core/parallel.h) let worker threads into the engine: counters
+// are sharded over cache-line-aligned atomic cells (one relaxed fetch_add
+// on the calling thread's shard per Increment, merge-on-read), gauges are a
+// single atomic, histograms take a mutex (they are observed from the main
+// thread at phase granularity, never on a hot path). *Registration* is not:
+// GetCounter/GetGauge/GetHistogram and the render/emit paths must stay on
+// one thread — stock observers register everything in their constructors,
+// before any worker exists. Pointers remain stable for the registry's
+// lifetime.
 #ifndef TWCHASE_OBS_METRICS_H_
 #define TWCHASE_OBS_METRICS_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <unordered_map>
@@ -29,36 +38,76 @@
 
 namespace twchase {
 
+/// Monotone counter, safe for concurrent Increment from any number of
+/// threads. Sharded: each thread is hashed onto one of kShards cache-line
+/// aligned cells, so concurrent increments from different threads do not
+/// contend (no CAS loop, no shared cache line); value() folds the shards.
+/// value() is safe concurrently with increments but, like any merge-on-read
+/// scheme, yields a momentary snapshot — exact once the writers joined.
 class Counter {
  public:
-  void Increment(uint64_t delta = 1) { value_ += delta; }
-  uint64_t value() const { return value_; }
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(uint64_t delta = 1) {
+    shards_[ShardIndex()].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  uint64_t value() const {
+    uint64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
 
  private:
-  uint64_t value_ = 0;
+  static constexpr size_t kShards = 16;
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+
+  /// The calling thread's shard: threads are numbered on first use and
+  /// folded mod kShards, so a thread always hits the same cell.
+  static size_t ShardIndex();
+
+  Shard shards_[kShards];
 };
 
+/// Last-write-wins gauge; Set and value are single atomic accesses.
 class Gauge {
  public:
-  void Set(double value) { value_ = value; }
-  double value() const { return value_; }
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0;
+  std::atomic<double> value_{0};
 };
 
 /// Summary histogram: count/sum/min/max (no buckets — enough for the
 /// per-phase timing and per-step distribution series the benches report).
+/// Mutex-guarded: observations happen at phase/round granularity, where a
+/// lock is noise; min/max updates do not decompose into atomics anyway.
 class Histogram {
  public:
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
   void Observe(double value);
-  size_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double min() const { return min_; }
-  double max() const { return max_; }
-  double mean() const { return count_ == 0 ? 0 : sum_ / count_; }
+  size_t count() const;
+  double sum() const;
+  double min() const;
+  double max() const;
+  double mean() const;
 
  private:
+  mutable std::mutex mu_;
   size_t count_ = 0;
   double sum_ = 0;
   double min_ = 0;

@@ -41,6 +41,9 @@ void ObserverList::OnTriggerRetired(const TriggerRetiredEvent& event) {
 void ObserverList::OnCoreRetraction(const CoreRetractionEvent& event) {
   for (ChaseObserver* o : observers_) o->OnCoreRetraction(event);
 }
+void ObserverList::OnParallelRound(const ParallelRoundEvent& event) {
+  for (ChaseObserver* o : observers_) o->OnParallelRound(event);
+}
 void ObserverList::OnRoundEnd(const RoundEndEvent& event) {
   for (ChaseObserver* o : observers_) o->OnRoundEnd(event);
 }

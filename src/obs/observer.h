@@ -119,6 +119,22 @@ struct CoreRetractionEvent {
   size_t size_after = 0;
 };
 
+/// A round's match establishment ran on the parallel evaluation path
+/// (ChaseOptions::parallel.threads > 1). Pure telemetry: the same run at
+/// threads == 1 emits no such event but is otherwise bit-identical, so the
+/// stock EventLogObserver skips it unless explicitly opted in — event
+/// streams stay comparable across thread counts.
+struct ParallelRoundEvent {
+  size_t round = 0;          // 1-based
+  size_t threads = 0;        // pool size, calling thread included
+  size_t sections = 0;       // parallel sections this round (<= 3)
+  size_t tasks = 0;          // probes dispatched, summed over sections
+  size_t workers_used = 0;   // max workers that ran >= 1 task in a section
+  size_t max_imbalance = 0;  // worst (max - min) per-worker task share
+  double eval_ms = 0;        // wall time inside the sections
+  double merge_ms = 0;       // wall time of the deterministic merges
+};
+
 /// A scheduler round finished (after round-end coring and match retirement).
 struct RoundEndEvent {
   size_t round = 0;
@@ -187,6 +203,9 @@ class ChaseObserver {
   virtual void OnCoreRetraction(const CoreRetractionEvent& event) {
     (void)event;
   }
+  virtual void OnParallelRound(const ParallelRoundEvent& event) {
+    (void)event;
+  }
   virtual void OnRoundEnd(const RoundEndEvent& event) { (void)event; }
   virtual void OnRobustRename(const RobustRenameEvent& event) { (void)event; }
   virtual void OnPhase(const PhaseEvent& event) { (void)event; }
@@ -211,6 +230,7 @@ class ObserverList : public ChaseObserver {
   void OnTriggerApplied(const TriggerAppliedEvent& event) override;
   void OnTriggerRetired(const TriggerRetiredEvent& event) override;
   void OnCoreRetraction(const CoreRetractionEvent& event) override;
+  void OnParallelRound(const ParallelRoundEvent& event) override;
   void OnRoundEnd(const RoundEndEvent& event) override;
   void OnRobustRename(const RobustRenameEvent& event) override;
   void OnPhase(const PhaseEvent& event) override;

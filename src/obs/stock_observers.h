@@ -90,9 +90,14 @@ struct MetricsObserverOptions {
 ///   counters   chase.triggers.{considered,applied,retired}
 ///              chase.delta.{repairs,inserted,erased,invalidated,seed_probes}
 ///              chase.core.{retractions,folds,fallbacks}
+///              chase.parallel.{rounds,tasks}
 ///   gauges     chase.round, chase.instance.size
+///              chase.parallel.{threads,workers_used,max_imbalance}
 ///              chase.treewidth.upper (treewidth_upper only)
 ///   histograms chase.round.pending, chase.step.added_atoms
+///              chase.parallel.{eval_ms,merge_ms}
+/// The chase.parallel.* instruments stay zero on sequential runs; they are
+/// always registered so the column set does not depend on --threads.
 class MetricsObserver : public ChaseObserver {
  public:
   MetricsObserver(MetricsRegistry* registry,
@@ -105,6 +110,7 @@ class MetricsObserver : public ChaseObserver {
   void OnTriggerApplied(const TriggerAppliedEvent& event) override;
   void OnTriggerRetired(const TriggerRetiredEvent& event) override;
   void OnCoreRetraction(const CoreRetractionEvent& event) override;
+  void OnParallelRound(const ParallelRoundEvent& event) override;
   void OnPhase(const PhaseEvent& event) override;
 
  private:
@@ -124,19 +130,33 @@ class MetricsObserver : public ChaseObserver {
   Counter* core_retractions_;
   Counter* core_folds_;
   Counter* core_fallbacks_;
+  Counter* parallel_rounds_;
+  Counter* parallel_tasks_;
   Gauge* round_;
   Gauge* instance_size_;
+  Gauge* parallel_threads_;
+  Gauge* parallel_workers_used_;
+  Gauge* parallel_max_imbalance_;
   Gauge* treewidth_upper_ = nullptr;
   Histogram* round_pending_;
   Histogram* step_added_atoms_;
+  Histogram* parallel_eval_ms_;
+  Histogram* parallel_merge_ms_;
 };
 
 /// Serialises every event as one JSON object per line, e.g.
 ///   {"event": "round_begin", "round": 1, "pending": 5, "size": 4}
 /// The stream is append-only and flush-free; callers own the ostream.
+///
+/// ParallelRoundEvent is SKIPPED unless log_parallel_events is set: the
+/// event only fires at --threads > 1 and carries wall-clock payloads, so
+/// logging it by default would break the bit-identity of event streams
+/// across thread counts (the oracle tests/parallel_chase_test.cc relies
+/// on). Opt in for interactive parallelism debugging only.
 class EventLogObserver : public ChaseObserver {
  public:
-  explicit EventLogObserver(std::ostream* out) : out_(out) {}
+  explicit EventLogObserver(std::ostream* out, bool log_parallel_events = false)
+      : out_(out), log_parallel_events_(log_parallel_events) {}
 
   void OnRunBegin(const RunBeginEvent& event) override;
   void OnRoundBegin(const RoundBeginEvent& event) override;
@@ -145,6 +165,7 @@ class EventLogObserver : public ChaseObserver {
   void OnTriggerApplied(const TriggerAppliedEvent& event) override;
   void OnTriggerRetired(const TriggerRetiredEvent& event) override;
   void OnCoreRetraction(const CoreRetractionEvent& event) override;
+  void OnParallelRound(const ParallelRoundEvent& event) override;
   void OnRoundEnd(const RoundEndEvent& event) override;
   void OnRobustRename(const RobustRenameEvent& event) override;
   void OnPhase(const PhaseEvent& event) override;
@@ -153,6 +174,7 @@ class EventLogObserver : public ChaseObserver {
 
  private:
   std::ostream* out_;
+  bool log_parallel_events_;
 };
 
 }  // namespace twchase

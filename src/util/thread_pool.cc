@@ -1,0 +1,65 @@
+#include "util/thread_pool.h"
+
+namespace twchase {
+
+ThreadPool::ThreadPool(size_t threads) {
+  size_t spawn = threads > 1 ? threads - 1 : 0;
+  workers_.reserve(spawn);
+  for (size_t i = 0; i < spawn; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i + 1); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(size_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock,
+                       [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      job = job_;
+    }
+    (*job)(worker_index);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) work_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::RunOnAllWorkers(const std::function<void(size_t)>& fn) {
+  if (workers_.empty()) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    in_flight_ = workers_.size();
+    ++generation_;
+  }
+  work_ready_.notify_all();
+  fn(0);
+  std::unique_lock<std::mutex> lock(mu_);
+  work_done_.wait(lock, [&] { return in_flight_ == 0; });
+  job_ = nullptr;
+}
+
+size_t ThreadPool::HardwareConcurrency() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<size_t>(n);
+}
+
+}  // namespace twchase

@@ -156,6 +156,52 @@ TEST(TriggerKeyTest, FromRestrictedProjectsThroughTheMatch) {
             (static_cast<uint64_t>(unbound.raw()) << 32) | unbound.raw());
 }
 
+TEST(TriggerKeyTest, BoundaryRawValuesPackWithoutBleeding) {
+  // Regression for the packed-word construction at the 32-bit boundary: a
+  // low half with its top bit set (any variable image — raw >= 0x80000000)
+  // must not bleed into the high half when packed. An unmasked or
+  // sign-extended `hi << 32 | lo` would corrupt the variable field and
+  // conflate distinct bindings.
+  Term max_var = TermFromRaw(0xFFFFFFFFu);        // largest variable raw
+  Term max_const = TermFromRaw(0x7FFFFFFFu);      // largest constant raw
+  Term min_var = TermFromRaw(0x80000000u);        // variable id 0
+
+  Substitution match;
+  match.Bind(max_var, max_const);
+  PackedBindings key = PackedBindings::FromMatch(match);
+  ASSERT_EQ(key.words().size(), 1u);
+  EXPECT_EQ(key.words()[0], 0xFFFFFFFF7FFFFFFFull);
+
+  // A variable image puts the top bit into the LOW half: the high half
+  // must still read back as exactly the bound variable.
+  Substitution var_image;
+  var_image.Bind(min_var, max_var);
+  PackedBindings low_top_bit = PackedBindings::FromMatch(var_image);
+  ASSERT_EQ(low_top_bit.words().size(), 1u);
+  EXPECT_EQ(low_top_bit.words()[0] >> 32, min_var.raw());
+  EXPECT_EQ(static_cast<uint32_t>(low_top_bit.words()[0]), max_var.raw());
+
+  // Same boundary through FromRestricted (projects images through the
+  // match): x -> max_var keys (x, max_var) intact.
+  PackedBindings restricted =
+      PackedBindings::FromRestricted(var_image, {min_var});
+  ASSERT_EQ(restricted.words().size(), 1u);
+  EXPECT_EQ(restricted.words()[0] >> 32, min_var.raw());
+  EXPECT_EQ(static_cast<uint32_t>(restricted.words()[0]), max_var.raw());
+
+  // An unbound all-ones variable keys itself: both halves saturated.
+  Substitution empty;
+  PackedBindings self = PackedBindings::FromRestricted(empty, {max_var});
+  ASSERT_EQ(self.words().size(), 1u);
+  EXPECT_EQ(self.words()[0], 0xFFFFFFFFFFFFFFFFull);
+
+  // Boundary keys keep their identity: distinct boundary bindings hash and
+  // compare as distinct.
+  EXPECT_FALSE(key == low_top_bit);
+  EXPECT_TRUE(PackedBindings::LegacyLess(low_top_bit, key) !=
+              PackedBindings::LegacyLess(key, low_top_bit));
+}
+
 TEST(TriggerKeyTest, EmptyKeyBehaviour) {
   Substitution empty;
   PackedBindings key = PackedBindings::FromMatch(empty);

@@ -1,11 +1,18 @@
 #!/usr/bin/env sh
 # Local gate mirroring what CI would run:
 #   1. tier-1: configure + build + full ctest under the default preset;
-#   2. sanitizers: ASan+UBSan (TWCHASE_SANITIZE) build, then the delta, obs
+#   2. golden parallel bit-identity: the CLI must produce identical output
+#      (modulo the wall-clock field) at --threads=1, 4 and the hardware
+#      concurrency on every bundled program — the cheap end-to-end check of
+#      the deterministic-merge invariant (tests/parallel_chase_test.cc is
+#      the thorough one);
+#   3. sanitizers: ASan+UBSan (TWCHASE_SANITIZE) build, then the delta, obs
 #      and robustness labelled suites under it (the fault-injection and
 #      checkpoint/resume tests are exactly the ones that must be
 #      memory-clean);
-#   3. fuzz smoke: a short run of the parser fuzz harness under the
+#   4. TSan: ThreadSanitizer build, then the parallel-labelled suite under
+#      it to race-check the worker pool and sharded metrics;
+#   5. fuzz smoke: a short run of the parser fuzz harness under the
 #      sanitizer build (libFuzzer with clang, the deterministic standalone
 #      driver with gcc).
 # Run from the repository root. Fails fast on the first broken step. Every
@@ -27,11 +34,34 @@ cmake --preset default
 cmake --build --preset default -j "$JOBS"
 timeout "$CTEST_HARD_TIMEOUT" ctest --preset default
 
+echo "== golden parallel bit-identity: --threads=1/4/hw on bundled programs =="
+HW_THREADS="$(nproc 2>/dev/null || echo 1)"
+for program in data/*.twc; do
+  ./build/tools/twchase_cli --variant=core --max-steps=20 --print-result \
+      --threads=1 "$program" | sed 's/ [0-9][0-9.]*s,/ TIME,/' > /tmp/twchase_golden.out
+  for threads in 4 "$HW_THREADS"; do
+    ./build/tools/twchase_cli --variant=core --max-steps=20 --print-result \
+        --threads="$threads" "$program" | sed 's/ [0-9][0-9.]*s,/ TIME,/' \
+        > /tmp/twchase_parallel.out
+    if ! diff -u /tmp/twchase_golden.out /tmp/twchase_parallel.out; then
+      echo "BIT-IDENTITY VIOLATION: $program at --threads=$threads" >&2
+      exit 1
+    fi
+  done
+  echo "  $program: identical at threads 1/4/$HW_THREADS"
+done
+
 echo "== sanitizers: asan preset, delta+obs+robustness labels =="
 cmake --preset asan -DTWCHASE_BUILD_FUZZERS=ON
 cmake --build --preset asan -j "$JOBS"
 timeout "$CTEST_HARD_TIMEOUT" ctest --test-dir build-asan \
   --output-on-failure -L 'delta|obs|robustness'
+
+echo "== tsan: thread preset, parallel label =="
+cmake --preset tsan
+cmake --build --preset tsan -j "$JOBS"
+timeout "$CTEST_HARD_TIMEOUT" ctest --test-dir build-tsan \
+  --output-on-failure -L parallel
 
 echo "== fuzz smoke: parser harness, ${FUZZ_SECONDS}s =="
 timeout $((FUZZ_SECONDS + 30)) ./build-asan/fuzz/parser_fuzzer \

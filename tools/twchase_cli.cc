@@ -19,6 +19,9 @@
 //     --deadline-ms=N      wall-clock budget (0 stops at the first boundary;
 //                          omit the flag for unlimited)
 //     --memory-budget-mb=N estimated-memory budget (0 = unlimited)
+//     --threads=N          worker threads for trigger evaluation (default:
+//                          hardware concurrency; 1 = sequential; results
+//                          are bit-identical at any N)
 //     --checkpoint-out=FILE record the run and write a resumable checkpoint
 //     --resume-from=FILE   resume a checkpointed run (same program file)
 #include <algorithm>
@@ -44,6 +47,7 @@
 #include "tools/flags.h"
 #include "tw/treewidth.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -66,7 +70,7 @@ int Usage(const char* argv0) {
                "usage: %s [--variant=V] [--max-steps=N] [--core-every=N] "
                "[--measures] [--robust] [--analyze] [--trace] "
                "[--print-result] [--metrics-out=FILE] [--events-out=FILE] "
-               "[--deadline-ms=N] [--memory-budget-mb=N] "
+               "[--deadline-ms=N] [--memory-budget-mb=N] [--threads=N] "
                "[--checkpoint-out=FILE] [--resume-from=FILE] "
                "<program-file>\n",
                argv0);
@@ -87,8 +91,9 @@ bool ParseVariant(const std::string& name, twchase::ChaseVariant* out) {
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
   options->chase.variant = twchase::ChaseVariant::kCore;
+  // The library default is sequential; the CLI defaults to the machine.
+  options->chase.parallel.threads = twchase::ThreadPool::HardwareConcurrency();
   size_t deadline_ms = 0;
-  size_t memory_budget_mb = 0;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     twchase::flags::ArgMatcher m(arg);
@@ -102,7 +107,14 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->chase.limits.deadline_ms = deadline_ms;
     } else if (m.SizeValue("--max-steps", &options->chase.limits.max_steps) ||
                m.SizeValue("--core-every", &options->chase.core.core_every) ||
-               m.SizeValue("--memory-budget-mb", &memory_budget_mb) ||
+               // The MB→bytes scaling is range-checked inside the matcher; a
+               // budget whose byte count overflows 64 bits is a flag error,
+               // not a silently wrapped (near-zero) budget.
+               m.ScaledSizeValue("--memory-budget-mb",
+                                 &options->chase.limits.memory_budget_bytes,
+                                 size_t{1024} * 1024) ||
+               m.BoundedSizeValue("--threads",
+                                  &options->chase.parallel.threads, 1, 1024) ||
                m.Value("--checkpoint-out", &options->checkpoint_out) ||
                m.Value("--resume-from", &options->resume_from) ||
                m.Flag("--measures", &options->measures) ||
@@ -126,7 +138,6 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       return false;
     }
   }
-  options->chase.limits.memory_budget_bytes = memory_budget_mb * 1024 * 1024;
   if (!options->checkpoint_out.empty()) {
     options->chase.resume.record_log = true;
   }
