@@ -10,6 +10,13 @@
 // concurrency), verifies sequential-vs-parallel parity per workload, and
 // records per-thread-count wall times, speedups and the parallel stats.
 //
+// A third section sweeps the homomorphism-matching backend (columnar
+// join-based vs legacy per-atom backtracking) over trigger-heavy random
+// workloads, verifies backend parity, and records per-backend wall times,
+// speedups and the chase.match.* counters. A fourth section runs the
+// large-instance family (scaled transitive closure and a wide guarded
+// chain, each ≥100k atoms) columnar-only under a governor memory budget.
+//
 // `--micro` mode: the google-benchmark microbenchmarks of the substrate
 // costs underlying every figure (homomorphism search, core computation,
 // treewidth). Extra arguments are passed through to google-benchmark.
@@ -28,6 +35,8 @@
 #include "obs/metrics.h"
 #include "kb/examples.h"
 #include "kb/generators.h"
+#include "kb/knowledge_base.h"
+#include "util/governor.h"
 #include "tw/exact.h"
 #include "tw/grid.h"
 #include "tw/heuristics.h"
@@ -294,6 +303,232 @@ std::string RunThreadSweep(MetricsRegistry* registry) {
   return json;
 }
 
+// ---------------------------------------------------------------------------
+// Backend sweep and large-instance family.
+
+// Dense random digraph with the triangle-closure rule: the body is a
+// three-way self-join of e, so trigger enumeration dominates the run and
+// the matching backend is the variable under test.
+KnowledgeBase MakeDenseTriangles(int nodes, int edges, uint64_t seed) {
+  KbBuilder b;
+  Term x = b.V("X"), y = b.V("Y"), z = b.V("Z");
+  Rng rng(seed);
+  auto node = [&](int64_t i) { return b.C("n" + std::to_string(i)); };
+  for (int i = 0; i < edges; ++i) {
+    b.Fact("e", {node(rng.Uniform(0, nodes - 1)),
+                 node(rng.Uniform(0, nodes - 1))});
+  }
+  b.AddRule("tri", {b.A("e", {x, y}), b.A("e", {y, z}), b.A("e", {x, z})},
+            {b.A("tri", {x, z})});
+  return b.Build();
+}
+
+// Wide-tuple self-join over a ternary relation: each candidate check walks
+// three argument positions, so the per-candidate cost gap between columnar
+// integer compares and legacy term unification is at its widest.
+KnowledgeBase MakeWideJoin(int nodes, int facts, uint64_t seed) {
+  KbBuilder b;
+  Term x = b.V("X"), y = b.V("Y"), z = b.V("Z"), w = b.V("W");
+  Rng rng(seed);
+  auto node = [&](int64_t i) { return b.C("n" + std::to_string(i)); };
+  for (int i = 0; i < facts; ++i) {
+    b.Fact("r", {node(rng.Uniform(0, nodes - 1)),
+                 node(rng.Uniform(0, nodes - 1)),
+                 node(rng.Uniform(0, nodes - 1))});
+  }
+  b.AddRule("wj", {b.A("r", {x, y, z}), b.A("r", {z, y, w})},
+            {b.A("j", {x, w})});
+  return b.Build();
+}
+
+// Transitive closure of a dense random digraph. Recursive (t feeds its own
+// body), so unlike the join workloads above most wall time goes to trigger
+// revalidation and application rather than enumeration — kept in the sweep
+// as the honest Amdahl baseline for the backend comparison.
+KnowledgeBase MakeDenseTc(int nodes, int edges, uint64_t seed) {
+  KbBuilder b;
+  Term x = b.V("X"), y = b.V("Y"), z = b.V("Z");
+  Rng rng(seed);
+  auto node = [&](int64_t i) { return b.C("n" + std::to_string(i)); };
+  for (int i = 0; i < edges; ++i) {
+    b.Fact("e", {node(rng.Uniform(0, nodes - 1)),
+                 node(rng.Uniform(0, nodes - 1))});
+  }
+  b.AddRule("base", {b.A("e", {x, y})}, {b.A("t", {x, y})});
+  b.AddRule("step", {b.A("e", {x, y}), b.A("t", {y, z})}, {b.A("t", {x, z})});
+  return b.Build();
+}
+
+// `seeds` independent chains advanced by a 3-cycle of existential rules:
+// every round appends one fresh-null atom per chain, growing the instance
+// past 100k atoms in a few dozen rounds without the instance-squared trigger
+// growth of transitive closure.
+KnowledgeBase MakeWideGuardedChain(int seeds, int cycle) {
+  KbBuilder b;
+  Term x = b.V("X"), y = b.V("Y");
+  for (int i = 0; i < seeds; ++i) {
+    b.Fact("r0", {b.C("a" + std::to_string(i)), b.C("b" + std::to_string(i))});
+  }
+  for (int i = 0; i < cycle; ++i) {
+    std::string from = "r" + std::to_string(i);
+    std::string to = "r" + std::to_string((i + 1) % cycle);
+    b.AddRule(from + "-" + to, {b.A(from, {x, y})},
+              {b.A(to, {y, b.V("Z" + std::to_string(i))})});
+  }
+  return b.Build();
+}
+
+SweepMeasurement MeasureWithBackend(const SweepWorkload& workload,
+                                    MatchBackend backend, int repetitions,
+                                    Histogram* phase_ms) {
+  MatchBackend previous = CurrentMatchBackend();
+  SetMatchBackend(backend);
+  SweepMeasurement m =
+      MeasureChase(workload, /*delta_on=*/true, repetitions, phase_ms);
+  SetMatchBackend(previous);
+  return m;
+}
+
+void AppendBackendSide(std::string* json, const char* key,
+                       const SweepMeasurement& m) {
+  char buffer[512];
+  std::snprintf(buffer, sizeof(buffer),
+                "      \"%s\": {\"wall_ms\": %.3f, \"steps\": %zu, "
+                "\"rounds\": %zu, \"peak_atoms\": %zu, "
+                "\"index_probes\": %llu, \"column_scans\": %llu, "
+                "\"join_fallbacks\": %llu, \"index_builds\": %llu, "
+                "\"index_build_bytes\": %llu}",
+                key, m.wall_ms, m.result.steps, m.result.rounds,
+                m.result.stats.peak_instance_size,
+                static_cast<unsigned long long>(
+                    m.result.stats.match_index_probes),
+                static_cast<unsigned long long>(
+                    m.result.stats.match_column_scans),
+                static_cast<unsigned long long>(
+                    m.result.stats.match_join_fallbacks),
+                static_cast<unsigned long long>(
+                    m.result.stats.match_index_builds),
+                static_cast<unsigned long long>(
+                    m.result.stats.match_index_build_bytes));
+  *json += buffer;
+}
+
+// Sweeps the matching backend over trigger-heavy workloads and returns the
+// "backend_sweep" JSON object (empty string on parity violation). Both
+// backends must produce the same run — the storage-equivalence suite pins
+// bit-identity; this is the coarse re-check on bench-scale inputs.
+std::string RunBackendSweep(MetricsRegistry* registry) {
+  std::vector<SweepWorkload> workloads;
+  workloads.push_back({"triangles-dense-400", ChaseVariant::kRestricted,
+                       2000000, [] { return MakeDenseTriangles(400, 32000, 19); }});
+  workloads.push_back({"wide-join-80", ChaseVariant::kRestricted, 2000000,
+                       [] { return MakeWideJoin(80, 40000, 17); }});
+  workloads.push_back({"transitive-closure-dense-200", ChaseVariant::kRestricted,
+                       2000000, [] { return MakeDenseTc(200, 1200, 7); }});
+
+  std::string json = "  \"backend_sweep\": {\n    \"workloads\": [\n";
+  std::printf("\n%-30s %10s %10s %10s\n", "workload", "legacy ms",
+              "columnar", "speedup");
+  for (size_t i = 0; i < workloads.size(); ++i) {
+    const SweepWorkload& workload = workloads[i];
+    SweepMeasurement legacy = MeasureWithBackend(
+        workload, MatchBackend::kLegacy, 2,
+        registry->GetHistogram("phase." + workload.name + ".legacy.wall_ms"));
+    SweepMeasurement columnar = MeasureWithBackend(
+        workload, MatchBackend::kColumnar, 2,
+        registry->GetHistogram("phase." + workload.name + ".columnar.wall_ms"));
+    if (legacy.result.steps != columnar.result.steps ||
+        legacy.result.rounds != columnar.result.rounds ||
+        !(legacy.result.derivation.Last() ==
+          columnar.result.derivation.Last())) {
+      std::fprintf(stderr, "PARITY VIOLATION on %s: backends disagree\n",
+                   workload.name.c_str());
+      return "";
+    }
+    double speedup =
+        columnar.wall_ms > 0 ? legacy.wall_ms / columnar.wall_ms : 0;
+    std::printf("%-30s %9.2f %9.2f %9.2fx\n", workload.name.c_str(),
+                legacy.wall_ms, columnar.wall_ms, speedup);
+    json += "      {\n        \"name\": \"" + workload.name + "\",\n";
+    json += "        \"variant\": \"";
+    json += ChaseVariantName(workload.variant);
+    json += "\",\n";
+    AppendBackendSide(&json, "legacy", legacy);
+    json += ",\n";
+    AppendBackendSide(&json, "columnar", columnar);
+    char buffer[80];
+    std::snprintf(buffer, sizeof(buffer),
+                  ",\n      \"speedup_columnar_vs_legacy\": %.2f\n", speedup);
+    json += buffer;
+    json += (i + 1 < workloads.size()) ? "      },\n" : "      }\n";
+  }
+  json += "    ]\n  }";
+  return json;
+}
+
+// Runs the ≥100k-atom family columnar-only under a governor memory budget
+// and returns the "large_instance" JSON object (empty string when a run
+// fails or trips the budget — completing inside it is the acceptance bar).
+std::string RunLargeInstanceSweep(MetricsRegistry* registry) {
+  constexpr size_t kBudgetBytes = 1536ull * 1024 * 1024;
+  std::vector<SweepWorkload> workloads;
+  workloads.push_back({"transitive-closure-450", ChaseVariant::kRestricted,
+                       2000000, [] { return MakeTransitiveClosure(450); }});
+  workloads.push_back({"guarded-chain-wide-2600", ChaseVariant::kRestricted,
+                       110000, [] { return MakeWideGuardedChain(2600, 3); }});
+
+  MatchBackend previous = CurrentMatchBackend();
+  SetMatchBackend(MatchBackend::kColumnar);
+  std::string json = "  \"large_instance\": {\n";
+  json += "    \"memory_budget_bytes\": " + std::to_string(kBudgetBytes) +
+          ",\n    \"workloads\": [\n";
+  std::printf("\n%-30s %10s %10s %10s %14s\n", "workload", "wall ms", "steps",
+              "peak atoms", "stop");
+  for (size_t i = 0; i < workloads.size(); ++i) {
+    const SweepWorkload& workload = workloads[i];
+    KnowledgeBase kb = workload.make_kb();
+    ChaseOptions options;
+    options.variant = workload.variant;
+    options.limits.max_steps = workload.max_steps;
+    options.limits.memory_budget_bytes = kBudgetBytes;
+    options.keep_snapshots = false;
+    Stopwatch watch;
+    auto run = RunChase(kb, options);
+    double wall_ms = watch.ElapsedMillis();
+    registry->GetHistogram("phase." + workload.name + ".wall_ms")
+        ->Observe(wall_ms);
+    if (!run.ok() || run->stop_reason == StopReason::kMemoryBudget) {
+      std::fprintf(stderr, "large-instance workload %s %s\n",
+                   workload.name.c_str(),
+                   run.ok() ? "tripped the memory budget" : "failed");
+      SetMatchBackend(previous);
+      return "";
+    }
+    std::printf("%-30s %9.2f %10zu %10zu %14s\n", workload.name.c_str(),
+                wall_ms, run->steps, run->stats.peak_instance_size,
+                StopReasonName(run->stop_reason));
+    char buffer[640];
+    std::snprintf(
+        buffer, sizeof(buffer),
+        "      {\"name\": \"%s\", \"variant\": \"%s\", \"wall_ms\": %.3f, "
+        "\"steps\": %zu, \"rounds\": %zu, \"peak_atoms\": %zu, "
+        "\"final_atoms\": %zu, \"stop_reason\": \"%s\", "
+        "\"index_probes\": %llu, \"index_builds\": %llu, "
+        "\"index_build_bytes\": %llu}",
+        workload.name.c_str(), ChaseVariantName(workload.variant), wall_ms,
+        run->steps, run->rounds, run->stats.peak_instance_size,
+        run->derivation.Last().size(), StopReasonName(run->stop_reason),
+        static_cast<unsigned long long>(run->stats.match_index_probes),
+        static_cast<unsigned long long>(run->stats.match_index_builds),
+        static_cast<unsigned long long>(run->stats.match_index_build_bytes));
+    json += buffer;
+    json += (i + 1 < workloads.size()) ? ",\n" : "\n";
+  }
+  SetMatchBackend(previous);
+  json += "    ]\n  }";
+  return json;
+}
+
 int RunDeltaSweep(const char* output_path) {
   std::vector<SweepWorkload> workloads;
   workloads.push_back({"transitive-closure-12", ChaseVariant::kRestricted,
@@ -356,6 +591,12 @@ int RunDeltaSweep(const char* output_path) {
   std::string thread_sweep = RunThreadSweep(&registry);
   if (thread_sweep.empty()) return 1;
   json += thread_sweep + ",\n";
+  std::string backend_sweep = RunBackendSweep(&registry);
+  if (backend_sweep.empty()) return 1;
+  json += backend_sweep + ",\n";
+  std::string large_instance = RunLargeInstanceSweep(&registry);
+  if (large_instance.empty()) return 1;
+  json += large_instance + ",\n";
   json += "  \"metrics\": " + registry.ToJson(2) + "\n}\n";
 
   if (FILE* out = std::fopen(output_path, "w")) {

@@ -12,6 +12,7 @@
 #include "core/trigger_key.h"
 #include "hom/core.h"
 #include "hom/endomorphism.h"
+#include "hom/matcher.h"
 #include "obs/observer.h"
 #include "util/fault.h"
 #include "util/governor.h"
@@ -200,6 +201,26 @@ StatusOr<ChaseResult> RunChaseWithReplay(const KnowledgeBase& kb,
   ResourceGovernor governor(governor_limits);
   GovernorScope governor_scope(&governor);
 
+  // Ambient chase.match.* telemetry: every homomorphism search of this run
+  // (trigger enumeration, satisfaction checks, core folds) folds its
+  // probe/scan/build counts in here; the parallel evaluation path installs
+  // the same object inside its workers. Totals are a pure function of the
+  // searches performed, hence identical at any --threads.
+  MatchCounters match_counters;
+  MatchCountersScope match_scope(&match_counters);
+  auto fold_match_stats = [&]() {
+    result.stats.match_index_probes =
+        match_counters.index_probes.load(std::memory_order_relaxed);
+    result.stats.match_column_scans =
+        match_counters.column_scans.load(std::memory_order_relaxed);
+    result.stats.match_join_fallbacks =
+        match_counters.join_fallbacks.load(std::memory_order_relaxed);
+    result.stats.match_index_builds =
+        match_counters.index_builds.load(std::memory_order_relaxed);
+    result.stats.match_index_build_bytes =
+        match_counters.index_build_bytes.load(std::memory_order_relaxed);
+  };
+
   ResumeLog* const rec = options.resume.record_log ? &result.resume_log
                                                    : nullptr;
   ReplayCursor cursor;
@@ -276,6 +297,7 @@ StatusOr<ChaseResult> RunChaseWithReplay(const KnowledgeBase& kb,
                      result.size_guard_tripped, current.size(),
                      result.stop_reason});
     }
+    fold_match_stats();
     return result;
   }
   if (rec != nullptr) {
@@ -337,6 +359,10 @@ StatusOr<ChaseResult> RunChaseWithReplay(const KnowledgeBase& kb,
   if (delta_on) current.EnableDeltaJournal();
 
   size_t since_last_core = 0;
+
+  // Counter values already reported through MatchPlanEvent, so each round's
+  // event carries deltas. Only consulted when an observer is attached.
+  MatchPlanEvent match_reported;
 
   while (result.steps < options.limits.max_steps) {
     if (governor.ShouldStop(FaultSite::kRoundBoundary)) {
@@ -410,6 +436,23 @@ StatusOr<ChaseResult> RunChaseWithReplay(const KnowledgeBase& kb,
       repair.inserted_atoms = pending_delta.inserted().size();
       repair.erased_atoms = pending_delta.erased().size();
       if (pending_delta.has_erasures()) {
+        // Revalidation fast path: insertions never falsify a stored match,
+        // so a rule none of whose body predicates lost an atom keeps its
+        // whole match set, and within a touched rule only matches whose
+        // body image meets the erased segment need the full re-probe.
+        // Outcomes (and with them retire events and counters) are exactly
+        // those of the unconditional IsTriggerFor sweep.
+        auto rule_touched_by_erasure = [&](size_t r) {
+          for (PredicateId p : rule_states[r].body_predicates) {
+            if (pending_delta.ErasedTouchesPredicate(p)) return true;
+          }
+          return false;
+        };
+        auto still_valid = [&](size_t r, const StoredMatch& stored) {
+          return !MatchImageTouchesErased(kb.rules[r], stored.match,
+                                          pending_delta) ||
+                 IsTriggerFor(kb.rules[r], stored.match, current);
+        };
         if (peval != nullptr) {
           // Each chunk writes a disjoint range of one rule's valid[] bytes;
           // the compaction below then replays the sequential (rule, index)
@@ -424,7 +467,8 @@ StatusOr<ChaseResult> RunChaseWithReplay(const KnowledgeBase& kb,
           std::vector<std::vector<uint8_t>> valid(kb.rules.size());
           for (size_t r = 0; r < kb.rules.size(); ++r) {
             const size_t count = rule_states[r].matches.size();
-            valid[r].resize(count);
+            valid[r].assign(count, 1);
+            if (!rule_touched_by_erasure(r)) continue;
             for (size_t b = 0; b < count; b += kRevalChunk) {
               chunks.push_back(
                   RevalChunk{r, b, std::min(b + kRevalChunk, count)});
@@ -438,10 +482,7 @@ StatusOr<ChaseResult> RunChaseWithReplay(const KnowledgeBase& kb,
                 const RuleState& state = rule_states[chunk.rule];
                 for (size_t i = chunk.begin; i < chunk.end; ++i) {
                   valid[chunk.rule][i] =
-                      IsTriggerFor(kb.rules[chunk.rule],
-                                   state.matches[i].match, current)
-                          ? 1
-                          : 0;
+                      still_valid(chunk.rule, state.matches[i]) ? 1 : 0;
                 }
                 return size_t{0};
               },
@@ -474,9 +515,10 @@ StatusOr<ChaseResult> RunChaseWithReplay(const KnowledgeBase& kb,
         } else {
           for (size_t r = 0; r < kb.rules.size(); ++r) {
             RuleState& state = rule_states[r];
+            if (!rule_touched_by_erasure(r)) continue;
             size_t kept = 0;
             for (size_t i = 0; i < state.matches.size(); ++i) {
-              if (IsTriggerFor(kb.rules[r], state.matches[i].match, current)) {
+              if (still_valid(r, state.matches[i])) {
                 if (kept != i) state.matches[kept] = std::move(state.matches[i]);
                 ++kept;
               } else {
@@ -1014,6 +1056,37 @@ StatusOr<ChaseResult> RunChaseWithReplay(const KnowledgeBase& kb,
       }
     }
     if (obs != nullptr) {
+      // Match-phase telemetry of the whole round (establishment through
+      // application and coring). Emitted only when the round did match
+      // work, and skipped by the stock event log unless opted in, so event
+      // streams stay comparable across backends and thread counts.
+      MatchPlanEvent plan;
+      plan.round = result.rounds;
+      plan.index_probes =
+          match_counters.index_probes.load(std::memory_order_relaxed) -
+          match_reported.index_probes;
+      plan.column_scans =
+          match_counters.column_scans.load(std::memory_order_relaxed) -
+          match_reported.column_scans;
+      plan.join_fallbacks =
+          match_counters.join_fallbacks.load(std::memory_order_relaxed) -
+          match_reported.join_fallbacks;
+      plan.index_builds =
+          match_counters.index_builds.load(std::memory_order_relaxed) -
+          match_reported.index_builds;
+      plan.index_build_bytes =
+          match_counters.index_build_bytes.load(std::memory_order_relaxed) -
+          match_reported.index_build_bytes;
+      if (plan.index_probes + plan.column_scans + plan.join_fallbacks +
+              plan.index_builds + plan.index_build_bytes >
+          0) {
+        obs->OnMatchPlan(plan);
+        match_reported.index_probes += plan.index_probes;
+        match_reported.column_scans += plan.column_scans;
+        match_reported.join_fallbacks += plan.join_fallbacks;
+        match_reported.index_builds += plan.index_builds;
+        match_reported.index_build_bytes += plan.index_build_bytes;
+      }
       obs->OnRoundEnd({result.rounds, result.steps - steps_at_round_start,
                        current.size(), progressed});
     }
@@ -1028,6 +1101,7 @@ StatusOr<ChaseResult> RunChaseWithReplay(const KnowledgeBase& kb,
     if (result.size_guard_tripped) break;
   }
   if (!replay_error.ok()) return replay_error;
+  fold_match_stats();
   if (budget_stop) {
     result.stop_reason = governor.reason();
   } else if (result.size_guard_tripped) {

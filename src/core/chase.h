@@ -230,6 +230,24 @@ struct ChaseStats {
   /// (largest - smallest per-worker task count among participating
   /// workers). 0 = perfectly balanced.
   size_t parallel_max_imbalance = 0;
+
+  /// Match-phase counters (columnar backend; all zero on the legacy
+  /// per-atom backend). Deterministic across thread counts: each counter
+  /// is a per-search total and index builds happen exactly once per
+  /// stale-to-ready column transition.
+  /// Sorted-column EqualRange lookups.
+  uint64_t match_index_probes = 0;
+
+  /// Full-segment scans (pattern had no bound position to probe on).
+  uint64_t match_column_scans = 0;
+
+  /// Searches that fell back to per-atom matching (injective or
+  /// vars-to-vars modes, mixed-arity predicates, legacy backend opt-out).
+  uint64_t match_join_fallbacks = 0;
+
+  /// Lazy column-index (re)builds, and total sorted-row bytes they wrote.
+  uint64_t match_index_builds = 0;
+  uint64_t match_index_build_bytes = 0;
 };
 
 /// Everything needed to replay a recorded run deterministically: one

@@ -10,6 +10,7 @@ void DeltaIndex::RecordInsert(const Atom& atom) {
 
 void DeltaIndex::RecordErase(const Atom& atom) {
   if (!erased_seen_.insert(atom).second) return;
+  erased_predicates_.insert(atom.predicate());
   erased_.push_back(atom);
 }
 
@@ -30,6 +31,7 @@ void DeltaIndex::Clear() {
   inserted_seen_.clear();
   erased_seen_.clear();
   inserted_by_predicate_.clear();
+  erased_predicates_.clear();
 }
 
 }  // namespace twchase

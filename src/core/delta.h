@@ -43,6 +43,18 @@ class DeltaIndex {
   /// seeding points for a body atom of that predicate.
   const std::vector<size_t>* InsertedWithPredicate(PredicateId predicate) const;
 
+  /// O(1) membership probes into the erased segment, read directly by the
+  /// chase's revalidation fast path: a stored match whose body image touches
+  /// no erased atom is still a trigger (insertions never falsify a Contains
+  /// check), so the full per-match re-probe of the instance runs only for
+  /// matches these probes implicate.
+  bool ErasedTouchesPredicate(PredicateId predicate) const {
+    return erased_predicates_.contains(predicate);
+  }
+  bool WasErased(const Atom& atom) const {
+    return erased_seen_.contains(atom);
+  }
+
   void Clear();
 
  private:
@@ -51,6 +63,7 @@ class DeltaIndex {
   std::unordered_set<Atom, AtomHash> inserted_seen_;
   std::unordered_set<Atom, AtomHash> erased_seen_;
   std::unordered_map<PredicateId, std::vector<size_t>> inserted_by_predicate_;
+  std::unordered_set<PredicateId> erased_predicates_;
 };
 
 }  // namespace twchase

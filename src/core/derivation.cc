@@ -33,8 +33,21 @@ void Derivation::AddStep(int rule_index, std::string rule_label,
   last_step_bytes_ = StepBytes(step);
   last_snapshot_bytes_ = keep_snapshots_ ? step.instance.ApproxMemoryBytes() : 0;
   approx_bytes_ += last_step_bytes_;
+  // Maintain the running F_i without an O(|F_i|) copy per step: when the
+  // simplification is the identity, the step only inserted `added_atoms`
+  // into F_{i-1}, so mirroring those inserts reproduces F_i's content
+  // (Last()'s contract — consumers compare content, not internal layout).
+  // Retracting steps (core and frugal folds carry a non-identity sigma)
+  // fall back to the full copy; they are rare and already paid for an
+  // instance rebuild. The size check is a defensive resync: it cannot
+  // trigger for a pure insertion step.
+  if (step.simplification.IsIdentity()) {
+    for (const Atom& atom : step.added_atoms) last_.Insert(atom);
+    if (last_.size() != instance.size()) last_ = instance;
+  } else {
+    last_ = instance;
+  }
   steps_.push_back(std::move(step));
-  last_ = instance;
 }
 
 void Derivation::AmendLastSimplification(const Substitution& sigma,

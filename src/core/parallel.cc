@@ -36,6 +36,11 @@ bool ParallelTriggerEval::Run(size_t tasks,
   worker_limits.memory_budget_bytes = governor_->limits().memory_budget_bytes;
   worker_limits.deadline_ms = governor_->RemainingDeadlineMs();
 
+  // The caller's match counters (atomic fields) are shared across workers;
+  // totals are order-independent sums, so they stay deterministic at any
+  // thread count.
+  MatchCounters* match_counters = CurrentMatchCounters();
+
   pool_->RunOnAllWorkers([&](size_t worker) {
     // ResourceGovernor is single-threaded, so each worker polls its own
     // detached instance (parent == nullptr keeps CheckPassive off the main
@@ -43,6 +48,7 @@ bool ParallelTriggerEval::Run(size_t tasks,
     ResourceGovernor worker_governor(worker_limits, /*parent=*/nullptr);
     worker_governor.NoteMemoryUsage(base_estimate);
     GovernorScope scope(&worker_governor);
+    MatchCountersScope counters_scope(match_counters);
     // Fault-injection visit counts are part of deterministic test schedules
     // and the injector is thread-local to the test's thread; workers must
     // not consume visits in scheduling-dependent order. Injection therefore

@@ -14,8 +14,32 @@ bool IsTriggerFor(const Rule& rule, const Substitution& match,
   return ok;
 }
 
+bool MatchImageTouchesErased(const Rule& rule, const Substitution& match,
+                             const DeltaIndex& delta) {
+  bool touched = false;
+  rule.body().ForEach([&](const Atom& atom) {
+    if (!touched && delta.ErasedTouchesPredicate(atom.predicate()) &&
+        delta.WasErased(match.Apply(atom))) {
+      touched = true;
+    }
+  });
+  return touched;
+}
+
 bool TriggerIsSatisfied(const Rule& rule, const Substitution& match,
                         const AtomSet& instance) {
+  // Datalog fast path: with no existential variables every head variable is
+  // in the frontier, so the head is ground under `match` and "an extension
+  // exists" degenerates to containment of the ground image — a hash lookup
+  // per head atom instead of a homomorphism search. This is the hot check
+  // of the restricted chase (once per pending trigger per revalidation).
+  if (rule.existential().empty()) {
+    bool ok = true;
+    rule.head().ForEach([&](const Atom& atom) {
+      if (ok && !instance.Contains(match.Apply(atom))) ok = false;
+    });
+    return ok;
+  }
   // Extension search over the head only: the body is already mapped by
   // `match`, so matching body ∪ head seeded with match is equivalent but
   // does redundant work; we still match body atoms to let the seed constrain

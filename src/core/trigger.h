@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "core/delta.h"
 #include "kb/rule.h"
 #include "model/atom_set.h"
 #include "model/substitution.h"
@@ -22,6 +23,13 @@ struct Trigger {
 /// True iff `match` maps body(rule) into `instance` (tr is a trigger for it).
 bool IsTriggerFor(const Rule& rule, const Substitution& match,
                   const AtomSet& instance);
+
+/// True iff some body-atom image of `match` is in the delta's erased
+/// segment. The revalidation fast path: when false, the match is still a
+/// trigger for the instance the delta was drained from (only erasures can
+/// falsify IsTriggerFor's Contains checks), so the full check is skipped.
+bool MatchImageTouchesErased(const Rule& rule, const Substitution& match,
+                             const DeltaIndex& delta);
 
 /// True iff the trigger is satisfied in `instance`.
 bool TriggerIsSatisfied(const Rule& rule, const Substitution& match,

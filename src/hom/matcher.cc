@@ -10,6 +10,38 @@
 #include "util/status.h"
 
 namespace twchase {
+
+namespace {
+
+// Backend switch, read once per search. Tests and benches flip it between
+// runs; relaxed is enough (no data is published through it).
+std::atomic<int> g_match_backend{static_cast<int>(MatchBackend::kColumnar)};
+
+// Ambient per-thread counters pointer; the pointee is shared across threads
+// (its fields are atomic), the pointer itself is thread-local like the
+// governor ambient.
+thread_local MatchCounters* g_match_counters = nullptr;
+
+}  // namespace
+
+void SetMatchBackend(MatchBackend backend) {
+  g_match_backend.store(static_cast<int>(backend), std::memory_order_relaxed);
+}
+
+MatchBackend CurrentMatchBackend() {
+  return static_cast<MatchBackend>(
+      g_match_backend.load(std::memory_order_relaxed));
+}
+
+MatchCountersScope::MatchCountersScope(MatchCounters* counters)
+    : previous_(g_match_counters) {
+  g_match_counters = counters;
+}
+
+MatchCountersScope::~MatchCountersScope() { g_match_counters = previous_; }
+
+MatchCounters* CurrentMatchCounters() { return g_match_counters; }
+
 namespace {
 
 constexpr uint32_t kUnbound = 0xFFFFFFFFu;
@@ -20,11 +52,32 @@ constexpr uint32_t kUnbound = 0xFFFFFFFFu;
 // variables are renumbered into a dense local index so that the hot path
 // (estimates, unification, rollback) is array access, not hashing.
 // Not reusable.
+//
+// Candidate generation has two backends. The columnar join path
+// (JoinCandidates) probes the target's per-predicate ColumnSegment: it picks
+// the probe column by the legacy path's exact smallest-posting heuristic,
+// binary-searches the lazily sorted column index for the bound image id, and
+// verifies the remaining bound columns / repeated-variable constraints /
+// forbidden term directly on the column cells. The legacy path
+// (LegacyCandidates) walks the filtered posting lists. Bit-identity between
+// the two holds because (a) atom selection (EstimateCandidates) is shared,
+// (b) segment rows order exactly as posting slots, so the join path emits
+// the unifying candidates in the legacy enumeration order, and (c) the
+// identity-first reorder below reproduces the legacy swap restricted to the
+// unifying candidates. Search() recursion — and with it governor polls and
+// fault-injection visit schedules at kHomNode — therefore runs the same
+// node sequence on both backends. See DESIGN.md §9 for the full argument.
 class HomSearch {
  public:
   HomSearch(const AtomSet& pattern, const AtomSet& target,
             const HomOptions& options)
       : target_(target), options_(options) {
+    backend_columnar_ = CurrentMatchBackend() == MatchBackend::kColumnar;
+    // Injective and vars-to-vars searches prune candidates through mutable
+    // search state (used_targets_); they keep the per-atom path.
+    join_enabled_ =
+        backend_columnar_ && !options.injective && !options.vars_to_vars;
+    counters_ = CurrentMatchCounters();
     // Collect pattern atoms and build the local variable table.
     for (const Atom& atom : pattern.Atoms()) {
       PatAtom pat;
@@ -113,11 +166,189 @@ class HomSearch {
     return best * 4 + (3 - std::min<size_t>(bound_args, 3));
   }
 
-  // Candidate target atoms for `pat` under the current binding: the most
-  // selective posting available, filtered by the forbidden image term, with
-  // the identity candidate (if present) first — endomorphism-style searches
-  // then assign identity away from the conflict area and backtrack locally.
-  std::vector<const Atom*> Candidates(const PatAtom& pat) const {
+  // Candidate target atoms for `pat` under the current binding, in the
+  // order the legacy enumeration would attempt the ones that unify.
+  std::vector<const Atom*> Candidates(const PatAtom& pat) {
+    if (backend_columnar_) {
+      const ColumnSegment* segment =
+          join_enabled_ ? target_.SegmentFor(pat.predicate) : nullptr;
+      if (segment != nullptr && segment->arity() == pat.args.size()) {
+        return JoinCandidates(pat, *segment);
+      }
+      // A fallback worth counting: the predicate has atoms but the join
+      // path cannot serve it (injective/vars-to-vars mode, mixed arity, or
+      // a pattern/segment arity mismatch). An empty predicate is not a
+      // fallback — both paths answer with no candidates.
+      if (counters_ != nullptr &&
+          target_.CountByPredicate(pat.predicate) > 0) {
+        counters_->join_fallbacks.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    return LegacyCandidates(pat);
+  }
+
+  // Columnar path: one EqualRange probe on the most selective bound column
+  // (or a full segment scan when nothing is bound), then verification of
+  // every remaining constraint against the column cells. Emits exactly the
+  // candidates TryUnify would accept, in ascending slot order, then applies
+  // the legacy identity-first reorder restricted to that subsequence.
+  std::vector<const Atom*> JoinCandidates(const PatAtom& pat,
+                                          const ColumnSegment& seg) {
+    const TermDictionary& dict = target_.dictionary();
+    const size_t arity = pat.args.size();
+    col_bound_.assign(arity, 0);
+    col_ids_.assign(arity, TermDictionary::kNoId);
+    col_vars_.assign(arity, kNotVar);
+    // Probe selection mirrors LegacyCandidates exactly (first strict
+    // minimum of CountByTerm over the bound images) so that the identity
+    // reorder below can reconstruct which posting the legacy path walked.
+    std::optional<Term> best_term;
+    size_t best_count = kInfinity;
+    uint32_t probe_col = 0;
+    bool dead = false;
+    for (size_t i = 0; i < arity; ++i) {
+      const Arg& arg = pat.args[i];
+      Term image;
+      if (arg.var == kNotVar) {
+        image = arg.constant;
+      } else if (bound_[arg.var]) {
+        image = binding_[arg.var];
+      } else {
+        col_vars_[i] = arg.var;
+        continue;
+      }
+      col_bound_[i] = 1;
+      col_ids_[i] = dict.Find(image);
+      // An image the target never stored cannot appear in any row.
+      if (col_ids_[i] == TermDictionary::kNoId) dead = true;
+      size_t count = target_.CountByTerm(image);
+      if (count < best_count) {
+        best_count = count;
+        best_term = image;
+        probe_col = static_cast<uint32_t>(i);
+      }
+    }
+    std::vector<const Atom*> out;
+    if (dead) return out;
+    // Cells hold real ids, so comparing against kNoId (forbidden term not
+    // in the dictionary) can never match — no extra guard needed.
+    TermId forbidden_id = TermDictionary::kNoId;
+    if (options_.forbidden_image_term.has_value()) {
+      forbidden_id = dict.Find(*options_.forbidden_image_term);
+    }
+    auto verify_and_admit = [&](uint32_t row) {
+      uint32_t slot = seg.slot(row);
+      if (!target_.SlotAlive(slot)) return;
+      for (size_t c = 0; c < arity; ++c) {
+        TermId cell = seg.cell(row, static_cast<uint32_t>(c));
+        if (cell == forbidden_id) return;
+        if (col_bound_[c]) {
+          if (cell != col_ids_[c]) return;
+          continue;
+        }
+        // A repeated unbound variable must meet equal cells.
+        for (size_t p = 0; p < c; ++p) {
+          if (!col_bound_[p] && col_vars_[p] == col_vars_[c] &&
+              seg.cell(row, static_cast<uint32_t>(p)) != cell) {
+            return;
+          }
+        }
+      }
+      out.push_back(&target_.SlotAtom(slot));
+    };
+    if (best_term.has_value()) {
+      IndexBuildStats build;
+      const TermId probe_id = col_ids_[probe_col];
+      ColumnSegment::ProbeResult range =
+          seg.EqualRange(probe_col, probe_id, &build);
+      if (counters_ != nullptr) {
+        counters_->index_probes.fetch_add(1, std::memory_order_relaxed);
+        if (build.builds > 0) {
+          counters_->index_builds.fetch_add(build.builds,
+                                            std::memory_order_relaxed);
+          counters_->index_build_bytes.fetch_add(build.bytes,
+                                                 std::memory_order_relaxed);
+        }
+      }
+      for (const uint32_t* r = range.begin; r != range.end; ++r) {
+        verify_and_admit(*r);
+      }
+      // Unmerged tail rows follow every sorted row, so scanning them second
+      // keeps the enumeration in ascending slot order.
+      for (uint32_t row = range.tail_begin; row != range.tail_end; ++row) {
+        if (seg.cell(row, probe_col) == probe_id) verify_and_admit(row);
+      }
+    } else {
+      if (counters_ != nullptr) {
+        counters_->column_scans.fetch_add(1, std::memory_order_relaxed);
+      }
+      for (size_t row = 0; row < seg.rows(); ++row) {
+        verify_and_admit(static_cast<uint32_t>(row));
+      }
+    }
+    // Identity-first, restricted to the unifying subsequence. The legacy
+    // swap moves the old head of its candidate list to the identity's
+    // position; projected onto the unifying candidates that is a swap when
+    // that head unifies, and a rotate of the identity to the front when it
+    // does not. With fewer than two unifying candidates any reorder is the
+    // identity permutation (also covering the legacy out.size() > 1 guard).
+    if (!options_.identity_first || out.size() < 2) return out;
+    size_t identity_pos = out.size();
+    for (size_t j = 0; j < out.size(); ++j) {
+      if (IsIdentityCandidate(pat, *out[j])) {
+        identity_pos = j;
+        break;
+      }
+    }
+    if (identity_pos == out.size() || identity_pos == 0) return out;
+    const Atom* first_legacy = LegacyFirstCandidate(
+        pat, best_term, best_count <= target_.CountByPredicate(pat.predicate));
+    if (first_legacy == out[0]) {
+      std::swap(out[0], out[identity_pos]);
+    } else {
+      std::rotate(out.begin(), out.begin() + identity_pos,
+                  out.begin() + identity_pos + 1);
+    }
+    return out;
+  }
+
+  // The first element of the candidate list LegacyCandidates would have
+  // built (posting choice included), without materialising it. Used only to
+  // decide the identity reorder's swap-vs-rotate case.
+  const Atom* LegacyFirstCandidate(const PatAtom& pat,
+                                   const std::optional<Term>& best_term,
+                                   bool term_beats_predicate) const {
+    auto admit = [&](const Atom& cand) {
+      return !options_.forbidden_image_term.has_value() ||
+             !AtomContains(cand, *options_.forbidden_image_term);
+    };
+    if (best_term.has_value() && term_beats_predicate) {
+      const std::vector<AtomSet::Slot>* posting =
+          target_.TermPostingSlots(*best_term);
+      if (posting == nullptr) return nullptr;
+      for (AtomSet::Slot s : *posting) {
+        if (!target_.SlotAlive(s)) continue;
+        const Atom& cand = target_.SlotAtom(s);
+        if (cand.predicate() == pat.predicate && admit(cand)) return &cand;
+      }
+      return nullptr;
+    }
+    const std::vector<AtomSet::Slot>* posting =
+        target_.PredicatePostingSlots(pat.predicate);
+    if (posting == nullptr) return nullptr;
+    for (AtomSet::Slot s : *posting) {
+      if (!target_.SlotAlive(s)) continue;
+      const Atom& cand = target_.SlotAtom(s);
+      if (admit(cand)) return &cand;
+    }
+    return nullptr;
+  }
+
+  // Legacy path: the most selective posting available, filtered by the
+  // forbidden image term, with the identity candidate (if present) first —
+  // endomorphism-style searches then assign identity away from the conflict
+  // area and backtrack locally.
+  std::vector<const Atom*> LegacyCandidates(const PatAtom& pat) const {
     std::optional<Term> best_term;
     size_t best_count = kInfinity;
     for (const Arg& arg : pat.args) {
@@ -284,6 +515,14 @@ class HomSearch {
   std::vector<uint32_t> trail_;
   std::unordered_set<Term, TermHash> used_targets_;
   std::vector<Substitution> results_;
+  bool backend_columnar_ = false;
+  bool join_enabled_ = false;
+  MatchCounters* counters_ = nullptr;
+  // JoinCandidates per-position plan, reused across nodes so the hot path
+  // allocates nothing after warm-up.
+  std::vector<uint8_t> col_bound_;
+  std::vector<TermId> col_ids_;
+  std::vector<uint32_t> col_vars_;
 };
 
 }  // namespace

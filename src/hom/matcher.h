@@ -17,6 +17,7 @@
 #ifndef TWCHASE_HOM_MATCHER_H_
 #define TWCHASE_HOM_MATCHER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -25,6 +26,50 @@
 #include "model/substitution.h"
 
 namespace twchase {
+
+/// Candidate-generation backend. kColumnar (the default) answers each search
+/// node with an index probe / column scan over the target's ColumnSegments
+/// and is bit-identical to kLegacy, the historical posting-list walk — the
+/// storage-equivalence suite (tests/storage_equivalence_test.cc) is the
+/// oracle. kLegacy remains as the fallback for searches the join path does
+/// not cover (injective / vars-to-vars modes, mixed-arity predicates) and as
+/// the baseline side of the benchmarks.
+enum class MatchBackend { kColumnar = 0, kLegacy = 1 };
+
+/// Process-wide backend switch (benchmarks and the equivalence tests flip
+/// it between runs; searches read it once at construction).
+void SetMatchBackend(MatchBackend backend);
+MatchBackend CurrentMatchBackend();
+
+/// Ambient chase.match.* telemetry. The chase installs one per run (and the
+/// parallel evaluation re-installs the same object inside its workers, hence
+/// the atomics); every HomSearch folds its probe/scan/fallback and index
+/// (re)build counts into it. Totals are a pure function of the searches
+/// performed, so they are identical at any --threads.
+struct MatchCounters {
+  std::atomic<uint64_t> index_probes{0};      // column-index EqualRange probes
+  std::atomic<uint64_t> column_scans{0};      // full-segment scans (no bound arg)
+  std::atomic<uint64_t> join_fallbacks{0};    // legacy-path nodes under kColumnar
+  std::atomic<uint64_t> index_builds{0};      // lazy column-index (re)builds
+  std::atomic<uint64_t> index_build_bytes{0};  // bytes of those builds
+};
+
+/// Installs `counters` as the thread's ambient MatchCounters for the scope
+/// (nullptr suspends counting). Mirrors GovernorScope.
+class MatchCountersScope {
+ public:
+  explicit MatchCountersScope(MatchCounters* counters);
+  ~MatchCountersScope();
+
+  MatchCountersScope(const MatchCountersScope&) = delete;
+  MatchCountersScope& operator=(const MatchCountersScope&) = delete;
+
+ private:
+  MatchCounters* previous_;
+};
+
+/// The counters ambient on this thread, or nullptr.
+MatchCounters* CurrentMatchCounters();
 
 struct HomOptions {
   /// Pre-bound variables; the search only extends this mapping.

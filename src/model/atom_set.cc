@@ -6,18 +6,70 @@
 
 namespace twchase {
 
+AtomSet::AtomSet(const AtomSet& other)
+    : slots_(other.slots_),
+      alive_(other.alive_),
+      index_(other.index_),
+      by_predicate_(other.by_predicate_),
+      live_by_predicate_(other.live_by_predicate_),
+      term_postings_(other.term_postings_),
+      live_by_term_(other.live_by_term_),
+      dict_(other.dict_),
+      mixed_arity_(other.mixed_arity_),
+      live_count_(other.live_count_),
+      dead_count_(other.dead_count_),
+      generation_(other.generation_),
+      compactions_(other.compactions_),
+      slot_args_(other.slot_args_),
+      journal_enabled_(other.journal_enabled_),
+      journal_(other.journal_) {
+  segments_.reserve(other.segments_.size());
+  for (const auto& [pred, segment] : other.segments_) {
+    segments_.emplace(pred, std::make_unique<ColumnSegment>(*segment));
+  }
+}
+
+AtomSet& AtomSet::operator=(const AtomSet& other) {
+  if (this != &other) *this = AtomSet(other);
+  return *this;
+}
+
+// Indexes a freshly stored atom at `slot`: predicate posting, per-term
+// postings/counters (dictionary-id keyed) and the predicate's column
+// segment. Shared by Insert and the compaction rebuild.
+void AtomSet::IndexNewAtom(const Atom& atom, Slot slot) {
+  by_predicate_[atom.predicate()].push_back(slot);
+  ++live_by_predicate_[atom.predicate()];
+  for (Term t : atom.DistinctTerms()) {
+    TermId id = dict_.Intern(t);
+    if (id >= term_postings_.size()) {
+      term_postings_.resize(id + 1);
+      live_by_term_.resize(id + 1, 0);
+    }
+    term_postings_[id].push_back(slot);
+    ++live_by_term_[id];
+  }
+  const uint32_t arity = static_cast<uint32_t>(atom.args().size());
+  auto [it, created] = segments_.try_emplace(atom.predicate(), nullptr);
+  if (created) {
+    it->second = std::make_unique<ColumnSegment>(arity);
+  } else if (it->second->arity() != arity) {
+    mixed_arity_.insert(atom.predicate());
+  }
+  if (!mixed_arity_.contains(atom.predicate())) {
+    scratch_ids_.clear();
+    for (Term t : atom.args()) scratch_ids_.push_back(dict_.Intern(t));
+    it->second->Append(slot, scratch_ids_.data());
+  }
+}
+
 bool AtomSet::Insert(const Atom& atom) { return Insert(Atom(atom)); }
 
 bool AtomSet::Insert(Atom&& atom) {
   auto it = index_.find(atom);
   if (it != index_.end()) return false;
   Slot slot = static_cast<Slot>(slots_.size());
-  by_predicate_[atom.predicate()].push_back(slot);
-  ++live_by_predicate_[atom.predicate()];
-  for (Term t : atom.DistinctTerms()) {
-    by_term_[t].push_back(slot);
-    ++live_by_term_[t];
-  }
+  IndexNewAtom(atom, slot);
   index_.emplace(atom, slot);
   if (journal_enabled_) journal_.inserted.push_back(atom);
   slot_args_ += atom.args().size();
@@ -36,7 +88,7 @@ bool AtomSet::Erase(const Atom& atom) {
   alive_[slot] = 0;
   --live_by_predicate_[atom.predicate()];
   for (Term t : slots_[slot].DistinctTerms()) {
-    --live_by_term_[t];
+    --live_by_term_[dict_.Find(t)];
   }
   index_.erase(it);
   if (journal_enabled_) journal_.erased.push_back(slots_[slot]);
@@ -85,10 +137,10 @@ std::vector<const Atom*> AtomSet::ByPredicate(PredicateId predicate) const {
 
 std::vector<const Atom*> AtomSet::ByTerm(Term term) const {
   std::vector<const Atom*> out;
-  auto it = by_term_.find(term);
-  if (it == by_term_.end()) return out;
-  out.reserve(it->second.size());
-  for (Slot s : it->second) {
+  const std::vector<Slot>* posting = TermPostingSlots(term);
+  if (posting == nullptr) return out;
+  out.reserve(posting->size());
+  for (Slot s : *posting) {
     if (alive_[s]) out.push_back(&slots_[s]);
   }
   return out;
@@ -100,8 +152,26 @@ size_t AtomSet::CountByPredicate(PredicateId predicate) const {
 }
 
 size_t AtomSet::CountByTerm(Term term) const {
-  auto it = live_by_term_.find(term);
-  return it == live_by_term_.end() ? 0 : it->second;
+  TermId id = dict_.Find(term);
+  return id == TermDictionary::kNoId ? 0 : live_by_term_[id];
+}
+
+const ColumnSegment* AtomSet::SegmentFor(PredicateId predicate) const {
+  if (mixed_arity_.contains(predicate)) return nullptr;
+  auto it = segments_.find(predicate);
+  return it == segments_.end() ? nullptr : it->second.get();
+}
+
+const std::vector<AtomSet::Slot>* AtomSet::TermPostingSlots(Term term) const {
+  TermId id = dict_.Find(term);
+  if (id == TermDictionary::kNoId) return nullptr;
+  return &term_postings_[id];
+}
+
+const std::vector<AtomSet::Slot>* AtomSet::PredicatePostingSlots(
+    PredicateId predicate) const {
+  auto it = by_predicate_.find(predicate);
+  return it == by_predicate_.end() ? nullptr : &it->second;
 }
 
 std::vector<Term> AtomSet::Terms() const {
@@ -187,10 +257,20 @@ size_t AtomSet::ApproxMemoryBytes() const {
   // Per slot: the Atom object, its dedup-index entry, one predicate posting
   // and the hash-map node overheads; per argument: the stored Term plus its
   // per-term posting and live counter. The constants bake in typical
-  // libstdc++ node and vector growth overheads.
+  // libstdc++ node and vector growth overheads. On top of that, the columnar
+  // layer is charged explicitly: dictionary tables plus per-segment column
+  // data and resident sorted indexes (lazily built, so this estimate grows
+  // when the matcher first probes a column — the governor sees what the
+  // allocator sees).
   constexpr size_t kPerSlotBytes = 96;
   constexpr size_t kPerArgBytes = 24;
-  return slots_.size() * kPerSlotBytes + slot_args_ * kPerArgBytes;
+  size_t bytes = slots_.size() * kPerSlotBytes + slot_args_ * kPerArgBytes;
+  bytes += dict_.ApproxMemoryBytes();
+  for (const auto& [pred, segment] : segments_) {
+    (void)pred;
+    bytes += segment->ApproxMemoryBytes();
+  }
+  return bytes;
 }
 
 void AtomSet::MaybeCompact() {
@@ -216,18 +296,16 @@ void AtomSet::CompactPostings() {
   ++compactions_;
   index_.clear();
   by_predicate_.clear();
-  by_term_.clear();
   live_by_predicate_.clear();
-  live_by_term_.clear();
+  for (std::vector<Slot>& posting : term_postings_) posting.clear();
+  std::fill(live_by_term_.begin(), live_by_term_.end(), 0);
+  // Segments are rebuilt in the new slot order; the dictionary is kept
+  // (append-only ids), and so is the sticky mixed-arity set.
+  segments_.clear();
   for (Slot s = 0; s < slots_.size(); ++s) {
     const Atom& atom = slots_[s];
+    IndexNewAtom(atom, s);
     index_.emplace(atom, s);
-    by_predicate_[atom.predicate()].push_back(s);
-    ++live_by_predicate_[atom.predicate()];
-    for (Term t : atom.DistinctTerms()) {
-      by_term_[t].push_back(s);
-      ++live_by_term_[t];
-    }
   }
 }
 

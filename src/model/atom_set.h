@@ -5,6 +5,15 @@
 // Storage is slot-based with tombstones so postings stay valid across erases;
 // postings are filtered on read and compacted when the dead fraction grows.
 //
+// Columnar layer: every term is interned into a TermDictionary of dense
+// 32-bit ids, per-term postings and live counters are flat vectors indexed
+// by those ids, and each predicate's atoms are mirrored into a ColumnSegment
+// (arguments stored column-wise with lazily sorted position indexes). The
+// join-based matcher (hom/matcher.cc) probes the segments directly through
+// the accessors below; the row/slot order of a segment equals posting order,
+// which is what keeps the two matching paths bit-identical. Public API and
+// insertion-order iteration are unchanged from the pre-columnar AtomSet.
+//
 // Delta hooks: a generation counter stamps every successful mutation, and an
 // opt-in delta journal records inserted/erased atoms until drained — the
 // chase's semi-naive trigger generation consumes it to evaluate rules against
@@ -14,13 +23,16 @@
 #define TWCHASE_MODEL_ATOM_SET_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "model/atom.h"
+#include "model/column_segment.h"
 #include "model/term.h"
+#include "model/term_dictionary.h"
 
 namespace twchase {
 
@@ -29,6 +41,11 @@ class AtomSet {
   using Slot = uint32_t;
 
   AtomSet() = default;
+
+  AtomSet(const AtomSet& other);
+  AtomSet& operator=(const AtomSet& other);
+  AtomSet(AtomSet&&) = default;
+  AtomSet& operator=(AtomSet&&) = default;
 
   /// Inserts an atom; returns false if it was already present.
   bool Insert(const Atom& atom);
@@ -125,24 +142,51 @@ class AtomSet {
   /// checkpoint layer to cross-check a resumed instance.
   uint64_t ContentHash() const;
 
-  /// Rough estimate of resident bytes (slot storage plus index entries),
-  /// maintained in O(1) so memory-budget polls can read it per step. An
-  /// estimate, not an allocator hook: allocator slack and hash-table load
-  /// factors are folded into fixed per-slot/per-argument constants.
-  /// Tombstoned slots count until compaction reclaims them.
+  /// Rough estimate of resident bytes: slot storage, index entries, the
+  /// term dictionary and the columnar segments including any lazily built
+  /// column indexes. O(#predicates) per call, so memory-budget polls can
+  /// read it per step. An estimate, not an allocator hook: allocator slack
+  /// and hash-table load factors are folded into fixed per-slot/per-argument
+  /// constants. Tombstoned slots count until compaction reclaims them.
   size_t ApproxMemoryBytes() const;
+
+  // ----- Columnar accessors (hom/matcher.cc join path). ------------------
+
+  /// The dictionary interning every term this set has ever stored.
+  const TermDictionary& dictionary() const { return dict_; }
+
+  /// The predicate's column segment, or null when the predicate was never
+  /// inserted or has been observed at more than one arity (the matcher then
+  /// falls back to the posting-based path).
+  const ColumnSegment* SegmentFor(PredicateId predicate) const;
+
+  bool SlotAlive(Slot slot) const { return alive_[slot] != 0; }
+  const Atom& SlotAtom(Slot slot) const { return slots_[slot]; }
+
+  /// Raw posting lists (ascending slots, tombstones included — callers
+  /// filter through SlotAlive). Null when the term/predicate is unknown.
+  /// Exposed so the join path can reproduce the legacy candidate head
+  /// without materialising a filtered vector.
+  const std::vector<Slot>* TermPostingSlots(Term term) const;
+  const std::vector<Slot>* PredicatePostingSlots(PredicateId predicate) const;
 
  private:
   void MaybeCompact();
   void CompactPostings();
+  void IndexNewAtom(const Atom& atom, Slot slot);
 
   std::vector<Atom> slots_;
   std::vector<uint8_t> alive_;
   std::unordered_map<Atom, Slot, AtomHash> index_;
   std::unordered_map<PredicateId, std::vector<Slot>> by_predicate_;
-  std::unordered_map<Term, std::vector<Slot>, TermHash> by_term_;
   std::unordered_map<PredicateId, size_t> live_by_predicate_;
-  std::unordered_map<Term, size_t, TermHash> live_by_term_;
+  // Term-keyed tables are flat vectors indexed by dictionary id.
+  std::vector<std::vector<Slot>> term_postings_;
+  std::vector<size_t> live_by_term_;
+  TermDictionary dict_;
+  std::unordered_map<PredicateId, std::unique_ptr<ColumnSegment>> segments_;
+  std::unordered_set<PredicateId> mixed_arity_;  // sticky, survives compaction
+  std::vector<TermId> scratch_ids_;              // Insert's per-row id buffer
   size_t live_count_ = 0;
   size_t dead_count_ = 0;
   uint64_t generation_ = 0;

@@ -1,0 +1,34 @@
+#include "model/term_dictionary.h"
+
+#include <algorithm>
+
+namespace twchase {
+
+TermId TermDictionary::Intern(Term term) {
+  std::vector<TermId>& table = term.is_variable() ? vars_ : consts_;
+  uint32_t index = term.index();
+  if (index >= table.size()) table.resize(index + 1, kNoId);
+  TermId& slot = table[index];
+  if (slot != kNoId) return slot;
+  if (size_ % kBlockSize == 0) {
+    blocks_.push_back(std::make_unique<Term[]>(kBlockSize));
+  }
+  blocks_[size_ / kBlockSize][size_ % kBlockSize] = term;
+  slot = static_cast<TermId>(size_++);
+  return slot;
+}
+
+void TermDictionary::CopyFrom(const TermDictionary& other) {
+  consts_ = other.consts_;
+  vars_ = other.vars_;
+  size_ = other.size_;
+  blocks_.clear();
+  blocks_.reserve(other.blocks_.size());
+  for (const auto& block : other.blocks_) {
+    auto copy = std::make_unique<Term[]>(kBlockSize);
+    std::copy(block.get(), block.get() + kBlockSize, copy.get());
+    blocks_.push_back(std::move(copy));
+  }
+}
+
+}  // namespace twchase

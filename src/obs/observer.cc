@@ -44,6 +44,9 @@ void ObserverList::OnCoreRetraction(const CoreRetractionEvent& event) {
 void ObserverList::OnParallelRound(const ParallelRoundEvent& event) {
   for (ChaseObserver* o : observers_) o->OnParallelRound(event);
 }
+void ObserverList::OnMatchPlan(const MatchPlanEvent& event) {
+  for (ChaseObserver* o : observers_) o->OnMatchPlan(event);
+}
 void ObserverList::OnRoundEnd(const RoundEndEvent& event) {
   for (ChaseObserver* o : observers_) o->OnRoundEnd(event);
 }

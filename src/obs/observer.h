@@ -20,6 +20,7 @@
 #define TWCHASE_OBS_OBSERVER_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -135,6 +136,23 @@ struct ParallelRoundEvent {
   double merge_ms = 0;       // wall time of the deterministic merges
 };
 
+/// Match-phase plan telemetry for one scheduler round: how the homomorphism
+/// searches of the round resolved their candidate enumerations. Counter
+/// fields are deltas since the previous event, summed over every search the
+/// round ran (establishment, delta probes, application, coring), at any
+/// thread count. Pure telemetry: the legacy per-atom backend emits no such
+/// event but is otherwise bit-identical, so the stock EventLogObserver skips
+/// it unless explicitly opted in — event streams stay comparable across
+/// backends and thread counts.
+struct MatchPlanEvent {
+  size_t round = 0;               // 1-based
+  uint64_t index_probes = 0;      // sorted-column EqualRange lookups
+  uint64_t column_scans = 0;      // full-segment scans (no bound position)
+  uint64_t join_fallbacks = 0;    // per-atom fallbacks (injective/mixed/...)
+  uint64_t index_builds = 0;      // lazy column-index (re)builds
+  uint64_t index_build_bytes = 0; // bytes of sorted rows written by builds
+};
+
 /// A scheduler round finished (after round-end coring and match retirement).
 struct RoundEndEvent {
   size_t round = 0;
@@ -206,6 +224,7 @@ class ChaseObserver {
   virtual void OnParallelRound(const ParallelRoundEvent& event) {
     (void)event;
   }
+  virtual void OnMatchPlan(const MatchPlanEvent& event) { (void)event; }
   virtual void OnRoundEnd(const RoundEndEvent& event) { (void)event; }
   virtual void OnRobustRename(const RobustRenameEvent& event) { (void)event; }
   virtual void OnPhase(const PhaseEvent& event) { (void)event; }
@@ -231,6 +250,7 @@ class ObserverList : public ChaseObserver {
   void OnTriggerRetired(const TriggerRetiredEvent& event) override;
   void OnCoreRetraction(const CoreRetractionEvent& event) override;
   void OnParallelRound(const ParallelRoundEvent& event) override;
+  void OnMatchPlan(const MatchPlanEvent& event) override;
   void OnRoundEnd(const RoundEndEvent& event) override;
   void OnRobustRename(const RobustRenameEvent& event) override;
   void OnPhase(const PhaseEvent& event) override;

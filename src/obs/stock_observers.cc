@@ -109,6 +109,12 @@ MetricsObserver::MetricsObserver(MetricsRegistry* registry,
   core_fallbacks_ = registry_->GetCounter("chase.core.fallbacks");
   parallel_rounds_ = registry_->GetCounter("chase.parallel.rounds");
   parallel_tasks_ = registry_->GetCounter("chase.parallel.tasks");
+  match_index_probes_ = registry_->GetCounter("chase.match.index_probes");
+  match_column_scans_ = registry_->GetCounter("chase.match.column_scans");
+  match_join_fallbacks_ = registry_->GetCounter("chase.match.join_fallbacks");
+  match_index_builds_ = registry_->GetCounter("chase.match.index_builds");
+  match_index_build_bytes_ =
+      registry_->GetCounter("chase.match.index_build_bytes");
   round_ = registry_->GetGauge("chase.round");
   instance_size_ = registry_->GetGauge("chase.instance.size");
   parallel_threads_ = registry_->GetGauge("chase.parallel.threads");
@@ -180,6 +186,14 @@ void MetricsObserver::OnParallelRound(const ParallelRoundEvent& event) {
   parallel_max_imbalance_->Set(static_cast<double>(event.max_imbalance));
   parallel_eval_ms_->Observe(event.eval_ms);
   parallel_merge_ms_->Observe(event.merge_ms);
+}
+
+void MetricsObserver::OnMatchPlan(const MatchPlanEvent& event) {
+  match_index_probes_->Increment(event.index_probes);
+  match_column_scans_->Increment(event.column_scans);
+  match_join_fallbacks_->Increment(event.join_fallbacks);
+  match_index_builds_->Increment(event.index_builds);
+  match_index_build_bytes_->Increment(event.index_build_bytes);
 }
 
 void MetricsObserver::OnPhase(const PhaseEvent& event) {
@@ -278,6 +292,19 @@ void EventLogObserver::OnParallelRound(const ParallelRoundEvent& event) {
         << ", \"max_imbalance\": " << event.max_imbalance
         << ", \"eval_ms\": " << FormatMetricNumber(event.eval_ms)
         << ", \"merge_ms\": " << FormatMetricNumber(event.merge_ms) << "}\n";
+}
+
+void EventLogObserver::OnMatchPlan(const MatchPlanEvent& event) {
+  // Skipped by default: this event only fires on the columnar matching
+  // backend, and the event-stream bit-identity oracle compares logs
+  // between the columnar and legacy backends.
+  if (out_ == nullptr || !log_match_events_) return;
+  *out_ << "{\"event\": \"match_plan\", \"round\": " << event.round
+        << ", \"index_probes\": " << event.index_probes
+        << ", \"column_scans\": " << event.column_scans
+        << ", \"join_fallbacks\": " << event.join_fallbacks
+        << ", \"index_builds\": " << event.index_builds
+        << ", \"index_build_bytes\": " << event.index_build_bytes << "}\n";
 }
 
 void EventLogObserver::OnRoundEnd(const RoundEndEvent& event) {

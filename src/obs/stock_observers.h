@@ -91,13 +91,17 @@ struct MetricsObserverOptions {
 ///              chase.delta.{repairs,inserted,erased,invalidated,seed_probes}
 ///              chase.core.{retractions,folds,fallbacks}
 ///              chase.parallel.{rounds,tasks}
+///              chase.match.{index_probes,column_scans,join_fallbacks}
+///              chase.match.{index_builds,index_build_bytes}
 ///   gauges     chase.round, chase.instance.size
 ///              chase.parallel.{threads,workers_used,max_imbalance}
 ///              chase.treewidth.upper (treewidth_upper only)
 ///   histograms chase.round.pending, chase.step.added_atoms
 ///              chase.parallel.{eval_ms,merge_ms}
-/// The chase.parallel.* instruments stay zero on sequential runs; they are
-/// always registered so the column set does not depend on --threads.
+/// The chase.parallel.* instruments stay zero on sequential runs and the
+/// chase.match.* instruments stay zero on the legacy matching backend; all
+/// are always registered so the column set does not depend on --threads or
+/// the backend.
 class MetricsObserver : public ChaseObserver {
  public:
   MetricsObserver(MetricsRegistry* registry,
@@ -111,6 +115,7 @@ class MetricsObserver : public ChaseObserver {
   void OnTriggerRetired(const TriggerRetiredEvent& event) override;
   void OnCoreRetraction(const CoreRetractionEvent& event) override;
   void OnParallelRound(const ParallelRoundEvent& event) override;
+  void OnMatchPlan(const MatchPlanEvent& event) override;
   void OnPhase(const PhaseEvent& event) override;
 
  private:
@@ -132,6 +137,11 @@ class MetricsObserver : public ChaseObserver {
   Counter* core_fallbacks_;
   Counter* parallel_rounds_;
   Counter* parallel_tasks_;
+  Counter* match_index_probes_;
+  Counter* match_column_scans_;
+  Counter* match_join_fallbacks_;
+  Counter* match_index_builds_;
+  Counter* match_index_build_bytes_;
   Gauge* round_;
   Gauge* instance_size_;
   Gauge* parallel_threads_;
@@ -152,11 +162,18 @@ class MetricsObserver : public ChaseObserver {
 /// event only fires at --threads > 1 and carries wall-clock payloads, so
 /// logging it by default would break the bit-identity of event streams
 /// across thread counts (the oracle tests/parallel_chase_test.cc relies
-/// on). Opt in for interactive parallelism debugging only.
+/// on). MatchPlanEvent is likewise SKIPPED unless log_match_events is set:
+/// it only fires on the columnar matching backend, and logging it by
+/// default would break the bit-identity of event streams across backends
+/// (the oracle tests/storage_equivalence_test.cc relies on). Opt in for
+/// interactive debugging only.
 class EventLogObserver : public ChaseObserver {
  public:
-  explicit EventLogObserver(std::ostream* out, bool log_parallel_events = false)
-      : out_(out), log_parallel_events_(log_parallel_events) {}
+  explicit EventLogObserver(std::ostream* out, bool log_parallel_events = false,
+                            bool log_match_events = false)
+      : out_(out),
+        log_parallel_events_(log_parallel_events),
+        log_match_events_(log_match_events) {}
 
   void OnRunBegin(const RunBeginEvent& event) override;
   void OnRoundBegin(const RoundBeginEvent& event) override;
@@ -166,6 +183,7 @@ class EventLogObserver : public ChaseObserver {
   void OnTriggerRetired(const TriggerRetiredEvent& event) override;
   void OnCoreRetraction(const CoreRetractionEvent& event) override;
   void OnParallelRound(const ParallelRoundEvent& event) override;
+  void OnMatchPlan(const MatchPlanEvent& event) override;
   void OnRoundEnd(const RoundEndEvent& event) override;
   void OnRobustRename(const RobustRenameEvent& event) override;
   void OnPhase(const PhaseEvent& event) override;
@@ -175,6 +193,7 @@ class EventLogObserver : public ChaseObserver {
  private:
   std::ostream* out_;
   bool log_parallel_events_;
+  bool log_match_events_;
 };
 
 }  // namespace twchase

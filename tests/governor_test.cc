@@ -7,10 +7,13 @@
 // and mid-run deadline stops.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "core/chase.h"
 #include "kb/examples.h"
+#include "model/atom_set.h"
+#include "model/column_segment.h"
 #include "util/governor.h"
 
 namespace twchase {
@@ -208,6 +211,32 @@ TEST(MemoryAccountingTest, BudgetAtTheDedupedEstimateIsNotTrippedEarly) {
   EXPECT_GT(run->steps, 6u)
       << "stopped at or before step 6: the estimate overshot the budget "
          "(final snapshot double-counted?)";
+}
+
+TEST(MemoryAccountingTest, ColumnIndexAndDictionaryBytesAreCounted) {
+  // The governed estimate must charge the columnar layer: the term
+  // dictionary and, per segment, the column data plus the sorted index at
+  // full materialisation (sizeof(uint32_t) per row per column — charged
+  // whether or not the lazy build has run, so the estimate is independent
+  // of probe schedules). Dropping any of these from ApproxMemoryBytes
+  // makes a memory budget blind to real columnar growth and fails here.
+  Vocabulary vocab;
+  PredicateId p = vocab.MustPredicate("p", 2);
+  AtomSet s;
+  size_t empty_bytes = s.ApproxMemoryBytes();
+  constexpr size_t kRows = 64;
+  for (size_t i = 0; i < kRows; ++i) {
+    s.Insert(Atom(p, {vocab.Constant("c" + std::to_string(i)),
+                      vocab.Constant("d" + std::to_string(i))}));
+  }
+  const ColumnSegment* seg = s.SegmentFor(p);
+  ASSERT_NE(seg, nullptr);
+  size_t data_bytes = 2 * kRows * sizeof(TermId) + kRows * sizeof(uint32_t);
+  size_t index_bytes = 2 * kRows * sizeof(uint32_t);
+  EXPECT_GE(seg->ApproxMemoryBytes(), data_bytes + index_bytes);
+  EXPECT_GE(s.ApproxMemoryBytes(),
+            empty_bytes + s.dictionary().ApproxMemoryBytes() +
+                seg->ApproxMemoryBytes());
 }
 
 TEST(ResourceGovernorTest, StopReasonNamesAreStable) {

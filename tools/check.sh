@@ -6,15 +6,19 @@
 #      concurrency on every bundled program — the cheap end-to-end check of
 #      the deterministic-merge invariant (tests/parallel_chase_test.cc is
 #      the thorough one);
-#   3. sanitizers: ASan+UBSan (TWCHASE_SANITIZE) build, then the delta, obs
-#      and robustness labelled suites under it (the fault-injection and
-#      checkpoint/resume tests are exactly the ones that must be
-#      memory-clean);
-#   4. TSan: ThreadSanitizer build, then the parallel-labelled suite under
-#      it to race-check the worker pool and sharded metrics;
+#   3. sanitizers: ASan+UBSan (TWCHASE_SANITIZE) build, then the delta, obs,
+#      robustness and columnar labelled suites under it (fault-injection,
+#      checkpoint/resume and the columnar storage layer are exactly the
+#      code that must be memory-clean);
+#   4. TSan: ThreadSanitizer build, then the parallel and columnar labelled
+#      suites under it to race-check the worker pool, sharded metrics and
+#      the lazy column-index builds that parallel searches race on;
 #   5. fuzz smoke: a short run of the parser fuzz harness under the
 #      sanitizer build (libFuzzer with clang, the deterministic standalone
-#      driver with gcc).
+#      driver with gcc);
+#   6. bench smoke: the full bench_engine sweep (delta, threads, matching
+#      backends, large instances) under a generous wall-time ceiling — it
+#      fails on parity violations, a tripped memory budget, or a hang.
 # Run from the repository root. Fails fast on the first broken step. Every
 # ctest invocation is wrapped in a hard `timeout` so a hung governed run can
 # never wedge the gate (individual tests additionally carry ctest TIMEOUT
@@ -28,6 +32,9 @@ JOBS="${JOBS:-2}"
 CTEST_HARD_TIMEOUT="${CTEST_HARD_TIMEOUT:-1200}"
 # Fuzz smoke duration, seconds.
 FUZZ_SECONDS="${FUZZ_SECONDS:-30}"
+# Bench smoke ceiling, seconds. Generous: the sweep takes ~1 minute on an
+# unloaded host; hitting the ceiling means a hang or a serious regression.
+BENCH_HARD_TIMEOUT="${BENCH_HARD_TIMEOUT:-900}"
 
 echo "== tier-1: default preset =="
 cmake --preset default
@@ -51,20 +58,24 @@ for program in data/*.twc; do
   echo "  $program: identical at threads 1/4/$HW_THREADS"
 done
 
-echo "== sanitizers: asan preset, delta+obs+robustness labels =="
+echo "== sanitizers: asan preset, delta+obs+robustness+columnar labels =="
 cmake --preset asan -DTWCHASE_BUILD_FUZZERS=ON
 cmake --build --preset asan -j "$JOBS"
 timeout "$CTEST_HARD_TIMEOUT" ctest --test-dir build-asan \
-  --output-on-failure -L 'delta|obs|robustness'
+  --output-on-failure -L 'delta|obs|robustness|columnar'
 
-echo "== tsan: thread preset, parallel label =="
+echo "== tsan: thread preset, parallel+columnar labels =="
 cmake --preset tsan
 cmake --build --preset tsan -j "$JOBS"
 timeout "$CTEST_HARD_TIMEOUT" ctest --test-dir build-tsan \
-  --output-on-failure -L parallel
+  --output-on-failure -L 'parallel|columnar'
 
 echo "== fuzz smoke: parser harness, ${FUZZ_SECONDS}s =="
 timeout $((FUZZ_SECONDS + 30)) ./build-asan/fuzz/parser_fuzzer \
   "-max_total_time=${FUZZ_SECONDS}" -seed=1
+
+echo "== bench smoke: full sweep under ${BENCH_HARD_TIMEOUT}s ceiling =="
+timeout "$BENCH_HARD_TIMEOUT" ./build/bench/bench_engine \
+  --out /tmp/twchase_bench_smoke.json > /dev/null
 
 echo "check.sh: all gates passed"

@@ -22,6 +22,9 @@
 //     --threads=N          worker threads for trigger evaluation (default:
 //                          hardware concurrency; 1 = sequential; results
 //                          are bit-identical at any N)
+//     --match-backend=columnar|legacy   homomorphism matching backend
+//                          (default: columnar; results are bit-identical
+//                          on either)
 //     --checkpoint-out=FILE record the run and write a resumable checkpoint
 //     --resume-from=FILE   resume a checkpointed run (same program file)
 #include <algorithm>
@@ -71,8 +74,8 @@ int Usage(const char* argv0) {
                "[--measures] [--robust] [--analyze] [--trace] "
                "[--print-result] [--metrics-out=FILE] [--events-out=FILE] "
                "[--deadline-ms=N] [--memory-budget-mb=N] [--threads=N] "
-               "[--checkpoint-out=FILE] [--resume-from=FILE] "
-               "<program-file>\n",
+               "[--match-backend=B] [--checkpoint-out=FILE] "
+               "[--resume-from=FILE] <program-file>\n",
                argv0);
   return 2;
 }
@@ -98,9 +101,20 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     std::string arg = argv[i];
     twchase::flags::ArgMatcher m(arg);
     std::string variant_name;
+    std::string backend_name;
     if (m.Value("--variant", &variant_name)) {
       if (!ParseVariant(variant_name, &options->chase.variant)) {
         std::fprintf(stderr, "unknown variant: %s\n", variant_name.c_str());
+        return false;
+      }
+    } else if (m.Value("--match-backend", &backend_name)) {
+      if (backend_name == "columnar") {
+        twchase::SetMatchBackend(twchase::MatchBackend::kColumnar);
+      } else if (backend_name == "legacy") {
+        twchase::SetMatchBackend(twchase::MatchBackend::kLegacy);
+      } else {
+        std::fprintf(stderr, "unknown match backend: %s\n",
+                     backend_name.c_str());
         return false;
       }
     } else if (m.SizeValue("--deadline-ms", &deadline_ms)) {
