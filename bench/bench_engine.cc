@@ -16,6 +16,10 @@
 // speedups and the chase.match.* counters. A fourth section runs the
 // large-instance family (scaled transitive closure and a wide guarded
 // chain, each ≥100k atoms) columnar-only under a governor memory budget.
+// A fifth section sweeps the execution planner (--plan off/on) over the
+// core-chase workloads, verifies bit-parity, and records the planner stats
+// (reliance edges, strata, dormancy skips, still-core certificates) — the
+// staircase-core row backs the planner regression gate in tools/check.sh.
 //
 // `--micro` mode: the google-benchmark microbenchmarks of the substrate
 // costs underlying every figure (homomorphism search, core computation,
@@ -529,6 +533,97 @@ std::string RunLargeInstanceSweep(MetricsRegistry* registry) {
   return json;
 }
 
+// ---------------------------------------------------------------------------
+// Execution-planner sweep.
+
+// Runs the core-chase workloads with the planner off and on and returns the
+// "plan_sweep" JSON object (empty string on parity violation). The planner's
+// contract is bit-identity — dormant-rule skips are provably empty
+// enumerations and still-core certificates replace zero-fold ComputeCore
+// calls — so the off/on pair must be the same run, and the speedup column is
+// pure saved work (mostly fold searches on the core variant).
+std::string RunPlanSweep(MetricsRegistry* registry) {
+  std::vector<SweepWorkload> workloads;
+  workloads.push_back({"staircase-core", ChaseVariant::kCore, 45,
+                       [] { return StaircaseWorld().kb(); }});
+  workloads.push_back({"elevator-core", ChaseVariant::kCore, 60,
+                       [] { return ElevatorWorld().kb(); }});
+  workloads.push_back({"staircase-restricted", ChaseVariant::kRestricted, 120,
+                       [] { return StaircaseWorld().kb(); }});
+
+  auto measure = [&](const SweepWorkload& workload, bool plan_on) {
+    SweepMeasurement best;
+    for (int rep = 0; rep < 3; ++rep) {
+      KnowledgeBase kb = workload.make_kb();
+      ChaseOptions options;
+      options.variant = workload.variant;
+      options.limits.max_steps = workload.max_steps;
+      options.keep_snapshots = false;
+      options.plan.enabled = plan_on;
+      Stopwatch watch;
+      auto run = RunChase(kb, options);
+      double ms = watch.ElapsedMillis();
+      registry
+          ->GetHistogram("phase." + workload.name + ".plan_" +
+                         (plan_on ? "on" : "off") + ".wall_ms")
+          ->Observe(ms);
+      if (!run.ok()) {
+        std::fprintf(stderr, "workload %s failed: %s\n", workload.name.c_str(),
+                     run.status().message().c_str());
+        continue;
+      }
+      if (rep == 0 || ms < best.wall_ms) {
+        best.wall_ms = ms;
+        best.result = std::move(*run);
+      }
+    }
+    return best;
+  };
+
+  std::string json = "  \"plan_sweep\": {\n    \"workloads\": [\n";
+  std::printf("\n%-26s %-14s %10s %10s %10s %10s\n", "workload", "variant",
+              "off ms", "on ms", "speedup", "certified");
+  for (size_t i = 0; i < workloads.size(); ++i) {
+    const SweepWorkload& workload = workloads[i];
+    SweepMeasurement off = measure(workload, /*plan_on=*/false);
+    SweepMeasurement on = measure(workload, /*plan_on=*/true);
+    if (on.result.steps != off.result.steps ||
+        on.result.rounds != off.result.rounds ||
+        !(on.result.derivation.Last() == off.result.derivation.Last())) {
+      std::fprintf(stderr, "PARITY VIOLATION on %s: plan on/off disagree\n",
+                   workload.name.c_str());
+      return "";
+    }
+    double speedup = on.wall_ms > 0 ? off.wall_ms / on.wall_ms : 0;
+    std::printf("%-26s %-14s %9.2f %9.2f %9.2fx %10zu\n",
+                workload.name.c_str(), ChaseVariantName(workload.variant),
+                off.wall_ms, on.wall_ms, speedup,
+                on.result.stats.plan_core_certified);
+    char buffer[1024];
+    std::snprintf(
+        buffer, sizeof(buffer),
+        "      {\"name\": \"%s\", \"variant\": \"%s\", \"steps\": %zu,\n"
+        "       \"plan_off\": {\"wall_ms\": %.3f, \"core_full\": %zu},\n"
+        "       \"plan_on\": {\"wall_ms\": %.3f, \"core_full\": %zu,\n"
+        "        \"reliance_edges\": %zu, \"strata\": %zu, "
+        "\"dormant_rules\": %zu,\n"
+        "        \"enumerations_skipped\": %zu, \"probes_skipped\": %zu,\n"
+        "        \"core_proofs\": %zu, \"core_certified\": %zu},\n"
+        "       \"speedup\": %.2f}",
+        workload.name.c_str(), ChaseVariantName(workload.variant),
+        on.result.steps, off.wall_ms, off.result.stats.core_full, on.wall_ms,
+        on.result.stats.core_full, on.result.stats.plan_reliance_edges,
+        on.result.stats.plan_strata, on.result.stats.plan_dormant_rules,
+        on.result.stats.plan_enumerations_skipped,
+        on.result.stats.plan_probes_skipped, on.result.stats.plan_core_proofs,
+        on.result.stats.plan_core_certified, speedup);
+    json += buffer;
+    json += (i + 1 < workloads.size()) ? ",\n" : "\n";
+  }
+  json += "    ]\n  }";
+  return json;
+}
+
 int RunDeltaSweep(const char* output_path) {
   std::vector<SweepWorkload> workloads;
   workloads.push_back({"transitive-closure-12", ChaseVariant::kRestricted,
@@ -597,6 +692,9 @@ int RunDeltaSweep(const char* output_path) {
   std::string large_instance = RunLargeInstanceSweep(&registry);
   if (large_instance.empty()) return 1;
   json += large_instance + ",\n";
+  std::string plan_sweep = RunPlanSweep(&registry);
+  if (plan_sweep.empty()) return 1;
+  json += plan_sweep + ",\n";
   json += "  \"metrics\": " + registry.ToJson(2) + "\n}\n";
 
   if (FILE* out = std::fopen(output_path, "w")) {

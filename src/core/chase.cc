@@ -14,6 +14,8 @@
 #include "hom/endomorphism.h"
 #include "hom/matcher.h"
 #include "obs/observer.h"
+#include "plan/core_guard.h"
+#include "plan/execution_plan.h"
 #include "util/fault.h"
 #include "util/governor.h"
 #include "util/logging.h"
@@ -137,6 +139,22 @@ struct RoundParallelStats {
   }
 };
 
+// Telemetry of one round's planner decisions (src/plan/), aggregated for the
+// per-round PlanEvent and ChaseStats.
+struct RoundPlanStats {
+  size_t active_strata = 0;
+  size_t enumerations_skipped = 0;
+  size_t probes_skipped = 0;
+  size_t core_proofs = 0;
+  size_t core_certified = 0;
+
+  bool any() const {
+    return active_strata + enumerations_skipped + probes_skipped +
+               core_proofs + core_certified >
+           0;
+  }
+};
+
 // Walks a recorded ResumeLog in lock-step with the scheduler. While
 // `active`, committed decisions come from the log instead of satisfaction
 // checks, and recorded retractions are applied instead of recomputing
@@ -221,6 +239,65 @@ StatusOr<ChaseResult> RunChaseWithReplay(const KnowledgeBase& kb,
         match_counters.index_build_bytes.load(std::memory_order_relaxed);
   };
 
+  // Counter values already reported through MatchPlanEvent, so each round's
+  // event carries deltas. Besides the round ends, this is flushed once after
+  // the scheduler loop (and on the pre-run budget-stop path): a mid-round
+  // stop used to drop the final round's counts from any attached
+  // MetricsRegistry while ChaseStats kept them, so the registry totals
+  // diverged between --threads settings depending on where the stop landed.
+  MatchPlanEvent match_reported;
+  auto emit_match_plan_delta = [&](size_t round) {
+    if (obs == nullptr) return;
+    MatchPlanEvent plan;
+    plan.round = round;
+    plan.index_probes =
+        match_counters.index_probes.load(std::memory_order_relaxed) -
+        match_reported.index_probes;
+    plan.column_scans =
+        match_counters.column_scans.load(std::memory_order_relaxed) -
+        match_reported.column_scans;
+    plan.join_fallbacks =
+        match_counters.join_fallbacks.load(std::memory_order_relaxed) -
+        match_reported.join_fallbacks;
+    plan.index_builds =
+        match_counters.index_builds.load(std::memory_order_relaxed) -
+        match_reported.index_builds;
+    plan.index_build_bytes =
+        match_counters.index_build_bytes.load(std::memory_order_relaxed) -
+        match_reported.index_build_bytes;
+    if (plan.index_probes + plan.column_scans + plan.join_fallbacks +
+            plan.index_builds + plan.index_build_bytes ==
+        0) {
+      return;
+    }
+    obs->OnMatchPlan(plan);
+    match_reported.index_probes += plan.index_probes;
+    match_reported.column_scans += plan.column_scans;
+    match_reported.join_fallbacks += plan.join_fallbacks;
+    match_reported.index_builds += plan.index_builds;
+    match_reported.index_build_bytes += plan.index_build_bytes;
+  };
+
+  // Still-core guard (plan/core_guard.h). The instance is a certified core
+  // exactly while `guard_base_established`: every certified variable was
+  // minted before `guard_base_mark` and `guard_atoms_since` holds the atoms
+  // added since certification. Certification sites are exactly the live
+  // coring successes (initial, per-step, round-end) and guard proofs;
+  // replayed retractions never certify (the base predates the replayed
+  // mutations).
+  const bool plan_on = options.plan.enabled;
+  const bool core_guard_on =
+      plan_on && options.plan.core_guard && is_core && !use_incremental_core;
+  bool guard_base_established = false;
+  uint32_t guard_base_mark = 0;
+  std::vector<Atom> guard_atoms_since;
+  auto note_certified = [&]() {
+    if (!core_guard_on) return;
+    guard_base_established = true;
+    guard_base_mark = static_cast<uint32_t>(vocab->num_variables());
+    guard_atoms_since.clear();
+  };
+
   ResumeLog* const rec = options.resume.record_log ? &result.resume_log
                                                    : nullptr;
   ReplayCursor cursor;
@@ -271,6 +348,7 @@ StatusOr<ChaseResult> RunChaseWithReplay(const KnowledgeBase& kb,
         current = std::move(cored.core);
         sigma0 = std::move(cored.retraction);
         initial_folds = cored.folds;
+        note_certified();
       }
     }
   }
@@ -293,6 +371,7 @@ StatusOr<ChaseResult> RunChaseWithReplay(const KnowledgeBase& kb,
         obs->OnFaultInjected(
             {governor.fault_site(), governor.fault_visit(), governor.reason()});
       }
+      emit_match_plan_delta(0);
       obs->OnRunEnd({result.steps, result.rounds, result.terminated,
                      result.size_guard_tripped, current.size(),
                      result.stop_reason});
@@ -341,6 +420,35 @@ StatusOr<ChaseResult> RunChaseWithReplay(const KnowledgeBase& kb,
     });
   }
 
+  // Execution plan (src/plan/): positive-reliance graph, SCC strata and
+  // dormant rules. A pure function of the program and the input facts'
+  // predicates, computed once and valid for the whole run: every atom any
+  // chase instance can ever hold has a producible predicate (induction over
+  // applications), so a dormant rule has no match in any reachable
+  // instance, retractions included — see BuildExecutionPlan.
+  ExecutionPlan exec_plan;
+  std::vector<std::unordered_set<PredicateId>> plan_body_predicates;
+  if (plan_on) {
+    exec_plan = BuildExecutionPlan(kb.rules, kb.facts);
+    result.stats.plan_reliance_edges = exec_plan.graph.edge_count;
+    result.stats.plan_strata = exec_plan.strata.size();
+    result.stats.plan_dormant_rules = exec_plan.dormant_count;
+    plan_body_predicates.reserve(rule_states.size());
+    for (const RuleState& state : rule_states) {
+      plan_body_predicates.push_back(state.body_predicates);
+    }
+    if (obs != nullptr) {
+      PlanEvent plan_event;
+      plan_event.rules = kb.rules.size();
+      plan_event.reliance_edges = exec_plan.graph.edge_count;
+      plan_event.strata = exec_plan.strata.size();
+      plan_event.dormant_rules = exec_plan.dormant_count;
+      obs->OnPlan(plan_event);
+    }
+  }
+  const bool skip_dormant =
+      plan_on && options.plan.skip_dormant && exec_plan.dormant_count > 0;
+
   // Parallel trigger evaluation (core/parallel.h): with threads > 1 the
   // match-establishment phase of each round fans its probes out over a
   // fixed pool and merges the per-task candidate buffers back in the exact
@@ -360,9 +468,9 @@ StatusOr<ChaseResult> RunChaseWithReplay(const KnowledgeBase& kb,
 
   size_t since_last_core = 0;
 
-  // Counter values already reported through MatchPlanEvent, so each round's
-  // event carries deltas. Only consulted when an observer is attached.
-  MatchPlanEvent match_reported;
+  // Dirty-term fold state threaded through successive incremental core
+  // updates (hom/core.h); the update itself clears it on cascade fallback.
+  IncrementalCoreState inc_core_state;
 
   while (result.steps < options.limits.max_steps) {
     if (governor.ShouldStop(FaultSite::kRoundBoundary)) {
@@ -377,6 +485,7 @@ StatusOr<ChaseResult> RunChaseWithReplay(const KnowledgeBase& kb,
     if (rec != nullptr) rec->rounds.emplace_back();
     const size_t steps_at_round_start = result.steps;
     RoundParallelStats round_par;
+    RoundPlanStats round_plan;
 
     // Establish this round's match sets: naive evaluation re-enumerates
     // from scratch; delta evaluation repairs the stored sets from the atoms
@@ -394,6 +503,9 @@ StatusOr<ChaseResult> RunChaseWithReplay(const KnowledgeBase& kb,
         const bool complete = peval->Run(
             kb.rules.size(),
             [&](size_t r) {
+              // A dormant rule's enumeration is guaranteed empty — skip the
+              // search, leave the slot empty.
+              if (skip_dormant && exec_plan.dormant[r]) return size_t{0};
               slots[r] = EnumerateRuleCandidates(kb.rules[r], current);
               return ApproxCandidateBytes(slots[r]);
             },
@@ -408,7 +520,12 @@ StatusOr<ChaseResult> RunChaseWithReplay(const KnowledgeBase& kb,
               state.matches.push_back(StoredMatch{std::move(candidate.match),
                                                   std::move(candidate.key)});
             }
-            ++result.stats.full_enumerations;
+            if (skip_dormant && exec_plan.dormant[r]) {
+              ++result.stats.plan_enumerations_skipped;
+              ++round_plan.enumerations_skipped;
+            } else {
+              ++result.stats.full_enumerations;
+            }
           }
           round_par.NoteSection(section, merge_timer.ElapsedMillis());
         }
@@ -418,6 +535,12 @@ StatusOr<ChaseResult> RunChaseWithReplay(const KnowledgeBase& kb,
         for (size_t r = 0; r < kb.rules.size(); ++r) {
           RuleState& state = rule_states[r];
           state.matches.clear();
+          if (skip_dormant && exec_plan.dormant[r]) {
+            // The enumeration is guaranteed empty for a dormant rule.
+            ++result.stats.plan_enumerations_skipped;
+            ++round_plan.enumerations_skipped;
+            continue;
+          }
           for (Trigger& tr :
                FindTriggers(kb.rules[r], static_cast<int>(r), current)) {
             PackedBindings key = PackedBindings::FromMatch(tr.match);
@@ -561,6 +684,11 @@ StatusOr<ChaseResult> RunChaseWithReplay(const KnowledgeBase& kb,
         const bool complete = peval->Run(
             probes.size(),
             [&](size_t t) {
+              // A dormant rule's probe is guaranteed empty — skip the
+              // search, leave the slot empty.
+              if (skip_dormant && exec_plan.dormant[probes[t].rule]) {
+                return size_t{0};
+              }
               slots[t] = SeededProbeCandidates(kb.rules[probes[t].rule],
                                                *probes[t].fact, current);
               return ApproxCandidateBytes(slots[t]);
@@ -570,8 +698,14 @@ StatusOr<ChaseResult> RunChaseWithReplay(const KnowledgeBase& kb,
           Stopwatch merge_timer;
           for (size_t t = 0; t < probes.size(); ++t) {
             RuleState& state = rule_states[probes[t].rule];
+            // Skipped probes stay accounted: the DeltaRepairEvent payload
+            // (and the seed_probes counters) must not depend on the planner.
             ++result.stats.seed_probes;
             ++repair.seed_probes;
+            if (skip_dormant && exec_plan.dormant[probes[t].rule]) {
+              ++result.stats.plan_probes_skipped;
+              ++round_plan.probes_skipped;
+            }
             for (CandidateMatch& candidate : slots[t]) {
               if (state.match_keys.insert(candidate.key).second) {
                 state.matches.push_back(StoredMatch{std::move(candidate.match),
@@ -590,8 +724,15 @@ StatusOr<ChaseResult> RunChaseWithReplay(const KnowledgeBase& kb,
           for (size_t r = 0; r < kb.rules.size(); ++r) {
             RuleState& state = rule_states[r];
             if (!state.body_predicates.contains(fact.predicate())) continue;
+            // Skipped probes stay accounted: the DeltaRepairEvent payload
+            // (and the seed_probes counters) must not depend on the planner.
             ++result.stats.seed_probes;
             ++repair.seed_probes;
+            if (skip_dormant && exec_plan.dormant[r]) {
+              ++result.stats.plan_probes_skipped;
+              ++round_plan.probes_skipped;
+              continue;
+            }
             for (Substitution& m :
                  FindSeededMatches(kb.rules[r], fact, current)) {
               PackedBindings key = PackedBindings::FromMatch(m);
@@ -603,6 +744,10 @@ StatusOr<ChaseResult> RunChaseWithReplay(const KnowledgeBase& kb,
             }
           }
         }
+      }
+      if (plan_on) {
+        round_plan.active_strata = CountActiveStrata(
+            exec_plan, plan_body_predicates, pending_delta.InsertedPredicates());
       }
       pending_delta.Clear();
       if (obs != nullptr) obs->OnDeltaRepair(repair);
@@ -797,6 +942,13 @@ StatusOr<ChaseResult> RunChaseWithReplay(const KnowledgeBase& kb,
 
       TriggerApplication application =
           ApplyTrigger(rule, *match, &current, vocab);
+      if (core_guard_on && guard_base_established) {
+        // Copied, not moved: added_atoms still feeds the derivation step
+        // (and the abort rollback) below.
+        guard_atoms_since.insert(guard_atoms_since.end(),
+                                 application.added_atoms.begin(),
+                                 application.added_atoms.end());
+      }
       Substitution sigma;
       std::vector<Substitution> fold_sigmas;
       size_t core_folds = 0;
@@ -825,7 +977,7 @@ StatusOr<ChaseResult> RunChaseWithReplay(const KnowledgeBase& kb,
           inc_options.dirty_radius = options.core.dirty_radius;
           IncrementalCoreResult inc =
               IncrementalCoreUpdate(&current, application.added_atoms,
-                                    inc_options);
+                                    inc_options, &inc_core_state);
           sigma = std::move(inc.retraction);
           if (inc.fell_back) {
             ++result.stats.core_fallbacks;
@@ -850,24 +1002,50 @@ StatusOr<ChaseResult> RunChaseWithReplay(const KnowledgeBase& kb,
           core_event.folds = step_record->folds;
         } else {
           if (delta_on) pending_delta.Absorb(current.DrainDelta());
-          CoreResult cored = ComputeCore(current);
-          if (governor.stopped()) {
-            // Coring aborted mid-search: discard it and roll the
-            // application back to the last committed step (its added atoms
-            // are exactly what it inserted; everything else is untouched).
-            for (const Atom& atom : application.added_atoms) {
-              current.Erase(atom);
-            }
-            application_aborted = true;
-          } else {
-            if (delta_on) {
-              RecordRetractionDelta(cored.retraction, current, &pending_delta);
-            }
-            current = std::move(cored.core);
+          bool guard_certified = false;
+          if (core_guard_on && guard_base_established && !governor.stopped()) {
+            ++result.stats.plan_core_proofs;
+            ++round_plan.core_proofs;
+            CoreGuardOutcome guard =
+                ProveStillCore(current, guard_atoms_since, guard_base_mark);
+            // An inner search the governor aborted can miss a refutation,
+            // so a stopped run never certifies: it falls through to
+            // ComputeCore, whose abort path rolls the application back.
+            guard_certified = guard.certified && !governor.stopped();
+          }
+          if (guard_certified) {
+            // Proven still a core without folding anything: ComputeCore
+            // would have returned the instance itself with an empty
+            // retraction and zero folds, so leaving `current` in place
+            // (its journal survives the drain) with `sigma` empty
+            // reproduces the unguarded records and events bit for bit.
+            ++result.stats.plan_core_certified;
+            ++round_plan.core_certified;
             if (delta_on) current.EnableDeltaJournal();
-            sigma = std::move(cored.retraction);
-            ++result.stats.core_full;
-            core_event.folds = cored.folds;
+            core_event.folds = 0;
+            note_certified();
+          } else {
+            CoreResult cored = ComputeCore(current);
+            if (governor.stopped()) {
+              // Coring aborted mid-search: discard it and roll the
+              // application back to the last committed step (its added atoms
+              // are exactly what it inserted; everything else is untouched).
+              for (const Atom& atom : application.added_atoms) {
+                current.Erase(atom);
+              }
+              application_aborted = true;
+            } else {
+              if (delta_on) {
+                RecordRetractionDelta(cored.retraction, current,
+                                      &pending_delta);
+              }
+              current = std::move(cored.core);
+              if (delta_on) current.EnableDeltaJournal();
+              sigma = std::move(cored.retraction);
+              ++result.stats.core_full;
+              core_event.folds = cored.folds;
+              note_certified();
+            }
           }
         }
         if (!application_aborted) {
@@ -1008,36 +1186,71 @@ StatusOr<ChaseResult> RunChaseWithReplay(const KnowledgeBase& kb,
       if (!round_end_handled && replay_error.ok()) {
         if (delta_on) pending_delta.Absorb(current.DrainDelta());
         size_t size_before = current.size();
-        CoreResult cored = ComputeCore(current);
-        if (governor.stopped()) {
-          // Aborted mid-search; nothing was mutated — the round's committed
-          // applications stand, the amendment simply has not happened yet
-          // (resume re-runs it).
-          budget_stop = true;
-        } else {
-          ++result.stats.core_full;
-          size_t round_end_folds = cored.folds;
-          if (!cored.retraction.IsIdentity()) {
-            if (delta_on) {
-              RecordRetractionDelta(cored.retraction, current, &pending_delta);
-            }
-            current = std::move(cored.core);
-            if (delta_on) current.EnableDeltaJournal();
-            result.derivation.AmendLastSimplification(cored.retraction,
-                                                      current);
-          }
+        bool guard_certified = false;
+        if (core_guard_on && guard_base_established && !governor.stopped()) {
+          ++result.stats.plan_core_proofs;
+          ++round_plan.core_proofs;
+          CoreGuardOutcome guard =
+              ProveStillCore(current, guard_atoms_since, guard_base_mark);
+          // A governor-aborted inner search can miss a refutation, so a
+          // stopped run never certifies and takes the ComputeCore branch,
+          // whose abort handling is unchanged.
+          guard_certified = guard.certified && !governor.stopped();
+        }
+        if (guard_certified) {
+          // Zero-fold round end, synthesised: an identity retraction skips
+          // the record/rebuild/amend exactly as the unguarded path does, so
+          // the record and event below are bit-identical to it.
+          ++result.stats.plan_core_certified;
+          ++round_plan.core_certified;
+          note_certified();
           if (rec != nullptr) {
             rec->rounds.back().have_round_end = true;
-            rec->rounds.back().round_end_sigma = cored.retraction;
-            rec->rounds.back().round_end_folds = round_end_folds;
+            rec->rounds.back().round_end_sigma = Substitution();
+            rec->rounds.back().round_end_folds = 0;
           }
           if (obs != nullptr) {
             CoreRetractionEvent retraction;
             retraction.step = result.steps;
-            retraction.folds = round_end_folds;
+            retraction.folds = 0;
             retraction.size_before = size_before;
             retraction.size_after = current.size();
             obs->OnCoreRetraction(retraction);
+          }
+        } else {
+          CoreResult cored = ComputeCore(current);
+          if (governor.stopped()) {
+            // Aborted mid-search; nothing was mutated — the round's
+            // committed applications stand, the amendment simply has not
+            // happened yet (resume re-runs it).
+            budget_stop = true;
+          } else {
+            ++result.stats.core_full;
+            size_t round_end_folds = cored.folds;
+            if (!cored.retraction.IsIdentity()) {
+              if (delta_on) {
+                RecordRetractionDelta(cored.retraction, current,
+                                      &pending_delta);
+              }
+              current = std::move(cored.core);
+              if (delta_on) current.EnableDeltaJournal();
+              result.derivation.AmendLastSimplification(cored.retraction,
+                                                        current);
+            }
+            note_certified();
+            if (rec != nullptr) {
+              rec->rounds.back().have_round_end = true;
+              rec->rounds.back().round_end_sigma = cored.retraction;
+              rec->rounds.back().round_end_folds = round_end_folds;
+            }
+            if (obs != nullptr) {
+              CoreRetractionEvent retraction;
+              retraction.step = result.steps;
+              retraction.folds = round_end_folds;
+              retraction.size_before = size_before;
+              retraction.size_after = current.size();
+              obs->OnCoreRetraction(retraction);
+            }
           }
         }
       }
@@ -1060,32 +1273,20 @@ StatusOr<ChaseResult> RunChaseWithReplay(const KnowledgeBase& kb,
       // application and coring). Emitted only when the round did match
       // work, and skipped by the stock event log unless opted in, so event
       // streams stay comparable across backends and thread counts.
-      MatchPlanEvent plan;
-      plan.round = result.rounds;
-      plan.index_probes =
-          match_counters.index_probes.load(std::memory_order_relaxed) -
-          match_reported.index_probes;
-      plan.column_scans =
-          match_counters.column_scans.load(std::memory_order_relaxed) -
-          match_reported.column_scans;
-      plan.join_fallbacks =
-          match_counters.join_fallbacks.load(std::memory_order_relaxed) -
-          match_reported.join_fallbacks;
-      plan.index_builds =
-          match_counters.index_builds.load(std::memory_order_relaxed) -
-          match_reported.index_builds;
-      plan.index_build_bytes =
-          match_counters.index_build_bytes.load(std::memory_order_relaxed) -
-          match_reported.index_build_bytes;
-      if (plan.index_probes + plan.column_scans + plan.join_fallbacks +
-              plan.index_builds + plan.index_build_bytes >
-          0) {
-        obs->OnMatchPlan(plan);
-        match_reported.index_probes += plan.index_probes;
-        match_reported.column_scans += plan.column_scans;
-        match_reported.join_fallbacks += plan.join_fallbacks;
-        match_reported.index_builds += plan.index_builds;
-        match_reported.index_build_bytes += plan.index_build_bytes;
+      emit_match_plan_delta(result.rounds);
+      if (plan_on && round_plan.any()) {
+        PlanEvent plan_event;
+        plan_event.round = result.rounds;
+        plan_event.rules = kb.rules.size();
+        plan_event.reliance_edges = exec_plan.graph.edge_count;
+        plan_event.strata = exec_plan.strata.size();
+        plan_event.dormant_rules = exec_plan.dormant_count;
+        plan_event.active_strata = round_plan.active_strata;
+        plan_event.enumerations_skipped = round_plan.enumerations_skipped;
+        plan_event.probes_skipped = round_plan.probes_skipped;
+        plan_event.core_proofs = round_plan.core_proofs;
+        plan_event.core_certified = round_plan.core_certified;
+        obs->OnPlan(plan_event);
       }
       obs->OnRoundEnd({result.rounds, result.steps - steps_at_round_start,
                        current.size(), progressed});
@@ -1119,6 +1320,9 @@ StatusOr<ChaseResult> RunChaseWithReplay(const KnowledgeBase& kb,
       obs->OnFaultInjected(
           {governor.fault_site(), governor.fault_visit(), governor.reason()});
     }
+    // Flush the match-plan tail a mid-round stop left unreported, so an
+    // attached MetricsRegistry ends exactly at the ChaseStats totals.
+    emit_match_plan_delta(result.rounds);
     obs->OnRunEnd({result.steps, result.rounds, result.terminated,
                    result.size_guard_tripped, current.size(),
                    result.stop_reason});

@@ -137,6 +137,33 @@ struct ChaseOptions {
     size_t threads = 1;
   };
 
+  /// Reliance-based execution planning (src/plan/). On by default: every
+  /// pruning the planner performs is backed by a soundness proof (a dormant
+  /// rule can never match; a guarded core is proven still-core before the
+  /// recomputation is skipped), so planned and unplanned runs are
+  /// bit-identical — same instance, derivation journal and observer event
+  /// stream — and the flag exists for ablation and the differential tests.
+  struct PlanOptions {
+    /// Master switch. Off disables the analysis entirely (no plan is built,
+    /// no PlanEvent is emitted, zero overhead).
+    bool enabled = true;
+
+    /// Skip match establishment for dormant rules (some body predicate is
+    /// neither in the initial facts nor producible by any rule chain — the
+    /// rule cannot acquire a match in any chase of this KB). The skipped
+    /// searches are guaranteed empty; seed-probe counters are still
+    /// advanced so the DeltaRepairEvent payload is unchanged.
+    bool skip_dormant = true;
+
+    /// Guard per-step/round-end corings of the core chase with the
+    /// still-core proof (plan/core_guard.h): when the proof certifies that
+    /// the additions since the last certified core left the instance a
+    /// core, the full ComputeCore — whose output would be the instance
+    /// itself with zero folds — is skipped and its zero-fold events/records
+    /// are synthesised identically.
+    bool core_guard = true;
+  };
+
   /// Checkpoint/resume support (core/checkpoint.h).
   struct ResumeOptions {
     /// Record the resume log (per-round decision bits and recorded coring
@@ -151,6 +178,7 @@ struct ChaseOptions {
   LimitOptions limits;
   CoreOptions core;
   DeltaOptions delta;
+  PlanOptions plan;
   ParallelOptions parallel;
   ResumeOptions resume;
 
@@ -248,6 +276,24 @@ struct ChaseStats {
   /// Lazy column-index (re)builds, and total sorted-row bytes they wrote.
   uint64_t match_index_builds = 0;
   uint64_t match_index_build_bytes = 0;
+
+  /// Execution-planner telemetry (src/plan/; all zero with plan.enabled
+  /// off). Static plan shape:
+  size_t plan_reliance_edges = 0;
+  size_t plan_strata = 0;
+  size_t plan_dormant_rules = 0;
+
+  /// Full enumerations skipped because the rule is dormant.
+  size_t plan_enumerations_skipped = 0;
+
+  /// Delta-seeded probes skipped because the rule is dormant (seed_probes
+  /// still counts them — the probe is accounted, just not executed).
+  size_t plan_probes_skipped = 0;
+
+  /// Still-core proofs attempted, and the subset that certified (each
+  /// certification skips one full ComputeCore).
+  size_t plan_core_proofs = 0;
+  size_t plan_core_certified = 0;
 };
 
 /// Everything needed to replay a recorded run deterministically: one

@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "hom/matcher.h"
+
 namespace twchase {
 namespace {
 
@@ -116,6 +118,14 @@ uint64_t ProgramFingerprint(const KnowledgeBase& kb) {
   return h;
 }
 
+uint64_t CheckpointFingerprint(const KnowledgeBase& kb,
+                               const ChaseOptions& options) {
+  uint64_t h = ProgramFingerprint(kb);
+  h = Fnv1a(h, static_cast<uint64_t>(CurrentMatchBackend()));
+  h = Fnv1a(h, options.plan.enabled ? 1u : 0u);
+  return h;
+}
+
 ChaseCheckpoint MakeCheckpoint(const KnowledgeBase& kb,
                                const ChaseOptions& options,
                                const ChaseResult& result) {
@@ -129,7 +139,7 @@ ChaseCheckpoint MakeCheckpoint(const KnowledgeBase& kb,
   cp.core_every = options.core.core_every;
   cp.core_at_round_end = options.core.core_at_round_end;
   cp.core_initial = options.core.core_initial;
-  cp.program_fingerprint = ProgramFingerprint(kb);
+  cp.program_fingerprint = CheckpointFingerprint(kb, options);
   cp.stop_reason = result.stop_reason;
   cp.steps = result.steps;
   cp.rounds = result.rounds;
@@ -335,10 +345,11 @@ StatusOr<ChaseResult> ResumeChase(const KnowledgeBase& kb,
     return Status::FailedPrecondition(
         "resume: incremental_core runs are not replayable");
   }
-  if (ProgramFingerprint(kb) != checkpoint.program_fingerprint) {
+  if (CheckpointFingerprint(kb, options) != checkpoint.program_fingerprint) {
     return Status::FailedPrecondition(
-        "resume: program fingerprint mismatch — the checkpoint belongs to a "
-        "different rule set or fact base");
+        "resume: fingerprint mismatch — the checkpoint belongs to a "
+        "different rule set or fact base, or was recorded under a different "
+        "--match-backend or --plan setting");
   }
   if (checkpoint.log.have_initial &&
       kb.vocab->num_variables() != checkpoint.log.initial_num_variables) {

@@ -43,6 +43,17 @@ namespace twchase {
 /// scheduler's rule order.
 uint64_t ProgramFingerprint(const KnowledgeBase& kb);
 
+/// The fingerprint a checkpoint actually stores: ProgramFingerprint plus
+/// everything run-shaping that lives outside the schedule echo — the
+/// process-wide match backend (a columnar-backend checkpoint must not
+/// silently resume under the legacy backend: the runs are bit-identical,
+/// but the fingerprint is the contract that the whole configuration
+/// matches) and the planner switch. Computed at MakeCheckpoint time against
+/// the backend then in force, and re-computed by ResumeChase for the
+/// rejection check.
+uint64_t CheckpointFingerprint(const KnowledgeBase& kb,
+                               const ChaseOptions& options);
+
 struct ChaseCheckpoint {
   /// Format version (bumped on incompatible serialization changes).
   uint32_t version = 1;

@@ -5,6 +5,7 @@ namespace twchase {
 void DeltaIndex::RecordInsert(const Atom& atom) {
   if (!inserted_seen_.insert(atom).second) return;
   inserted_by_predicate_[atom.predicate()].push_back(inserted_.size());
+  inserted_predicates_.insert(atom.predicate());
   inserted_.push_back(atom);
 }
 
@@ -31,6 +32,7 @@ void DeltaIndex::Clear() {
   inserted_seen_.clear();
   erased_seen_.clear();
   inserted_by_predicate_.clear();
+  inserted_predicates_.clear();
   erased_predicates_.clear();
 }
 

@@ -43,6 +43,13 @@ class DeltaIndex {
   /// seeding points for a body atom of that predicate.
   const std::vector<size_t>* InsertedWithPredicate(PredicateId predicate) const;
 
+  /// Predicates with at least one inserted atom. The execution planner
+  /// intersects this with per-stratum body predicates to count the strata
+  /// the next round will actually touch (chase.plan.active_strata).
+  const std::unordered_set<PredicateId>& InsertedPredicates() const {
+    return inserted_predicates_;
+  }
+
   /// O(1) membership probes into the erased segment, read directly by the
   /// chase's revalidation fast path: a stored match whose body image touches
   /// no erased atom is still a trigger (insertions never falsify a Contains
@@ -63,6 +70,7 @@ class DeltaIndex {
   std::unordered_set<Atom, AtomHash> inserted_seen_;
   std::unordered_set<Atom, AtomHash> erased_seen_;
   std::unordered_map<PredicateId, std::vector<size_t>> inserted_by_predicate_;
+  std::unordered_set<PredicateId> inserted_predicates_;
   std::unordered_set<PredicateId> erased_predicates_;
 };
 

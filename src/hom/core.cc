@@ -126,14 +126,21 @@ bool IsCore(const AtomSet& atoms) {
 
 IncrementalCoreResult IncrementalCoreUpdate(
     AtomSet* atoms, const std::vector<Atom>& added,
-    const IncrementalCoreOptions& options) {
+    const IncrementalCoreOptions& options, IncrementalCoreState* state) {
   IncrementalCoreResult result;
 
-  // Dirty terms: BFS over the atom-incidence graph from the added atoms'
-  // terms, in deterministic first-seen order.
+  // Dirty terms: carried-over terms from the previous update first (still in
+  // their recorded order), then a BFS over the atom-incidence graph from the
+  // added atoms' terms, in deterministic first-seen order.
   std::unordered_set<Term, TermHash> dirty;
   std::vector<Term> dirty_order;
   std::vector<Term> frontier;
+  if (state != nullptr) {
+    for (Term t : state->dirty_order) {
+      if (!atoms->ContainsTerm(t)) continue;
+      if (dirty.insert(t).second) dirty_order.push_back(t);
+    }
+  }
   for (const Atom& atom : added) {
     for (Term t : atom.DistinctTerms()) {
       if (dirty.insert(t).second) {
@@ -211,6 +218,26 @@ IncrementalCoreResult IncrementalCoreUpdate(
     result.retraction =
         Substitution::Compose(full.retraction, result.retraction);
     result.folds += full.folds;
+    // The full recomputation rewrote regions far outside the dirty
+    // neighbourhood; the recorded terms are stale (and do not cover what
+    // actually changed), so the carried state must start over. Keeping it
+    // here made the next update fold-attempt vanished terms and exempt
+    // genuinely clean regions' stale ghosts from nothing while missing the
+    // newly rewritten ones.
+    if (state != nullptr) state->Clear();
+    return result;
+  }
+  if (state != nullptr) {
+    state->Clear();
+    if (folds > 0) {
+      // Folds fired: carry the touched neighbourhood (what still exists of
+      // it) into the next update's fold front. With zero folds the instance
+      // was certified unchanged, so there is nothing to carry.
+      for (Term t : dirty_order) {
+        if (!atoms->ContainsTerm(t)) continue;
+        if (state->dirty.insert(t).second) state->dirty_order.push_back(t);
+      }
+    }
   }
   return result;
 }

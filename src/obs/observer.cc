@@ -47,6 +47,9 @@ void ObserverList::OnParallelRound(const ParallelRoundEvent& event) {
 void ObserverList::OnMatchPlan(const MatchPlanEvent& event) {
   for (ChaseObserver* o : observers_) o->OnMatchPlan(event);
 }
+void ObserverList::OnPlan(const PlanEvent& event) {
+  for (ChaseObserver* o : observers_) o->OnPlan(event);
+}
 void ObserverList::OnRoundEnd(const RoundEndEvent& event) {
   for (ChaseObserver* o : observers_) o->OnRoundEnd(event);
 }

@@ -153,6 +153,25 @@ struct MatchPlanEvent {
   uint64_t index_build_bytes = 0; // bytes of sorted rows written by builds
 };
 
+/// Execution-planner telemetry (src/plan/; ChaseOptions::plan). Emitted once
+/// at run begin with the static plan shape (round == 0) and once per round in
+/// which the planner pruned or proved something. Pure telemetry: a plan-off
+/// run emits no such event but is otherwise bit-identical, so the stock
+/// EventLogObserver skips it unless explicitly opted in — event streams stay
+/// comparable across plan on/off.
+struct PlanEvent {
+  size_t round = 0;            // 0 = static summary at run begin
+  size_t rules = 0;            // program size (static fields repeat per event)
+  size_t reliance_edges = 0;   // positive-reliance edges
+  size_t strata = 0;           // SCC-condensation strata
+  size_t dormant_rules = 0;    // rules that can never match
+  size_t active_strata = 0;    // strata touched by this round's insertions
+  size_t enumerations_skipped = 0;  // dormant full enumerations pruned
+  size_t probes_skipped = 0;   // dormant seeded probes pruned (this round)
+  size_t core_proofs = 0;      // still-core proofs attempted (this round)
+  size_t core_certified = 0;   // ... that certified and skipped a ComputeCore
+};
+
 /// A scheduler round finished (after round-end coring and match retirement).
 struct RoundEndEvent {
   size_t round = 0;
@@ -225,6 +244,7 @@ class ChaseObserver {
     (void)event;
   }
   virtual void OnMatchPlan(const MatchPlanEvent& event) { (void)event; }
+  virtual void OnPlan(const PlanEvent& event) { (void)event; }
   virtual void OnRoundEnd(const RoundEndEvent& event) { (void)event; }
   virtual void OnRobustRename(const RobustRenameEvent& event) { (void)event; }
   virtual void OnPhase(const PhaseEvent& event) { (void)event; }
@@ -251,6 +271,7 @@ class ObserverList : public ChaseObserver {
   void OnCoreRetraction(const CoreRetractionEvent& event) override;
   void OnParallelRound(const ParallelRoundEvent& event) override;
   void OnMatchPlan(const MatchPlanEvent& event) override;
+  void OnPlan(const PlanEvent& event) override;
   void OnRoundEnd(const RoundEndEvent& event) override;
   void OnRobustRename(const RobustRenameEvent& event) override;
   void OnPhase(const PhaseEvent& event) override;

@@ -115,11 +115,20 @@ MetricsObserver::MetricsObserver(MetricsRegistry* registry,
   match_index_builds_ = registry_->GetCounter("chase.match.index_builds");
   match_index_build_bytes_ =
       registry_->GetCounter("chase.match.index_build_bytes");
+  plan_enumerations_skipped_ =
+      registry_->GetCounter("chase.plan.enumerations_skipped");
+  plan_probes_skipped_ = registry_->GetCounter("chase.plan.probes_skipped");
+  plan_core_proofs_ = registry_->GetCounter("chase.plan.core_proofs");
+  plan_core_certified_ = registry_->GetCounter("chase.plan.core_certified");
   round_ = registry_->GetGauge("chase.round");
   instance_size_ = registry_->GetGauge("chase.instance.size");
   parallel_threads_ = registry_->GetGauge("chase.parallel.threads");
   parallel_workers_used_ = registry_->GetGauge("chase.parallel.workers_used");
   parallel_max_imbalance_ = registry_->GetGauge("chase.parallel.max_imbalance");
+  plan_reliance_edges_ = registry_->GetGauge("chase.plan.reliance_edges");
+  plan_strata_ = registry_->GetGauge("chase.plan.strata");
+  plan_dormant_rules_ = registry_->GetGauge("chase.plan.dormant_rules");
+  plan_active_strata_ = registry_->GetGauge("chase.plan.active_strata");
   if (options_.treewidth_upper) {
     treewidth_upper_ = registry_->GetGauge("chase.treewidth.upper");
   }
@@ -194,6 +203,17 @@ void MetricsObserver::OnMatchPlan(const MatchPlanEvent& event) {
   match_join_fallbacks_->Increment(event.join_fallbacks);
   match_index_builds_->Increment(event.index_builds);
   match_index_build_bytes_->Increment(event.index_build_bytes);
+}
+
+void MetricsObserver::OnPlan(const PlanEvent& event) {
+  plan_reliance_edges_->Set(static_cast<double>(event.reliance_edges));
+  plan_strata_->Set(static_cast<double>(event.strata));
+  plan_dormant_rules_->Set(static_cast<double>(event.dormant_rules));
+  plan_active_strata_->Set(static_cast<double>(event.active_strata));
+  plan_enumerations_skipped_->Increment(event.enumerations_skipped);
+  plan_probes_skipped_->Increment(event.probes_skipped);
+  plan_core_proofs_->Increment(event.core_proofs);
+  plan_core_certified_->Increment(event.core_certified);
 }
 
 void MetricsObserver::OnPhase(const PhaseEvent& event) {
@@ -305,6 +325,22 @@ void EventLogObserver::OnMatchPlan(const MatchPlanEvent& event) {
         << ", \"join_fallbacks\": " << event.join_fallbacks
         << ", \"index_builds\": " << event.index_builds
         << ", \"index_build_bytes\": " << event.index_build_bytes << "}\n";
+}
+
+void EventLogObserver::OnPlan(const PlanEvent& event) {
+  // Skipped by default: this event only fires with --plan=on, and the
+  // event-stream bit-identity oracle compares logs across plan on/off.
+  if (out_ == nullptr || !log_plan_events_) return;
+  *out_ << "{\"event\": \"plan\", \"round\": " << event.round
+        << ", \"rules\": " << event.rules
+        << ", \"reliance_edges\": " << event.reliance_edges
+        << ", \"strata\": " << event.strata
+        << ", \"dormant_rules\": " << event.dormant_rules
+        << ", \"active_strata\": " << event.active_strata
+        << ", \"enumerations_skipped\": " << event.enumerations_skipped
+        << ", \"probes_skipped\": " << event.probes_skipped
+        << ", \"core_proofs\": " << event.core_proofs
+        << ", \"core_certified\": " << event.core_certified << "}\n";
 }
 
 void EventLogObserver::OnRoundEnd(const RoundEndEvent& event) {

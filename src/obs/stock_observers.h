@@ -93,15 +93,20 @@ struct MetricsObserverOptions {
 ///              chase.parallel.{rounds,tasks}
 ///              chase.match.{index_probes,column_scans,join_fallbacks}
 ///              chase.match.{index_builds,index_build_bytes}
+///              chase.plan.{enumerations_skipped,probes_skipped}
+///              chase.plan.{core_proofs,core_certified}
 ///   gauges     chase.round, chase.instance.size
 ///              chase.parallel.{threads,workers_used,max_imbalance}
+///              chase.plan.{reliance_edges,strata,dormant_rules}
+///              chase.plan.active_strata
 ///              chase.treewidth.upper (treewidth_upper only)
 ///   histograms chase.round.pending, chase.step.added_atoms
 ///              chase.parallel.{eval_ms,merge_ms}
-/// The chase.parallel.* instruments stay zero on sequential runs and the
-/// chase.match.* instruments stay zero on the legacy matching backend; all
-/// are always registered so the column set does not depend on --threads or
-/// the backend.
+/// The chase.parallel.* instruments stay zero on sequential runs, the
+/// chase.match.* instruments stay zero on the legacy matching backend and
+/// the chase.plan.* instruments stay zero with --plan=off; all are always
+/// registered so the column set does not depend on --threads, the backend
+/// or the planner.
 class MetricsObserver : public ChaseObserver {
  public:
   MetricsObserver(MetricsRegistry* registry,
@@ -116,6 +121,7 @@ class MetricsObserver : public ChaseObserver {
   void OnCoreRetraction(const CoreRetractionEvent& event) override;
   void OnParallelRound(const ParallelRoundEvent& event) override;
   void OnMatchPlan(const MatchPlanEvent& event) override;
+  void OnPlan(const PlanEvent& event) override;
   void OnPhase(const PhaseEvent& event) override;
 
  private:
@@ -142,11 +148,19 @@ class MetricsObserver : public ChaseObserver {
   Counter* match_join_fallbacks_;
   Counter* match_index_builds_;
   Counter* match_index_build_bytes_;
+  Counter* plan_enumerations_skipped_;
+  Counter* plan_probes_skipped_;
+  Counter* plan_core_proofs_;
+  Counter* plan_core_certified_;
   Gauge* round_;
   Gauge* instance_size_;
   Gauge* parallel_threads_;
   Gauge* parallel_workers_used_;
   Gauge* parallel_max_imbalance_;
+  Gauge* plan_reliance_edges_;
+  Gauge* plan_strata_;
+  Gauge* plan_dormant_rules_;
+  Gauge* plan_active_strata_;
   Gauge* treewidth_upper_ = nullptr;
   Histogram* round_pending_;
   Histogram* step_added_atoms_;
@@ -165,15 +179,21 @@ class MetricsObserver : public ChaseObserver {
 /// on). MatchPlanEvent is likewise SKIPPED unless log_match_events is set:
 /// it only fires on the columnar matching backend, and logging it by
 /// default would break the bit-identity of event streams across backends
-/// (the oracle tests/storage_equivalence_test.cc relies on). Opt in for
-/// interactive debugging only.
+/// (the oracle tests/storage_equivalence_test.cc relies on). PlanEvent is
+/// likewise SKIPPED unless log_plan_events is set: it only fires with
+/// --plan=on, and logging it by default would break the bit-identity of
+/// event streams across plan on/off (the oracle
+/// tests/plan_differential_test.cc relies on). Opt in for interactive
+/// debugging only.
 class EventLogObserver : public ChaseObserver {
  public:
   explicit EventLogObserver(std::ostream* out, bool log_parallel_events = false,
-                            bool log_match_events = false)
+                            bool log_match_events = false,
+                            bool log_plan_events = false)
       : out_(out),
         log_parallel_events_(log_parallel_events),
-        log_match_events_(log_match_events) {}
+        log_match_events_(log_match_events),
+        log_plan_events_(log_plan_events) {}
 
   void OnRunBegin(const RunBeginEvent& event) override;
   void OnRoundBegin(const RoundBeginEvent& event) override;
@@ -184,6 +204,7 @@ class EventLogObserver : public ChaseObserver {
   void OnCoreRetraction(const CoreRetractionEvent& event) override;
   void OnParallelRound(const ParallelRoundEvent& event) override;
   void OnMatchPlan(const MatchPlanEvent& event) override;
+  void OnPlan(const PlanEvent& event) override;
   void OnRoundEnd(const RoundEndEvent& event) override;
   void OnRobustRename(const RobustRenameEvent& event) override;
   void OnPhase(const PhaseEvent& event) override;
@@ -194,6 +215,7 @@ class EventLogObserver : public ChaseObserver {
   std::ostream* out_;
   bool log_parallel_events_;
   bool log_match_events_;
+  bool log_plan_events_;
 };
 
 }  // namespace twchase

@@ -1,0 +1,52 @@
+#include "plan/core_guard.h"
+
+#include <unordered_set>
+
+#include "core/trigger.h"
+#include "hom/endomorphism.h"
+#include "hom/matcher.h"
+
+namespace twchase {
+
+CoreGuardOutcome ProveStillCore(const AtomSet& instance,
+                                const std::vector<Atom>& added,
+                                uint32_t base_variable_mark) {
+  CoreGuardOutcome outcome;
+
+  // Case (ii): a retraction moving only fresh variables exists iff some
+  // fresh variable admits a folding endomorphism. A hit here is a definitive
+  // "not a core"; either way the caller's fallback is the same ComputeCore.
+  std::unordered_set<Term, TermHash> fresh_seen;
+  for (const Atom& d : added) {
+    for (Term t : d.args()) {
+      if (!t.is_variable() || t.index() < base_variable_mark) continue;
+      if (!fresh_seen.insert(t).second) continue;
+      ++outcome.fresh_null_checks;
+      if (FindFoldingEndomorphism(instance, t).has_value()) return outcome;
+    }
+  }
+
+  // Case (i): some retraction maps an atom a onto d ∈ added with a ≠ d. Its
+  // restriction to vars(a) is forced positionally, so seed an endomorphism
+  // search with it; any extension (even an automorphism — indistinguishable
+  // cheaply) withholds the certificate.
+  for (const Atom& d : added) {
+    for (const Atom* a : instance.ByPredicate(d.predicate())) {
+      if (*a == d) continue;
+      std::optional<Substitution> seed = UnifyBodyAtomWithFact(*a, d);
+      if (!seed.has_value()) continue;
+      ++outcome.onto_checks;
+      HomOptions options;
+      options.seed = std::move(*seed);
+      options.limit = 1;
+      if (FindHomomorphism(instance, instance, options).has_value()) {
+        return outcome;
+      }
+    }
+  }
+
+  outcome.certified = true;
+  return outcome;
+}
+
+}  // namespace twchase

@@ -1,0 +1,67 @@
+// Still-core guard: a sound, conservative proof that a core stayed a core
+// after a pure addition, without recomputing the core.
+//
+// Setting: A is a finite core (the instance as of the last certification),
+// A' = A ∪ D where D is the set of atoms added since (A ∩ D = ∅ — the chase
+// only ever adds atoms between corings). Claim: any *proper* retraction ρ of
+// A' falls into one of two cases.
+//
+//   (i)  ρ maps some atom a of A' onto some d ∈ D with ρ(a) ≠ a; or
+//   (ii) ρ moves only fresh variables, vars(D) ∖ vars(A).
+//
+// Proof. Suppose ρ is not in case (i): no changed atom image lands in D.
+// An atom of A cannot map unchanged onto an atom of D (that would put it in
+// A ∩ D = ∅), so ρ(A) ⊆ A, and ρ restricted to terms(A) is an idempotent
+// endomorphism of A — a retraction of A. A is a core, so that restriction is
+// the identity on terms(A); constants are fixed by every homomorphism, so ρ
+// moves only variables outside vars(A), i.e. fresh ones — case (ii). ∎
+//
+// The guard refutes both cases:
+//
+//   (ii) For every fresh variable v (index ≥ the vocabulary mark taken at
+//        certification) appearing in D, search for a folding endomorphism of
+//        A' eliminating v. Success means A' is definitively not a core.
+//   (i)  For every d ∈ D and every same-predicate atom a ≠ d of A', the
+//        positional restriction σ of any h with h(a) = d is forced (constants
+//        of a must already equal d's, variables of a bind to d's terms —
+//        one-way matching is exact here). If σ exists, search for any
+//        endomorphism of A' extending σ with limit 1. Finding one does not
+//        prove A' is not a core (the extension may be an automorphism), so a
+//        hit only withholds the certificate.
+//
+// All checks negative ⟹ no proper retraction exists ⟹ A' is a core, and the
+// caller skips the full ComputeCore. Any hit falls back to ComputeCore,
+// whose output is bit-identical to what the unguarded path produces — the
+// guard never changes the chase, only avoids provably-idempotent work.
+#ifndef TWCHASE_PLAN_CORE_GUARD_H_
+#define TWCHASE_PLAN_CORE_GUARD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "model/atom_set.h"
+
+namespace twchase {
+
+struct CoreGuardOutcome {
+  /// True iff the instance is proven to still be a core.
+  bool certified = false;
+
+  /// Folding-endomorphism searches run (case ii).
+  size_t fresh_null_checks = 0;
+
+  /// Seeded onto-D endomorphism searches run (case i).
+  size_t onto_checks = 0;
+};
+
+/// Attempts to prove that `instance` (= certified core ∪ `added`) is still a
+/// core. `base_variable_mark` is the vocabulary's num_variables() at the last
+/// certification: every variable of the certified core has index below it.
+CoreGuardOutcome ProveStillCore(const AtomSet& instance,
+                                const std::vector<Atom>& added,
+                                uint32_t base_variable_mark);
+
+}  // namespace twchase
+
+#endif  // TWCHASE_PLAN_CORE_GUARD_H_

@@ -1,0 +1,157 @@
+#include "plan/execution_plan.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace twchase {
+
+namespace {
+
+/// Iterative Tarjan. Roots are tried in rule-index order, successor lists are
+/// ascending, so component numbering and completion order are deterministic.
+/// Components complete in reverse topological order of the condensation.
+struct TarjanState {
+  const RelianceGraph* graph;
+  std::vector<int> index;      // -1 = unvisited
+  std::vector<int> lowlink;
+  std::vector<bool> on_stack;
+  std::vector<int> stack;
+  std::vector<int> component_of;
+  int next_index = 0;
+  int component_count = 0;
+
+  explicit TarjanState(const RelianceGraph& g)
+      : graph(&g),
+        index(g.rule_count, -1),
+        lowlink(g.rule_count, 0),
+        on_stack(g.rule_count, false),
+        component_of(g.rule_count, -1) {}
+
+  void Visit(int root) {
+    // Explicit DFS frame: node plus position in its successor list.
+    struct Frame {
+      int node;
+      size_t next_succ;
+    };
+    std::vector<Frame> frames;
+    frames.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      const std::vector<int>& succs = graph->successors[frame.node];
+      if (frame.next_succ < succs.size()) {
+        int next = succs[frame.next_succ++];
+        if (index[next] == -1) {
+          index[next] = lowlink[next] = next_index++;
+          stack.push_back(next);
+          on_stack[next] = true;
+          frames.push_back({next, 0});
+        } else if (on_stack[next]) {
+          lowlink[frame.node] = std::min(lowlink[frame.node], index[next]);
+        }
+        continue;
+      }
+      // frame.node is fully expanded.
+      if (lowlink[frame.node] == index[frame.node]) {
+        int member;
+        do {
+          member = stack.back();
+          stack.pop_back();
+          on_stack[member] = false;
+          component_of[member] = component_count;
+        } while (member != frame.node);
+        ++component_count;
+      }
+      int done = frame.node;
+      frames.pop_back();
+      if (!frames.empty()) {
+        lowlink[frames.back().node] =
+            std::min(lowlink[frames.back().node], lowlink[done]);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+ExecutionPlan BuildExecutionPlan(const std::vector<Rule>& rules,
+                                 const AtomSet& facts) {
+  ExecutionPlan plan;
+  plan.graph = ComputePositiveReliances(rules);
+
+  TarjanState tarjan(plan.graph);
+  for (size_t r = 0; r < rules.size(); ++r) {
+    if (tarjan.index[r] == -1) tarjan.Visit(static_cast<int>(r));
+  }
+  plan.component_of = std::move(tarjan.component_of);
+
+  // Tarjan completes components in reverse topological order, so stratum i
+  // is the component completed (component_count - 1 - i)-th.
+  plan.strata.assign(tarjan.component_count, {});
+  for (size_t r = 0; r < rules.size(); ++r) {
+    int stratum = tarjan.component_count - 1 - plan.component_of[r];
+    plan.strata[stratum].push_back(static_cast<int>(r));
+  }
+  for (std::vector<int>& stratum : plan.strata) {
+    std::sort(stratum.begin(), stratum.end());
+    TWCHASE_CHECK(!stratum.empty());
+  }
+
+  // Producibility fixpoint: a predicate is producible if an initial fact has
+  // it, or some rule with an all-producible body has it in its head.
+  std::unordered_set<PredicateId> producible;
+  facts.ForEach([&](const Atom& atom) { producible.insert(atom.predicate()); });
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule& rule : rules) {
+      bool body_ok = true;
+      rule.body().ForEach([&](const Atom& atom) {
+        if (body_ok && producible.count(atom.predicate()) == 0) body_ok = false;
+      });
+      if (!body_ok) continue;
+      rule.head().ForEach([&](const Atom& atom) {
+        if (producible.insert(atom.predicate()).second) changed = true;
+      });
+    }
+  }
+
+  plan.dormant.assign(rules.size(), false);
+  for (size_t r = 0; r < rules.size(); ++r) {
+    bool body_ok = true;
+    rules[r].body().ForEach([&](const Atom& atom) {
+      if (body_ok && producible.count(atom.predicate()) == 0) body_ok = false;
+    });
+    if (!body_ok) {
+      plan.dormant[r] = true;
+      ++plan.dormant_count;
+    }
+  }
+  return plan;
+}
+
+size_t CountActiveStrata(
+    const ExecutionPlan& plan,
+    const std::vector<std::unordered_set<PredicateId>>& body_predicates,
+    const std::unordered_set<PredicateId>& inserted) {
+  size_t active = 0;
+  for (const std::vector<int>& stratum : plan.strata) {
+    bool touched = false;
+    for (int rule : stratum) {
+      if (touched) break;
+      for (PredicateId pred : body_predicates[rule]) {
+        if (inserted.count(pred) != 0) {
+          touched = true;
+          break;
+        }
+      }
+    }
+    if (touched) ++active;
+  }
+  return active;
+}
+
+}  // namespace twchase

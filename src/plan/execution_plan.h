@@ -1,0 +1,59 @@
+// Stratified execution plan over the positive-reliance graph. The SCC
+// condensation of the reliance graph is a DAG; its topological order gives
+// strata of mutually-recursive rule groups. The plan also classifies rules as
+// dormant: a rule is dormant when some body predicate is not producible —
+// derivable neither from the initial facts nor from any rule head reachable
+// through the producibility fixpoint — so the rule can never acquire a match
+// in any chase of the KB (every instance atom is an initial fact or a rule
+// head image). Dormant rules are skipped wholesale by the scheduler: their
+// full enumerations are never run and their delta probes are known-empty.
+//
+// The plan is a pure function of (rules, facts' predicates). It never looks
+// at the evolving instance, so a plan computed once at run begin stays valid
+// for the whole chase — including across core retractions, which only remove
+// atoms and cannot make a non-producible predicate producible.
+#ifndef TWCHASE_PLAN_EXECUTION_PLAN_H_
+#define TWCHASE_PLAN_EXECUTION_PLAN_H_
+
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+#include "plan/reliance.h"
+
+namespace twchase {
+
+struct ExecutionPlan {
+  RelianceGraph graph;
+
+  /// component_of[r] = SCC index of rule r (dense, deterministic).
+  std::vector<int> component_of;
+
+  /// Strata in topological order of the condensation; each stratum lists its
+  /// rule indices ascending. A rule in a later stratum can only be fed by
+  /// earlier or same-stratum rules.
+  std::vector<std::vector<int>> strata;
+
+  /// dormant[r] — rule r can never have a match (see file comment).
+  std::vector<bool> dormant;
+  size_t dormant_count = 0;
+};
+
+/// Builds the plan: reliance graph, SCC condensation (deterministic across
+/// runs and platforms — Tarjan with roots visited in rule-index order),
+/// producibility fixpoint from the predicates of `facts`.
+ExecutionPlan BuildExecutionPlan(const std::vector<Rule>& rules,
+                                 const AtomSet& facts);
+
+/// Number of strata containing at least one rule whose body mentions a
+/// predicate in `inserted` — the strata the next round actually has to look
+/// at. Purely informational (feeds chase.plan.* metrics).
+size_t CountActiveStrata(
+    const ExecutionPlan& plan,
+    const std::vector<std::unordered_set<PredicateId>>& body_predicates,
+    const std::unordered_set<PredicateId>& inserted);
+
+}  // namespace twchase
+
+#endif  // TWCHASE_PLAN_EXECUTION_PLAN_H_

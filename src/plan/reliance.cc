@@ -1,0 +1,37 @@
+#include "plan/reliance.h"
+
+#include "core/trigger.h"
+
+namespace twchase {
+
+namespace {
+
+bool HeadFeedsBody(const Rule& producer, const Rule& consumer) {
+  bool feeds = false;
+  producer.head().ForEach([&](const Atom& head_atom) {
+    if (feeds) return;
+    consumer.body().ForEach([&](const Atom& body_atom) {
+      if (!feeds && AtomsUnifiableDisjoint(head_atom, body_atom)) feeds = true;
+    });
+  });
+  return feeds;
+}
+
+}  // namespace
+
+RelianceGraph ComputePositiveReliances(const std::vector<Rule>& rules) {
+  RelianceGraph graph;
+  graph.rule_count = rules.size();
+  graph.successors.resize(rules.size());
+  for (size_t r1 = 0; r1 < rules.size(); ++r1) {
+    for (size_t r2 = 0; r2 < rules.size(); ++r2) {
+      if (HeadFeedsBody(rules[r1], rules[r2])) {
+        graph.successors[r1].push_back(static_cast<int>(r2));
+        ++graph.edge_count;
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace twchase

@@ -1,0 +1,39 @@
+// Positive reliances between rules (after the reliance analysis of
+// "Restricted Chase Termination: You Want More than Fairness"). Rule r1
+// positively relies on feeding r2 — written r1 → r2 — when some head atom of
+// r1 unifies with some body atom of r2 under standardised-apart variable
+// namespaces. The relation over-approximates "an application of r1 can create
+// a new match of r2": if no head atom of r1 unifies with any body atom of r2,
+// then no atom r1 ever produces can participate in a body image of r2, so the
+// absence of an edge is a sound licence to skip r2 after a round in which
+// only r1 fired. Constants are compared exactly; variables unify freely, so
+// the test never misses a producible match (soundness of skipping) while
+// remaining a purely syntactic, chase-independent computation done once per
+// program.
+#ifndef TWCHASE_PLAN_RELIANCE_H_
+#define TWCHASE_PLAN_RELIANCE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "kb/rule.h"
+
+namespace twchase {
+
+struct RelianceGraph {
+  size_t rule_count = 0;
+
+  /// successors[r] = rule indices r2 with an edge r → r2, ascending, unique.
+  std::vector<std::vector<int>> successors;
+
+  size_t edge_count = 0;
+};
+
+/// The positive-reliance graph of `rules`. O(|rules|² · head·body atom
+/// pairs); every comparison is a constant-time-ish positional unification, so
+/// the analysis is negligible next to a single chase round.
+RelianceGraph ComputePositiveReliances(const std::vector<Rule>& rules);
+
+}  // namespace twchase
+
+#endif  // TWCHASE_PLAN_RELIANCE_H_

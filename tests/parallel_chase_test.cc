@@ -21,6 +21,7 @@
 #include "obs/metrics.h"
 #include "obs/observer.h"
 #include "obs/stock_observers.h"
+#include "util/fault.h"
 #include "util/governor.h"
 #include "util/thread_pool.h"
 
@@ -187,6 +188,56 @@ TEST(ParallelStats, EventLogOptInEmitsParallelRounds) {
   ASSERT_TRUE(run.ok()) << run.status().ToString();
   EXPECT_NE(events.str().find("\"event\": \"parallel_round\""),
             std::string::npos);
+}
+
+// Regression: the chase.match.* registry counters are fed by per-round
+// MatchPlanEvent deltas, so a run stopped between round ends (here: a
+// fault-injected mid-round governor stop) used to leave the last partial
+// round's counts in ChaseStats but NOT in the registry — and the gap
+// differed between thread counts. The engine now flushes the tail before
+// OnRunEnd; the registry must equal ChaseStats exactly, at any thread
+// count, at any stop boundary.
+TEST(ParallelStats, MatchCounterParityBetweenRegistryAndStats) {
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    for (bool interrupt : {false, true}) {
+      KnowledgeBase kb = FreshKb(Family::kStaircase);
+      MetricsRegistry registry;
+      MetricsObserver metrics(&registry);
+      ChaseOptions options;
+      options.variant = ChaseVariant::kRestricted;
+      options.limits.max_steps = 12;
+      options.parallel.threads = threads;
+      options.observer = &metrics;
+      StatusOr<ChaseResult> run = Status::Internal("not run");
+      if (interrupt) {
+        FaultInjector injector;
+        injector.Arm(FaultSite::kTriggerBoundary, 5, FaultAction::kCancel);
+        FaultInjectorScope scope(&injector);
+        run = RunChase(kb, options);
+      } else {
+        run = RunChase(kb, options);
+      }
+      ASSERT_TRUE(run.ok()) << run.status().ToString();
+      const std::string context = "threads=" + std::to_string(threads) +
+                                  (interrupt ? " interrupted" : "");
+      const ChaseStats& stats = run->stats;
+      EXPECT_EQ(registry.GetCounter("chase.match.index_probes")->value(),
+                stats.match_index_probes)
+          << context;
+      EXPECT_EQ(registry.GetCounter("chase.match.column_scans")->value(),
+                stats.match_column_scans)
+          << context;
+      EXPECT_EQ(registry.GetCounter("chase.match.join_fallbacks")->value(),
+                stats.match_join_fallbacks)
+          << context;
+      EXPECT_EQ(registry.GetCounter("chase.match.index_builds")->value(),
+                stats.match_index_builds)
+          << context;
+      EXPECT_EQ(registry.GetCounter("chase.match.index_build_bytes")->value(),
+                stats.match_index_build_bytes)
+          << context;
+    }
+  }
 }
 
 TEST(ParallelStats, MetricsObserverRecordsParallelInstruments) {

@@ -1,0 +1,272 @@
+// Unit tests for the execution-planning layer (src/plan/): two-sided atom
+// unification, the positive-reliance graph, SCC stratification, dormancy
+// and the still-core guard. The end-to-end bit-identity of planned runs is
+// the subject of tests/plan_differential_test.cc; here each ingredient is
+// checked against hand-computed programs.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/chase.h"
+#include "core/trigger.h"
+#include "hom/core.h"
+#include "kb/examples.h"
+#include "kb/knowledge_base.h"
+#include "model/atom_set.h"
+#include "plan/core_guard.h"
+#include "plan/execution_plan.h"
+#include "plan/reliance.h"
+
+namespace twchase {
+namespace {
+
+class UnifiableTest : public ::testing::Test {
+ protected:
+  UnifiableTest() {
+    p_ = vocab_.MustPredicate("p", 2);
+    q_ = vocab_.MustPredicate("q", 2);
+    c_ = vocab_.Constant("c");
+    d_ = vocab_.Constant("d");
+    x_ = vocab_.NamedVariable("X");
+    y_ = vocab_.NamedVariable("Y");
+  }
+
+  Vocabulary vocab_;
+  PredicateId p_, q_;
+  Term c_, d_, x_, y_;
+};
+
+TEST_F(UnifiableTest, PredicateMismatchFails) {
+  EXPECT_FALSE(
+      AtomsUnifiableDisjoint(Atom(p_, {x_, y_}), Atom(q_, {x_, y_})));
+}
+
+TEST_F(UnifiableTest, TwoSidedUnificationSucceedsWhereMatchingFails) {
+  // p(c, X) and p(Y, d) unify (Y := c, X := d) although neither matches
+  // into the other — the case a one-way matcher would misclassify.
+  EXPECT_TRUE(AtomsUnifiableDisjoint(Atom(p_, {c_, x_}), Atom(p_, {y_, d_})));
+}
+
+TEST_F(UnifiableTest, ConstantClashFails) {
+  EXPECT_FALSE(AtomsUnifiableDisjoint(Atom(p_, {c_, x_}), Atom(p_, {d_, y_})));
+}
+
+TEST_F(UnifiableTest, TransitiveConstantClashFails) {
+  // p(X, X) vs p(c, d): X would have to be both c and d.
+  EXPECT_FALSE(AtomsUnifiableDisjoint(Atom(p_, {x_, x_}), Atom(p_, {c_, d_})));
+}
+
+TEST_F(UnifiableTest, SharedNamesAreStandardisedApart) {
+  // The two sides use separate variable namespaces: p(X, c) and p(d, X)
+  // unify (left X := d, right X := c) even though the raw terms collide.
+  EXPECT_TRUE(AtomsUnifiableDisjoint(Atom(p_, {x_, c_}), Atom(p_, {d_, x_})));
+}
+
+TEST_F(UnifiableTest, VariableOnlyAtomsUnify) {
+  EXPECT_TRUE(AtomsUnifiableDisjoint(Atom(p_, {x_, x_}), Atom(p_, {y_, y_})));
+  EXPECT_TRUE(AtomsUnifiableDisjoint(Atom(p_, {x_, y_}), Atom(p_, {y_, x_})));
+}
+
+KnowledgeBase ChainProgram() {
+  // a -> b -> c: two reliance edges, three singleton strata in order.
+  KbBuilder b;
+  b.Fact("a", {b.C("k")});
+  b.AddRule("r0", {b.A("a", {b.V("X")})}, {b.A("b", {b.V("X")})});
+  b.AddRule("r1", {b.A("b", {b.V("X")})}, {b.A("c", {b.V("X")})});
+  b.AddRule("r2", {b.A("c", {b.V("X")})}, {b.A("d", {b.V("X")})});
+  return b.Build();
+}
+
+TEST(RelianceGraph, ChainProgramHasForwardEdgesOnly) {
+  KnowledgeBase kb = ChainProgram();
+  RelianceGraph graph = ComputePositiveReliances(kb.rules);
+  ASSERT_EQ(graph.rule_count, 3u);
+  EXPECT_EQ(graph.edge_count, 2u);
+  EXPECT_EQ(graph.successors[0], std::vector<int>{1});
+  EXPECT_EQ(graph.successors[1], std::vector<int>{2});
+  EXPECT_TRUE(graph.successors[2].empty());
+}
+
+TEST(RelianceGraph, ConstantGuardedHeadDoesNotFeedClashingBody) {
+  KbBuilder b;
+  b.Fact("a", {b.C("k")});
+  // r0 produces only b(c, _); r1 consumes only b(d, _): no reliance.
+  b.AddRule("r0", {b.A("a", {b.V("X")})}, {b.A("b", {b.C("c"), b.V("X")})});
+  b.AddRule("r1", {b.A("b", {b.C("d"), b.V("Y")})}, {b.A("e", {b.V("Y")})});
+  KnowledgeBase kb = b.Build();
+  RelianceGraph graph = ComputePositiveReliances(kb.rules);
+  EXPECT_EQ(graph.edge_count, 0u);
+}
+
+TEST(ExecutionPlanTest, ChainProgramStratifiesInTopologicalOrder) {
+  KnowledgeBase kb = ChainProgram();
+  ExecutionPlan plan = BuildExecutionPlan(kb.rules, kb.facts);
+  ASSERT_EQ(plan.strata.size(), 3u);
+  EXPECT_EQ(plan.strata[0], std::vector<int>{0});
+  EXPECT_EQ(plan.strata[1], std::vector<int>{1});
+  EXPECT_EQ(plan.strata[2], std::vector<int>{2});
+  EXPECT_EQ(plan.dormant_count, 0u);
+}
+
+TEST(ExecutionPlanTest, MutualRecursionCollapsesIntoOneStratum) {
+  KbBuilder b;
+  b.Fact("a", {b.C("k")});
+  b.AddRule("r0", {b.A("a", {b.V("X")})}, {b.A("b", {b.V("X")})});
+  b.AddRule("r1", {b.A("b", {b.V("X")})}, {b.A("a", {b.V("X")})});
+  KnowledgeBase kb = b.Build();
+  ExecutionPlan plan = BuildExecutionPlan(kb.rules, kb.facts);
+  ASSERT_EQ(plan.strata.size(), 1u);
+  EXPECT_EQ(plan.strata[0], (std::vector<int>{0, 1}));
+}
+
+TEST(ExecutionPlanTest, UnreachablePredicateMakesRuleDormant) {
+  KbBuilder b;
+  b.Fact("a", {b.C("k")});
+  b.AddRule("live", {b.A("a", {b.V("X")})}, {b.A("b", {b.V("X")})});
+  // "ghost" is neither a fact predicate nor any rule's head: the rule can
+  // never fire.
+  b.AddRule("dead", {b.A("ghost", {b.V("X")})}, {b.A("c", {b.V("X")})});
+  // Producible only through the dead rule — transitively dormant too.
+  b.AddRule("downstream", {b.A("c", {b.V("X")})}, {b.A("e", {b.V("X")})});
+  KnowledgeBase kb = b.Build();
+  ExecutionPlan plan = BuildExecutionPlan(kb.rules, kb.facts);
+  ASSERT_EQ(plan.dormant.size(), 3u);
+  EXPECT_FALSE(plan.dormant[0]);
+  EXPECT_TRUE(plan.dormant[1]);
+  EXPECT_TRUE(plan.dormant[2]);
+  EXPECT_EQ(plan.dormant_count, 2u);
+}
+
+TEST(ExecutionPlanTest, CountActiveStrataFiltersByInsertedPredicates) {
+  KnowledgeBase kb = ChainProgram();
+  ExecutionPlan plan = BuildExecutionPlan(kb.rules, kb.facts);
+  std::vector<std::unordered_set<PredicateId>> bodies;
+  for (const Rule& rule : kb.rules) {
+    std::unordered_set<PredicateId> preds;
+    rule.body().ForEach([&](const Atom& atom) { preds.insert(atom.predicate()); });
+    bodies.push_back(std::move(preds));
+  }
+  Vocabulary& vocab = *kb.vocab;
+  std::unordered_set<PredicateId> inserted;
+  EXPECT_EQ(CountActiveStrata(plan, bodies, inserted), 0u);
+  inserted.insert(vocab.MustPredicate("b", 1));
+  EXPECT_EQ(CountActiveStrata(plan, bodies, inserted), 1u);
+  inserted.insert(vocab.MustPredicate("a", 1));
+  EXPECT_EQ(CountActiveStrata(plan, bodies, inserted), 2u);
+}
+
+class CoreGuardTest : public ::testing::Test {
+ protected:
+  CoreGuardTest() {
+    p_ = vocab_.MustPredicate("p", 1);
+    q_ = vocab_.MustPredicate("q", 2);
+    e_ = vocab_.MustPredicate("e", 2);
+    a_ = vocab_.Constant("a");
+  }
+
+  Vocabulary vocab_;
+  PredicateId p_, q_, e_;
+  Term a_;
+};
+
+TEST_F(CoreGuardTest, CertifiesWhenFreshNullIsRigidAndNothingMapsOnto) {
+  AtomSet instance;
+  instance.Insert(Atom(p_, {a_}));
+  uint32_t mark = static_cast<uint32_t>(vocab_.num_variables());
+  Term fresh = vocab_.NamedVariable("N0");
+  Atom added(q_, {a_, fresh});
+  instance.Insert(added);
+  CoreGuardOutcome outcome = ProveStillCore(instance, {added}, mark);
+  EXPECT_TRUE(outcome.certified);
+  EXPECT_EQ(outcome.fresh_null_checks, 1u);
+  EXPECT_TRUE(IsCore(instance));
+}
+
+TEST_F(CoreGuardTest, RefutesWhenFreshNullFoldsAway) {
+  AtomSet instance;
+  instance.Insert(Atom(p_, {a_}));
+  uint32_t mark = static_cast<uint32_t>(vocab_.num_variables());
+  Term fresh = vocab_.NamedVariable("N0");
+  Atom added(p_, {fresh});
+  instance.Insert(added);
+  CoreGuardOutcome outcome = ProveStillCore(instance, {added}, mark);
+  EXPECT_FALSE(outcome.certified);
+  EXPECT_FALSE(IsCore(instance));
+}
+
+TEST_F(CoreGuardTest, WithholdsWhenOldAtomMapsOntoAddedOne) {
+  // Base e(X, Y) is a core; adding e(X, a) lets the base atom retract onto
+  // the added one (Y := a) — the guard must not certify.
+  Term x = vocab_.NamedVariable("X");
+  Term y = vocab_.NamedVariable("Y");
+  AtomSet instance;
+  instance.Insert(Atom(e_, {x, y}));
+  uint32_t mark = static_cast<uint32_t>(vocab_.num_variables());
+  Atom added(e_, {x, a_});
+  instance.Insert(added);
+  CoreGuardOutcome outcome = ProveStillCore(instance, {added}, mark);
+  EXPECT_FALSE(outcome.certified);
+  EXPECT_GT(outcome.onto_checks, 0u);
+  EXPECT_FALSE(IsCore(instance));
+}
+
+TEST_F(CoreGuardTest, EmptyAdditionCertifiesTrivially) {
+  AtomSet instance;
+  instance.Insert(Atom(p_, {a_}));
+  CoreGuardOutcome outcome = ProveStillCore(
+      instance, {}, static_cast<uint32_t>(vocab_.num_variables()));
+  EXPECT_TRUE(outcome.certified);
+  EXPECT_EQ(outcome.fresh_null_checks, 0u);
+  EXPECT_EQ(outcome.onto_checks, 0u);
+}
+
+// End-to-end: on the staircase world the planner's guard replaces most
+// ComputeCore verifications of the core chase with certificates.
+TEST(PlanChase, StaircaseCoreRunsCertifyInsteadOfRefolding) {
+  KnowledgeBase kb = StaircaseWorld().kb();
+  ChaseOptions options;
+  options.variant = ChaseVariant::kCore;
+  options.limits.max_steps = 30;
+  auto run = RunChase(kb, options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_GT(run->stats.plan_core_proofs, 0u);
+  EXPECT_GT(run->stats.plan_core_certified, 0u);
+  EXPECT_TRUE(IsCore(run->derivation.Last()));
+}
+
+TEST(PlanChase, DormantRuleSkipsMatchWorkWithoutChangingTheRun) {
+  KbBuilder b;
+  b.Fact("a", {b.C("k")});
+  b.AddRule("live", {b.A("a", {b.V("X")})},
+            {b.A("b", {b.V("X"), b.V("Z")})});
+  b.AddRule("dead", {b.A("ghost", {b.V("X")})}, {b.A("c", {b.V("X")})});
+  KnowledgeBase kb_on = b.Build();
+
+  ChaseOptions on;
+  on.variant = ChaseVariant::kRestricted;
+  on.limits.max_steps = 20;
+  auto run_on = RunChase(kb_on, on);
+  ASSERT_TRUE(run_on.ok());
+  EXPECT_GT(run_on->stats.plan_enumerations_skipped, 0u);
+  EXPECT_EQ(run_on->stats.plan_dormant_rules, 1u);
+
+  KbBuilder b2;
+  b2.Fact("a", {b2.C("k")});
+  b2.AddRule("live", {b2.A("a", {b2.V("X")})},
+             {b2.A("b", {b2.V("X"), b2.V("Z")})});
+  b2.AddRule("dead", {b2.A("ghost", {b2.V("X")})}, {b2.A("c", {b2.V("X")})});
+  KnowledgeBase kb_off = b2.Build();
+  ChaseOptions off = on;
+  off.plan.enabled = false;
+  auto run_off = RunChase(kb_off, off);
+  ASSERT_TRUE(run_off.ok());
+  EXPECT_EQ(run_off->stats.plan_enumerations_skipped, 0u);
+  EXPECT_EQ(run_on->steps, run_off->steps);
+  EXPECT_EQ(run_on->derivation.Last().ContentHash(),
+            run_off->derivation.Last().ContentHash());
+}
+
+}  // namespace
+}  // namespace twchase

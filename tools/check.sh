@@ -7,18 +7,25 @@
 #      the deterministic-merge invariant (tests/parallel_chase_test.cc is
 #      the thorough one);
 #   3. sanitizers: ASan+UBSan (TWCHASE_SANITIZE) build, then the delta, obs,
-#      robustness and columnar labelled suites under it (fault-injection,
-#      checkpoint/resume and the columnar storage layer are exactly the
-#      code that must be memory-clean);
-#   4. TSan: ThreadSanitizer build, then the parallel and columnar labelled
-#      suites under it to race-check the worker pool, sharded metrics and
-#      the lazy column-index builds that parallel searches race on;
+#      robustness, columnar and plan labelled suites under it
+#      (fault-injection, checkpoint/resume, the columnar storage layer and
+#      the planner's still-core guard are exactly the code that must be
+#      memory-clean);
+#   4. TSan: ThreadSanitizer build, then the parallel, columnar and plan
+#      labelled suites under it to race-check the worker pool, sharded
+#      metrics, the lazy column-index builds that parallel searches race
+#      on, and the planner's dormant-rule skips inside parallel rounds;
 #   5. fuzz smoke: a short run of the parser fuzz harness under the
 #      sanitizer build (libFuzzer with clang, the deterministic standalone
 #      driver with gcc);
 #   6. bench smoke: the full bench_engine sweep (delta, threads, matching
-#      backends, large instances) under a generous wall-time ceiling — it
-#      fails on parity violations, a tripped memory budget, or a hang.
+#      backends, large instances, planner) under a generous wall-time
+#      ceiling — it fails on parity violations, a tripped memory budget,
+#      or a hang;
+#   7. planner regression gate: from the bench smoke artifact, the
+#      staircase-core workload must not be slower with the planner on than
+#      off — the planner only ever skips work, so a regression means the
+#      reliance/guard machinery itself got too expensive.
 # Run from the repository root. Fails fast on the first broken step. Every
 # ctest invocation is wrapped in a hard `timeout` so a hung governed run can
 # never wedge the gate (individual tests additionally carry ctest TIMEOUT
@@ -58,17 +65,17 @@ for program in data/*.twc; do
   echo "  $program: identical at threads 1/4/$HW_THREADS"
 done
 
-echo "== sanitizers: asan preset, delta+obs+robustness+columnar labels =="
+echo "== sanitizers: asan preset, delta+obs+robustness+columnar+plan labels =="
 cmake --preset asan -DTWCHASE_BUILD_FUZZERS=ON
 cmake --build --preset asan -j "$JOBS"
 timeout "$CTEST_HARD_TIMEOUT" ctest --test-dir build-asan \
-  --output-on-failure -L 'delta|obs|robustness|columnar'
+  --output-on-failure -L 'delta|obs|robustness|columnar|plan'
 
-echo "== tsan: thread preset, parallel+columnar labels =="
+echo "== tsan: thread preset, parallel+columnar+plan labels =="
 cmake --preset tsan
 cmake --build --preset tsan -j "$JOBS"
 timeout "$CTEST_HARD_TIMEOUT" ctest --test-dir build-tsan \
-  --output-on-failure -L 'parallel|columnar'
+  --output-on-failure -L 'parallel|columnar|plan'
 
 echo "== fuzz smoke: parser harness, ${FUZZ_SECONDS}s =="
 timeout $((FUZZ_SECONDS + 30)) ./build-asan/fuzz/parser_fuzzer \
@@ -77,5 +84,25 @@ timeout $((FUZZ_SECONDS + 30)) ./build-asan/fuzz/parser_fuzzer \
 echo "== bench smoke: full sweep under ${BENCH_HARD_TIMEOUT}s ceiling =="
 timeout "$BENCH_HARD_TIMEOUT" ./build/bench/bench_engine \
   --out /tmp/twchase_bench_smoke.json > /dev/null
+
+echo "== planner regression gate: staircase-core plan on vs off =="
+if ! awk '
+  /"plan_sweep"/ { in_sweep = 1 }
+  in_sweep && /"name": "staircase-core"/ { in_row = 1 }
+  in_row && /"plan_off"/ && match($0, /"wall_ms": [0-9.]+/) {
+    off = substr($0, RSTART + 11, RLENGTH - 11) + 0
+  }
+  in_row && /"plan_on"/ && match($0, /"wall_ms": [0-9.]+/) {
+    on = substr($0, RSTART + 11, RLENGTH - 11) + 0
+    printf "  staircase-core: plan off %.2f ms, plan on %.2f ms\n", off, on
+    exit !(off > 0 && on > 0 && on <= off)
+  }
+  END {
+    if (on == "") { print "  staircase-core plan_sweep row missing"; exit 1 }
+  }
+' /tmp/twchase_bench_smoke.json; then
+  echo "PLANNER REGRESSION: staircase-core slower with the planner on" >&2
+  exit 1
+fi
 
 echo "check.sh: all gates passed"

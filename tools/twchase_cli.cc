@@ -25,6 +25,10 @@
 //     --match-backend=columnar|legacy   homomorphism matching backend
 //                          (default: columnar; results are bit-identical
 //                          on either)
+//     --plan=on|off        trigger-graph execution planning: skip dormant
+//                          rules and prove cores still cores instead of
+//                          re-folding them (default: on; results are
+//                          bit-identical either way)
 //     --checkpoint-out=FILE record the run and write a resumable checkpoint
 //     --resume-from=FILE   resume a checkpointed run (same program file)
 #include <algorithm>
@@ -74,7 +78,7 @@ int Usage(const char* argv0) {
                "[--measures] [--robust] [--analyze] [--trace] "
                "[--print-result] [--metrics-out=FILE] [--events-out=FILE] "
                "[--deadline-ms=N] [--memory-budget-mb=N] [--threads=N] "
-               "[--match-backend=B] [--checkpoint-out=FILE] "
+               "[--match-backend=B] [--plan=on|off] [--checkpoint-out=FILE] "
                "[--resume-from=FILE] <program-file>\n",
                argv0);
   return 2;
@@ -102,6 +106,7 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     twchase::flags::ArgMatcher m(arg);
     std::string variant_name;
     std::string backend_name;
+    std::string plan_mode;
     if (m.Value("--variant", &variant_name)) {
       if (!ParseVariant(variant_name, &options->chase.variant)) {
         std::fprintf(stderr, "unknown variant: %s\n", variant_name.c_str());
@@ -115,6 +120,15 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       } else {
         std::fprintf(stderr, "unknown match backend: %s\n",
                      backend_name.c_str());
+        return false;
+      }
+    } else if (m.Value("--plan", &plan_mode)) {
+      if (plan_mode == "on") {
+        options->chase.plan.enabled = true;
+      } else if (plan_mode == "off") {
+        options->chase.plan.enabled = false;
+      } else {
+        std::fprintf(stderr, "unknown plan mode: %s\n", plan_mode.c_str());
         return false;
       }
     } else if (m.SizeValue("--deadline-ms", &deadline_ms)) {
