@@ -20,6 +20,10 @@
 // core-chase workloads, verifies bit-parity, and records the planner stats
 // (reliance edges, strata, dormancy skips, still-core certificates) — the
 // staircase-core row backs the planner regression gate in tools/check.sh.
+// A sixth section measures daemon throughput: an in-process ChaseDaemon
+// serving identical core-chase jobs over real HTTP at 1, 4 and 8 concurrent
+// tenants, reporting jobs/sec (submit-to-terminal) per tenant count and
+// verifying every job's final instance hash agrees.
 //
 // `--micro` mode: the google-benchmark microbenchmarks of the substrate
 // costs underlying every figure (homomorphism search, core computation,
@@ -27,10 +31,12 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/chase.h"
@@ -40,6 +46,10 @@
 #include "kb/examples.h"
 #include "kb/generators.h"
 #include "kb/knowledge_base.h"
+#include "service/daemon.h"
+#include "service/http.h"
+#include "service/json.h"
+#include "service/wire.h"
 #include "util/governor.h"
 #include "tw/exact.h"
 #include "tw/grid.h"
@@ -624,6 +634,133 @@ std::string RunPlanSweep(MetricsRegistry* registry) {
   return json;
 }
 
+// ---------------------------------------------------------------------------
+// Service sweep.
+
+// Measures daemon job throughput over real HTTP: an in-process ChaseDaemon
+// (4 chase workers, loopback HTTP) serves 6 identical staircase core-chase
+// jobs per tenant at 1, 4 and 8 concurrent tenants; the row records the
+// wall time from the first submission to the last terminal poll and the
+// resulting jobs/sec. Every job's final instance hash must agree — the jobs
+// are the same program under the same options, so a divergent hash means
+// the concurrent service path perturbed a run. Returns the "service_sweep"
+// JSON object (empty string on any failure).
+std::string RunServiceSweep(MetricsRegistry* registry) {
+  constexpr const char* kProgram = R"(
+f(X00), h(X00, X00).
+[Rh1] h(X, Y), v(X, Xp), h(Xp, Yp), v(Y, Yp), c(Yp) :- h(X, X).
+[Rh2] c(Yp), h(X, Y), v(Y, Yp) :- h(X, X), v(X, Xp), h(Xp, Xp), h(Xp, Yp).
+[Rh3] f(Y), h(Y, Y) :- f(X), h(X, X), h(X, Y).
+[Rh4] h(Xp, Xp) :- h(X, X), v(X, Xp), c(Xp).
+? :- f(X), v(X, Y), c(Y).
+)";
+  constexpr size_t kJobsPerTenant = 6;
+
+  ChaseOptions chase;
+  chase.variant = ChaseVariant::kCore;
+  chase.limits.max_steps = 45;
+
+  std::string json = "  \"service_sweep\": {\n    \"rows\": [\n";
+  std::printf("\n%-26s %8s %10s %12s\n", "service", "jobs", "wall ms",
+              "jobs/sec");
+  const size_t tenant_counts[] = {1, 4, 8};
+  const size_t num_rows = sizeof(tenant_counts) / sizeof(tenant_counts[0]);
+  for (size_t row = 0; row < num_rows; ++row) {
+    const size_t tenants = tenant_counts[row];
+    DaemonOptions options;
+    options.workers = 4;
+    options.per_tenant_quota = kJobsPerTenant;
+    options.http_threads = 4;
+    ChaseDaemon daemon(options);
+    if (Status started = daemon.Start(); !started.ok()) {
+      std::fprintf(stderr, "service sweep: daemon start failed: %s\n",
+                   started.message().c_str());
+      return "";
+    }
+    auto fetch = [&](const std::string& method, const std::string& target,
+                     const std::string& body) {
+      return HttpFetch("127.0.0.1", daemon.port(), method, target, body);
+    };
+
+    Json request = Json::Object();
+    request.Set("schema_version", Json::Number(uint64_t{kWireSchemaVersion}));
+    request.Set("program", Json::String(kProgram));
+    request.Set("options", ChaseOptionsToJson(chase));
+
+    Stopwatch watch;
+    std::vector<std::string> ids;
+    for (size_t t = 0; t < tenants; ++t) {
+      request.Set("tenant", Json::String("tenant-" + std::to_string(t)));
+      for (size_t j = 0; j < kJobsPerTenant; ++j) {
+        auto response = fetch("POST", "/v1/jobs", request.Dump());
+        if (!response.ok() || response->status != 202) {
+          std::fprintf(stderr, "service sweep: submit failed (HTTP %d)\n",
+                       response.ok() ? response->status : -1);
+          return "";
+        }
+        auto body = Json::Parse(response->body);
+        if (!body.ok()) return "";
+        ids.push_back(body->Get("job").Get("id").string_value());
+      }
+    }
+    std::string expected_hash;
+    for (const std::string& id : ids) {
+      while (true) {
+        auto response = fetch("GET", "/v1/jobs/" + id, "");
+        if (!response.ok()) return "";
+        auto body = Json::Parse(response->body);
+        if (!body.ok()) return "";
+        const std::string state = body->Get("state").string_value();
+        if (state == "done") break;
+        if (state == "failed" || state == "cancelled") {
+          std::fprintf(stderr, "service sweep: job %s ended %s\n", id.c_str(),
+                       state.c_str());
+          return "";
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      auto result = fetch("GET", "/v1/jobs/" + id + "/result", "");
+      if (!result.ok() || result->status != 200) return "";
+      auto body = Json::Parse(result->body);
+      if (!body.ok()) return "";
+      const std::string hash = body->Get("instance_hash").string_value();
+      if (expected_hash.empty()) expected_hash = hash;
+      if (hash != expected_hash) {
+        std::fprintf(stderr,
+                     "PARITY VIOLATION in service sweep: job %s hash %s != "
+                     "%s\n",
+                     id.c_str(), hash.c_str(), expected_hash.c_str());
+        return "";
+      }
+    }
+    const double wall_ms = watch.ElapsedMillis();
+    daemon.Stop();
+    if (daemon.InFlightJobs() != 0) {
+      std::fprintf(stderr, "service sweep: %zu jobs leaked past Stop()\n",
+                   daemon.InFlightJobs());
+      return "";
+    }
+    const double jobs_per_sec =
+        wall_ms > 0 ? 1000.0 * static_cast<double>(ids.size()) / wall_ms : 0;
+    registry
+        ->GetHistogram("service.sweep.tenants_" + std::to_string(tenants) +
+                       ".wall_ms")
+        ->Observe(wall_ms);
+    const std::string label = std::to_string(tenants) + "-tenant daemon";
+    std::printf("%-26s %8zu %9.2f %11.2f\n", label.c_str(), ids.size(),
+                wall_ms, jobs_per_sec);
+    char buffer[256];
+    std::snprintf(buffer, sizeof(buffer),
+                  "      {\"tenants\": %zu, \"jobs\": %zu, \"wall_ms\": %.3f, "
+                  "\"jobs_per_sec\": %.2f}",
+                  tenants, ids.size(), wall_ms, jobs_per_sec);
+    json += buffer;
+    json += (row + 1 < num_rows) ? ",\n" : "\n";
+  }
+  json += "    ]\n  }";
+  return json;
+}
+
 int RunDeltaSweep(const char* output_path) {
   std::vector<SweepWorkload> workloads;
   workloads.push_back({"transitive-closure-12", ChaseVariant::kRestricted,
@@ -695,6 +832,9 @@ int RunDeltaSweep(const char* output_path) {
   std::string plan_sweep = RunPlanSweep(&registry);
   if (plan_sweep.empty()) return 1;
   json += plan_sweep + ",\n";
+  std::string service_sweep = RunServiceSweep(&registry);
+  if (service_sweep.empty()) return 1;
+  json += service_sweep + ",\n";
   json += "  \"metrics\": " + registry.ToJson(2) + "\n}\n";
 
   if (FILE* out = std::fopen(output_path, "w")) {

@@ -8,6 +8,7 @@
 
 #include "core/delta.h"
 #include "core/parallel.h"
+#include "core/session.h"
 #include "core/trigger.h"
 #include "core/trigger_key.h"
 #include "hom/core.h"
@@ -41,21 +42,25 @@ const char* ChaseVariantName(ChaseVariant variant) {
   return "unknown";
 }
 
+// Error messages lead with the full nested field path (limits. / core. /
+// delta. / resume. / parallel.), so CLI users see which flag to fix and the
+// HTTP surface (src/service/wire.cc) can lift the path into its structured
+// 400 payload without guessing.
 Status ChaseOptions::Validate() const {
   if (core.core_every == 0) {
-    return Status::InvalidArgument("core_every must be positive");
+    return Status::InvalidArgument("core.core_every must be positive");
   }
   if (core.incremental_core &&
       (core.core_every != 1 || core.core_at_round_end)) {
     return Status::InvalidArgument(
-        "incremental_core requires core_every == 1 and "
-        "core_at_round_end == false");
+        "core.incremental_core requires core.core_every == 1 and "
+        "core.core_at_round_end == false");
   }
   if (resume.record_log && core.incremental_core) {
     return Status::InvalidArgument(
-        "resume.record_log requires incremental_core == false: the in-place "
-        "fold order of the incremental path is not reproducible from a "
-        "resume log");
+        "resume.record_log requires core.incremental_core == false: the "
+        "in-place fold order of the incremental path is not reproducible "
+        "from a resume log");
   }
   if (parallel.threads == 0) {
     return Status::InvalidArgument(
@@ -170,6 +175,10 @@ struct ReplayCursor {
 
 }  // namespace
 
+// The one-shot compatibility surface: both free functions are thin wrappers
+// over ChaseSession (core/session.h), which owns validation and lifecycle.
+// A session that is only ever started is exactly the historical run — the
+// goldens and the differential suites pin the bit-identity.
 StatusOr<ChaseResult> RunChase(const KnowledgeBase& kb,
                                const ChaseOptions& options) {
   return RunChaseWithReplay(kb, options, nullptr);
@@ -178,6 +187,17 @@ StatusOr<ChaseResult> RunChase(const KnowledgeBase& kb,
 StatusOr<ChaseResult> RunChaseWithReplay(const KnowledgeBase& kb,
                                          const ChaseOptions& options,
                                          const ResumeLog* replay) {
+  auto session = ChaseSession::Create(kb, options);
+  if (!session.ok()) return session.status();
+  TWCHASE_RETURN_IF_ERROR((*session)->StartWithReplay(replay));
+  return (*session)->TakeResult();
+}
+
+namespace internal {
+
+StatusOr<ChaseResult> ExecuteChase(const KnowledgeBase& kb,
+                                   const ChaseOptions& options,
+                                   const ResumeLog* replay) {
   if (kb.vocab == nullptr) {
     return Status::InvalidArgument("knowledge base has no vocabulary");
   }
@@ -1333,5 +1353,7 @@ StatusOr<ChaseResult> RunChaseWithReplay(const KnowledgeBase& kb,
                      << ", |F|=" << current.size();
   return result;
 }
+
+}  // namespace internal
 
 }  // namespace twchase

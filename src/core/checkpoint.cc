@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/session.h"
 #include "hom/matcher.h"
 
 namespace twchase {
@@ -318,54 +319,16 @@ StatusOr<ChaseCheckpoint> ParseCheckpoint(const std::string& text) {
   return cp;
 }
 
+// Compatibility wrapper: the validation surface and the replay live in
+// ChaseSession::Resume (core/session.h) since the session redesign; this
+// keeps the historical one-shot signature and error order.
 StatusOr<ChaseResult> ResumeChase(const KnowledgeBase& kb,
                                   const ChaseOptions& options,
                                   const ChaseCheckpoint& checkpoint) {
-  if (kb.vocab == nullptr) {
-    return Status::InvalidArgument("knowledge base has no vocabulary");
-  }
-  TWCHASE_RETURN_IF_ERROR(options.Validate());
-  if (options.variant != checkpoint.variant) {
-    return Status::FailedPrecondition(
-        std::string("resume: checkpoint was recorded with variant '") +
-        ChaseVariantName(checkpoint.variant) + "', options request '" +
-        ChaseVariantName(options.variant) + "'");
-  }
-  if (options.datalog_first != checkpoint.datalog_first ||
-      options.delta.enabled != checkpoint.delta_enabled ||
-      options.core.core_every != checkpoint.core_every ||
-      options.core.core_at_round_end != checkpoint.core_at_round_end ||
-      options.core.core_initial != checkpoint.core_initial) {
-    return Status::FailedPrecondition(
-        "resume: schedule-shaping options (datalog_first, delta.enabled, "
-        "coring schedule) differ from the recorded run; the decision bits "
-        "are meaningless against a different schedule");
-  }
-  if (options.core.incremental_core) {
-    return Status::FailedPrecondition(
-        "resume: incremental_core runs are not replayable");
-  }
-  if (CheckpointFingerprint(kb, options) != checkpoint.program_fingerprint) {
-    return Status::FailedPrecondition(
-        "resume: fingerprint mismatch — the checkpoint belongs to a "
-        "different rule set or fact base, or was recorded under a different "
-        "--match-backend or --plan setting");
-  }
-  if (checkpoint.log.have_initial &&
-      kb.vocab->num_variables() != checkpoint.log.initial_num_variables) {
-    return Status::FailedPrecondition(
-        "resume: vocabulary is not in the recorded run's start state "
-        "(expected " +
-        std::to_string(checkpoint.log.initial_num_variables) +
-        " variables, found " + std::to_string(kb.vocab->num_variables()) +
-        "); re-parse the program into a fresh vocabulary before resuming");
-  }
-  ResumeLog log = checkpoint.log;
-  log.verify_landing = true;
-  log.expected_instance_size = checkpoint.instance_size;
-  log.expected_instance_hash = checkpoint.instance_hash;
-  log.committed_num_variables = checkpoint.expected_variables;
-  return RunChaseWithReplay(kb, options, &log);
+  auto session = ChaseSession::Create(kb, options);
+  if (!session.ok()) return session.status();
+  TWCHASE_RETURN_IF_ERROR((*session)->Resume(checkpoint));
+  return (*session)->TakeResult();
 }
 
 }  // namespace twchase

@@ -47,6 +47,27 @@ double Histogram::mean() const {
   return count_ == 0 ? 0 : sum_ / count_;
 }
 
+void Histogram::Merge(const Histogram& other) {
+  // Snapshot `other` under its own lock first: the two locks are never
+  // held together, so Merge can never deadlock (a histogram is not merged
+  // into itself).
+  size_t other_count;
+  double other_sum, other_min, other_max;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    other_count = other.count_;
+    other_sum = other.sum_;
+    other_min = other.min_;
+    other_max = other.max_;
+  }
+  if (other_count == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0 || other_min < min_) min_ = other_min;
+  if (count_ == 0 || other_max > max_) max_ = other_max;
+  count_ += other_count;
+  sum_ += other_sum;
+}
+
 MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(const std::string& name,
                                                       Kind kind) {
   auto it = index_.find(name);
@@ -193,6 +214,27 @@ std::string MetricsRegistry::ToJson(int indent) const {
   append_group("histograms", histograms, true);
   out += pad + "}";
   return out;
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  for (const Entry& entry : other.entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter: {
+        // Register even a zero counter so the fleet column set is the
+        // union of every job's, stable across merges.
+        Counter* mine = GetCounter(entry.name);
+        uint64_t value = entry.counter->value();
+        if (value != 0) mine->Increment(value);
+        break;
+      }
+      case Kind::kGauge:
+        GetGauge(entry.name)->Set(entry.gauge->value());
+        break;
+      case Kind::kHistogram:
+        GetHistogram(entry.name)->Merge(*entry.histogram);
+        break;
+    }
+  }
 }
 
 void JsonlSink::Row(size_t step, const std::vector<MetricColumn>& columns) {

@@ -106,6 +106,10 @@ class Histogram {
   double max() const;
   double mean() const;
 
+  /// Folds `other`'s summary into this one, as if every observation of
+  /// `other` had been Observed here (count/sum add, min/max widen).
+  void Merge(const Histogram& other);
+
  private:
   mutable std::mutex mu_;
   size_t count_ = 0;
@@ -147,6 +151,16 @@ class MetricsRegistry {
   /// {"count":..,"sum":..,"min":..,"max":..,"mean":..}}}. `indent` shifts
   /// every line for embedding into an enclosing document.
   std::string ToJson(int indent = 0) const;
+
+  /// Folds every instrument of `other` into this registry, get-or-creating
+  /// by name: counters add, gauges take `other`'s last value, histograms
+  /// merge summaries. The fleet-aggregation primitive of the chase daemon
+  /// (each finished job's per-run registry is folded into one fleet
+  /// registry). Registration is still single-threaded: callers serialize
+  /// MergeFrom with every other registration/render of *this* registry
+  /// (the daemon holds its fleet-metrics mutex); `other` may no longer be
+  /// written to concurrently.
+  void MergeFrom(const MetricsRegistry& other);
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram };

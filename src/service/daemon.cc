@@ -1,0 +1,547 @@
+#include "service/daemon.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <optional>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/session.h"
+#include "hom/answers.h"
+#include "hom/matcher.h"
+#include "obs/observer.h"
+#include "obs/stock_observers.h"
+#include "parser/parser.h"
+#include "parser/printer.h"
+#include "util/stopwatch.h"
+
+namespace twchase {
+namespace {
+
+std::string Sprintf(const char* format, ...) {
+  char buffer[512];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  return buffer;
+}
+
+HttpResponse JsonResponse(int status, const Json& body) {
+  HttpResponse response;
+  response.status = status;
+  response.body = body.Dump() + "\n";
+  return response;
+}
+
+HttpResponse StatusResponse(const Status& status,
+                            const std::vector<FieldError>& fields = {}) {
+  return JsonResponse(HttpStatusForStatus(status), ErrorJson(status, fields));
+}
+
+}  // namespace
+
+/// One chase job: a program run as a sequence of scheduler segments. Every
+/// segment re-parses the program text (a resume needs the vocabulary in
+/// start state) and Start()s or Resume()s a fresh ChaseSession; preemption
+/// turns the paused session into a serialized checkpoint carried to the
+/// next segment. All cross-thread state (the live session pointer for
+/// Pause/Cancel, the rendered result for the HTTP handlers) sits behind
+/// one mutex; the chase itself runs outside it.
+class ChaseDaemon::ChaseJob : public PreemptibleJob {
+ public:
+  ChaseJob(std::string id, JobRequest request, ChaseDaemon* daemon)
+      : id_(std::move(id)), request_(std::move(request)), daemon_(daemon) {
+    // Preemption needs the resume log; forcing it on changes memory, never
+    // results. The incremental core cannot record one (Validate rejects the
+    // combination), so such jobs simply run each segment to completion.
+    preemptible_ = !request_.options.core.incremental_core;
+  }
+
+  const std::string& id() const { return id_; }
+  const std::string& tenant() const { return request_.tenant; }
+
+  Outcome RunSegment() override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      state_ = "running";
+      ++segments_;
+    }
+    Stopwatch stopwatch;
+
+    // Fresh parse: term ids and the null counter must be in start state for
+    // both Start and Resume (the checkpoint fingerprint pins the text).
+    auto program = ParseProgram(request_.program);
+    if (!program.ok()) {
+      return Terminal(Status::Internal("program re-parse failed: " +
+                                       program.status().message()));
+    }
+
+    ChaseOptions options = request_.options;
+    if (preemptible_) options.resume.record_log = true;
+
+    std::ostringstream events;
+    ObserverList observers;
+    std::optional<EventLogObserver> event_log;
+    if (request_.capture_events) {
+      event_log.emplace(&events);
+      observers.Add(&*event_log);
+      options.observer = &observers;
+    }
+
+    auto session = ChaseSession::Create(program->kb, options);
+    if (!session.ok()) return Terminal(session.status());
+
+    // The segment's resume source: our own pause checkpoint wins over the
+    // caller-supplied one (which only seeds the first segment).
+    std::string checkpoint_text;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      live_session_ = session->get();
+      checkpoint_text = saved_checkpoint_.empty() ? request_.resume_checkpoint
+                                                  : saved_checkpoint_;
+      if (cancel_requested_) live_session_->Cancel();
+    }
+
+    Status run = Status::OK();
+    if (checkpoint_text.empty()) {
+      run = (*session)->Start();
+    } else {
+      auto checkpoint = ParseCheckpoint(checkpoint_text);
+      if (!checkpoint.ok()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        live_session_ = nullptr;
+        return Terminal(checkpoint.status());
+      }
+      run = (*session)->Resume(*checkpoint);
+    }
+
+    std::lock_guard<std::mutex> lock(mu_);
+    live_session_ = nullptr;
+    elapsed_seconds_ += stopwatch.ElapsedSeconds();
+    if (!run.ok()) return TerminalLocked(run);
+
+    if ((*session)->state() == ChaseSession::State::kPaused) {
+      auto checkpoint = (*session)->Checkpoint();
+      if (!checkpoint.ok()) return TerminalLocked(checkpoint.status());
+      saved_checkpoint_ = SerializeCheckpoint(*checkpoint);
+      state_ = "paused";
+      return Outcome::kPaused;
+    }
+
+    if (request_.capture_events) last_events_ = events.str();
+    RenderResultLocked(**session, *program);
+    state_ = (*session)->stop_reason() == StopReason::kCancelled
+                 ? "cancelled"
+                 : "done";
+    result_.Set("state", Json::String(state_));
+    FoldMetricsLocked();
+    return Outcome::kCompleted;
+  }
+
+  void RequestPause() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!preemptible_ || live_session_ == nullptr) return;
+    // FailedPrecondition cannot happen: the session records a log iff
+    // preemptible_, and pausing a finished session is a no-op.
+    (void)live_session_->Pause();
+  }
+
+  void RequestCancel() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    cancel_requested_ = true;
+    if (live_session_ != nullptr) live_session_->Cancel();
+  }
+
+  Json StatusJson() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    Json json = Json::Object();
+    json.Set("schema_version", Json::Number(uint64_t{kWireSchemaVersion}));
+    json.Set("id", Json::String(id_));
+    json.Set("tenant", Json::String(request_.tenant));
+    json.Set("state", Json::String(state_));
+    json.Set("segments", Json::Number(segments_));
+    json.Set("cancel_requested", Json::Bool(cancel_requested_));
+    if (state_ == "failed") {
+      json.Set("error", Json::String(error_.ToString()));
+    }
+    return json;
+  }
+
+  /// FailedPrecondition while the job is still in flight.
+  StatusOr<Json> ResultJson() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state_ == "failed") {
+      return ErrorJson(error_);
+    }
+    if (!has_result_) {
+      return Status::FailedPrecondition("job " + id_ + " is " + state_ +
+                                        "; the result exists once it is "
+                                        "done or cancelled");
+    }
+    return result_;
+  }
+
+  bool failed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return state_ == "failed";
+  }
+
+ private:
+  /// Marks the job failed; both overloads return kFailed for RunSegment.
+  Outcome Terminal(const Status& status) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return TerminalLocked(status);
+  }
+  Outcome TerminalLocked(const Status& status) {
+    error_ = status;
+    state_ = "failed";
+    return Outcome::kFailed;
+  }
+
+  /// Renders the terminal payload. Holds mu_; the program (and its
+  /// vocabulary, which the printed atoms reference) is alive only for this
+  /// call, so everything is rendered to strings now.
+  void RenderResultLocked(ChaseSession& session, const ParsedProgram& program);
+  void FoldMetricsLocked();
+
+  mutable std::mutex mu_;
+  const std::string id_;
+  JobRequest request_;
+  ChaseDaemon* daemon_;
+  bool preemptible_ = false;
+
+  std::string state_ = "queued";  // queued|running|paused|done|cancelled|failed
+  bool cancel_requested_ = false;
+  uint64_t segments_ = 0;
+  double elapsed_seconds_ = 0;
+  std::string saved_checkpoint_;
+  std::string last_events_;
+  ChaseSession* live_session_ = nullptr;
+
+  Status error_;
+  Json result_;
+  bool has_result_ = false;
+};
+
+void ChaseDaemon::ChaseJob::RenderResultLocked(ChaseSession& session,
+                                               const ParsedProgram& program) {
+  const ChaseResult& run = session.Result();
+  const KnowledgeBase& kb = program.kb;
+  const AtomSet& instance = run.derivation.Last();
+
+  // CLI-identical text first — the smoke gate diffs this against the CLI's
+  // stdout (timings normalized), so every byte matters.
+  std::string text;
+  text += Sprintf("program: %zu facts, %zu rules, %zu queries\n",
+                  kb.facts.size(), kb.rules.size(), program.queries.size());
+  text += Sprintf(
+      "%s chase: %zu steps in %zu rounds, %.3fs, stop: %s; |result| = %zu\n",
+      ChaseVariantName(request_.options.variant), run.steps, run.rounds,
+      elapsed_seconds_, StopReasonName(run.stop_reason), instance.size());
+
+  Json queries = Json::Array();
+  for (size_t q = 0; q < program.queries.size(); ++q) {
+    const ParsedQuery& query = program.queries[q];
+    Json entry = Json::Object();
+    entry.Set("query", Json::String(PrintQuery(query, *kb.vocab)));
+    if (query.answer_vars.empty()) {
+      bool entailed = ExistsHomomorphism(query.atoms, instance);
+      const char* certainty =
+          run.terminated ? "" : (entailed ? "" : " (within budget)");
+      text += Sprintf("query %zu: %-40s -> %s%s\n", q + 1,
+                      PrintQuery(query, *kb.vocab).c_str(),
+                      entailed ? "entailed" : "not entailed", certainty);
+      entry.Set("entailed", Json::Bool(entailed));
+      entry.Set("certain", Json::Bool(run.terminated || entailed));
+    } else {
+      AnswerOptions answer_options;
+      answer_options.ground_only = true;
+      auto answers = AnswerQuery(instance, query.atoms, query.answer_vars,
+                                 answer_options);
+      text += Sprintf("query %zu: %-40s -> %zu certain answer(s)\n", q + 1,
+                      PrintQuery(query, *kb.vocab).c_str(), answers.size());
+      Json tuples = Json::Array();
+      for (const auto& tuple : answers) {
+        text += "    (";
+        Json rendered = Json::Array();
+        for (size_t i = 0; i < tuple.size(); ++i) {
+          if (i > 0) text += ", ";
+          text += kb.vocab->TermName(tuple[i]);
+          rendered.Append(Json::String(kb.vocab->TermName(tuple[i])));
+        }
+        text += ")\n";
+        tuples.Append(std::move(rendered));
+      }
+      entry.Set("answers", std::move(tuples));
+    }
+    queries.Append(std::move(entry));
+  }
+
+  result_ = Json::Object();
+  result_.Set("schema_version", Json::Number(uint64_t{kWireSchemaVersion}));
+  result_.Set("id", Json::String(id_));
+  result_.Set("tenant", Json::String(request_.tenant));
+  result_.Set("state", Json::String("done"));  // overwritten by the caller
+  result_.Set("stop_reason",
+              Json::String(StopReasonName(run.stop_reason)));
+  result_.Set("terminated", Json::Bool(run.terminated));
+  result_.Set("steps", Json::Number(uint64_t{run.steps}));
+  result_.Set("rounds", Json::Number(uint64_t{run.rounds}));
+  result_.Set("segments", Json::Number(segments_));
+  result_.Set("elapsed_seconds", Json::Number(elapsed_seconds_));
+  Json program_info = Json::Object();
+  program_info.Set("facts", Json::Number(uint64_t{kb.facts.size()}));
+  program_info.Set("rules", Json::Number(uint64_t{kb.rules.size()}));
+  program_info.Set("queries", Json::Number(uint64_t{program.queries.size()}));
+  result_.Set("program", std::move(program_info));
+  result_.Set("instance_size", Json::Number(uint64_t{instance.size()}));
+  // Hex string: ContentHash spans all 64 bits, which double cannot carry.
+  result_.Set("instance_hash",
+              Json::String(Sprintf("%016" PRIx64, instance.ContentHash())));
+  result_.Set("queries", std::move(queries));
+  result_.Set("text", Json::String(text));
+  if (request_.capture_events) {
+    // (Filled by RunSegment's capture; a resumed segment re-emits the full
+    // stream, so the last segment's capture is the complete one.)
+    result_.Set("events", Json::String(last_events_));
+  }
+  if (request_.return_checkpoint) {
+    // Submission rejected return_checkpoint on unrecordable jobs, so the
+    // run was executed with the resume log on — mirror that here.
+    ChaseOptions recorded = request_.options;
+    recorded.resume.record_log = true;
+    result_.Set("checkpoint", Json::String(SerializeCheckpoint(
+                                  MakeCheckpoint(kb, recorded, run))));
+  }
+  has_result_ = true;
+}
+
+void ChaseDaemon::ChaseJob::FoldMetricsLocked() {
+  MetricsRegistry job_metrics;
+  job_metrics.GetCounter("service.jobs.steps")
+      ->Increment(static_cast<uint64_t>(result_.Get("steps").number_value()));
+  job_metrics.GetCounter("service.jobs.rounds")
+      ->Increment(static_cast<uint64_t>(result_.Get("rounds").number_value()));
+  job_metrics.GetCounter("service.jobs.segments")->Increment(segments_);
+  job_metrics.GetHistogram("service.job.steps")
+      ->Observe(result_.Get("steps").number_value());
+  job_metrics.GetHistogram("service.job.elapsed_seconds")
+      ->Observe(elapsed_seconds_);
+  job_metrics.GetHistogram("service.job.instance_size")
+      ->Observe(result_.Get("instance_size").number_value());
+  daemon_->FoldJobMetrics(job_metrics);
+}
+
+ChaseDaemon::ChaseDaemon(const DaemonOptions& options)
+    : options_(options),
+      scheduler_([&options] {
+        JobScheduler::Options scheduler_options;
+        scheduler_options.workers = options.workers;
+        scheduler_options.per_tenant_quota = options.per_tenant_quota;
+        scheduler_options.preempt_after_ms = options.preempt_after_ms;
+        return scheduler_options;
+      }()) {}
+
+ChaseDaemon::~ChaseDaemon() { Stop(); }
+
+Status ChaseDaemon::Start() {
+  TWCHASE_RETURN_IF_ERROR(scheduler_.Start());
+  Status http = server_.Start(
+      options_.port,
+      [this](const HttpRequest& request) { return Handle(request); },
+      options_.http_threads);
+  if (!http.ok()) scheduler_.Stop();
+  return http;
+}
+
+void ChaseDaemon::Stop() {
+  server_.Stop();     // no new submissions
+  scheduler_.Stop();  // cancel + drain everything admitted
+}
+
+Json ChaseDaemon::MetricsJson() const {
+  Json root = Json::Object();
+  root.Set("schema_version", Json::Number(uint64_t{kWireSchemaVersion}));
+  JobScheduler::Stats stats = scheduler_.GetStats();
+  Json scheduler = Json::Object();
+  scheduler.Set("admitted", Json::Number(stats.admitted));
+  scheduler.Set("rejected", Json::Number(stats.rejected));
+  scheduler.Set("completed", Json::Number(stats.completed));
+  scheduler.Set("failed", Json::Number(stats.failed));
+  scheduler.Set("preemptions", Json::Number(stats.preemptions));
+  scheduler.Set("queued_now", Json::Number(uint64_t{stats.queued_now}));
+  scheduler.Set("running_now", Json::Number(uint64_t{stats.running_now}));
+  root.Set("scheduler", std::move(scheduler));
+  {
+    std::lock_guard<std::mutex> lock(fleet_mu_);
+    // The registry renders itself; round-trip through the parser to embed
+    // it as a structured member instead of a string.
+    auto fleet = Json::Parse(fleet_metrics_.ToJson(0));
+    root.Set("fleet", fleet.ok() ? std::move(*fleet) : Json::Object());
+  }
+  return root;
+}
+
+void ChaseDaemon::FoldJobMetrics(const MetricsRegistry& job_metrics) {
+  std::lock_guard<std::mutex> lock(fleet_mu_);
+  fleet_metrics_.MergeFrom(job_metrics);
+}
+
+std::shared_ptr<ChaseDaemon::ChaseJob> ChaseDaemon::FindJob(
+    const std::string& id) const {
+  std::lock_guard<std::mutex> lock(jobs_mu_);
+  auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : it->second;
+}
+
+HttpResponse ChaseDaemon::Handle(const HttpRequest& request) {
+  const std::string path = request.path();
+  if (path == "/v1/healthz" && request.method == "GET") {
+    Json body = Json::Object();
+    body.Set("schema_version", Json::Number(uint64_t{kWireSchemaVersion}));
+    body.Set("status", Json::String("ok"));
+    body.Set("jobs_in_flight", Json::Number(uint64_t{scheduler_.InFlight()}));
+    return JsonResponse(200, body);
+  }
+  if (path == "/v1/metrics" && request.method == "GET") {
+    return JsonResponse(200, MetricsJson());
+  }
+  if (path == "/v1/jobs") {
+    if (request.method != "POST") {
+      HttpResponse response = JsonResponse(
+          405, ErrorJson(Status::InvalidArgument("use POST to submit a job")));
+      return response;
+    }
+    return HandleSubmit(request);
+  }
+  const std::string jobs_prefix = "/v1/jobs/";
+  if (path.rfind(jobs_prefix, 0) == 0) {
+    std::string rest = path.substr(jobs_prefix.size());
+    const std::string result_suffix = "/result";
+    bool want_result = false;
+    if (rest.size() > result_suffix.size() &&
+        rest.compare(rest.size() - result_suffix.size(), result_suffix.size(),
+                     result_suffix) == 0) {
+      want_result = true;
+      rest = rest.substr(0, rest.size() - result_suffix.size());
+    }
+    if (rest.empty() || rest.find('/') != std::string::npos) {
+      return StatusResponse(Status::NotFound("no such route: " + path));
+    }
+    if (want_result && request.method == "GET") return HandleJobResult(rest);
+    if (!want_result && request.method == "GET") return HandleJobStatus(rest);
+    if (!want_result && request.method == "DELETE") {
+      return HandleJobCancel(rest);
+    }
+    return JsonResponse(405, ErrorJson(Status::InvalidArgument(
+                                 "method " + request.method +
+                                 " not supported on " + path)));
+  }
+  return StatusResponse(Status::NotFound("no such route: " + path));
+}
+
+HttpResponse ChaseDaemon::HandleSubmit(const HttpRequest& request) {
+  auto body = Json::Parse(request.body);
+  if (!body.ok()) return StatusResponse(body.status());
+
+  JobRequest job_request;
+  std::vector<FieldError> errors;
+  Status parsed = JobRequestFromJson(*body, &job_request, &errors);
+  if (!parsed.ok()) return StatusResponse(parsed, errors);
+
+  // Reject inconsistent options now, as a structured 400, instead of a
+  // failed job later. The message's leading field path becomes the error's
+  // field entry.
+  Status valid = job_request.options.Validate();
+  if (!valid.ok()) {
+    return StatusResponse(valid, {FieldErrorFromValidate(valid, "options")});
+  }
+  if (job_request.return_checkpoint &&
+      job_request.options.core.incremental_core) {
+    Status status = Status::InvalidArgument(
+        "return_checkpoint requires a recordable run "
+        "(options.core.incremental_core must be false)");
+    return StatusResponse(status,
+                          {{"return_checkpoint", status.message()}});
+  }
+
+  // Syntax-check the program up front (the job re-parses per segment).
+  auto program = ParseProgram(job_request.program);
+  if (!program.ok()) {
+    Status status = Status::InvalidArgument("program parse error: " +
+                                            program.status().message());
+    return StatusResponse(status,
+                          {{"program", program.status().message()}});
+  }
+  if (!job_request.resume_checkpoint.empty()) {
+    auto checkpoint = ParseCheckpoint(job_request.resume_checkpoint);
+    if (!checkpoint.ok()) {
+      return StatusResponse(
+          checkpoint.status(),
+          {{"resume_checkpoint", checkpoint.status().message()}});
+    }
+  }
+
+  std::string id;
+  std::shared_ptr<ChaseJob> job;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    id = "j-" + std::to_string(next_job_number_++);
+    job = std::make_shared<ChaseJob>(id, std::move(job_request), this);
+    jobs_.emplace(id, job);
+  }
+
+  Status admitted = scheduler_.Submit(job->tenant(), job,
+                                      [](PreemptibleJob::Outcome) {});
+  if (!admitted.ok()) {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    jobs_.erase(id);
+    return StatusResponse(admitted);  // quota exhaustion → 429
+  }
+
+  Json response = Json::Object();
+  response.Set("schema_version", Json::Number(uint64_t{kWireSchemaVersion}));
+  Json job_info = Json::Object();
+  job_info.Set("id", Json::String(id));
+  job_info.Set("tenant", Json::String(job->tenant()));
+  job_info.Set("state", Json::String("queued"));
+  response.Set("job", std::move(job_info));
+  return JsonResponse(202, response);
+}
+
+HttpResponse ChaseDaemon::HandleJobStatus(const std::string& id) {
+  auto job = FindJob(id);
+  if (job == nullptr) {
+    return StatusResponse(Status::NotFound("no such job: " + id));
+  }
+  return JsonResponse(200, job->StatusJson());
+}
+
+HttpResponse ChaseDaemon::HandleJobResult(const std::string& id) {
+  auto job = FindJob(id);
+  if (job == nullptr) {
+    return StatusResponse(Status::NotFound("no such job: " + id));
+  }
+  auto result = job->ResultJson();
+  if (!result.ok()) return StatusResponse(result.status());
+  // A failed job's "result" is its error payload with the error's own code.
+  if (job->failed()) {
+    return JsonResponse(500, *result);
+  }
+  return JsonResponse(200, *result);
+}
+
+HttpResponse ChaseDaemon::HandleJobCancel(const std::string& id) {
+  auto job = FindJob(id);
+  if (job == nullptr) {
+    return StatusResponse(Status::NotFound("no such job: " + id));
+  }
+  job->RequestCancel();
+  return JsonResponse(200, job->StatusJson());
+}
+
+}  // namespace twchase

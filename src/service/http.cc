@@ -1,0 +1,407 @@
+#include "service/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+namespace twchase {
+namespace {
+
+constexpr size_t kMaxHeaderBytes = 64 * 1024;
+constexpr size_t kMaxBodyBytes = 64 * 1024 * 1024;
+constexpr int kSocketTimeoutSeconds = 10;
+
+std::string ToLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+std::string Trim(const std::string& s) {
+  size_t begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  size_t end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+void SetSocketTimeout(int fd) {
+  struct timeval tv;
+  tv.tv_sec = kSocketTimeoutSeconds;
+  tv.tv_usec = 0;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// Reads until the terminator appears in `buffer` or the size cap is hit.
+/// Anything past the terminator stays in `buffer` (start of the body).
+bool ReadUntilHeaderEnd(int fd, std::string* buffer) {
+  char chunk[4096];
+  while (buffer->find("\r\n\r\n") == std::string::npos) {
+    if (buffer->size() > kMaxHeaderBytes) return false;
+    ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buffer->append(chunk, static_cast<size_t>(n));
+  }
+  return true;
+}
+
+bool ReadExact(int fd, std::string* buffer, size_t total) {
+  char chunk[8192];
+  while (buffer->size() < total) {
+    size_t want = std::min(sizeof(chunk), total - buffer->size());
+    ssize_t n = recv(fd, chunk, want, 0);
+    if (n <= 0) return false;
+    buffer->append(chunk, static_cast<size_t>(n));
+  }
+  return true;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Parses the request head (request line + headers) from `head` and, using
+/// Content-Length, how many body bytes follow. Returns false on malformed
+/// input.
+bool ParseRequestHead(const std::string& head, HttpRequest* request,
+                      size_t* content_length) {
+  size_t line_end = head.find("\r\n");
+  if (line_end == std::string::npos) return false;
+  const std::string request_line = head.substr(0, line_end);
+  size_t sp1 = request_line.find(' ');
+  size_t sp2 = request_line.rfind(' ');
+  if (sp1 == std::string::npos || sp2 == sp1) return false;
+  request->method = request_line.substr(0, sp1);
+  request->target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string version = request_line.substr(sp2 + 1);
+  if (version.rfind("HTTP/1.", 0) != 0) return false;
+  if (request->method.empty() || request->target.empty() ||
+      request->target[0] != '/') {
+    return false;
+  }
+
+  *content_length = 0;
+  size_t pos = line_end + 2;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos) eol = head.size();
+    if (eol == pos) break;  // blank line
+    const std::string line = head.substr(pos, eol - pos);
+    size_t colon = line.find(':');
+    if (colon == std::string::npos) return false;
+    std::string name = ToLower(Trim(line.substr(0, colon)));
+    std::string value = Trim(line.substr(colon + 1));
+    if (name == "content-length") {
+      char* end = nullptr;
+      unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || parsed > kMaxBodyBytes) {
+        return false;
+      }
+      *content_length = static_cast<size_t>(parsed);
+    }
+    request->headers.emplace_back(std::move(name), std::move(value));
+    pos = eol + 2;
+  }
+  return true;
+}
+
+std::string RenderResponse(const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    HttpStatusText(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+}  // namespace
+
+std::string HttpRequest::path() const {
+  size_t q = target.find('?');
+  return q == std::string::npos ? target : target.substr(0, q);
+}
+
+std::string HttpRequest::query() const {
+  size_t q = target.find('?');
+  return q == std::string::npos ? "" : target.substr(q + 1);
+}
+
+std::string HttpRequest::Header(const std::string& name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return value;
+  }
+  return "";
+}
+
+const char* HttpStatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Status";
+  }
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Start(uint16_t port, HttpHandler handler,
+                         size_t handler_threads) {
+  if (running_) return Status::FailedPrecondition("server already running");
+  handler_ = std::move(handler);
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status =
+        Status::Internal(std::string("bind 127.0.0.1:") +
+                         std::to_string(port) + ": " + std::strerror(errno));
+    close(fd);
+    return status;
+  }
+  if (listen(fd, 64) != 0) {
+    Status status =
+        Status::Internal(std::string("listen: ") + std::strerror(errno));
+    close(fd);
+    return status;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  } else {
+    port_ = port;
+  }
+  listen_fd_.store(fd);
+  shutdown_ = false;
+  running_ = true;
+  if (handler_threads == 0) handler_threads = 1;
+  for (size_t i = 0; i < handler_threads; ++i) {
+    handler_threads_.emplace_back([this] { HandlerLoop(); });
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    shutdown_ = true;
+  }
+  // Closing the listener makes accept() fail, unblocking the accept thread
+  // (shutdown() first, so an accept() blocked on the old fd returns before
+  // the descriptor number can be reused).
+  if (int fd = listen_fd_.exchange(-1); fd >= 0) {
+    shutdown(fd, SHUT_RDWR);
+    close(fd);
+  }
+  queue_ready_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& t : handler_threads_) {
+    if (t.joinable()) t.join();
+  }
+  handler_threads_.clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int fd : pending_fds_) close(fd);
+  pending_fds_.clear();
+  running_ = false;
+}
+
+void HttpServer::AcceptLoop() {
+  while (true) {
+    int listener = listen_fd_.load();
+    if (listener < 0) return;  // Stop() already closed it
+    int fd = accept(listener, nullptr, nullptr);
+    if (fd < 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutdown_) return;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // listener gone
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutdown_) {
+        close(fd);
+        return;
+      }
+      pending_fds_.push_back(fd);
+    }
+    queue_ready_.notify_one();
+  }
+}
+
+void HttpServer::HandlerLoop() {
+  while (true) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_ready_.wait(lock, [this] { return shutdown_ || !pending_fds_.empty(); });
+      if (!pending_fds_.empty()) {
+        fd = pending_fds_.front();
+        pending_fds_.erase(pending_fds_.begin());
+      } else if (shutdown_) {
+        return;
+      }
+    }
+    if (fd >= 0) HandleConnection(fd);
+  }
+}
+
+void HttpServer::HandleConnection(int fd) {
+  SetSocketTimeout(fd);
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  std::string buffer;
+  HttpResponse response;
+  HttpRequest request;
+  bool parsed = false;
+  if (ReadUntilHeaderEnd(fd, &buffer)) {
+    size_t header_end = buffer.find("\r\n\r\n");
+    size_t content_length = 0;
+    if (ParseRequestHead(buffer.substr(0, header_end + 2), &request,
+                         &content_length)) {
+      request.body = buffer.substr(header_end + 4);
+      if (request.body.size() <= content_length &&
+          ReadExact(fd, &request.body, content_length)) {
+        request.body.resize(content_length);
+        parsed = true;
+      }
+    }
+  }
+  if (parsed) {
+    response = handler_(request);
+  } else {
+    response.status = 400;
+    response.body = "{\"error\":{\"message\":\"malformed HTTP request\"}}";
+  }
+  SendAll(fd, RenderResponse(response));
+  shutdown(fd, SHUT_RDWR);
+  close(fd);
+}
+
+StatusOr<HttpResponse> HttpFetch(const std::string& host, uint16_t port,
+                                 const std::string& method,
+                                 const std::string& target,
+                                 const std::string& body,
+                                 uint64_t timeout_ms) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  struct timeval tv;
+  tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("invalid IPv4 host: " + host);
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Status::Internal("connect " + host + ":" +
+                                     std::to_string(port) + ": " +
+                                     std::strerror(errno));
+    close(fd);
+    return status;
+  }
+  std::string request = method + " " + target + " HTTP/1.1\r\n";
+  request += "Host: " + host + ":" + std::to_string(port) + "\r\n";
+  request += "Content-Type: application/json\r\n";
+  request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  request += "Connection: close\r\n\r\n";
+  request += body;
+  if (!SendAll(fd, request)) {
+    close(fd);
+    return Status::Internal("send failed");
+  }
+
+  std::string buffer;
+  if (!ReadUntilHeaderEnd(fd, &buffer)) {
+    close(fd);
+    return Status::Internal("response header read failed");
+  }
+  size_t header_end = buffer.find("\r\n\r\n");
+  const std::string head = buffer.substr(0, header_end);
+  HttpResponse response;
+  // Status line: HTTP/1.1 NNN Text
+  size_t sp = head.find(' ');
+  if (sp == std::string::npos || head.size() < sp + 4) {
+    close(fd);
+    return Status::Internal("malformed response status line");
+  }
+  response.status = std::atoi(head.c_str() + sp + 1);
+  size_t content_length = std::string::npos;
+  size_t pos = head.find("\r\n");
+  while (pos != std::string::npos && pos + 2 < head.size()) {
+    size_t eol = head.find("\r\n", pos + 2);
+    const std::string line =
+        head.substr(pos + 2, (eol == std::string::npos ? head.size() : eol) -
+                                 pos - 2);
+    size_t colon = line.find(':');
+    if (colon != std::string::npos) {
+      std::string name = ToLower(Trim(line.substr(0, colon)));
+      std::string value = Trim(line.substr(colon + 1));
+      if (name == "content-length") {
+        content_length = static_cast<size_t>(
+            std::strtoull(value.c_str(), nullptr, 10));
+      } else if (name == "content-type") {
+        response.content_type = value;
+      }
+    }
+    pos = eol;
+  }
+  response.body = buffer.substr(header_end + 4);
+  if (content_length != std::string::npos) {
+    if (content_length > kMaxBodyBytes ||
+        !ReadExact(fd, &response.body, content_length)) {
+      close(fd);
+      return Status::Internal("response body read failed");
+    }
+    response.body.resize(content_length);
+  } else {
+    // No Content-Length: read to EOF (the server always sends one, but be
+    // liberal for debugging against other tools).
+    char chunk[8192];
+    ssize_t n;
+    while ((n = recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+      response.body.append(chunk, static_cast<size_t>(n));
+    }
+  }
+  close(fd);
+  return response;
+}
+
+}  // namespace twchase

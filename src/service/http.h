@@ -1,0 +1,112 @@
+// A tiny self-contained HTTP/1.1 server and blocking client over POSIX
+// sockets — just enough protocol for the chase daemon's JSON API and its
+// smoke tooling. No external dependency, no TLS, no chunked encoding:
+// requests and responses carry Content-Length bodies and every connection
+// serves one exchange (the server always answers `Connection: close`).
+//
+// Threading: Start() spawns one accept thread plus a small fixed pool of
+// handler threads draining accepted connections from a queue; the
+// registered handler runs on a handler thread and must be thread-safe (the
+// daemon's handler is — it locks its job table). Stop() closes the
+// listener, wakes the pool and joins every thread; it is safe to call from
+// any thread and idempotent.
+//
+// Robustness: reads are bounded (header block 64 KiB, body 64 MiB) and
+// carry a socket receive timeout, so a stalled or hostile client can only
+// park one handler thread for a bounded time, never wedge the daemon.
+// Malformed requests get a 400 and the connection is closed.
+#ifndef TWCHASE_SERVICE_HTTP_H_
+#define TWCHASE_SERVICE_HTTP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/status.h"
+
+namespace twchase {
+
+struct HttpRequest {
+  std::string method;  // "GET", "POST", "DELETE", ...
+  std::string target;  // request target as sent, e.g. "/v1/jobs/j-3?x=1"
+  std::string body;
+
+  /// Header names lowercased at parse time; values trimmed.
+  std::vector<std::pair<std::string, std::string>> headers;
+
+  /// Path without the query string, and the raw query string ("" if none).
+  std::string path() const;
+  std::string query() const;
+
+  /// First value of `name` (lowercase), or "" when absent.
+  std::string Header(const std::string& name) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+const char* HttpStatusText(int status);
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+class HttpServer {
+ public:
+  HttpServer() = default;
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral; the bound port is then
+  /// port()), starts the accept thread and `handler_threads` workers.
+  Status Start(uint16_t port, HttpHandler handler, size_t handler_threads = 4);
+
+  /// The bound port; valid after a successful Start.
+  uint16_t port() const { return port_; }
+
+  /// Stops accepting, drains and joins. Idempotent, any thread.
+  void Stop();
+
+  bool running() const { return running_; }
+
+ private:
+  void AcceptLoop();
+  void HandlerLoop();
+  void HandleConnection(int fd);
+
+  /// Atomic: Stop() closes and clears it from another thread while
+  /// AcceptLoop blocks on it.
+  std::atomic<int> listen_fd_{-1};
+  uint16_t port_ = 0;
+  HttpHandler handler_;
+  std::thread accept_thread_;
+  std::vector<std::thread> handler_threads_;
+
+  std::mutex mu_;
+  std::condition_variable queue_ready_;
+  std::vector<int> pending_fds_;  // guarded by mu_
+  bool shutdown_ = false;         // guarded by mu_
+  bool running_ = false;
+};
+
+/// One-shot blocking client: connects, sends, reads the full response.
+/// `host` is an IPv4 dotted quad (the daemon only binds loopback).
+StatusOr<HttpResponse> HttpFetch(const std::string& host, uint16_t port,
+                                 const std::string& method,
+                                 const std::string& target,
+                                 const std::string& body = "",
+                                 uint64_t timeout_ms = 30000);
+
+}  // namespace twchase
+
+#endif  // TWCHASE_SERVICE_HTTP_H_

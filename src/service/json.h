@@ -1,0 +1,95 @@
+// A minimal, self-contained JSON value with a strict parser and a
+// deterministic writer — the wire format of the chase daemon (service/).
+//
+// Deliberately tiny: the daemon's payloads are small, hand-shaped objects
+// (job submissions, status, options), so this is a plain recursive-descent
+// parser over std::string_view and a tree of tagged values, with object
+// members kept in insertion order so serialized payloads are stable and
+// diffable. No external dependency, no streaming, no SAX.
+//
+// Numbers are stored as double. Every count the service exchanges (steps,
+// rounds, sizes) is far below 2^53, so round-tripping through double is
+// exact; the writer prints integral doubles without a fraction.
+//
+// Parsing untrusted bytes never aborts: malformed input, depth bombs and
+// truncated documents come back as Status (the HTTP layer maps them to 400).
+#ifndef TWCHASE_SERVICE_JSON_H_
+#define TWCHASE_SERVICE_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace twchase {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;  // null
+  static Json Null() { return Json(); }
+  static Json Bool(bool value);
+  static Json Number(double value);
+  static Json Number(uint64_t value) {
+    return Number(static_cast<double>(value));
+  }
+  static Json String(std::string value);
+  static Json Array();
+  static Json Object();
+
+  /// Strict parse of one JSON document (trailing non-space input is an
+  /// error). InvalidArgument with an offset-annotated message on malformed
+  /// input; nesting deeper than 64 levels is rejected.
+  static StatusOr<Json> Parse(std::string_view text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+
+  /// Array access.
+  const std::vector<Json>& items() const { return items_; }
+  void Append(Json value);
+
+  /// Object access, insertion-ordered. Get returns null for a missing key
+  /// (distinguish with Has when null is a legal value).
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+  bool Has(std::string_view key) const;
+  const Json& Get(std::string_view key) const;
+  /// Insert-or-overwrite, preserving first-insertion order.
+  void Set(std::string_view key, Json value);
+
+  /// Serialises the value. indent < 0 renders compact (one line); indent
+  /// >= 0 pretty-prints with that base indentation, two spaces per level.
+  std::string Dump(int indent = -1) const;
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+/// Escapes `text` as the body of a JSON string literal (no quotes added).
+std::string JsonEscape(std::string_view text);
+
+}  // namespace twchase
+
+#endif  // TWCHASE_SERVICE_JSON_H_

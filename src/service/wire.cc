@@ -1,0 +1,376 @@
+#include "service/wire.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <initializer_list>
+
+namespace twchase {
+namespace {
+
+/// Strict-parse helper threading the dotted path through every descent.
+/// The first problem wins: Fail stores it and every later check no-ops.
+struct Reader {
+  std::string path;
+  FieldError* error;
+  bool failed = false;
+
+  Status Fail(const std::string& at, const std::string& message) {
+    if (!failed && error != nullptr) {
+      error->path = at;
+      error->message = message;
+    }
+    failed = true;
+    return Status::InvalidArgument(at + ": " + message);
+  }
+
+  std::string Join(const std::string& key) const {
+    return path.empty() ? key : path + "." + key;
+  }
+
+  Status ReadBool(const Json& object, const std::string& key, bool* out) {
+    if (!object.Has(key)) return Status::OK();
+    const Json& value = object.Get(key);
+    if (!value.is_bool()) return Fail(Join(key), "must be a boolean");
+    *out = value.bool_value();
+    return Status::OK();
+  }
+
+  Status ReadCount(const Json& object, const std::string& key, size_t* out) {
+    if (!object.Has(key)) return Status::OK();
+    const Json& value = object.Get(key);
+    if (!value.is_number()) {
+      return Fail(Join(key), "must be a non-negative integer");
+    }
+    double number = value.number_value();
+    if (number < 0 || number != std::floor(number) || number > 9.0e15) {
+      return Fail(Join(key), "must be a non-negative integer");
+    }
+    *out = static_cast<size_t>(number);
+    return Status::OK();
+  }
+
+  Status ReadString(const Json& object, const std::string& key,
+                    std::string* out) {
+    if (!object.Has(key)) return Status::OK();
+    const Json& value = object.Get(key);
+    if (!value.is_string()) return Fail(Join(key), "must be a string");
+    *out = value.string_value();
+    return Status::OK();
+  }
+
+  /// Rejects keys outside `allowed` — a misspelt option must not be
+  /// silently ignored (it would run the job with a default the caller did
+  /// not ask for).
+  Status CheckKeys(const Json& object,
+                   std::initializer_list<const char*> allowed) {
+    for (const auto& [key, value] : object.members()) {
+      bool known = false;
+      for (const char* name : allowed) {
+        if (key == name) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) return Fail(Join(key), "unknown field");
+    }
+    return Status::OK();
+  }
+
+  Status RequireObject(const Json& object, const std::string& key,
+                       const Json** out) {
+    *out = nullptr;
+    if (!object.Has(key)) return Status::OK();
+    const Json& value = object.Get(key);
+    if (!value.is_object()) return Fail(Join(key), "must be an object");
+    *out = &value;
+    return Status::OK();
+  }
+};
+
+Status ReadOptionsInto(Reader& r, const Json& json, ChaseOptions* options) {
+  if (!json.is_object()) return r.Fail(r.path, "must be an object");
+  TWCHASE_RETURN_IF_ERROR(r.CheckKeys(
+      json, {"variant", "datalog_first", "keep_snapshots", "limits", "core",
+             "delta", "plan", "parallel", "resume"}));
+
+  if (json.Has("variant")) {
+    const Json& value = json.Get("variant");
+    if (!value.is_string() ||
+        !ParseChaseVariant(value.string_value(), &options->variant)) {
+      return r.Fail(r.Join("variant"),
+                    "must be one of \"oblivious\", \"semi-oblivious\", "
+                    "\"restricted\", \"frugal\", \"core\"");
+    }
+  }
+  TWCHASE_RETURN_IF_ERROR(
+      r.ReadBool(json, "datalog_first", &options->datalog_first));
+  TWCHASE_RETURN_IF_ERROR(
+      r.ReadBool(json, "keep_snapshots", &options->keep_snapshots));
+
+  const std::string base = r.path;
+  const Json* group = nullptr;
+
+  TWCHASE_RETURN_IF_ERROR(r.RequireObject(json, "limits", &group));
+  if (group != nullptr) {
+    r.path = r.Join("limits");
+    TWCHASE_RETURN_IF_ERROR(r.CheckKeys(
+        *group, {"max_steps", "max_instance_size", "deadline_ms",
+                 "memory_budget_bytes"}));
+    TWCHASE_RETURN_IF_ERROR(
+        r.ReadCount(*group, "max_steps", &options->limits.max_steps));
+    TWCHASE_RETURN_IF_ERROR(r.ReadCount(*group, "max_instance_size",
+                                        &options->limits.max_instance_size));
+    size_t deadline = 0;
+    if (group->Has("deadline_ms")) {
+      TWCHASE_RETURN_IF_ERROR(r.ReadCount(*group, "deadline_ms", &deadline));
+      options->limits.deadline_ms = static_cast<uint64_t>(deadline);
+    }
+    TWCHASE_RETURN_IF_ERROR(r.ReadCount(*group, "memory_budget_bytes",
+                                        &options->limits.memory_budget_bytes));
+    r.path = base;
+  }
+
+  TWCHASE_RETURN_IF_ERROR(r.RequireObject(json, "core", &group));
+  if (group != nullptr) {
+    r.path = r.Join("core");
+    TWCHASE_RETURN_IF_ERROR(r.CheckKeys(
+        *group, {"core_every", "core_at_round_end", "core_initial",
+                 "incremental_core", "dirty_radius"}));
+    TWCHASE_RETURN_IF_ERROR(
+        r.ReadCount(*group, "core_every", &options->core.core_every));
+    TWCHASE_RETURN_IF_ERROR(r.ReadBool(*group, "core_at_round_end",
+                                       &options->core.core_at_round_end));
+    TWCHASE_RETURN_IF_ERROR(
+        r.ReadBool(*group, "core_initial", &options->core.core_initial));
+    TWCHASE_RETURN_IF_ERROR(r.ReadBool(*group, "incremental_core",
+                                       &options->core.incremental_core));
+    TWCHASE_RETURN_IF_ERROR(
+        r.ReadCount(*group, "dirty_radius", &options->core.dirty_radius));
+    r.path = base;
+  }
+
+  TWCHASE_RETURN_IF_ERROR(r.RequireObject(json, "delta", &group));
+  if (group != nullptr) {
+    r.path = r.Join("delta");
+    TWCHASE_RETURN_IF_ERROR(r.CheckKeys(*group, {"enabled"}));
+    TWCHASE_RETURN_IF_ERROR(
+        r.ReadBool(*group, "enabled", &options->delta.enabled));
+    r.path = base;
+  }
+
+  TWCHASE_RETURN_IF_ERROR(r.RequireObject(json, "plan", &group));
+  if (group != nullptr) {
+    r.path = r.Join("plan");
+    TWCHASE_RETURN_IF_ERROR(
+        r.CheckKeys(*group, {"enabled", "skip_dormant", "core_guard"}));
+    TWCHASE_RETURN_IF_ERROR(
+        r.ReadBool(*group, "enabled", &options->plan.enabled));
+    TWCHASE_RETURN_IF_ERROR(
+        r.ReadBool(*group, "skip_dormant", &options->plan.skip_dormant));
+    TWCHASE_RETURN_IF_ERROR(
+        r.ReadBool(*group, "core_guard", &options->plan.core_guard));
+    r.path = base;
+  }
+
+  TWCHASE_RETURN_IF_ERROR(r.RequireObject(json, "parallel", &group));
+  if (group != nullptr) {
+    r.path = r.Join("parallel");
+    TWCHASE_RETURN_IF_ERROR(r.CheckKeys(*group, {"threads"}));
+    TWCHASE_RETURN_IF_ERROR(
+        r.ReadCount(*group, "threads", &options->parallel.threads));
+    r.path = base;
+  }
+
+  TWCHASE_RETURN_IF_ERROR(r.RequireObject(json, "resume", &group));
+  if (group != nullptr) {
+    r.path = r.Join("resume");
+    TWCHASE_RETURN_IF_ERROR(r.CheckKeys(*group, {"record_log"}));
+    TWCHASE_RETURN_IF_ERROR(
+        r.ReadBool(*group, "record_log", &options->resume.record_log));
+    r.path = base;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+bool ParseChaseVariant(const std::string& name, ChaseVariant* out) {
+  if (name == "oblivious") *out = ChaseVariant::kOblivious;
+  else if (name == "semi" || name == "semi-oblivious")
+    *out = ChaseVariant::kSemiOblivious;
+  else if (name == "restricted") *out = ChaseVariant::kRestricted;
+  else if (name == "frugal") *out = ChaseVariant::kFrugal;
+  else if (name == "core") *out = ChaseVariant::kCore;
+  else return false;
+  return true;
+}
+
+Json ChaseOptionsToJson(const ChaseOptions& options) {
+  Json root = Json::Object();
+  root.Set("variant", Json::String(ChaseVariantName(options.variant)));
+  root.Set("datalog_first", Json::Bool(options.datalog_first));
+  root.Set("keep_snapshots", Json::Bool(options.keep_snapshots));
+
+  Json limits = Json::Object();
+  limits.Set("max_steps", Json::Number(uint64_t{options.limits.max_steps}));
+  limits.Set("max_instance_size",
+             Json::Number(uint64_t{options.limits.max_instance_size}));
+  if (options.limits.deadline_ms.has_value()) {
+    limits.Set("deadline_ms", Json::Number(*options.limits.deadline_ms));
+  }
+  limits.Set("memory_budget_bytes",
+             Json::Number(uint64_t{options.limits.memory_budget_bytes}));
+  root.Set("limits", std::move(limits));
+
+  Json core = Json::Object();
+  core.Set("core_every", Json::Number(uint64_t{options.core.core_every}));
+  core.Set("core_at_round_end", Json::Bool(options.core.core_at_round_end));
+  core.Set("core_initial", Json::Bool(options.core.core_initial));
+  core.Set("incremental_core", Json::Bool(options.core.incremental_core));
+  core.Set("dirty_radius", Json::Number(uint64_t{options.core.dirty_radius}));
+  root.Set("core", std::move(core));
+
+  Json delta = Json::Object();
+  delta.Set("enabled", Json::Bool(options.delta.enabled));
+  root.Set("delta", std::move(delta));
+
+  Json plan = Json::Object();
+  plan.Set("enabled", Json::Bool(options.plan.enabled));
+  plan.Set("skip_dormant", Json::Bool(options.plan.skip_dormant));
+  plan.Set("core_guard", Json::Bool(options.plan.core_guard));
+  root.Set("plan", std::move(plan));
+
+  Json parallel = Json::Object();
+  parallel.Set("threads", Json::Number(uint64_t{options.parallel.threads}));
+  root.Set("parallel", std::move(parallel));
+
+  Json resume = Json::Object();
+  resume.Set("record_log", Json::Bool(options.resume.record_log));
+  root.Set("resume", std::move(resume));
+  return root;
+}
+
+Status ChaseOptionsFromJson(const Json& json, const std::string& path_prefix,
+                            ChaseOptions* options, FieldError* error) {
+  Reader reader{path_prefix, error};
+  return ReadOptionsInto(reader, json, options);
+}
+
+FieldError FieldErrorFromValidate(const Status& status,
+                                  const std::string& path_prefix) {
+  FieldError out;
+  out.path = path_prefix;
+  const std::string& message = status.message();
+  // A Validate() message leads with the dotted field it concerns
+  // ("core.core_every must be ...") — lift it when present.
+  size_t space = message.find(' ');
+  if (space != std::string::npos && space > 0) {
+    const std::string head = message.substr(0, space);
+    bool dotted = head.find('.') != std::string::npos;
+    for (char c : head) {
+      if (!(std::islower(static_cast<unsigned char>(c)) || c == '_' ||
+            c == '.')) {
+        dotted = false;
+        break;
+      }
+    }
+    if (dotted) {
+      out.path = path_prefix.empty() ? head : path_prefix + "." + head;
+      out.message = message.substr(space + 1);
+      return out;
+    }
+  }
+  out.message = message;
+  return out;
+}
+
+Status JobRequestFromJson(const Json& json, JobRequest* request,
+                          std::vector<FieldError>* errors) {
+  FieldError error;
+  Reader reader{"", &error};
+  auto fail = [&](const Status& status) {
+    if (errors != nullptr) errors->push_back(error);
+    return status;
+  };
+
+  if (!json.is_object()) {
+    return fail(reader.Fail("", "request body must be a JSON object"));
+  }
+  Status keys = reader.CheckKeys(
+      json, {"schema_version", "tenant", "program", "options",
+             "resume_checkpoint", "capture_events", "return_checkpoint"});
+  if (!keys.ok()) return fail(keys);
+
+  if (!json.Has("schema_version")) {
+    return fail(reader.Fail("schema_version", "is required"));
+  }
+  const Json& version = json.Get("schema_version");
+  if (!version.is_number() ||
+      version.number_value() !=
+          static_cast<double>(kWireSchemaVersion)) {
+    return fail(reader.Fail(
+        "schema_version",
+        "unsupported version; this server speaks version " +
+            std::to_string(kWireSchemaVersion)));
+  }
+
+  Status s = reader.ReadString(json, "tenant", &request->tenant);
+  if (!s.ok()) return fail(s);
+  if (request->tenant.empty()) {
+    return fail(reader.Fail("tenant", "is required and must be non-empty"));
+  }
+  s = reader.ReadString(json, "program", &request->program);
+  if (!s.ok()) return fail(s);
+  if (request->program.empty()) {
+    return fail(reader.Fail("program", "is required and must be non-empty"));
+  }
+  s = reader.ReadString(json, "resume_checkpoint",
+                        &request->resume_checkpoint);
+  if (!s.ok()) return fail(s);
+  s = reader.ReadBool(json, "capture_events", &request->capture_events);
+  if (!s.ok()) return fail(s);
+  s = reader.ReadBool(json, "return_checkpoint", &request->return_checkpoint);
+  if (!s.ok()) return fail(s);
+
+  if (json.Has("options")) {
+    s = ChaseOptionsFromJson(json.Get("options"), "options",
+                             &request->options, &error);
+    if (!s.ok()) return fail(s);
+  }
+  return Status::OK();
+}
+
+int HttpStatusForStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk: return 200;
+    case StatusCode::kInvalidArgument: return 400;
+    case StatusCode::kOutOfRange: return 400;
+    case StatusCode::kNotFound: return 404;
+    case StatusCode::kFailedPrecondition: return 409;
+    case StatusCode::kResourceExhausted: return 429;
+    default: return 500;
+  }
+}
+
+Json ErrorJson(const Status& status, const std::vector<FieldError>& fields) {
+  Json root = Json::Object();
+  root.Set("schema_version", Json::Number(uint64_t{kWireSchemaVersion}));
+  Json error = Json::Object();
+  error.Set("code", Json::String(StatusCodeName(status.code())));
+  error.Set("message", Json::String(status.message()));
+  if (!fields.empty()) {
+    Json list = Json::Array();
+    for (const FieldError& field : fields) {
+      Json entry = Json::Object();
+      entry.Set("path", Json::String(field.path));
+      entry.Set("message", Json::String(field.message));
+      list.Append(std::move(entry));
+    }
+    error.Set("fields", std::move(list));
+  }
+  root.Set("error", std::move(error));
+  return root;
+}
+
+}  // namespace twchase

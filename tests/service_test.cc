@@ -1,0 +1,697 @@
+// Service-layer suite: wire schemas (ChaseOptions ⇄ JSON round-trip,
+// structured 400 field paths, schema_version gating) and the multi-tenant
+// daemon's concurrency/robustness contract — quota rejections that never
+// perturb running jobs, preempt → checkpoint → resume bit-identity against
+// an uninterrupted in-process run, cancellation freeing the tenant's slot,
+// and a multi-tenant sweep through real HTTP.
+//
+// Runs under `ctest -L service`, including the TSan pass of tools/check.sh
+// (HTTP handler threads, scheduler workers and the preemption monitor all
+// race-checked).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/chase.h"
+#include "core/session.h"
+#include "obs/observer.h"
+#include "obs/stock_observers.h"
+#include "parser/parser.h"
+#include "service/daemon.h"
+#include "service/http.h"
+#include "service/json.h"
+#include "service/wire.h"
+#include "util/job_scheduler.h"
+
+namespace twchase {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared fixtures
+
+constexpr const char* kStaircase = R"(
+f(X00), h(X00, X00).
+[Rh1] h(X, Y), v(X, Xp), h(Xp, Yp), v(Y, Yp), c(Yp) :- h(X, X).
+[Rh2] c(Yp), h(X, Y), v(Y, Yp) :- h(X, X), v(X, Xp), h(Xp, Xp), h(Xp, Yp).
+[Rh3] f(Y), h(Y, Y) :- f(X), h(X, X), h(X, Y).
+[Rh4] h(Xp, Xp) :- h(X, X), v(X, Xp), c(Xp).
+? :- f(X), v(X, Y), c(Y).
+? :- c(X), f(X).
+)";
+
+constexpr const char* kClosure = R"(
+e(a, b), e(b, c), e(c, d).
+[t] e(X, Z) :- e(X, Y), e(Y, Z).
+?(X, Y) :- e(X, Y).
+)";
+
+ChaseOptions SmallCoreOptions(size_t max_steps) {
+  ChaseOptions options;
+  options.variant = ChaseVariant::kCore;
+  options.limits.max_steps = max_steps;
+  return options;
+}
+
+struct GoldenRun {
+  size_t steps = 0;
+  size_t rounds = 0;
+  std::string stop_reason;
+  std::string instance_hash;
+  std::string events;
+};
+
+// The uninterrupted in-process reference: same program text, same options,
+// full event capture — what every daemon-executed run must be bit-identical
+// to.
+GoldenRun RunGolden(const std::string& program_text, ChaseOptions options) {
+  auto program = ParseProgram(program_text);
+  EXPECT_TRUE(program.ok()) << program.status();
+  std::ostringstream events;
+  EventLogObserver event_log(&events);
+  ObserverList observers;
+  observers.Add(&event_log);
+  options.observer = &observers;
+  auto session = ChaseSession::Create(program->kb, options);
+  EXPECT_TRUE(session.ok()) << session.status();
+  Status started = (*session)->Start();
+  EXPECT_TRUE(started.ok()) << started;
+  const ChaseResult& result = (*session)->Result();
+  GoldenRun golden;
+  golden.steps = result.steps;
+  golden.rounds = result.rounds;
+  golden.stop_reason = StopReasonName(result.stop_reason);
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%016" PRIx64,
+                result.derivation.Last().ContentHash());
+  golden.instance_hash = buffer;
+  golden.events = events.str();
+  return golden;
+}
+
+Json MakeJobBody(const std::string& tenant, const std::string& program,
+                 const ChaseOptions& options, bool capture_events = false) {
+  Json body = Json::Object();
+  body.Set("schema_version", Json::Number(uint64_t{kWireSchemaVersion}));
+  body.Set("tenant", Json::String(tenant));
+  body.Set("program", Json::String(program));
+  body.Set("options", ChaseOptionsToJson(options));
+  if (capture_events) body.Set("capture_events", Json::Bool(true));
+  return body;
+}
+
+class DaemonClient {
+ public:
+  explicit DaemonClient(uint16_t port) : port_(port) {}
+
+  HttpResponse Fetch(const std::string& method, const std::string& target,
+                     const std::string& body = "") {
+    auto response = HttpFetch("127.0.0.1", port_, method, target, body);
+    EXPECT_TRUE(response.ok()) << response.status();
+    return response.ok() ? *response : HttpResponse{599, "", ""};
+  }
+
+  /// Submits and expects 202; returns the job id.
+  std::string Submit(const Json& body) {
+    HttpResponse response = Fetch("POST", "/v1/jobs", body.Dump());
+    EXPECT_EQ(response.status, 202) << response.body;
+    auto json = Json::Parse(response.body);
+    EXPECT_TRUE(json.ok());
+    return json.ok() ? json->Get("job").Get("id").string_value() : "";
+  }
+
+  /// Polls the job until a terminal state (bounded), returns that state.
+  std::string AwaitTerminal(const std::string& id, int timeout_seconds = 60) {
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::seconds(timeout_seconds);
+    while (std::chrono::steady_clock::now() < deadline) {
+      HttpResponse response = Fetch("GET", "/v1/jobs/" + id);
+      auto json = Json::Parse(response.body);
+      if (json.ok()) {
+        std::string state = json->Get("state").string_value();
+        if (state == "done" || state == "cancelled" || state == "failed") {
+          return state;
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ADD_FAILURE() << "job " << id << " did not reach a terminal state";
+    return "timeout";
+  }
+
+  Json Result(const std::string& id) {
+    HttpResponse response = Fetch("GET", "/v1/jobs/" + id + "/result");
+    EXPECT_EQ(response.status, 200) << response.body;
+    auto json = Json::Parse(response.body);
+    EXPECT_TRUE(json.ok()) << response.body;
+    return json.ok() ? *json : Json();
+  }
+
+ private:
+  uint16_t port_;
+};
+
+// ---------------------------------------------------------------------------
+// Wire schema tests (no daemon)
+
+TEST(WireTest, ChaseOptionsRoundTripsThroughJson) {
+  ChaseOptions options;
+  options.variant = ChaseVariant::kFrugal;
+  options.datalog_first = false;
+  options.keep_snapshots = false;
+  options.limits.max_steps = 123;
+  options.limits.max_instance_size = 456;
+  options.limits.deadline_ms = 789;
+  options.limits.memory_budget_bytes = 1u << 20;
+  options.core.core_every = 3;
+  options.core.core_at_round_end = true;
+  options.core.core_initial = false;
+  options.core.dirty_radius = 5;
+  options.delta.enabled = false;
+  options.plan.enabled = false;
+  options.plan.skip_dormant = false;
+  options.plan.core_guard = false;
+  options.parallel.threads = 7;
+  options.resume.record_log = true;
+
+  Json wire = ChaseOptionsToJson(options);
+  auto reparsed = Json::Parse(wire.Dump());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+
+  ChaseOptions back;
+  FieldError error;
+  Status status = ChaseOptionsFromJson(*reparsed, "options", &back, &error);
+  ASSERT_TRUE(status.ok()) << status << " at " << error.path;
+
+  EXPECT_EQ(back.variant, options.variant);
+  EXPECT_EQ(back.datalog_first, options.datalog_first);
+  EXPECT_EQ(back.keep_snapshots, options.keep_snapshots);
+  EXPECT_EQ(back.limits.max_steps, options.limits.max_steps);
+  EXPECT_EQ(back.limits.max_instance_size, options.limits.max_instance_size);
+  EXPECT_EQ(back.limits.deadline_ms, options.limits.deadline_ms);
+  EXPECT_EQ(back.limits.memory_budget_bytes,
+            options.limits.memory_budget_bytes);
+  EXPECT_EQ(back.core.core_every, options.core.core_every);
+  EXPECT_EQ(back.core.core_at_round_end, options.core.core_at_round_end);
+  EXPECT_EQ(back.core.core_initial, options.core.core_initial);
+  EXPECT_EQ(back.core.dirty_radius, options.core.dirty_radius);
+  EXPECT_EQ(back.delta.enabled, options.delta.enabled);
+  EXPECT_EQ(back.plan.enabled, options.plan.enabled);
+  EXPECT_EQ(back.plan.skip_dormant, options.plan.skip_dormant);
+  EXPECT_EQ(back.plan.core_guard, options.plan.core_guard);
+  EXPECT_EQ(back.parallel.threads, options.parallel.threads);
+  EXPECT_EQ(back.resume.record_log, options.resume.record_log);
+
+  // Defaults round-trip too (deadline_ms omitted when unset).
+  ChaseOptions defaults;
+  Json wire_defaults = ChaseOptionsToJson(defaults);
+  EXPECT_FALSE(wire_defaults.Get("limits").Has("deadline_ms"));
+  ChaseOptions defaults_back;
+  ASSERT_TRUE(
+      ChaseOptionsFromJson(wire_defaults, "", &defaults_back, &error).ok());
+  EXPECT_FALSE(defaults_back.limits.deadline_ms.has_value());
+}
+
+TEST(WireTest, UnknownAndMistypedFieldsReportExactPaths) {
+  ChaseOptions options;
+  FieldError error;
+
+  auto bad_key = Json::Parse(R"({"core": {"core_evry": 2}})");
+  ASSERT_TRUE(bad_key.ok());
+  Status status = ChaseOptionsFromJson(*bad_key, "options", &options, &error);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(error.path, "options.core.core_evry");
+  EXPECT_EQ(error.message, "unknown field");
+
+  auto bad_type = Json::Parse(R"({"limits": {"max_steps": "many"}})");
+  ASSERT_TRUE(bad_type.ok());
+  status = ChaseOptionsFromJson(*bad_type, "options", &options, &error);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(error.path, "options.limits.max_steps");
+
+  auto negative = Json::Parse(R"({"parallel": {"threads": -2}})");
+  ASSERT_TRUE(negative.ok());
+  status = ChaseOptionsFromJson(*negative, "options", &options, &error);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(error.path, "options.parallel.threads");
+}
+
+TEST(WireTest, ValidateMessagesLiftIntoFieldErrors) {
+  ChaseOptions options;
+  options.core.core_every = 0;
+  Status invalid = options.Validate();
+  ASSERT_FALSE(invalid.ok());
+  FieldError lifted = FieldErrorFromValidate(invalid, "options");
+  EXPECT_EQ(lifted.path, "options.core.core_every");
+  EXPECT_EQ(lifted.message, "must be positive");
+
+  FieldError unprefixed =
+      FieldErrorFromValidate(Status::InvalidArgument("Everything broke"), "o");
+  EXPECT_EQ(unprefixed.path, "o");
+  EXPECT_EQ(unprefixed.message, "Everything broke");
+}
+
+TEST(WireTest, JobRequestRequiresMatchingSchemaVersion) {
+  JobRequest request;
+  std::vector<FieldError> errors;
+
+  auto missing = Json::Parse(R"({"tenant": "t", "program": "p(a)."})");
+  ASSERT_TRUE(missing.ok());
+  Status status = JobRequestFromJson(*missing, &request, &errors);
+  EXPECT_FALSE(status.ok());
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].path, "schema_version");
+
+  errors.clear();
+  auto wrong = Json::Parse(
+      R"({"schema_version": 999, "tenant": "t", "program": "p(a)."})");
+  ASSERT_TRUE(wrong.ok());
+  status = JobRequestFromJson(*wrong, &request, &errors);
+  EXPECT_FALSE(status.ok());
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].path, "schema_version");
+  EXPECT_NE(errors[0].message.find("version 1"), std::string::npos);
+
+  errors.clear();
+  auto good = Json::Parse(
+      R"({"schema_version": 1, "tenant": "t", "program": "p(a)."})");
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(JobRequestFromJson(*good, &request, &errors).ok());
+  EXPECT_EQ(request.tenant, "t");
+  EXPECT_EQ(request.program, "p(a).");
+}
+
+TEST(JsonTest, StrictParserRejectsMalformedInput) {
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("{} trailing").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\": 01x}").ok());
+  EXPECT_FALSE(Json::Parse(std::string(100, '[') + std::string(100, ']'))
+                   .ok());  // depth bomb
+  auto ok = Json::Parse(R"({"a": [1, 2.5, "x\n", true, null]})");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->Dump(), R"({"a":[1,2.5,"x\n",true,null]})");
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler unit tests (no HTTP)
+
+class FakeJob : public PreemptibleJob {
+ public:
+  explicit FakeJob(int segments_until_done) : remaining_(segments_until_done) {}
+
+  // Each segment sleeps briefly and self-pauses until the budget is spent,
+  // exercising the requeue path; cancellation terminates at the next segment.
+  Outcome RunSegment() override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    if (cancelled_.load()) return Outcome::kCompleted;
+    return --remaining_ <= 0 ? Outcome::kCompleted : Outcome::kPaused;
+  }
+  void RequestPause() override {}
+  void RequestCancel() override { cancelled_.store(true); }
+
+ private:
+  std::atomic<int> remaining_;
+  std::atomic<bool> cancelled_{false};
+};
+
+TEST(JobSchedulerTest, EnforcesPerTenantQuotaAndFreesSlots) {
+  JobScheduler::Options options;
+  options.workers = 2;
+  options.per_tenant_quota = 2;
+  JobScheduler scheduler(options);
+  ASSERT_TRUE(scheduler.Start().ok());
+
+  std::atomic<int> finished{0};
+  auto done = [&](PreemptibleJob::Outcome) { ++finished; };
+  ASSERT_TRUE(
+      scheduler.Submit("a", std::make_shared<FakeJob>(3), done).ok());
+  ASSERT_TRUE(
+      scheduler.Submit("a", std::make_shared<FakeJob>(3), done).ok());
+  Status third = scheduler.Submit("a", std::make_shared<FakeJob>(1), done);
+  EXPECT_EQ(third.code(), StatusCode::kResourceExhausted) << third;
+  // Another tenant is unaffected by a's exhaustion.
+  ASSERT_TRUE(
+      scheduler.Submit("b", std::make_shared<FakeJob>(1), done).ok());
+
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (finished.load() < 3 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(finished.load(), 3);
+  EXPECT_EQ(scheduler.InFlight(), 0u);
+  // Slots freed: tenant a admits again.
+  EXPECT_TRUE(scheduler.Submit("a", std::make_shared<FakeJob>(1), done).ok());
+  scheduler.Stop();
+  EXPECT_EQ(scheduler.InFlight(), 0u);
+  EXPECT_GE(scheduler.GetStats().completed, 4u);
+  EXPECT_EQ(scheduler.GetStats().rejected, 1u);
+}
+
+TEST(JobSchedulerTest, StopCancelsAndDrainsEverything) {
+  JobScheduler::Options options;
+  options.workers = 1;
+  options.per_tenant_quota = 8;
+  JobScheduler scheduler(options);
+  ASSERT_TRUE(scheduler.Start().ok());
+  std::atomic<int> finished{0};
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(scheduler
+                    .Submit("t", std::make_shared<FakeJob>(1000),
+                            [&](PreemptibleJob::Outcome) { ++finished; })
+                    .ok());
+  }
+  scheduler.Stop();
+  // Every admitted job got its exactly-once callback and no slot leaked.
+  EXPECT_EQ(finished.load(), 6);
+  EXPECT_EQ(scheduler.InFlight(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Daemon end-to-end tests
+
+TEST(DaemonTest, ServesJobResultsIdenticalToInProcessRuns) {
+  DaemonOptions options;
+  options.workers = 2;
+  options.preempt_after_ms.reset();
+  ChaseDaemon daemon(options);
+  ASSERT_TRUE(daemon.Start().ok());
+  DaemonClient client(daemon.port());
+
+  ChaseOptions chase = SmallCoreOptions(40);
+  std::string id =
+      client.Submit(MakeJobBody("alpha", kStaircase, chase, true));
+  ASSERT_FALSE(id.empty());
+  EXPECT_EQ(client.AwaitTerminal(id), "done");
+
+  Json result = client.Result(id);
+  GoldenRun golden = RunGolden(kStaircase, chase);
+  EXPECT_EQ(result.Get("steps").number_value(), golden.steps);
+  EXPECT_EQ(result.Get("rounds").number_value(), golden.rounds);
+  EXPECT_EQ(result.Get("stop_reason").string_value(), golden.stop_reason);
+  EXPECT_EQ(result.Get("instance_hash").string_value(), golden.instance_hash);
+  EXPECT_EQ(result.Get("events").string_value(), golden.events);
+  EXPECT_EQ(result.Get("schema_version").number_value(), kWireSchemaVersion);
+
+  // Answer-variable queries come back as tuples.
+  std::string closure_id =
+      client.Submit(MakeJobBody("alpha", kClosure, SmallCoreOptions(100)));
+  EXPECT_EQ(client.AwaitTerminal(closure_id), "done");
+  Json closure = client.Result(closure_id);
+  ASSERT_TRUE(closure.Get("queries").is_array());
+  EXPECT_EQ(closure.Get("queries").items().size(), 1u);
+  EXPECT_EQ(closure.Get("queries").items()[0].Get("answers").items().size(),
+            6u);  // transitive closure of a 4-chain
+
+  daemon.Stop();
+  EXPECT_EQ(daemon.InFlightJobs(), 0u);
+}
+
+TEST(DaemonTest, QuotaRejectionsDoNotPerturbRunningJobs) {
+  DaemonOptions options;
+  options.workers = 1;
+  options.per_tenant_quota = 1;
+  options.preempt_after_ms.reset();
+  ChaseDaemon daemon(options);
+  ASSERT_TRUE(daemon.Start().ok());
+  DaemonClient client(daemon.port());
+
+  ChaseOptions chase = SmallCoreOptions(120);
+  std::string running =
+      client.Submit(MakeJobBody("alpha", kStaircase, chase, true));
+
+  // The tenant's second submission bounces with 429 while the first runs...
+  HttpResponse rejected = client.Fetch(
+      "POST", "/v1/jobs", MakeJobBody("alpha", kClosure, chase).Dump());
+  EXPECT_EQ(rejected.status, 429) << rejected.body;
+  auto rejection = Json::Parse(rejected.body);
+  ASSERT_TRUE(rejection.ok());
+  EXPECT_EQ(rejection->Get("error").Get("code").string_value(),
+            "ResourceExhausted");
+
+  // ...another tenant is admitted...
+  std::string other =
+      client.Submit(MakeJobBody("beta", kClosure, SmallCoreOptions(100)));
+  EXPECT_EQ(client.AwaitTerminal(other), "done");
+
+  // ...and the rejected submission left the running job bit-identical.
+  EXPECT_EQ(client.AwaitTerminal(running), "done");
+  Json result = client.Result(running);
+  GoldenRun golden = RunGolden(kStaircase, chase);
+  EXPECT_EQ(result.Get("steps").number_value(), golden.steps);
+  EXPECT_EQ(result.Get("instance_hash").string_value(), golden.instance_hash);
+  EXPECT_EQ(result.Get("events").string_value(), golden.events);
+
+  daemon.Stop();
+  EXPECT_EQ(daemon.InFlightJobs(), 0u);
+}
+
+TEST(DaemonTest, PreemptedJobResumesBitIdentically) {
+  DaemonOptions options;
+  options.workers = 1;  // one worker: queued jobs force preemption
+  options.per_tenant_quota = 8;
+  options.preempt_after_ms = 25;
+  ChaseDaemon daemon(options);
+  ASSERT_TRUE(daemon.Start().ok());
+  DaemonClient client(daemon.port());
+
+  // A long job (hundreds of core-chase steps), then short jobs arriving
+  // behind it so the monitor preempts the long one repeatedly.
+  ChaseOptions long_chase = SmallCoreOptions(200);
+  std::string long_id =
+      client.Submit(MakeJobBody("alpha", kStaircase, long_chase, true));
+  std::vector<std::string> short_ids;
+  for (int i = 0; i < 3; ++i) {
+    short_ids.push_back(
+        client.Submit(MakeJobBody("beta", kClosure, SmallCoreOptions(100))));
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  }
+  for (const std::string& id : short_ids) {
+    EXPECT_EQ(client.AwaitTerminal(id), "done");
+  }
+  EXPECT_EQ(client.AwaitTerminal(long_id, 120), "done");
+
+  Json result = client.Result(long_id);
+  // The run really was preempted (checkpointed and resumed)...
+  EXPECT_GE(result.Get("segments").number_value(), 2)
+      << "preemption monitor never fired; test lost its purpose";
+  // ...and is bit-identical to the uninterrupted reference: same steps and
+  // rounds, same final instance, same full observer event stream.
+  GoldenRun golden = RunGolden(kStaircase, long_chase);
+  EXPECT_EQ(result.Get("steps").number_value(), golden.steps);
+  EXPECT_EQ(result.Get("rounds").number_value(), golden.rounds);
+  EXPECT_EQ(result.Get("stop_reason").string_value(), golden.stop_reason);
+  EXPECT_EQ(result.Get("instance_hash").string_value(), golden.instance_hash);
+  EXPECT_EQ(result.Get("events").string_value(), golden.events);
+
+  daemon.Stop();
+  EXPECT_EQ(daemon.InFlightJobs(), 0u);
+}
+
+TEST(DaemonTest, CancellationFreesTheTenantSlot) {
+  DaemonOptions options;
+  options.workers = 1;
+  options.per_tenant_quota = 1;
+  options.preempt_after_ms.reset();
+  ChaseDaemon daemon(options);
+  ASSERT_TRUE(daemon.Start().ok());
+  DaemonClient client(daemon.port());
+
+  // Effectively unbounded job (the step budget would take minutes).
+  ChaseOptions chase = SmallCoreOptions(1000000);
+  std::string id = client.Submit(MakeJobBody("alpha", kStaircase, chase));
+
+  HttpResponse cancel = client.Fetch("DELETE", "/v1/jobs/" + id);
+  EXPECT_EQ(cancel.status, 200) << cancel.body;
+  EXPECT_EQ(client.AwaitTerminal(id), "cancelled");
+  Json result = client.Result(id);
+  EXPECT_EQ(result.Get("state").string_value(), "cancelled");
+  EXPECT_EQ(result.Get("stop_reason").string_value(), "cancelled");
+
+  // The slot is free again: the same tenant admits a fresh job (allow a
+  // brief window for the scheduler to retire the cancelled one).
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  int admitted_status = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    HttpResponse retry = client.Fetch(
+        "POST", "/v1/jobs",
+        MakeJobBody("alpha", kClosure, SmallCoreOptions(100)).Dump());
+    admitted_status = retry.status;
+    if (admitted_status == 202) break;
+    EXPECT_EQ(admitted_status, 429) << retry.body;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(admitted_status, 202);
+
+  daemon.Stop();
+  EXPECT_EQ(daemon.InFlightJobs(), 0u);
+}
+
+TEST(DaemonTest, MultiTenantSweepCompletesAllJobs) {
+  DaemonOptions options;
+  options.workers = 4;
+  options.per_tenant_quota = 4;
+  options.preempt_after_ms = 50;
+  ChaseDaemon daemon(options);
+  ASSERT_TRUE(daemon.Start().ok());
+  DaemonClient client(daemon.port());
+
+  // 12 concurrent jobs across 3 tenants, mixing both workloads.
+  const std::vector<std::string> tenants = {"alpha", "beta", "gamma"};
+  ChaseOptions stair = SmallCoreOptions(30);
+  ChaseOptions closure = SmallCoreOptions(100);
+  GoldenRun stair_golden = RunGolden(kStaircase, stair);
+  GoldenRun closure_golden = RunGolden(kClosure, closure);
+
+  struct Submitted {
+    std::string id;
+    bool is_stair;
+  };
+  std::vector<Submitted> jobs;
+  for (const std::string& tenant : tenants) {
+    for (int i = 0; i < 4; ++i) {
+      bool is_stair = (i % 2 == 0);
+      jobs.push_back({client.Submit(MakeJobBody(
+                          tenant, is_stair ? kStaircase : kClosure,
+                          is_stair ? stair : closure)),
+                      is_stair});
+    }
+  }
+  ASSERT_EQ(jobs.size(), 12u);
+  for (const Submitted& job : jobs) {
+    EXPECT_EQ(client.AwaitTerminal(job.id, 120), "done");
+    Json result = client.Result(job.id);
+    const GoldenRun& golden = job.is_stair ? stair_golden : closure_golden;
+    EXPECT_EQ(result.Get("steps").number_value(), golden.steps) << job.id;
+    EXPECT_EQ(result.Get("instance_hash").string_value(),
+              golden.instance_hash)
+        << job.id;
+  }
+
+  HttpResponse metrics = client.Fetch("GET", "/v1/metrics");
+  auto parsed = Json::Parse(metrics.body);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Get("scheduler").Get("admitted").number_value(), 12);
+  EXPECT_EQ(parsed->Get("scheduler").Get("completed").number_value(), 12);
+  EXPECT_EQ(parsed->Get("scheduler").Get("failed").number_value(), 0);
+  // Fleet metrics aggregated every job's registry.
+  EXPECT_EQ(parsed->Get("fleet")
+                .Get("histograms")
+                .Get("service.job.steps")
+                .Get("count")
+                .number_value(),
+            12);
+
+  daemon.Stop();
+  EXPECT_EQ(daemon.InFlightJobs(), 0u);
+}
+
+TEST(DaemonTest, PerJobDeadlinesStopOnlyTheirOwnJob) {
+  DaemonOptions options;
+  options.workers = 2;
+  options.preempt_after_ms.reset();
+  ChaseDaemon daemon(options);
+  ASSERT_TRUE(daemon.Start().ok());
+  DaemonClient client(daemon.port());
+
+  // Two jobs with mixed budgets run side by side: one with an effectively
+  // unbounded step budget but a tiny wall-clock deadline, one with a small
+  // step budget and no deadline. Each stops for its own reason.
+  ChaseOptions deadline_bound = SmallCoreOptions(100000000);
+  deadline_bound.limits.deadline_ms = 30;
+  std::string deadline_id =
+      client.Submit(MakeJobBody("alpha", kStaircase, deadline_bound));
+  ChaseOptions step_bound = SmallCoreOptions(20);
+  std::string step_id =
+      client.Submit(MakeJobBody("beta", kStaircase, step_bound));
+
+  EXPECT_EQ(client.AwaitTerminal(deadline_id), "done");
+  EXPECT_EQ(client.AwaitTerminal(step_id), "done");
+  Json deadline_result = client.Result(deadline_id);
+  EXPECT_EQ(deadline_result.Get("stop_reason").string_value(), "deadline");
+  Json step_result = client.Result(step_id);
+  EXPECT_EQ(step_result.Get("stop_reason").string_value(), "step-budget");
+  // The deadline-stopped neighbour never perturbed the step-bound run.
+  GoldenRun golden = RunGolden(kStaircase, step_bound);
+  EXPECT_EQ(step_result.Get("steps").number_value(), golden.steps);
+  EXPECT_EQ(step_result.Get("instance_hash").string_value(),
+            golden.instance_hash);
+
+  daemon.Stop();
+  EXPECT_EQ(daemon.InFlightJobs(), 0u);
+}
+
+TEST(DaemonTest, HttpErrorsAreStructuredAndVersioned) {
+  DaemonOptions options;
+  options.workers = 1;
+  ChaseDaemon daemon(options);
+  ASSERT_TRUE(daemon.Start().ok());
+  DaemonClient client(daemon.port());
+
+  // Malformed JSON body → 400 with a parse message.
+  HttpResponse bad_json = client.Fetch("POST", "/v1/jobs", "{nope");
+  EXPECT_EQ(bad_json.status, 400);
+
+  // Unknown option field → 400 with the exact dotted path.
+  Json body = MakeJobBody("t", "p(a).", ChaseOptions{});
+  Json opts = Json::Object();
+  opts.Set("coar", Json::Object());
+  body.Set("options", std::move(opts));
+  HttpResponse bad_field = client.Fetch("POST", "/v1/jobs", body.Dump());
+  EXPECT_EQ(bad_field.status, 400);
+  auto parsed = Json::Parse(bad_field.body);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Get("error")
+                .Get("fields")
+                .items()[0]
+                .Get("path")
+                .string_value(),
+            "options.coar");
+
+  // Invalid option combination → 400 with the Validate path lifted.
+  ChaseOptions invalid;
+  invalid.core.core_every = 0;
+  HttpResponse bad_options = client.Fetch(
+      "POST", "/v1/jobs", MakeJobBody("t", "p(a).", invalid).Dump());
+  EXPECT_EQ(bad_options.status, 400);
+  parsed = Json::Parse(bad_options.body);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Get("error")
+                .Get("fields")
+                .items()[0]
+                .Get("path")
+                .string_value(),
+            "options.core.core_every");
+
+  // Unparseable program → 400 pointing at "program".
+  HttpResponse bad_program = client.Fetch(
+      "POST", "/v1/jobs",
+      MakeJobBody("t", "p(a", ChaseOptions{}).Dump());
+  EXPECT_EQ(bad_program.status, 400);
+
+  // Unknown job → 404; result of an in-flight job → 409.
+  EXPECT_EQ(client.Fetch("GET", "/v1/jobs/j-999").status, 404);
+  ChaseOptions slow = SmallCoreOptions(1000000);
+  std::string id = client.Submit(MakeJobBody("t", kStaircase, slow));
+  EXPECT_EQ(client.Fetch("GET", "/v1/jobs/" + id + "/result").status, 409);
+  client.Fetch("DELETE", "/v1/jobs/" + id);
+  EXPECT_EQ(client.AwaitTerminal(id), "cancelled");
+
+  // Health endpoint.
+  HttpResponse health = client.Fetch("GET", "/v1/healthz");
+  EXPECT_EQ(health.status, 200);
+  auto health_json = Json::Parse(health.body);
+  ASSERT_TRUE(health_json.ok());
+  EXPECT_EQ(health_json->Get("status").string_value(), "ok");
+
+  daemon.Stop();
+  EXPECT_EQ(daemon.InFlightJobs(), 0u);
+}
+
+}  // namespace
+}  // namespace twchase

@@ -11,18 +11,24 @@
 #      (fault-injection, checkpoint/resume, the columnar storage layer and
 #      the planner's still-core guard are exactly the code that must be
 #      memory-clean);
-#   4. TSan: ThreadSanitizer build, then the parallel, columnar and plan
-#      labelled suites under it to race-check the worker pool, sharded
-#      metrics, the lazy column-index builds that parallel searches race
-#      on, and the planner's dormant-rule skips inside parallel rounds;
-#   5. fuzz smoke: a short run of the parser fuzz harness under the
+#   4. TSan: ThreadSanitizer build, then the parallel, columnar, plan and
+#      service labelled suites under it to race-check the worker pool,
+#      sharded metrics, the lazy column-index builds that parallel searches
+#      race on, the planner's dormant-rule skips inside parallel rounds, and
+#      the daemon's HTTP handler pool + job scheduler + preemption monitor;
+#   5. daemon smoke: start twchased on an ephemeral port, submit the bundled
+#      programs through twchase_client and diff the results against the CLI
+#      (modulo the wall-clock field) — the service path must render the
+#      exact same answer; then a clean SIGTERM shutdown with zero leaked
+#      jobs;
+#   6. fuzz smoke: a short run of the parser fuzz harness under the
 #      sanitizer build (libFuzzer with clang, the deterministic standalone
 #      driver with gcc);
-#   6. bench smoke: the full bench_engine sweep (delta, threads, matching
-#      backends, large instances, planner) under a generous wall-time
-#      ceiling — it fails on parity violations, a tripped memory budget,
-#      or a hang;
-#   7. planner regression gate: from the bench smoke artifact, the
+#   7. bench smoke: the full bench_engine sweep (delta, threads, matching
+#      backends, large instances, planner, service throughput) under a
+#      generous wall-time ceiling — it fails on parity violations, a
+#      tripped memory budget, or a hang;
+#   8. planner regression gate: from the bench smoke artifact, the
 #      staircase-core workload must not be slower with the planner on than
 #      off — the planner only ever skips work, so a regression means the
 #      reliance/guard machinery itself got too expensive.
@@ -71,11 +77,52 @@ cmake --build --preset asan -j "$JOBS"
 timeout "$CTEST_HARD_TIMEOUT" ctest --test-dir build-asan \
   --output-on-failure -L 'delta|obs|robustness|columnar|plan'
 
-echo "== tsan: thread preset, parallel+columnar+plan labels =="
+echo "== tsan: thread preset, parallel+columnar+plan+service labels =="
 cmake --preset tsan
 cmake --build --preset tsan -j "$JOBS"
 timeout "$CTEST_HARD_TIMEOUT" ctest --test-dir build-tsan \
-  --output-on-failure -L 'parallel|columnar|plan'
+  --output-on-failure -L 'parallel|columnar|plan|service'
+
+echo "== daemon smoke: twchased round-trip vs the CLI on bundled programs =="
+./build/tools/twchased --port=0 > /tmp/twchased_smoke.log 2>&1 &
+TWCHASED_PID=$!
+DAEMON_PORT=""
+for _ in 1 2 3 4 5 6 7 8 9 10; do
+  DAEMON_PORT="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+      /tmp/twchased_smoke.log)"
+  [ -n "$DAEMON_PORT" ] && break
+  sleep 0.2
+done
+if [ -z "$DAEMON_PORT" ]; then
+  echo "DAEMON SMOKE FAILURE: twchased never reported its port" >&2
+  kill "$TWCHASED_PID" 2>/dev/null || true
+  exit 1
+fi
+for program in data/*.twc; do
+  ./build/tools/twchase_cli --variant=core --max-steps=20 "$program" \
+      | sed 's/ [0-9][0-9.]*s,/ TIME,/' > /tmp/twchase_cli_smoke.out
+  ./build/tools/twchase_client --port="$DAEMON_PORT" --max-steps=20 \
+      "$program" | sed 's/ [0-9][0-9.]*s,/ TIME,/' > /tmp/twchased_client.out
+  if ! diff -u /tmp/twchase_cli_smoke.out /tmp/twchased_client.out; then
+    echo "DAEMON SMOKE FAILURE: $program differs from the CLI" >&2
+    kill "$TWCHASED_PID" 2>/dev/null || true
+    exit 1
+  fi
+  echo "  $program: daemon result identical to the CLI"
+done
+kill -TERM "$TWCHASED_PID"
+TWCHASED_EXIT=0
+wait "$TWCHASED_PID" || TWCHASED_EXIT=$?
+if [ "$TWCHASED_EXIT" -ne 0 ]; then
+  echo "DAEMON SMOKE FAILURE: unclean shutdown (exit $TWCHASED_EXIT)" >&2
+  cat /tmp/twchased_smoke.log >&2
+  exit 1
+fi
+if ! grep -q "shutdown complete, 0 leaked jobs" /tmp/twchased_smoke.log; then
+  echo "DAEMON SMOKE FAILURE: leaked jobs at shutdown" >&2
+  cat /tmp/twchased_smoke.log >&2
+  exit 1
+fi
 
 echo "== fuzz smoke: parser harness, ${FUZZ_SECONDS}s =="
 timeout $((FUZZ_SECONDS + 30)) ./build-asan/fuzz/parser_fuzzer \

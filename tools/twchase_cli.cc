@@ -40,6 +40,7 @@
 
 #include "core/chase.h"
 #include "core/checkpoint.h"
+#include "core/session.h"
 #include "core/measures.h"
 #include "core/robust.h"
 #include "core/trace.h"
@@ -238,9 +239,18 @@ int main(int argc, char** argv) {
   }
   if (!observers.empty()) options.chase.observer = &observers;
 
+  // The CLI drives a ChaseSession directly (the lifecycle surface the
+  // daemon shares); a session that is only Start()ed or Resume()d once is
+  // bit-identical to the historical RunChase/ResumeChase free functions.
   Stopwatch sw;
   StatusOr<ChaseResult> run =
       Status::Internal("chase did not run");  // replaced below
+  auto session = ChaseSession::Create(kb, options.chase);
+  if (!session.ok()) {
+    std::fprintf(stderr, "chase error: %s\n",
+                 session.status().ToString().c_str());
+    return 1;
+  }
   if (!options.resume_from.empty()) {
     std::ifstream checkpoint_in(options.resume_from);
     if (!checkpoint_in) {
@@ -258,9 +268,13 @@ int main(int argc, char** argv) {
     std::printf("resuming from %s: recorded %zu steps in %zu rounds (%s)\n",
                 options.resume_from.c_str(), checkpoint->steps,
                 checkpoint->rounds, StopReasonName(checkpoint->stop_reason));
-    run = ResumeChase(kb, options.chase, *checkpoint);
+    Status resumed = (*session)->Resume(*checkpoint);
+    run = resumed.ok() ? StatusOr<ChaseResult>((*session)->TakeResult())
+                       : StatusOr<ChaseResult>(resumed);
   } else {
-    run = RunChase(kb, options.chase);
+    Status started = (*session)->Start();
+    run = started.ok() ? StatusOr<ChaseResult>((*session)->TakeResult())
+                       : StatusOr<ChaseResult>(started);
   }
   if (!run.ok()) {
     std::fprintf(stderr, "chase error: %s\n", run.status().ToString().c_str());

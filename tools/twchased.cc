@@ -1,0 +1,96 @@
+// twchased — the multi-tenant chase daemon. Binds the ChaseDaemon
+// (src/service/daemon.h) to a loopback port and runs until SIGTERM/SIGINT,
+// then shuts down cleanly and reports whether any job leaked.
+//
+// Usage:
+//   twchased [flags]
+//     --port=N              listen port on 127.0.0.1 (default 0 = ephemeral;
+//                           the bound port is printed on stdout either way)
+//     --workers=N           chase worker threads            (default: 4)
+//     --tenant-quota=N      max in-flight jobs per tenant   (default: 4)
+//     --preempt-after-ms=N  preempt a running job once its segment exceeds
+//                           this and others queue (0 = never; default: 2000)
+//     --http-threads=N      HTTP handler threads            (default: 4)
+//
+// Prints exactly one line "listening on 127.0.0.1:PORT" once serving, so
+// scripts (tools/check.sh) can scrape the ephemeral port.
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include <semaphore.h>
+
+#include "service/daemon.h"
+#include "tools/flags.h"
+
+namespace {
+
+// Async-signal-safe shutdown latch: the handler posts, main waits.
+sem_t g_shutdown;
+
+void HandleSignal(int) { sem_post(&g_shutdown); }
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port=N] [--workers=N] [--tenant-quota=N] "
+               "[--preempt-after-ms=N] [--http-threads=N]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace twchase;
+  DaemonOptions options;
+  size_t port = 0;
+  size_t preempt_after_ms = 2000;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    flags::ArgMatcher m(arg);
+    if (m.BoundedSizeValue("--port", &port, 0, 65535) ||
+        m.BoundedSizeValue("--workers", &options.workers, 1, 256) ||
+        m.BoundedSizeValue("--tenant-quota", &options.per_tenant_quota, 1,
+                           100000) ||
+        m.SizeValue("--preempt-after-ms", &preempt_after_ms) ||
+        m.BoundedSizeValue("--http-threads", &options.http_threads, 1, 64)) {
+      // dispatched
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage(argv[0]);
+    }
+    if (!m.ok()) {
+      std::fprintf(stderr, "%s\n", m.error().c_str());
+      return Usage(argv[0]);
+    }
+  }
+  options.port = static_cast<uint16_t>(port);
+  if (preempt_after_ms == 0) {
+    options.preempt_after_ms.reset();
+  } else {
+    options.preempt_after_ms = preempt_after_ms;
+  }
+
+  sem_init(&g_shutdown, 0, 0);
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  ChaseDaemon daemon(options);
+  Status started = daemon.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "twchased: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("listening on 127.0.0.1:%u\n", daemon.port());
+  std::fflush(stdout);
+
+  while (sem_wait(&g_shutdown) != 0) {
+    // EINTR from an unrelated signal: keep waiting.
+  }
+  std::printf("shutting down (%zu jobs in flight)\n", daemon.InFlightJobs());
+  std::fflush(stdout);
+  daemon.Stop();
+  size_t leaked = daemon.InFlightJobs();
+  std::printf("shutdown complete, %zu leaked jobs\n", leaked);
+  return leaked == 0 ? 0 : 1;
+}
