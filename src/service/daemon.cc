@@ -22,12 +22,23 @@ namespace twchase {
 namespace {
 
 std::string Sprintf(const char* format, ...) {
-  char buffer[512];
+  // Sized exactly: the result text is diffed byte-for-byte against the
+  // CLI's (untruncated) printf output, so a fixed buffer would silently
+  // diverge on long query lines.
   va_list args;
   va_start(args, format);
-  std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_list measure;
+  va_copy(measure, args);
+  int needed = std::vsnprintf(nullptr, 0, format, measure);
+  va_end(measure);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(&out[0], out.size(), format, args);
+    out.resize(static_cast<size_t>(needed));
+  }
   va_end(args);
-  return buffer;
+  return out;
 }
 
 HttpResponse JsonResponse(int status, const Json& body) {
@@ -112,9 +123,10 @@ class ChaseDaemon::ChaseJob : public PreemptibleJob {
     } else {
       auto checkpoint = ParseCheckpoint(checkpoint_text);
       if (!checkpoint.ok()) {
+        // Already holding mu_: Terminal() would re-lock and deadlock.
         std::lock_guard<std::mutex> lock(mu_);
         live_session_ = nullptr;
-        return Terminal(checkpoint.status());
+        return TerminalLocked(checkpoint.status());
       }
       run = (*session)->Resume(*checkpoint);
     }
@@ -391,6 +403,19 @@ void ChaseDaemon::FoldJobMetrics(const MetricsRegistry& job_metrics) {
   fleet_metrics_.MergeFrom(job_metrics);
 }
 
+void ChaseDaemon::OnJobFinished(const std::string& id) {
+  std::lock_guard<std::mutex> lock(jobs_mu_);
+  finished_order_.push_back(id);
+  if (options_.finished_job_retention == 0) return;
+  while (finished_order_.size() > options_.finished_job_retention) {
+    // Oldest-finished first; in-flight jobs are never in finished_order_,
+    // so running work is untouched. Handlers holding the shared_ptr keep
+    // an evicted job alive for the duration of their request.
+    jobs_.erase(finished_order_.front());
+    finished_order_.pop_front();
+  }
+}
+
 std::shared_ptr<ChaseDaemon::ChaseJob> ChaseDaemon::FindJob(
     const std::string& id) const {
   std::lock_guard<std::mutex> lock(jobs_mu_);
@@ -495,8 +520,9 @@ HttpResponse ChaseDaemon::HandleSubmit(const HttpRequest& request) {
     jobs_.emplace(id, job);
   }
 
-  Status admitted = scheduler_.Submit(job->tenant(), job,
-                                      [](PreemptibleJob::Outcome) {});
+  Status admitted = scheduler_.Submit(
+      job->tenant(), job,
+      [this, id](PreemptibleJob::Outcome) { OnJobFinished(id); });
   if (!admitted.ok()) {
     std::lock_guard<std::mutex> lock(jobs_mu_);
     jobs_.erase(id);

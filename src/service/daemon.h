@@ -8,7 +8,9 @@
 //                              with the job id, 429 when the tenant's quota
 //                              is exhausted (running jobs are untouched),
 //                              400 with structured field errors otherwise
-//   GET    /v1/jobs/{id}        job status (state, segments, progress)
+//   GET    /v1/jobs/{id}        job status (state, segments, progress);
+//                              404 once a finished job ages past the
+//                              retention cap (DaemonOptions)
 //   GET    /v1/jobs/{id}/result terminal result: stop reason, counters,
 //                              CLI-identical text rendering, query answers,
 //                              optional event stream and checkpoint; 409
@@ -36,6 +38,7 @@
 #define TWCHASE_SERVICE_DAEMON_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -68,6 +71,13 @@ struct DaemonOptions {
   /// HTTP handler threads (request parsing and status serving; the chase
   /// itself always runs on scheduler workers).
   size_t http_threads = 4;
+
+  /// Terminal (done/cancelled/failed) jobs retained for status/result
+  /// queries. Once more than this many have finished, the oldest-finished
+  /// are evicted (their id answers 404) so a long-lived daemon's job table
+  /// — result JSON, rendered text, event streams, checkpoints — stays
+  /// bounded. 0 = retain forever.
+  size_t finished_job_retention = 256;
 };
 
 class ChaseDaemon {
@@ -105,6 +115,10 @@ class ChaseDaemon {
 
   std::shared_ptr<ChaseJob> FindJob(const std::string& id) const;
 
+  /// Records a job's terminal segment and evicts the oldest finished jobs
+  /// beyond the retention cap.
+  void OnJobFinished(const std::string& id);
+
   /// Folds one finished job's registry into the fleet registry.
   void FoldJobMetrics(const MetricsRegistry& job_metrics);
 
@@ -115,6 +129,7 @@ class ChaseDaemon {
   mutable std::mutex jobs_mu_;
   uint64_t next_job_number_ = 1;                              // guarded
   std::unordered_map<std::string, std::shared_ptr<ChaseJob>> jobs_;  // guarded
+  std::deque<std::string> finished_order_;  // guarded by jobs_mu_, FIFO
 
   mutable std::mutex fleet_mu_;
   MetricsRegistry fleet_metrics_;  // guarded by fleet_mu_

@@ -45,6 +45,7 @@ void JobScheduler::Stop() {
     for (const auto& entry : running_) entry->job->RequestCancel();
   }
   work_ready_.notify_all();
+  monitor_wake_.notify_all();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
@@ -161,7 +162,9 @@ void JobScheduler::MonitorLoop() {
   const auto poll = std::max(std::chrono::milliseconds(5), threshold / 4);
   std::unique_lock<std::mutex> lock(mu_);
   while (!shutdown_) {
-    work_ready_.wait_for(lock, poll);
+    // Dedicated cv: waiting on work_ready_ here would let the monitor eat a
+    // Submit's notify_one and leave every worker asleep over a queued job.
+    monitor_wake_.wait_for(lock, poll);
     if (shutdown_) return;
     if (queue_.empty()) continue;  // nobody waiting: let long jobs run
     auto now = std::chrono::steady_clock::now();

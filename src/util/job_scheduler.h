@@ -149,7 +149,11 @@ class JobScheduler {
   const Options options_;
 
   mutable std::mutex mu_;
+  // Only workers wait on work_ready_ — the monitor has its own cv so a
+  // Submit/requeue notify_one can never be consumed by the monitor while a
+  // worker sleeps (which would strand a queued job until the next Submit).
   std::condition_variable work_ready_;
+  std::condition_variable monitor_wake_;
   std::deque<std::shared_ptr<Entry>> queue_;          // guarded by mu_
   std::vector<std::shared_ptr<Entry>> running_;       // guarded by mu_
   std::unordered_map<std::string, size_t> in_flight_; // guarded by mu_

@@ -372,6 +372,36 @@ TEST(JobSchedulerTest, StopCancelsAndDrainsEverything) {
   EXPECT_EQ(scheduler.InFlight(), 0u);
 }
 
+// Regression: the preemption monitor used to wait on the workers' cv, so a
+// Submit's notify_one could wake the monitor instead of a worker and leave
+// the job stranded in the queue until some later Submit. Sequential
+// submit-then-wait rounds with the monitor polling give the lost wakeup
+// many chances; each round's deadline catches a stall.
+TEST(JobSchedulerTest, MonitorNeverConsumesWorkerWakeups) {
+  JobScheduler::Options options;
+  options.workers = 1;
+  options.per_tenant_quota = 1;
+  options.preempt_after_ms = 20;  // 5ms monitor poll
+  JobScheduler scheduler(options);
+  ASSERT_TRUE(scheduler.Start().ok());
+
+  for (int round = 0; round < 40; ++round) {
+    std::atomic<bool> finished{false};
+    ASSERT_TRUE(scheduler
+                    .Submit("t", std::make_shared<FakeJob>(1),
+                            [&](PreemptibleJob::Outcome) { finished = true; })
+                    .ok());
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (!finished.load() && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ASSERT_TRUE(finished.load())
+        << "job stalled in queue on round " << round;
+  }
+  scheduler.Stop();
+}
+
 // ---------------------------------------------------------------------------
 // Daemon end-to-end tests
 
@@ -688,6 +718,76 @@ TEST(DaemonTest, HttpErrorsAreStructuredAndVersioned) {
   auto health_json = Json::Parse(health.body);
   ASSERT_TRUE(health_json.ok());
   EXPECT_EQ(health_json->Get("status").string_value(), "ok");
+
+  daemon.Stop();
+  EXPECT_EQ(daemon.InFlightJobs(), 0u);
+}
+
+// Regression: the result "text" used to render through a fixed 512-byte
+// buffer, silently truncating long query lines where the CLI (plain
+// printf) does not — breaking the byte-for-byte CLI-identity contract.
+TEST(DaemonTest, LongQueryLinesRenderUntruncated) {
+  // A boolean query over 70 atoms: its rendered line far exceeds 512 bytes.
+  std::string facts, body;
+  for (int i = 0; i < 70; ++i) {
+    std::string atom = "p(c" + std::to_string(i) + ")";
+    facts += atom + ".\n";
+    body += (i > 0 ? ", " : "") + atom;
+  }
+  std::string program = facts + "? :- " + body + ".\n";
+
+  DaemonOptions options;
+  options.workers = 1;
+  options.preempt_after_ms.reset();
+  ChaseDaemon daemon(options);
+  ASSERT_TRUE(daemon.Start().ok());
+  DaemonClient client(daemon.port());
+
+  std::string id =
+      client.Submit(MakeJobBody("t", program, SmallCoreOptions(100)));
+  ASSERT_EQ(client.AwaitTerminal(id), "done");
+  std::string text = client.Result(id).Get("text").string_value();
+  // The line's tail survives: the last atom and the verdict after it.
+  EXPECT_NE(text.find("p(c69)"), std::string::npos) << text;
+  EXPECT_NE(text.find("-> entailed"), std::string::npos) << text;
+
+  daemon.Stop();
+}
+
+TEST(DaemonTest, FinishedJobsAreEvictedBeyondRetentionCap) {
+  DaemonOptions options;
+  options.workers = 1;
+  options.preempt_after_ms.reset();
+  options.finished_job_retention = 2;
+  ChaseDaemon daemon(options);
+  ASSERT_TRUE(daemon.Start().ok());
+  DaemonClient client(daemon.port());
+
+  // Four sequential quick jobs: finishing the later ones must evict the
+  // earlier ones (oldest-finished first), keeping the job table bounded.
+  std::vector<std::string> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(
+        client.Submit(MakeJobBody("t", kClosure, SmallCoreOptions(100))));
+    ASSERT_EQ(client.AwaitTerminal(ids.back()), "done");
+  }
+  // Eviction runs in the scheduler's finish callback, which fires just
+  // after the terminal state becomes visible over HTTP — poll briefly.
+  auto await_evicted = [&](const std::string& id) {
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (client.Fetch("GET", "/v1/jobs/" + id).status == 404) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return false;
+  };
+  EXPECT_TRUE(await_evicted(ids[0]));
+  EXPECT_TRUE(await_evicted(ids[1]));
+  EXPECT_EQ(client.Fetch("GET", "/v1/jobs/" + ids[2]).status, 200);
+  EXPECT_EQ(client.Fetch("GET", "/v1/jobs/" + ids[3]).status, 200);
+  EXPECT_EQ(client.Fetch("GET", "/v1/jobs/" + ids[3] + "/result").status,
+            200);
 
   daemon.Stop();
   EXPECT_EQ(daemon.InFlightJobs(), 0u);

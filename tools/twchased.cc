@@ -11,6 +11,8 @@
 //     --preempt-after-ms=N  preempt a running job once its segment exceeds
 //                           this and others queue (0 = never; default: 2000)
 //     --http-threads=N      HTTP handler threads            (default: 4)
+//     --job-retention=N     finished jobs kept queryable before the oldest
+//                           are evicted (0 = forever; default: 256)
 //
 // Prints exactly one line "listening on 127.0.0.1:PORT" once serving, so
 // scripts (tools/check.sh) can scrape the ephemeral port.
@@ -33,7 +35,8 @@ void HandleSignal(int) { sem_post(&g_shutdown); }
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port=N] [--workers=N] [--tenant-quota=N] "
-               "[--preempt-after-ms=N] [--http-threads=N]\n",
+               "[--preempt-after-ms=N] [--http-threads=N] "
+               "[--job-retention=N]\n",
                argv0);
   return 2;
 }
@@ -53,7 +56,8 @@ int main(int argc, char** argv) {
         m.BoundedSizeValue("--tenant-quota", &options.per_tenant_quota, 1,
                            100000) ||
         m.SizeValue("--preempt-after-ms", &preempt_after_ms) ||
-        m.BoundedSizeValue("--http-threads", &options.http_threads, 1, 64)) {
+        m.BoundedSizeValue("--http-threads", &options.http_threads, 1, 64) ||
+        m.SizeValue("--job-retention", &options.finished_job_retention)) {
       // dispatched
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
