@@ -1,0 +1,49 @@
+// Fuzz entry point for the crash-recovery parsers: the checkpoint format
+// (plain and sealed) and the job-store manifest WAL.
+//
+// Contract under test: everything the daemon reads back from disk after a
+// crash is untrusted — a power cut can leave torn tails, a failing disk can
+// flip bits. ParseCheckpoint, ParseSealedCheckpoint and
+// JobStore::ReplayManifest must return structured errors (or a truncated
+// valid prefix) for ANY byte sequence — never crash, never abort, never
+// trip ASan/UBSan, never allocate absurdly from hostile counts.
+//
+// Built two ways (see fuzz/CMakeLists.txt):
+//   * with clang: a real libFuzzer target (-fsanitize=fuzzer);
+//   * with gcc (no libFuzzer): linked against the standalone driver, which
+//     replays and mutates the seed corpus in fuzz/corpus/recovery/ (real
+//     sealed checkpoints and framed manifests, plus torn/truncated/
+//     bit-flipped variants) through this same function.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "service/job_store.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string text(reinterpret_cast<const char*>(data), size);
+
+  auto plain = twchase::ParseCheckpoint(text);
+  if (plain.ok()) {
+    // Accepted checkpoints must survive the canonical round-trip.
+    (void)twchase::SerializeCheckpoint(*plain);
+  } else {
+    (void)plain.status().ToString();
+  }
+
+  auto sealed = twchase::ParseSealedCheckpoint(text);
+  if (sealed.ok()) {
+    (void)twchase::SerializeCheckpointSealed(*sealed);
+  } else {
+    (void)sealed.status().ToString();
+  }
+
+  std::vector<twchase::RecoveredJob> jobs;
+  twchase::JobStore::ReplayStats stats =
+      twchase::JobStore::ReplayManifest(text, &jobs);
+  // The replayed prefix never extends past the input.
+  if (stats.valid_bytes > size) __builtin_trap();
+  return 0;
+}

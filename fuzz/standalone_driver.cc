@@ -8,15 +8,21 @@
 //
 // Accepts a subset of libFuzzer's flag syntax so callers (tools/check.sh)
 // can invoke either build identically:
-//   parser_fuzzer [-max_total_time=SECONDS] [-seed=N]
-// Unknown -flags and positional arguments are ignored.
+//   parser_fuzzer [-max_total_time=SECONDS] [-seed=N] [corpus-dir ...]
+// Positional directory arguments are seed corpora, as with libFuzzer: every
+// file is replayed once up front, then byte-level mutations of corpus
+// entries join the input mix. Unknown -flags are ignored.
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <random>
+#include <sstream>
 #include <string>
 #include <vector>
+
+#include <dirent.h>
 
 extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
 
@@ -55,6 +61,45 @@ std::string RandomBytes(std::mt19937_64& rng) {
   return out;
 }
 
+// Loads every regular file in `dir` (non-recursive) as a corpus entry.
+void LoadCorpusDir(const std::string& dir, std::vector<std::string>* corpus) {
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) return;
+  while (dirent* entry = ::readdir(handle)) {
+    std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    std::ifstream in(dir + "/" + name, std::ios::binary);
+    if (!in) continue;
+    std::ostringstream content;
+    content << in.rdbuf();
+    corpus->push_back(content.str());
+  }
+  ::closedir(handle);
+}
+
+// A corpus entry with 1–8 random byte edits (overwrite/erase/insert) —
+// the torn/truncated/bit-flipped neighborhood of real on-disk artifacts.
+std::string MutatedCorpusEntry(std::mt19937_64& rng,
+                               const std::vector<std::string>& corpus) {
+  std::uniform_int_distribution<size_t> pick(0, corpus.size() - 1);
+  std::string base = corpus[pick(rng)];
+  std::uniform_int_distribution<int> mutations(1, 8);
+  std::uniform_int_distribution<int> byte(0, 255);
+  int count = mutations(rng);
+  for (int i = 0; i < count && !base.empty(); ++i) {
+    std::uniform_int_distribution<size_t> pos(0, base.size() - 1);
+    switch (rng() % 4) {
+      case 0: base[pos(rng)] = static_cast<char>(byte(rng)); break;
+      case 1: base.erase(pos(rng), 1); break;
+      case 2: base.resize(pos(rng)); break;  // torn tail
+      default:
+        base.insert(pos(rng), 1, static_cast<char>(byte(rng)));
+        break;
+    }
+  }
+  return base;
+}
+
 std::string MutatedProgram(std::mt19937_64& rng) {
   std::string base =
       "s(a). e(a, b).\n"
@@ -82,6 +127,7 @@ std::string MutatedProgram(std::mt19937_64& rng) {
 int main(int argc, char** argv) {
   uint64_t seconds = 5;
   uint64_t seed = 1;
+  std::vector<std::string> corpus;
   for (int i = 1; i < argc; ++i) {
     uint64_t value = 0;
     if (std::sscanf(argv[i], "-max_total_time=%llu",
@@ -91,7 +137,15 @@ int main(int argc, char** argv) {
                            reinterpret_cast<unsigned long long*>(&value)) ==
                1) {
       seed = value;
+    } else if (argv[i][0] != '-') {
+      LoadCorpusDir(argv[i], &corpus);
     }
+  }
+
+  // Every corpus entry runs once unmutated, as libFuzzer would.
+  for (const std::string& entry : corpus) {
+    LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(entry.data()),
+                           entry.size());
   }
 
   std::mt19937_64 rng(seed);
@@ -100,10 +154,14 @@ int main(int argc, char** argv) {
   uint64_t iterations = 0;
   while (std::chrono::steady_clock::now() < deadline) {
     std::string input;
-    switch (iterations % 3) {
-      case 0: input = GrammarSoup(rng); break;
-      case 1: input = RandomBytes(rng); break;
-      default: input = MutatedProgram(rng); break;
+    if (!corpus.empty() && iterations % 2 == 0) {
+      input = MutatedCorpusEntry(rng, corpus);
+    } else {
+      switch (iterations % 3) {
+        case 0: input = GrammarSoup(rng); break;
+        case 1: input = RandomBytes(rng); break;
+        default: input = MutatedProgram(rng); break;
+      }
     }
     LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(input.data()),
                            input.size());

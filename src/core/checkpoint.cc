@@ -1,12 +1,14 @@
 #include "core/checkpoint.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 #include <utility>
 #include <vector>
 
 #include "core/session.h"
 #include "hom/matcher.h"
+#include "util/fs.h"
 
 namespace twchase {
 namespace {
@@ -99,8 +101,9 @@ StatusOr<StopReason> StopReasonFromName(const std::string& name) {
                                  "'");
 }
 
-Status Malformed(const std::string& what) {
-  return Status::InvalidArgument("checkpoint: malformed " + what);
+Status MalformedAt(const std::string& what, size_t offset) {
+  return Status::InvalidArgument("checkpoint: malformed " + what +
+                                 " at byte " + std::to_string(offset));
 }
 
 }  // namespace
@@ -193,14 +196,30 @@ std::string SerializeCheckpoint(const ChaseCheckpoint& cp) {
 }
 
 StatusOr<ChaseCheckpoint> ParseCheckpoint(const std::string& text) {
-  std::istringstream lines(text);
+  // Manual cursor instead of istream getline: tracks the byte offset of
+  // the current line (for error annotation) and distinguishes a missing
+  // line from a final line torn off before its newline.
+  size_t pos = 0;
+  size_t line_start = 0;
   std::string line;
+  auto Malformed = [&](const std::string& what) {
+    return MalformedAt(what, line_start);
+  };
   auto next_line = [&](const char* expected_tag,
                        std::istringstream* fields) -> Status {
-    if (!std::getline(lines, line)) {
-      return Malformed(std::string("input: missing '") + expected_tag +
-                       "' line");
+    line_start = pos;
+    if (pos >= text.size()) {
+      return MalformedAt(
+          std::string("input: missing '") + expected_tag + "' line", pos);
     }
+    size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) {
+      return Status::InvalidArgument(
+          "checkpoint: truncated final line (missing newline) at byte " +
+          std::to_string(line_start));
+    }
+    line.assign(text, line_start, nl - line_start);
+    pos = nl + 1;
     fields->clear();
     fields->str(line);
     std::string tag;
@@ -316,7 +335,63 @@ StatusOr<ChaseCheckpoint> ParseCheckpoint(const std::string& text) {
   }
 
   TWCHASE_RETURN_IF_ERROR(next_line("end", &f));
+  if (pos != text.size()) {
+    return Status::InvalidArgument(
+        "checkpoint: trailing garbage after 'end' at byte " +
+        std::to_string(pos));
+  }
   return cp;
+}
+
+std::string SerializeCheckpointSealed(const ChaseCheckpoint& cp) {
+  std::string body = SerializeCheckpoint(cp);
+  char footer[64];
+  std::snprintf(footer, sizeof footer, "checksum 1 %zu %08x\n", body.size(),
+                Crc32(body));
+  return body + footer;
+}
+
+StatusOr<ChaseCheckpoint> ParseSealedCheckpoint(const std::string& text) {
+  if (text.empty() || text.back() != '\n') {
+    return Status::InvalidArgument(
+        "sealed checkpoint: truncated (missing final newline) at byte " +
+        std::to_string(text.size()));
+  }
+  // The footer is the last line; everything before it is the body.
+  size_t body_end = text.rfind('\n', text.size() - 2);
+  size_t footer_start = body_end == std::string::npos ? 0 : body_end + 1;
+  std::istringstream f(text.substr(footer_start));
+  std::string tag;
+  uint32_t footer_version = 0;
+  size_t body_size = 0;
+  std::string crc_hex;
+  std::string extra;
+  if (!(f >> tag >> footer_version >> body_size >> crc_hex) ||
+      tag != "checksum" || (f >> extra)) {
+    return Status::InvalidArgument(
+        "sealed checkpoint: malformed checksum footer at byte " +
+        std::to_string(footer_start));
+  }
+  if (footer_version != 1) {
+    return Status::InvalidArgument(
+        "sealed checkpoint: unsupported footer version " +
+        std::to_string(footer_version));
+  }
+  if (body_size != footer_start) {
+    return Status::InvalidArgument(
+        "sealed checkpoint: length mismatch (footer says " +
+        std::to_string(body_size) + " bytes, body has " +
+        std::to_string(footer_start) + ")");
+  }
+  std::string body = text.substr(0, footer_start);
+  char want[16];
+  std::snprintf(want, sizeof want, "%08x", Crc32(body));
+  if (crc_hex != want) {
+    return Status::InvalidArgument(
+        "sealed checkpoint: checksum mismatch (footer " + crc_hex +
+        ", body " + want + ")");
+  }
+  return ParseCheckpoint(body);
 }
 
 // Compatibility wrapper: the validation surface and the replay live in

@@ -97,8 +97,23 @@ ChaseCheckpoint MakeCheckpoint(const KnowledgeBase& kb,
 std::string SerializeCheckpoint(const ChaseCheckpoint& checkpoint);
 
 /// Parses a serialized checkpoint. InvalidArgument on malformed input or an
-/// unsupported version; never aborts on untrusted bytes.
+/// unsupported version; never aborts on untrusted bytes. Strict: trailing
+/// bytes after the "end" terminator and a final line without its newline
+/// are rejected with a byte-offset-annotated error, so a torn tail can
+/// never parse as a shorter-but-valid log.
 StatusOr<ChaseCheckpoint> ParseCheckpoint(const std::string& text);
+
+/// SerializeCheckpoint plus an integrity footer:
+///   checksum 1 <body-length> <crc32-of-body-in-hex>\n
+/// This is the on-disk form used by the durable job store: the length
+/// detects truncation, the CRC detects bit rot, and strictness rejects
+/// anything after the footer.
+std::string SerializeCheckpointSealed(const ChaseCheckpoint& checkpoint);
+
+/// Verifies and strips the footer, then parses the body strictly.
+/// InvalidArgument when the footer is missing, the length disagrees, the
+/// CRC mismatches, or bytes follow the footer.
+StatusOr<ChaseCheckpoint> ParseSealedCheckpoint(const std::string& text);
 
 /// Resumes the checkpointed run against `kb`, which must be a fresh parse
 /// of the same program (fingerprint-verified, vocabulary unconsumed).

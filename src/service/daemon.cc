@@ -53,6 +53,18 @@ HttpResponse StatusResponse(const Status& status,
   return JsonResponse(HttpStatusForStatus(status), ErrorJson(status, fields));
 }
 
+// Inverse of StatusCodeName, for rehydrating persisted structured errors.
+StatusCode StatusCodeFromName(const std::string& name) {
+  for (StatusCode code :
+       {StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kFailedPrecondition, StatusCode::kResourceExhausted,
+        StatusCode::kOutOfRange, StatusCode::kInternal,
+        StatusCode::kUnimplemented}) {
+    if (name == StatusCodeName(code)) return code;
+  }
+  return StatusCode::kInternal;
+}
+
 }  // namespace
 
 /// One chase job: a program run as a sequence of scheduler segments. Every
@@ -72,8 +84,51 @@ class ChaseDaemon::ChaseJob : public PreemptibleJob {
     preemptible_ = !request_.options.core.incremental_core;
   }
 
+  /// Rehydrates a job that finished before a restart: the retained outcome
+  /// (terminal result or structured error) is served again, no segment
+  /// ever runs.
+  static std::shared_ptr<ChaseJob> Recovered(ChaseDaemon* daemon,
+                                             const RecoveredJob& record) {
+    auto job = std::make_shared<ChaseJob>(record.id, record.request, daemon);
+    std::lock_guard<std::mutex> lock(job->mu_);
+    job->state_ = record.terminal_state;
+    if (record.terminal_state == "failed") {
+      job->error_ = Status(StatusCodeFromName(record.error_code),
+                           record.error_message);
+    } else {
+      job->result_ = record.result;
+      job->has_result_ = true;
+    }
+    return job;
+  }
+
   const std::string& id() const { return id_; }
   const std::string& tenant() const { return request_.tenant; }
+
+  std::string state() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return state_;
+  }
+
+  bool terminal() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return state_ == "done" || state_ == "cancelled" || state_ == "failed";
+  }
+
+  /// Startup-recovery failure: records the structured error. The caller
+  /// appends the durable failed record itself (the persist hook is not
+  /// used, to keep recovery's write in one place).
+  void MarkUnrecoverable(const Status& status) {
+    std::lock_guard<std::mutex> lock(mu_);
+    error_ = status;
+    state_ = "failed";
+  }
+
+  /// Replaces the first segment's resume source with the recovered
+  /// snapshot. Only before Submit (no concurrent segment yet).
+  void SeedResumeCheckpoint(std::string checkpoint_text) {
+    request_.resume_checkpoint = std::move(checkpoint_text);
+  }
 
   Outcome RunSegment() override {
     {
@@ -141,7 +196,27 @@ class ChaseDaemon::ChaseJob : public PreemptibleJob {
       if (!checkpoint.ok()) return TerminalLocked(checkpoint.status());
       saved_checkpoint_ = SerializeCheckpoint(*checkpoint);
       state_ = "paused";
+      // Every preemption boundary is a durability boundary: a SIGKILL
+      // after this line resumes from exactly here.
+      daemon_->PersistSnapshot(id_, SerializeCheckpointSealed(*checkpoint));
       return Outcome::kPaused;
+    }
+
+    if ((*session)->stop_reason() == StopReason::kCancelled &&
+        preemptible_ && daemon_->WantShutdownSnapshot()) {
+      // Graceful shutdown cancelled this run, not a client: snapshot the
+      // stopped prefix instead of recording a cancelled terminal, so the
+      // restarted daemon re-admits and resumes it. The session is
+      // kDone-with-log, which Checkpoint() accepts.
+      auto checkpoint = (*session)->Checkpoint();
+      if (checkpoint.ok()) {
+        saved_checkpoint_ = SerializeCheckpoint(*checkpoint);
+        daemon_->PersistSnapshot(id_,
+                                 SerializeCheckpointSealed(*checkpoint));
+        state_ = "paused";
+        return Outcome::kCompleted;  // drains the scheduler slot cleanly
+      }
+      // Checkpoint unavailable: fall through to the cancelled terminal.
     }
 
     if (request_.capture_events) last_events_ = events.str();
@@ -151,6 +226,7 @@ class ChaseDaemon::ChaseJob : public PreemptibleJob {
                  : "done";
     result_.Set("state", Json::String(state_));
     FoldMetricsLocked();
+    daemon_->PersistTerminal(id_, state_, result_);
     return Outcome::kCompleted;
   }
 
@@ -211,6 +287,7 @@ class ChaseDaemon::ChaseJob : public PreemptibleJob {
   Outcome TerminalLocked(const Status& status) {
     error_ = status;
     state_ = "failed";
+    daemon_->PersistFailed(id_, status);
     return Outcome::kFailed;
   }
 
@@ -361,18 +438,156 @@ ChaseDaemon::ChaseDaemon(const DaemonOptions& options)
 ChaseDaemon::~ChaseDaemon() { Stop(); }
 
 Status ChaseDaemon::Start() {
+  start_time_ = std::chrono::steady_clock::now();
+  if (!options_.state_dir.empty()) {
+    JobStoreOptions store_options;
+    store_options.state_dir = options_.state_dir;
+    auto store = JobStore::Open(store_options);
+    if (store.ok()) {
+      store_ = std::move(*store);
+    } else {
+      // Unusable state dir: degrade to the in-memory mode and say so via
+      // health rather than refusing to serve.
+      store_open_error_ = store.status().message();
+    }
+  }
   TWCHASE_RETURN_IF_ERROR(scheduler_.Start());
+  if (store_ != nullptr) RecoverFromStore();
   Status http = server_.Start(
       options_.port,
       [this](const HttpRequest& request) { return Handle(request); },
-      options_.http_threads);
+      options_.http_threads, options_.http_io_timeout_ms);
   if (!http.ok()) scheduler_.Stop();
   return http;
 }
 
 void ChaseDaemon::Stop() {
+  // The flag flips the meaning of the cancellations Stop() is about to
+  // issue: with a healthy store, a cancelled-by-shutdown job checkpoints
+  // and stays resumable instead of landing in "cancelled".
+  shutting_down_.store(true);
   server_.Stop();     // no new submissions
   scheduler_.Stop();  // cancel + drain everything admitted
+}
+
+bool ChaseDaemon::WantShutdownSnapshot() const {
+  return shutting_down_.load() && store_ != nullptr && store_->healthy();
+}
+
+std::string ChaseDaemon::PersistenceStatus() const {
+  if (options_.state_dir.empty()) return "disabled";
+  if (store_ == nullptr) return "degraded:" + store_open_error_;
+  if (!store_->healthy()) return "degraded:" + store_->degraded_reason();
+  return "durable";
+}
+
+void ChaseDaemon::PersistSnapshot(const std::string& id,
+                                  const std::string& sealed) {
+  if (store_ != nullptr) (void)store_->WriteSnapshot(id, sealed);
+}
+
+void ChaseDaemon::PersistTerminal(const std::string& id,
+                                  const std::string& state,
+                                  const Json& result) {
+  if (store_ != nullptr) (void)store_->AppendTerminal(id, state, result);
+}
+
+void ChaseDaemon::PersistFailed(const std::string& id, const Status& error) {
+  if (store_ != nullptr) {
+    (void)store_->AppendFailed(id, StatusCodeName(error.code()),
+                               error.message());
+  }
+}
+
+void ChaseDaemon::RecoverFromStore() {
+  std::vector<RecoveredJob> recovered = store_->TakeRecovered();
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    // Ids never collide with anything ever admitted, even tombstoned.
+    next_job_number_ = store_->max_job_number() + 1;
+  }
+  for (RecoveredJob& record : recovered) {
+    if (record.terminal) {
+      auto job = ChaseJob::Recovered(this, record);
+      {
+        std::lock_guard<std::mutex> lock(jobs_mu_);
+        jobs_.emplace(record.id, std::move(job));
+      }
+      OnJobFinished(record.id);  // retention applies to recovered jobs too
+      continue;
+    }
+
+    // Interrupted mid-run: validate program and snapshot, then resume
+    // through the front door. Anything that does not check out becomes a
+    // structured, durable terminal failure — never a silent drop.
+    Status unrecoverable = Status::OK();
+    std::string resume_text;
+    auto program = ParseProgram(record.request.program);
+    if (!program.ok()) {
+      unrecoverable = Status::FailedPrecondition(
+          "unrecoverable after restart: program re-parse failed: " +
+          program.status().message());
+    } else if (ProgramFingerprint(program->kb) != record.program_fingerprint) {
+      unrecoverable = Status::FailedPrecondition(
+          "unrecoverable after restart: program fingerprint mismatch "
+          "(manifest admit record vs re-parsed program)");
+    } else {
+      std::string sealed;
+      Status snapshot = store_->ReadSnapshot(record.id, &sealed);
+      if (snapshot.ok()) {
+        auto checkpoint = ParseSealedCheckpoint(sealed);
+        if (!checkpoint.ok()) {
+          unrecoverable = Status::FailedPrecondition(
+              "unrecoverable after restart: checkpoint snapshot invalid: " +
+              checkpoint.status().message());
+        } else {
+          ChaseOptions recorded = record.request.options;
+          recorded.resume.record_log = true;
+          if (checkpoint->program_fingerprint !=
+              CheckpointFingerprint(program->kb, recorded)) {
+            unrecoverable = Status::FailedPrecondition(
+                "unrecoverable after restart: checkpoint fingerprint "
+                "mismatch (snapshot vs program/backend configuration)");
+          } else {
+            resume_text = SerializeCheckpoint(*checkpoint);
+          }
+        }
+      } else if (snapshot.code() != StatusCode::kNotFound) {
+        unrecoverable = Status::FailedPrecondition(
+            "unrecoverable after restart: checkpoint snapshot unreadable: " +
+            snapshot.message());
+      }
+      // NotFound: admitted but never checkpointed — restart from the
+      // original submission (including its own resume_checkpoint, if any).
+    }
+
+    auto job = std::make_shared<ChaseJob>(record.id, record.request, this);
+    if (unrecoverable.ok() && !resume_text.empty()) {
+      job->SeedResumeCheckpoint(std::move(resume_text));
+    }
+    {
+      std::lock_guard<std::mutex> lock(jobs_mu_);
+      jobs_.emplace(record.id, job);
+    }
+    if (unrecoverable.ok()) {
+      const std::string id = record.id;
+      Status admitted = scheduler_.Submit(
+          job->tenant(), job,
+          [this, id](PreemptibleJob::Outcome) { OnJobFinished(id); });
+      if (!admitted.ok()) {
+        unrecoverable = Status::FailedPrecondition(
+            "unrecoverable after restart: re-admission rejected: " +
+            admitted.message());
+      }
+    }
+    if (!unrecoverable.ok()) {
+      job->MarkUnrecoverable(unrecoverable);
+      (void)store_->AppendFailed(record.id,
+                                 StatusCodeName(unrecoverable.code()),
+                                 unrecoverable.message());
+      OnJobFinished(record.id);
+    }
+  }
 }
 
 Json ChaseDaemon::MetricsJson() const {
@@ -404,15 +619,28 @@ void ChaseDaemon::FoldJobMetrics(const MetricsRegistry& job_metrics) {
 }
 
 void ChaseDaemon::OnJobFinished(const std::string& id) {
-  std::lock_guard<std::mutex> lock(jobs_mu_);
-  finished_order_.push_back(id);
-  if (options_.finished_job_retention == 0) return;
-  while (finished_order_.size() > options_.finished_job_retention) {
-    // Oldest-finished first; in-flight jobs are never in finished_order_,
-    // so running work is untouched. Handlers holding the shared_ptr keep
-    // an evicted job alive for the duration of their request.
-    jobs_.erase(finished_order_.front());
-    finished_order_.pop_front();
+  // During shutdown the drain completes jobs that are really interrupted
+  // (snapshot-at-cancel); evicting or tombstoning them here would destroy
+  // exactly the state the restart needs.
+  if (shutting_down_.load()) return;
+  std::vector<std::string> evicted;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    finished_order_.push_back(id);
+    if (options_.finished_job_retention != 0) {
+      while (finished_order_.size() > options_.finished_job_retention) {
+        // Oldest-finished first; in-flight jobs are never in
+        // finished_order_, so running work is untouched. Handlers holding
+        // the shared_ptr keep an evicted job alive for the duration of
+        // their request.
+        evicted.push_back(finished_order_.front());
+        jobs_.erase(finished_order_.front());
+        finished_order_.pop_front();
+      }
+    }
+  }
+  if (store_ != nullptr) {
+    for (const std::string& old : evicted) (void)store_->AppendTombstone(old);
   }
 }
 
@@ -426,11 +654,7 @@ std::shared_ptr<ChaseDaemon::ChaseJob> ChaseDaemon::FindJob(
 HttpResponse ChaseDaemon::Handle(const HttpRequest& request) {
   const std::string path = request.path();
   if (path == "/v1/healthz" && request.method == "GET") {
-    Json body = Json::Object();
-    body.Set("schema_version", Json::Number(uint64_t{kWireSchemaVersion}));
-    body.Set("status", Json::String("ok"));
-    body.Set("jobs_in_flight", Json::Number(uint64_t{scheduler_.InFlight()}));
-    return JsonResponse(200, body);
+    return HandleHealthz();
   }
   if (path == "/v1/metrics" && request.method == "GET") {
     return JsonResponse(200, MetricsJson());
@@ -467,6 +691,41 @@ HttpResponse ChaseDaemon::Handle(const HttpRequest& request) {
                                  " not supported on " + path)));
   }
   return StatusResponse(Status::NotFound("no such route: " + path));
+}
+
+HttpResponse ChaseDaemon::HandleHealthz() {
+  Json body = Json::Object();
+  body.Set("schema_version", Json::Number(uint64_t{kWireSchemaVersion}));
+  body.Set("status", Json::String("ok"));
+  uint64_t uptime = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::steady_clock::now() - start_time_)
+          .count());
+  body.Set("uptime_seconds", Json::Number(uptime));
+  body.Set("jobs_in_flight", Json::Number(uint64_t{scheduler_.InFlight()}));
+  // Job counts by state across the whole retained table.
+  const char* kStates[] = {"queued", "running", "paused",
+                           "done",   "cancelled", "failed"};
+  size_t counts[6] = {};
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    for (const auto& [id, job] : jobs_) {
+      std::string state = job->state();
+      for (size_t i = 0; i < 6; ++i) {
+        if (state == kStates[i]) {
+          ++counts[i];
+          break;
+        }
+      }
+    }
+  }
+  Json jobs = Json::Object();
+  for (size_t i = 0; i < 6; ++i) {
+    jobs.Set(kStates[i], Json::Number(uint64_t{counts[i]}));
+  }
+  body.Set("jobs", std::move(jobs));
+  body.Set("persistence", Json::String(PersistenceStatus()));
+  return JsonResponse(200, body);
 }
 
 HttpResponse ChaseDaemon::HandleSubmit(const HttpRequest& request) {
@@ -512,11 +771,19 @@ HttpResponse ChaseDaemon::HandleSubmit(const HttpRequest& request) {
   }
 
   std::string id;
-  std::shared_ptr<ChaseJob> job;
   {
     std::lock_guard<std::mutex> lock(jobs_mu_);
     id = "j-" + std::to_string(next_job_number_++);
-    job = std::make_shared<ChaseJob>(id, std::move(job_request), this);
+  }
+  if (store_ != nullptr) {
+    // Durable before acknowledged: the admit record hits the disk before
+    // the scheduler (and so the client) ever sees the job. A persistence
+    // failure degrades the store; the job still runs in memory.
+    (void)store_->AppendAdmit(id, job_request, ProgramFingerprint(program->kb));
+  }
+  auto job = std::make_shared<ChaseJob>(id, std::move(job_request), this);
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
     jobs_.emplace(id, job);
   }
 
@@ -524,8 +791,13 @@ HttpResponse ChaseDaemon::HandleSubmit(const HttpRequest& request) {
       job->tenant(), job,
       [this, id](PreemptibleJob::Outcome) { OnJobFinished(id); });
   if (!admitted.ok()) {
-    std::lock_guard<std::mutex> lock(jobs_mu_);
-    jobs_.erase(id);
+    {
+      std::lock_guard<std::mutex> lock(jobs_mu_);
+      jobs_.erase(id);
+    }
+    // The admit record is already durable; without the tombstone a restart
+    // would resurrect a job the client was told never got in.
+    if (store_ != nullptr) (void)store_->AppendTombstone(id);
     return StatusResponse(admitted);  // quota exhaustion → 429
   }
 
@@ -565,6 +837,28 @@ HttpResponse ChaseDaemon::HandleJobCancel(const std::string& id) {
   auto job = FindJob(id);
   if (job == nullptr) {
     return StatusResponse(Status::NotFound("no such job: " + id));
+  }
+  if (job->terminal()) {
+    // Nothing left to cancel: DELETE on a finished job evicts its retained
+    // outcome (and tombstones the durable store), after which the id
+    // answers 404.
+    {
+      std::lock_guard<std::mutex> lock(jobs_mu_);
+      jobs_.erase(id);
+      for (auto it = finished_order_.begin(); it != finished_order_.end();
+           ++it) {
+        if (*it == id) {
+          finished_order_.erase(it);
+          break;
+        }
+      }
+    }
+    if (store_ != nullptr) (void)store_->AppendTombstone(id);
+    Json body = Json::Object();
+    body.Set("schema_version", Json::Number(uint64_t{kWireSchemaVersion}));
+    body.Set("id", Json::String(id));
+    body.Set("deleted", Json::Bool(true));
+    return JsonResponse(200, body);
   }
   job->RequestCancel();
   return JsonResponse(200, job->StatusJson());

@@ -15,11 +15,15 @@
 //                              CLI-identical text rendering, query answers,
 //                              optional event stream and checkpoint; 409
 //                              while the job is still in flight
-//   DELETE /v1/jobs/{id}        request cancellation (cooperative; the job
-//                              lands in "cancelled" with its prefix result)
+//   DELETE /v1/jobs/{id}        in flight: request cancellation
+//                              (cooperative; the job lands in "cancelled"
+//                              with its prefix result). Terminal: evict the
+//                              retained job and tombstone the durable store
 //   GET    /v1/metrics          fleet-wide metrics: scheduler counters plus
 //                              every finished job's registry folded in
-//   GET    /v1/healthz          liveness + in-flight count
+//   GET    /v1/healthz          liveness: uptime, job counts by state, and
+//                              persistence status (durable / degraded:<why>
+//                              / disabled)
 //
 // Execution model: each job is a ChaseSession driven through scheduler
 // SEGMENTS. Every segment re-parses the job's program text (a resumed
@@ -37,6 +41,8 @@
 #ifndef TWCHASE_SERVICE_DAEMON_H_
 #define TWCHASE_SERVICE_DAEMON_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -47,6 +53,7 @@
 
 #include "obs/metrics.h"
 #include "service/http.h"
+#include "service/job_store.h"
 #include "service/json.h"
 #include "service/wire.h"
 #include "util/job_scheduler.h"
@@ -78,6 +85,19 @@ struct DaemonOptions {
   /// — result JSON, rendered text, event streams, checkpoints — stays
   /// bounded. 0 = retain forever.
   size_t finished_job_retention = 256;
+
+  /// Durable state directory (--state-dir). When set, admitted jobs, their
+  /// terminal outcomes and per-preemption checkpoint snapshots are
+  /// persisted (service/job_store.h) and a restarted daemon recovers them:
+  /// terminal results are served again, interrupted jobs are re-admitted
+  /// and resumed from their last durable checkpoint. Empty = the
+  /// historical in-memory mode, byte-for-byte unchanged behavior.
+  std::string state_dir;
+
+  /// Per-connection HTTP read/write deadline, ms (0 = no deadline). A
+  /// dribbling or stalled client is disconnected once its request or
+  /// response has been in flight this long.
+  uint64_t http_io_timeout_ms = 10000;
 };
 
 class ChaseDaemon {
@@ -113,18 +133,46 @@ class ChaseDaemon {
   HttpResponse HandleJobResult(const std::string& id);
   HttpResponse HandleJobCancel(const std::string& id);
 
+  HttpResponse HandleHealthz();
+
   std::shared_ptr<ChaseJob> FindJob(const std::string& id) const;
 
-  /// Records a job's terminal segment and evicts the oldest finished jobs
-  /// beyond the retention cap.
+  /// Records a job's terminal segment and evicts (tombstoning when
+  /// durable) the oldest finished jobs beyond the retention cap. No-op
+  /// during shutdown so interrupted jobs stay resumable.
   void OnJobFinished(const std::string& id);
 
   /// Folds one finished job's registry into the fleet registry.
   void FoldJobMetrics(const MetricsRegistry& job_metrics);
 
+  /// Re-admits the store's replayed jobs: terminal outcomes become
+  /// queryable jobs again, interrupted jobs are fingerprint-checked and
+  /// resubmitted from their last durable snapshot, anything that does not
+  /// validate lands as a structured unrecoverable failure.
+  void RecoverFromStore();
+
+  /// Persistence hooks (no-ops without a healthy store; persistence
+  /// failures degrade the store, never the chase result).
+  void PersistSnapshot(const std::string& id, const std::string& sealed);
+  void PersistTerminal(const std::string& id, const std::string& state,
+                       const Json& result);
+  void PersistFailed(const std::string& id, const Status& error);
+
+  /// True while Stop() is draining AND snapshots can still be persisted —
+  /// a cancelled-by-shutdown job then checkpoints instead of recording a
+  /// cancelled terminal, so a restart resumes it.
+  bool WantShutdownSnapshot() const;
+
+  /// "durable" | "degraded:<reason>" | "disabled", for /v1/healthz.
+  std::string PersistenceStatus() const;
+
   const DaemonOptions options_;
   JobScheduler scheduler_;
   HttpServer server_;
+  std::unique_ptr<JobStore> store_;  // null = disabled or failed to open
+  std::string store_open_error_;     // why store_ is null despite state_dir
+  std::atomic<bool> shutting_down_{false};
+  std::chrono::steady_clock::time_point start_time_;
 
   mutable std::mutex jobs_mu_;
   uint64_t next_job_number_ = 1;                              // guarded

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 namespace twchase {
@@ -18,6 +19,29 @@ namespace {
 constexpr size_t kMaxHeaderBytes = 64 * 1024;
 constexpr size_t kMaxBodyBytes = 64 * 1024 * 1024;
 constexpr int kSocketTimeoutSeconds = 10;
+
+using Clock = std::chrono::steady_clock;
+
+/// No-deadline sentinel (HttpFetch manages its own socket timeouts).
+constexpr Clock::time_point kNoDeadline = Clock::time_point::max();
+
+/// Re-arms the socket's recv/send timeout with whatever remains of the
+/// connection's absolute deadline. False once the deadline has passed —
+/// the per-syscall timeout alone would let a dribbling client (one byte
+/// per timeout window, each recv succeeding) hold the connection forever.
+bool ArmSocketDeadline(int fd, Clock::time_point deadline) {
+  if (deadline == kNoDeadline) return true;
+  auto remaining = std::chrono::duration_cast<std::chrono::microseconds>(
+      deadline - Clock::now());
+  if (remaining.count() <= 0) return false;
+  struct timeval tv;
+  tv.tv_sec = static_cast<time_t>(remaining.count() / 1000000);
+  tv.tv_usec = static_cast<suseconds_t>(remaining.count() % 1000000);
+  if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  return true;
+}
 
 std::string ToLower(std::string s) {
   std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
@@ -43,10 +67,12 @@ void SetSocketTimeout(int fd) {
 
 /// Reads until the terminator appears in `buffer` or the size cap is hit.
 /// Anything past the terminator stays in `buffer` (start of the body).
-bool ReadUntilHeaderEnd(int fd, std::string* buffer) {
+bool ReadUntilHeaderEnd(int fd, std::string* buffer,
+                        Clock::time_point deadline = kNoDeadline) {
   char chunk[4096];
   while (buffer->find("\r\n\r\n") == std::string::npos) {
     if (buffer->size() > kMaxHeaderBytes) return false;
+    if (!ArmSocketDeadline(fd, deadline)) return false;
     ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
     if (n <= 0) return false;
     buffer->append(chunk, static_cast<size_t>(n));
@@ -54,10 +80,12 @@ bool ReadUntilHeaderEnd(int fd, std::string* buffer) {
   return true;
 }
 
-bool ReadExact(int fd, std::string* buffer, size_t total) {
+bool ReadExact(int fd, std::string* buffer, size_t total,
+               Clock::time_point deadline = kNoDeadline) {
   char chunk[8192];
   while (buffer->size() < total) {
     size_t want = std::min(sizeof(chunk), total - buffer->size());
+    if (!ArmSocketDeadline(fd, deadline)) return false;
     ssize_t n = recv(fd, chunk, want, 0);
     if (n <= 0) return false;
     buffer->append(chunk, static_cast<size_t>(n));
@@ -65,9 +93,11 @@ bool ReadExact(int fd, std::string* buffer, size_t total) {
   return true;
 }
 
-bool SendAll(int fd, const std::string& data) {
+bool SendAll(int fd, const std::string& data,
+             Clock::time_point deadline = kNoDeadline) {
   size_t sent = 0;
   while (sent < data.size()) {
+    if (!ArmSocketDeadline(fd, deadline)) return false;
     ssize_t n = send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
     if (n <= 0) return false;
     sent += static_cast<size_t>(n);
@@ -168,9 +198,10 @@ const char* HttpStatusText(int status) {
 HttpServer::~HttpServer() { Stop(); }
 
 Status HttpServer::Start(uint16_t port, HttpHandler handler,
-                         size_t handler_threads) {
+                         size_t handler_threads, uint64_t io_timeout_ms) {
   if (running_) return Status::FailedPrecondition("server already running");
   handler_ = std::move(handler);
+  io_timeout_ms_ = io_timeout_ms;
   int fd = socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::Internal(std::string("socket: ") + std::strerror(errno));
@@ -281,18 +312,24 @@ void HttpServer::HandleConnection(int fd) {
   int one = 1;
   setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 
+  // One absolute deadline for the whole exchange.
+  Clock::time_point deadline =
+      io_timeout_ms_ == 0
+          ? kNoDeadline
+          : Clock::now() + std::chrono::milliseconds(io_timeout_ms_);
+
   std::string buffer;
   HttpResponse response;
   HttpRequest request;
   bool parsed = false;
-  if (ReadUntilHeaderEnd(fd, &buffer)) {
+  if (ReadUntilHeaderEnd(fd, &buffer, deadline)) {
     size_t header_end = buffer.find("\r\n\r\n");
     size_t content_length = 0;
     if (ParseRequestHead(buffer.substr(0, header_end + 2), &request,
                          &content_length)) {
       request.body = buffer.substr(header_end + 4);
       if (request.body.size() <= content_length &&
-          ReadExact(fd, &request.body, content_length)) {
+          ReadExact(fd, &request.body, content_length, deadline)) {
         request.body.resize(content_length);
         parsed = true;
       }
@@ -304,7 +341,7 @@ void HttpServer::HandleConnection(int fd) {
     response.status = 400;
     response.body = "{\"error\":{\"message\":\"malformed HTTP request\"}}";
   }
-  SendAll(fd, RenderResponse(response));
+  SendAll(fd, RenderResponse(response), deadline);
   shutdown(fd, SHUT_RDWR);
   close(fd);
 }

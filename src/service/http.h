@@ -12,9 +12,13 @@
 // any thread and idempotent.
 //
 // Robustness: reads are bounded (header block 64 KiB, body 64 MiB) and
-// carry a socket receive timeout, so a stalled or hostile client can only
-// park one handler thread for a bounded time, never wedge the daemon.
-// Malformed requests get a 400 and the connection is closed.
+// every connection carries one absolute read/write deadline (io_timeout_ms,
+// default 10s): the per-syscall socket timeout is re-armed with the
+// remaining budget before each recv/send, so a dribbling client — one byte
+// per second, each recv succeeding — is still disconnected at the
+// deadline and can only park one handler thread for a bounded time, never
+// wedge the daemon. Malformed requests get a 400 and the connection is
+// closed.
 #ifndef TWCHASE_SERVICE_HTTP_H_
 #define TWCHASE_SERVICE_HTTP_H_
 
@@ -69,7 +73,10 @@ class HttpServer {
 
   /// Binds 127.0.0.1:`port` (0 = ephemeral; the bound port is then
   /// port()), starts the accept thread and `handler_threads` workers.
-  Status Start(uint16_t port, HttpHandler handler, size_t handler_threads = 4);
+  /// `io_timeout_ms` is the per-connection read/write deadline (0 = no
+  /// deadline, historical per-recv timeout only).
+  Status Start(uint16_t port, HttpHandler handler, size_t handler_threads = 4,
+               uint64_t io_timeout_ms = 10000);
 
   /// The bound port; valid after a successful Start.
   uint16_t port() const { return port_; }
@@ -88,6 +95,7 @@ class HttpServer {
   /// AcceptLoop blocks on it.
   std::atomic<int> listen_fd_{-1};
   uint16_t port_ = 0;
+  uint64_t io_timeout_ms_ = 10000;
   HttpHandler handler_;
   std::thread accept_thread_;
   std::vector<std::thread> handler_threads_;

@@ -285,6 +285,20 @@ FieldError FieldErrorFromValidate(const Status& status,
   return out;
 }
 
+Json JobRequestToJson(const JobRequest& request) {
+  Json root = Json::Object();
+  root.Set("schema_version", Json::Number(uint64_t{kWireSchemaVersion}));
+  root.Set("tenant", Json::String(request.tenant));
+  root.Set("program", Json::String(request.program));
+  root.Set("options", ChaseOptionsToJson(request.options));
+  if (!request.resume_checkpoint.empty()) {
+    root.Set("resume_checkpoint", Json::String(request.resume_checkpoint));
+  }
+  root.Set("capture_events", Json::Bool(request.capture_events));
+  root.Set("return_checkpoint", Json::Bool(request.return_checkpoint));
+  return root;
+}
+
 Status JobRequestFromJson(const Json& json, JobRequest* request,
                           std::vector<FieldError>* errors) {
   FieldError error;

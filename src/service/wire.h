@@ -87,6 +87,12 @@ struct JobRequest {
   bool return_checkpoint = false;
 };
 
+/// Renders `request` as a /v1/jobs submission body (schema_version
+/// included). Exact inverse of JobRequestFromJson — the durable job store
+/// persists admitted jobs in this shape so recovery re-admits them through
+/// the same strict parser a client submission goes through.
+Json JobRequestToJson(const JobRequest& request);
+
 /// Parses and checks a /v1/jobs body: schema_version first, then the
 /// required fields and the options group. InvalidArgument with the field
 /// errors on any problem. Defaults inside `request->options` are the

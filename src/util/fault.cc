@@ -1,9 +1,14 @@
 #include "util/fault.h"
 
+#include <mutex>
+
 namespace twchase {
 namespace {
 
 thread_local FaultInjector* g_injector = nullptr;
+
+std::mutex g_fs_injector_mu;
+FaultInjector* g_fs_injector = nullptr;
 
 // splitmix64: tiny, well-mixed, and reproducible across platforms.
 uint64_t Mix(uint64_t x) {
@@ -23,6 +28,9 @@ const char* FaultSiteName(FaultSite site) {
     case FaultSite::kCoreFold: return "core-fold";
     case FaultSite::kEntailmentRound: return "entailment-round";
     case FaultSite::kTreewidthNode: return "treewidth-node";
+    case FaultSite::kFsWrite: return "fs-write";
+    case FaultSite::kFsFsync: return "fs-fsync";
+    case FaultSite::kFsRename: return "fs-rename";
   }
   return "unknown";
 }
@@ -31,6 +39,9 @@ const char* FaultActionName(FaultAction action) {
   switch (action) {
     case FaultAction::kCancel: return "cancel";
     case FaultAction::kAllocationFailure: return "allocation-failure";
+    case FaultAction::kShortWrite: return "short-write";
+    case FaultAction::kIoError: return "io-error";
+    case FaultAction::kNoSpace: return "no-space";
   }
   return "unknown";
 }
@@ -45,7 +56,7 @@ FaultInjector FaultInjector::FromSeed(uint64_t seed, uint64_t max_visit) {
   uint64_t h0 = Mix(seed);
   uint64_t h1 = Mix(h0);
   uint64_t h2 = Mix(h1);
-  auto site = static_cast<FaultSite>(h0 % kNumFaultSites);
+  auto site = static_cast<FaultSite>(h0 % kNumEngineFaultSites);
   auto action = static_cast<FaultAction>(h1 % 2);
   uint64_t visit = 1 + h2 % max_visit;
   injector.Arm(site, visit, action);
@@ -66,6 +77,18 @@ bool FaultInjector::Poll(FaultSite site, FaultAction* action) {
 }
 
 FaultInjector* CurrentFaultInjector() { return g_injector; }
+
+void SetGlobalFsFaultInjector(FaultInjector* injector) {
+  std::lock_guard<std::mutex> lock(g_fs_injector_mu);
+  g_fs_injector = injector;
+}
+
+bool PollFsFault(FaultSite site, FaultAction* action) {
+  if (g_injector != nullptr) return g_injector->Poll(site, action);
+  std::lock_guard<std::mutex> lock(g_fs_injector_mu);
+  if (g_fs_injector == nullptr) return false;
+  return g_fs_injector->Poll(site, action);
+}
 
 FaultInjectorScope::FaultInjectorScope(FaultInjector* injector)
     : previous_(g_injector) {

@@ -35,16 +35,29 @@ enum class FaultSite {
   kCoreFold,             // hom/core.cc: between folding iterations
   kEntailmentRound,      // core/entailment.cc: between dovetail rounds
   kTreewidthNode,        // tw/: between DP blocks / elimination steps
+  kFsWrite,              // util/fs.cc: before one write(2) of durable bytes
+  kFsFsync,              // util/fs.cc: before one fsync(2)
+  kFsRename,             // util/fs.cc: before one atomic rename(2)
 };
 
-constexpr size_t kNumFaultSites = 6;
+/// Engine-side sites polled through the ResourceGovernor. FromSeed draws
+/// only from these so existing seeded schedules stay stable as
+/// filesystem sites are appended.
+constexpr size_t kNumEngineFaultSites = 6;
+
+constexpr size_t kNumFaultSites = 9;
 
 const char* FaultSiteName(FaultSite site);
 
-/// What an injected fault simulates.
+/// What an injected fault simulates. The first two target engine sites;
+/// the filesystem actions target kFs* sites and simulate the classic
+/// torn-write failure modes.
 enum class FaultAction {
   kCancel = 0,         // as if CancelToken::RequestCancel had been called
   kAllocationFailure,  // as if the memory budget had been exhausted
+  kShortWrite,         // write(2) persists a prefix, then the process "dies"
+  kIoError,            // write/fsync/rename fails with EIO, nothing persisted
+  kNoSpace,            // write fails with ENOSPC, nothing persisted
 };
 
 const char* FaultActionName(FaultAction action);
@@ -93,6 +106,18 @@ class FaultInjector {
 
 /// The injector ambient on this thread, or nullptr.
 FaultInjector* CurrentFaultInjector();
+
+/// Installs a process-global injector consulted (under a mutex) by
+/// filesystem fault polls when no thread-local injector is ambient.
+/// Daemon-level tests need this: persistence runs on scheduler worker and
+/// HTTP handler threads the test cannot wrap in a FaultInjectorScope.
+/// Pass nullptr to uninstall. Not for engine sites.
+void SetGlobalFsFaultInjector(FaultInjector* injector);
+
+/// Polls `site` against the thread-local injector if present, else the
+/// global fs injector (serialized). Returns true and fills *action when a
+/// fault fires. Only util/fs.cc should call this.
+bool PollFsFault(FaultSite site, FaultAction* action);
 
 /// Installs `injector` as the thread's ambient injector for the scope.
 class FaultInjectorScope {

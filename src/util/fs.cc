@@ -1,0 +1,198 @@
+#include "util/fs.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "util/fault.h"
+
+namespace twchase {
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+// Maps an injected filesystem fault to the Status a real kernel failure
+// would produce, so callers exercise exactly the organic error paths.
+Status InjectedFsError(FaultAction action, const std::string& what) {
+  switch (action) {
+    case FaultAction::kNoSpace:
+      return Status::ResourceExhausted(what +
+                                       ": no space left on device (injected)");
+    case FaultAction::kShortWrite:
+    case FaultAction::kIoError:
+    default:
+      return Status::Internal(what + ": input/output error (injected)");
+  }
+}
+
+// Splits "dir/name" into its directory, "." when there is no slash.
+std::string DirnameOf(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+uint32_t CrcTableAt(size_t i) {
+  // Computed once, lazily; the table is tiny and the init is branch-free.
+  static const auto table = [] {
+    struct Table { uint32_t entry[256]; } t{};
+    for (uint32_t n = 0; n < 256; ++n) {
+      uint32_t c = n;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t.entry[n] = c;
+    }
+    return t;
+  }();
+  return table.entry[i];
+}
+
+Status WriteRaw(int fd, const char* data, size_t size,
+                const std::string& what) {
+  size_t written = 0;
+  while (written < size) {
+    ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == ENOSPC) {
+        return Status::ResourceExhausted(Errno(what));
+      }
+      return Status::Internal(Errno(what));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  uint32_t crc = 0xFFFFFFFFu;
+  for (unsigned char byte : data) {
+    crc = CrcTableAt((crc ^ byte) & 0xFFu) ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Status FsWriteAll(int fd, std::string_view data, const std::string& what) {
+  FaultAction action;
+  if (PollFsFault(FaultSite::kFsWrite, &action)) {
+    if (action == FaultAction::kShortWrite && !data.empty()) {
+      // Persist a torn prefix, then report the failure the caller would
+      // see if the process died mid-write and a monitor surfaced it.
+      size_t half = data.size() / 2;
+      (void)WriteRaw(fd, data.data(), half, what);
+    }
+    return InjectedFsError(action, what);
+  }
+  return WriteRaw(fd, data.data(), data.size(), what);
+}
+
+Status FsFsync(int fd, const std::string& what) {
+  FaultAction action;
+  if (PollFsFault(FaultSite::kFsFsync, &action)) {
+    return InjectedFsError(action, "fsync " + what);
+  }
+  while (::fsync(fd) != 0) {
+    if (errno == EINTR) continue;
+    return Status::Internal(Errno("fsync " + what));
+  }
+  return Status::OK();
+}
+
+Status FsRename(const std::string& from, const std::string& to) {
+  FaultAction action;
+  if (PollFsFault(FaultSite::kFsRename, &action)) {
+    // Crash-before-rename: the temp file stays, the target is untouched.
+    return InjectedFsError(action, "rename " + from + " -> " + to);
+  }
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return Status::Internal(Errno("rename " + from + " -> " + to));
+  }
+  return Status::OK();
+}
+
+Status FsSyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::Internal(Errno("open dir " + dir));
+  }
+  Status synced = FsFsync(fd, "dir " + dir);
+  ::close(fd);
+  return synced;
+}
+
+Status EnsureDirectory(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0) return Status::OK();
+  if (errno == EEXIST) {
+    struct stat st{};
+    if (::stat(dir.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+      return Status::OK();
+    }
+    return Status::FailedPrecondition(dir + ": exists and is not a directory");
+  }
+  return Status::Internal(Errno("mkdir " + dir));
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound(path + ": no such file");
+    return Status::Internal(Errno("open " + path));
+  }
+  out->clear();
+  char buffer[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buffer, sizeof buffer);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status failed = Status::Internal(Errno("read " + path));
+      ::close(fd);
+      return failed;
+    }
+    if (n == 0) break;
+    out->append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+Status WriteFileDurable(const std::string& path, std::string_view content) {
+  const std::string temp = path + ".tmp";
+  int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Internal(Errno("open " + temp));
+  }
+  Status st = FsWriteAll(fd, content, temp);
+  if (st.ok()) st = FsFsync(fd, temp);
+  ::close(fd);
+  if (st.ok()) st = FsRename(temp, path);
+  if (!st.ok()) {
+    ::unlink(temp.c_str());
+    return st;
+  }
+  return FsSyncDir(DirnameOf(path));
+}
+
+Status RemoveFileDurable(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::Internal(Errno("unlink " + path));
+  }
+  return FsSyncDir(DirnameOf(path));
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace twchase

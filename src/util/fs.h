@@ -1,0 +1,73 @@
+// Crash-safe filesystem primitives for the durable job store.
+//
+// Every byte the daemon persists flows through this file, which gives the
+// fault-injection harness a single choke point: FsWriteAll / FsFsync /
+// FsRename poll the ambient FaultInjector (util/fault.h) at the kFsWrite /
+// kFsFsync / kFsRename sites before touching the kernel, so tests can
+// simulate a short write, an EIO, an ENOSPC, or a crash-before-rename at
+// any persistence step and assert recovery.
+//
+// Durability discipline (the classic one):
+//   WriteFileDurable = write temp file → fsync(temp) → rename(temp, final)
+//                      → fsync(directory)
+// A reader therefore sees either the old complete file or the new complete
+// file, never a torn mixture — provided the on-disk format also carries a
+// checksum so a torn *append* (manifest WAL) is detectable.
+//
+// All functions are POSIX-only, return Status, and never throw.
+#ifndef TWCHASE_UTIL_FS_H_
+#define TWCHASE_UTIL_FS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace twchase {
+
+/// CRC-32 (IEEE 802.3, reflected, init/xorout 0xFFFFFFFF) over `data`.
+/// Crc32("123456789") == 0xCBF43926.
+uint32_t Crc32(std::string_view data);
+
+/// Writes all of `data` to `fd`, retrying partial writes. Polls the
+/// kFsWrite fault site once per call; an injected kShortWrite persists
+/// roughly half the bytes before failing, so on-disk state after the
+/// "crash" is a torn prefix exactly as a real power cut would leave it.
+/// `what` names the destination for error messages.
+Status FsWriteAll(int fd, std::string_view data, const std::string& what);
+
+/// fsync(fd), with the kFsFsync fault site polled first.
+Status FsFsync(int fd, const std::string& what);
+
+/// rename(from, to), with the kFsRename fault site polled first. An
+/// injected fault leaves the temp file in place and the target untouched —
+/// the crash-before-rename window.
+Status FsRename(const std::string& from, const std::string& to);
+
+/// Opens `dir`, fsyncs it, closes it. Makes a preceding rename durable.
+Status FsSyncDir(const std::string& dir);
+
+/// mkdir -p for a single level: creates `dir` if absent; ok if it already
+/// exists as a directory.
+Status EnsureDirectory(const std::string& dir);
+
+/// Reads the whole file into *out. NotFound if the file does not exist.
+Status ReadFileToString(const std::string& path, std::string* out);
+
+/// Atomically replaces `path` with `content` using the temp → fsync →
+/// rename → dir-fsync discipline. The temp file lives next to `path`
+/// (same directory, ".tmp" suffix) so the rename never crosses a
+/// filesystem. On any failure the temp file is unlinked and `path` is
+/// left as it was.
+Status WriteFileDurable(const std::string& path, std::string_view content);
+
+/// unlink(path) followed by a directory fsync. Ok if already absent.
+Status RemoveFileDurable(const std::string& path);
+
+/// True if `path` exists (any file type).
+bool FileExists(const std::string& path);
+
+}  // namespace twchase
+
+#endif  // TWCHASE_UTIL_FS_H_

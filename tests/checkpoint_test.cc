@@ -143,6 +143,88 @@ TEST(CheckpointFormatTest, MalformedInputsAreRejectedNotFatal) {
   EXPECT_FALSE(ParseCheckpoint(hostile).ok());
 }
 
+// Regression: ParseCheckpoint used to stream through an istringstream,
+// silently ignoring anything after "end" and accepting a final line with no
+// terminating newline — so a torn or concatenated checkpoint file parsed as
+// if it were intact. Both are now rejected with the byte offset.
+TEST(CheckpointFormatTest, TrailingGarbageAndTruncationAreRejectedWithOffsets) {
+  StaircaseWorld world;
+  ChaseOptions options = RecordingOptions(ChaseVariant::kRestricted, 3);
+  auto run = RunChase(world.kb(), options);
+  ASSERT_TRUE(run.ok());
+  StaircaseWorld fresh;
+  std::string good =
+      SerializeCheckpoint(MakeCheckpoint(fresh.kb(), options, *run));
+  ASSERT_TRUE(ParseCheckpoint(good).ok());
+
+  // Bytes after the "end" line: rejected, offset points past "end".
+  auto trailing = ParseCheckpoint(good + "junk after the end\n");
+  ASSERT_FALSE(trailing.ok());
+  EXPECT_EQ(trailing.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(trailing.status().message().find("trailing garbage"),
+            std::string::npos)
+      << trailing.status();
+  EXPECT_NE(trailing.status().message().find(
+                "at byte " + std::to_string(good.size())),
+            std::string::npos)
+      << trailing.status();
+
+  // A second full checkpoint appended (the classic double-write) is
+  // trailing garbage too, not a silent first-wins parse.
+  EXPECT_FALSE(ParseCheckpoint(good + good).ok());
+
+  // Final line missing its newline: a torn tail, not a valid terminator.
+  std::string torn = good.substr(0, good.size() - 1);
+  auto truncated = ParseCheckpoint(torn);
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_EQ(truncated.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(truncated.status().message().find("truncated final line"),
+            std::string::npos)
+      << truncated.status();
+  EXPECT_NE(truncated.status().message().find("at byte"), std::string::npos);
+
+  // Structurally malformed lines carry the offset of the line they died on.
+  const std::string prefix = "twchase-checkpoint 1\nvariant core\n";
+  auto bogus = ParseCheckpoint(prefix + "nonsense\n");
+  ASSERT_FALSE(bogus.ok());
+  EXPECT_NE(bogus.status().message().find("at byte"), std::string::npos)
+      << bogus.status();
+}
+
+TEST(CheckpointFormatTest, SealedFooterRoundTripsAndCatchesCorruption) {
+  StaircaseWorld world;
+  ChaseOptions options = RecordingOptions(ChaseVariant::kCore, 4);
+  auto run = RunChase(world.kb(), options);
+  ASSERT_TRUE(run.ok());
+  StaircaseWorld fresh;
+  ChaseCheckpoint cp = MakeCheckpoint(fresh.kb(), options, *run);
+  const std::string plain = SerializeCheckpoint(cp);
+  const std::string sealed = SerializeCheckpointSealed(cp);
+
+  // The sealed form is the plain body plus one footer line.
+  ASSERT_GT(sealed.size(), plain.size());
+  EXPECT_EQ(sealed.substr(0, plain.size()), plain);
+  EXPECT_EQ(sealed.compare(plain.size(), 9, "checksum "), 0);
+
+  auto parsed = ParseSealedCheckpoint(sealed);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(SerializeCheckpoint(*parsed), plain);
+
+  // A single flipped bit anywhere in the body fails the CRC.
+  for (size_t pos : {size_t{0}, plain.size() / 2, plain.size() - 2}) {
+    std::string flipped = sealed;
+    flipped[pos] ^= 0x40;
+    EXPECT_FALSE(ParseSealedCheckpoint(flipped).ok()) << "flip at " << pos;
+  }
+  // Truncation (torn write), bytes after the footer, a doctored length,
+  // and the plain unsealed text are all rejected.
+  EXPECT_FALSE(ParseSealedCheckpoint(sealed.substr(0, sealed.size() / 2)).ok());
+  EXPECT_FALSE(ParseSealedCheckpoint(sealed.substr(0, sealed.size() - 1)).ok());
+  EXPECT_FALSE(ParseSealedCheckpoint(sealed + "x\n").ok());
+  EXPECT_FALSE(ParseSealedCheckpoint(plain).ok());
+  EXPECT_FALSE(ParseSealedCheckpoint("").ok());
+}
+
 TEST(ResumeChaseTest, RejectsMismatchedVariantAndOptions) {
   StaircaseWorld world;
   ChaseOptions options = RecordingOptions(ChaseVariant::kRestricted, 3);

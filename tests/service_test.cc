@@ -18,6 +18,11 @@
 #include <thread>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include "core/chase.h"
 #include "core/session.h"
 #include "obs/observer.h"
@@ -603,14 +608,26 @@ TEST(DaemonTest, MultiTenantSweepCompletesAllJobs) {
         << job.id;
   }
 
-  HttpResponse metrics = client.Fetch("GET", "/v1/metrics");
-  auto parsed = Json::Parse(metrics.body);
-  ASSERT_TRUE(parsed.ok());
-  EXPECT_EQ(parsed->Get("scheduler").Get("admitted").number_value(), 12);
-  EXPECT_EQ(parsed->Get("scheduler").Get("completed").number_value(), 12);
-  EXPECT_EQ(parsed->Get("scheduler").Get("failed").number_value(), 0);
+  // A job's HTTP state flips to "done" inside its final segment; the
+  // scheduler's completed counter increments just after that segment
+  // returns. The counter is eventually consistent with the observed
+  // states, so poll briefly instead of racing the last worker.
+  Json parsed_metrics;
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    HttpResponse metrics = client.Fetch("GET", "/v1/metrics");
+    auto parsed = Json::Parse(metrics.body);
+    ASSERT_TRUE(parsed.ok());
+    parsed_metrics = *parsed;
+    if (parsed_metrics.Get("scheduler").Get("completed").number_value() >= 12)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  const Json& parsed = parsed_metrics;
+  EXPECT_EQ(parsed.Get("scheduler").Get("admitted").number_value(), 12);
+  EXPECT_EQ(parsed.Get("scheduler").Get("completed").number_value(), 12);
+  EXPECT_EQ(parsed.Get("scheduler").Get("failed").number_value(), 0);
   // Fleet metrics aggregated every job's registry.
-  EXPECT_EQ(parsed->Get("fleet")
+  EXPECT_EQ(parsed.Get("fleet")
                 .Get("histograms")
                 .Get("service.job.steps")
                 .Get("count")
@@ -712,15 +729,85 @@ TEST(DaemonTest, HttpErrorsAreStructuredAndVersioned) {
   client.Fetch("DELETE", "/v1/jobs/" + id);
   EXPECT_EQ(client.AwaitTerminal(id), "cancelled");
 
-  // Health endpoint.
+  // Health endpoint: schema version, uptime, job counts by state, and the
+  // persistence status — "disabled" here, since no --state-dir is set.
   HttpResponse health = client.Fetch("GET", "/v1/healthz");
   EXPECT_EQ(health.status, 200);
   auto health_json = Json::Parse(health.body);
   ASSERT_TRUE(health_json.ok());
   EXPECT_EQ(health_json->Get("status").string_value(), "ok");
+  EXPECT_EQ(health_json->Get("schema_version").number_value(),
+            kWireSchemaVersion);
+  EXPECT_TRUE(health_json->Get("uptime_seconds").is_number());
+  EXPECT_TRUE(health_json->Get("jobs_in_flight").is_number());
+  ASSERT_TRUE(health_json->Get("jobs").is_object());
+  for (const char* state :
+       {"queued", "running", "paused", "done", "cancelled", "failed"}) {
+    EXPECT_TRUE(health_json->Get("jobs").Get(state).is_number()) << state;
+  }
+  EXPECT_EQ(health_json->Get("jobs").Get("cancelled").number_value(), 1);
+  EXPECT_EQ(health_json->Get("persistence").string_value(), "disabled");
 
   daemon.Stop();
   EXPECT_EQ(daemon.InFlightJobs(), 0u);
+}
+
+// A dribbling client — one byte at a time, each recv succeeding, the full
+// request never arriving — used to park a handler thread forever, since the
+// per-recv timeout was re-armed by every byte. The per-connection absolute
+// deadline now disconnects it, and the daemon keeps serving.
+TEST(DaemonTest, DribblingClientIsDisconnectedAtTheDeadline) {
+  DaemonOptions options;
+  options.workers = 1;
+  options.http_threads = 1;  // one handler thread: a wedge would be total
+  options.http_io_timeout_ms = 300;
+  ChaseDaemon daemon(options);
+  ASSERT_TRUE(daemon.Start().ok());
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(daemon.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+
+  // Drip a request at ~1 byte / 50ms: never finished before the 300ms
+  // deadline, but every recv on the server side succeeds.
+  const std::string request = "GET /v1/healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+  auto start = std::chrono::steady_clock::now();
+  bool disconnected = false;
+  for (char byte : request) {
+    if (::send(fd, &byte, 1, MSG_NOSIGNAL) < 0) {
+      disconnected = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (std::chrono::steady_clock::now() - start >
+        std::chrono::seconds(20)) {
+      break;  // safety net; the deadline should fire long before this
+    }
+  }
+  if (!disconnected) {
+    // The server closed the connection: recv sees EOF (or a reset).
+    char buffer[256];
+    ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
+    disconnected = n <= 0 ||
+                   std::string(buffer, static_cast<size_t>(n)).find("408") !=
+                       std::string::npos;
+  }
+  EXPECT_TRUE(disconnected) << "dribbling client was never cut off";
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  EXPECT_LT(elapsed, 15000) << "deadline fired far too late";
+  ::close(fd);
+
+  // The single handler thread is free again: a normal request succeeds.
+  DaemonClient client(daemon.port());
+  HttpResponse health = client.Fetch("GET", "/v1/healthz");
+  EXPECT_EQ(health.status, 200);
+  daemon.Stop();
 }
 
 // Regression: the result "text" used to render through a fixed 512-byte

@@ -7,10 +7,10 @@
 #      the deterministic-merge invariant (tests/parallel_chase_test.cc is
 #      the thorough one);
 #   3. sanitizers: ASan+UBSan (TWCHASE_SANITIZE) build, then the delta, obs,
-#      robustness, columnar and plan labelled suites under it
-#      (fault-injection, checkpoint/resume, the columnar storage layer and
-#      the planner's still-core guard are exactly the code that must be
-#      memory-clean);
+#      robustness, columnar, plan and durability labelled suites under it
+#      (fault-injection, checkpoint/resume, the columnar storage layer, the
+#      planner's still-core guard and the torn-write/replay recovery paths
+#      are exactly the code that must be memory-clean);
 #   4. TSan: ThreadSanitizer build, then the parallel, columnar, plan and
 #      service labelled suites under it to race-check the worker pool,
 #      sharded metrics, the lazy column-index builds that parallel searches
@@ -21,14 +21,21 @@
 #      (modulo the wall-clock field) — the service path must render the
 #      exact same answer; then a clean SIGTERM shutdown with zero leaked
 #      jobs;
-#   6. fuzz smoke: a short run of the parser fuzz harness under the
-#      sanitizer build (libFuzzer with clang, the deterministic standalone
-#      driver with gcc);
-#   7. bench smoke: the full bench_engine sweep (delta, threads, matching
+#   6. crash recovery: start twchased with --state-dir, submit a slow and a
+#      fast job, SIGKILL the daemon mid-run, restart it on the same state
+#      directory and await both jobs — each result must be byte-identical
+#      (modulo the wall-clock field) to an uninterrupted CLI run of the same
+#      program, whether it was served from the retained terminal record or
+#      resumed from the last durable checkpoint;
+#   7. fuzz smoke: short runs of the parser fuzz harness and the recovery
+#      fuzz harness (checkpoint + manifest parsers over the seed corpus of
+#      torn/truncated/bit-flipped artifacts) under the sanitizer build
+#      (libFuzzer with clang, the deterministic standalone driver with gcc);
+#   8. bench smoke: the full bench_engine sweep (delta, threads, matching
 #      backends, large instances, planner, service throughput) under a
 #      generous wall-time ceiling — it fails on parity violations, a
 #      tripped memory budget, or a hang;
-#   8. planner regression gate: from the bench smoke artifact, the
+#   9. planner regression gate: from the bench smoke artifact, the
 #      staircase-core workload must not be slower with the planner on than
 #      off — the planner only ever skips work, so a regression means the
 #      reliance/guard machinery itself got too expensive.
@@ -71,11 +78,11 @@ for program in data/*.twc; do
   echo "  $program: identical at threads 1/4/$HW_THREADS"
 done
 
-echo "== sanitizers: asan preset, delta+obs+robustness+columnar+plan labels =="
+echo "== sanitizers: asan preset, delta+obs+robustness+columnar+plan+durability labels =="
 cmake --preset asan -DTWCHASE_BUILD_FUZZERS=ON
 cmake --build --preset asan -j "$JOBS"
 timeout "$CTEST_HARD_TIMEOUT" ctest --test-dir build-asan \
-  --output-on-failure -L 'delta|obs|robustness|columnar|plan'
+  --output-on-failure -L 'delta|obs|robustness|columnar|plan|durability'
 
 echo "== tsan: thread preset, parallel+columnar+plan+service labels =="
 cmake --preset tsan
@@ -124,9 +131,92 @@ if ! grep -q "shutdown complete, 0 leaked jobs" /tmp/twchased_smoke.log; then
   exit 1
 fi
 
+echo "== crash recovery: SIGKILL mid-job, restart, byte-identical results =="
+# Uninterrupted CLI goldens: slow jobs (elevator at 100 steps, ~2s of core
+# chase each) that the kill catches mid-run, and a fast one (staircase at 60
+# steps) that finishes beforehand and must be served from the retained
+# terminal record. Two slow jobs on one worker force preemption (the
+# monitor only pauses a job when another is queued), so the crash lands on
+# real durable checkpoints, not just the admit records.
+./build/tools/twchase_cli --variant=core --max-steps=100 data/elevator.twc \
+  | sed 's/ [0-9][0-9.]*s,/ TIME,/' > /tmp/twchase_recovery_golden_slow.out
+./build/tools/twchase_cli --variant=core --max-steps=60 data/staircase.twc \
+  | sed 's/ [0-9][0-9.]*s,/ TIME,/' > /tmp/twchase_recovery_golden_fast.out
+RECOVERY_STATE="$(mktemp -d /tmp/twchase_recovery_state.XXXXXX)"
+./build/tools/twchased --port=0 --workers=1 --preempt-after-ms=100 \
+  --state-dir="$RECOVERY_STATE" > /tmp/twchased_recovery.log 2>&1 &
+TWCHASED_PID=$!
+DAEMON_PORT=""
+for _ in 1 2 3 4 5 6 7 8 9 10; do
+  DAEMON_PORT="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+      /tmp/twchased_recovery.log)"
+  [ -n "$DAEMON_PORT" ] && break
+  sleep 0.2
+done
+if [ -z "$DAEMON_PORT" ]; then
+  echo "CRASH RECOVERY FAILURE: twchased never reported its port" >&2
+  kill "$TWCHASED_PID" 2>/dev/null || true
+  exit 1
+fi
+FAST_ID="$(./build/tools/twchase_client --port="$DAEMON_PORT" --max-steps=60 \
+    --no-wait data/staircase.twc)"
+SLOW_A_ID="$(./build/tools/twchase_client --port="$DAEMON_PORT" \
+    --max-steps=100 --no-wait data/elevator.twc)"
+SLOW_B_ID="$(./build/tools/twchase_client --port="$DAEMON_PORT" \
+    --max-steps=100 --no-wait data/elevator.twc)"
+# Let the fast job finish and the slow pair alternate across preemption
+# boundaries (each pause persists a sealed checkpoint), then crash hard.
+sleep 1
+kill -9 "$TWCHASED_PID"
+wait "$TWCHASED_PID" 2>/dev/null || true
+echo "  killed twchased mid-job (fast=$FAST_ID slow=$SLOW_A_ID,$SLOW_B_ID)"
+if [ -z "$(ls "$RECOVERY_STATE/checkpoints" 2>/dev/null)" ]; then
+  echo "CRASH RECOVERY FAILURE: no durable checkpoint at kill time" >&2
+  exit 1
+fi
+./build/tools/twchased --port=0 --workers=1 --preempt-after-ms=100 \
+  --state-dir="$RECOVERY_STATE" > /tmp/twchased_recovery2.log 2>&1 &
+TWCHASED_PID=$!
+DAEMON_PORT=""
+for _ in 1 2 3 4 5 6 7 8 9 10; do
+  DAEMON_PORT="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+      /tmp/twchased_recovery2.log)"
+  [ -n "$DAEMON_PORT" ] && break
+  sleep 0.2
+done
+if [ -z "$DAEMON_PORT" ]; then
+  echo "CRASH RECOVERY FAILURE: restarted twchased never reported its port" >&2
+  kill "$TWCHASED_PID" 2>/dev/null || true
+  exit 1
+fi
+for job in "fast $FAST_ID" "slow $SLOW_A_ID" "slow $SLOW_B_ID"; do
+  kind="${job%% *}"
+  id="${job#* }"
+  ./build/tools/twchase_client --port="$DAEMON_PORT" --await-job="$id" \
+      | sed 's/ [0-9][0-9.]*s,/ TIME,/' > /tmp/twchase_recovery_replay.out
+  if ! diff -u "/tmp/twchase_recovery_golden_${kind}.out" \
+      /tmp/twchase_recovery_replay.out; then
+    echo "CRASH RECOVERY FAILURE: $kind job $id differs after restart" >&2
+    kill "$TWCHASED_PID" 2>/dev/null || true
+    exit 1
+  fi
+  echo "  $kind job $id: byte-identical after SIGKILL + restart"
+done
+kill -TERM "$TWCHASED_PID"
+wait "$TWCHASED_PID" || {
+  echo "CRASH RECOVERY FAILURE: unclean shutdown after recovery" >&2
+  cat /tmp/twchased_recovery2.log >&2
+  exit 1
+}
+rm -rf "$RECOVERY_STATE"
+
 echo "== fuzz smoke: parser harness, ${FUZZ_SECONDS}s =="
 timeout $((FUZZ_SECONDS + 30)) ./build-asan/fuzz/parser_fuzzer \
   "-max_total_time=${FUZZ_SECONDS}" -seed=1
+
+echo "== fuzz smoke: recovery harness over the seed corpus, ${FUZZ_SECONDS}s =="
+timeout $((FUZZ_SECONDS + 30)) ./build-asan/fuzz/recovery_fuzzer \
+  "-max_total_time=${FUZZ_SECONDS}" -seed=1 fuzz/corpus/recovery
 
 echo "== bench smoke: full sweep under ${BENCH_HARD_TIMEOUT}s ceiling =="
 timeout "$BENCH_HARD_TIMEOUT" ./build/bench/bench_engine \

@@ -24,6 +24,10 @@
 //     --poll-ms=N       status poll interval      (default: 25)
 //     --metrics         print /v1/metrics instead of submitting
 //     --health          print /v1/healthz instead of submitting
+//     --no-wait         submit, print the job id, exit without polling
+//                       (pair with --await-job after a daemon restart)
+//     --await-job=ID    skip submission: poll the existing job ID to a
+//                       terminal state and print its result text
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -44,7 +48,7 @@ int Usage(const char* argv0) {
                "usage: %s --port=N [--host=H] [--tenant=T] [--variant=V] "
                "[--max-steps=N] [--core-every=N] [--threads=N] "
                "[--deadline-ms=N] [--poll-ms=N] [--metrics|--health] "
-               "<program-file>\n",
+               "[--no-wait] [--await-job=ID] <program-file>\n",
                argv0);
   return 2;
 }
@@ -60,6 +64,8 @@ int main(int argc, char** argv) {
   size_t poll_ms = 25;
   bool metrics = false;
   bool health = false;
+  bool no_wait = false;
+  std::string await_job;
   ChaseOptions options;
   options.variant = ChaseVariant::kCore;
   options.parallel.threads = ThreadPool::HardwareConcurrency();
@@ -75,7 +81,8 @@ int main(int argc, char** argv) {
         m.SizeValue("--core-every", &options.core.core_every) ||
         m.BoundedSizeValue("--threads", &options.parallel.threads, 1, 1024) ||
         m.SizeValue("--poll-ms", &poll_ms) ||
-        m.Flag("--metrics", &metrics) || m.Flag("--health", &health)) {
+        m.Flag("--metrics", &metrics) || m.Flag("--health", &health) ||
+        m.Flag("--no-wait", &no_wait) || m.Value("--await-job", &await_job)) {
       // dispatched
     } else if (m.Value("--variant", &variant_name)) {
       if (!ParseChaseVariant(variant_name, &options.variant)) {
@@ -114,39 +121,46 @@ int main(int argc, char** argv) {
     return response->status == 200 ? 0 : 1;
   }
 
-  if (file.empty()) return Usage(argv[0]);
-  std::ifstream in(file);
-  if (!in) {
-    std::fprintf(stderr, "cannot open %s\n", file.c_str());
-    return 1;
-  }
-  std::ostringstream program;
-  program << in.rdbuf();
+  std::string id = await_job;
+  if (id.empty()) {
+    if (file.empty()) return Usage(argv[0]);
+    std::ifstream in(file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", file.c_str());
+      return 1;
+    }
+    std::ostringstream program;
+    program << in.rdbuf();
 
-  Json request = Json::Object();
-  request.Set("schema_version", Json::Number(uint64_t{kWireSchemaVersion}));
-  request.Set("tenant", Json::String(tenant));
-  request.Set("program", Json::String(program.str()));
-  request.Set("options", ChaseOptionsToJson(options));
+    Json request = Json::Object();
+    request.Set("schema_version", Json::Number(uint64_t{kWireSchemaVersion}));
+    request.Set("tenant", Json::String(tenant));
+    request.Set("program", Json::String(program.str()));
+    request.Set("options", ChaseOptionsToJson(options));
 
-  auto submitted = fetch("POST", "/v1/jobs", request.Dump());
-  if (!submitted.ok()) {
-    std::fprintf(stderr, "submit failed: %s\n",
-                 submitted.status().ToString().c_str());
-    return 1;
+    auto submitted = fetch("POST", "/v1/jobs", request.Dump());
+    if (!submitted.ok()) {
+      std::fprintf(stderr, "submit failed: %s\n",
+                   submitted.status().ToString().c_str());
+      return 1;
+    }
+    if (submitted->status != 202) {
+      std::fprintf(stderr, "submit rejected (HTTP %d): %s\n", submitted->status,
+                   submitted->body.c_str());
+      return 1;
+    }
+    auto body = Json::Parse(submitted->body);
+    if (!body.ok() || !body->Get("job").Get("id").is_string()) {
+      std::fprintf(stderr, "malformed submit response: %s\n",
+                   submitted->body.c_str());
+      return 1;
+    }
+    id = body->Get("job").Get("id").string_value();
+    if (no_wait) {
+      std::printf("%s\n", id.c_str());
+      return 0;
+    }
   }
-  if (submitted->status != 202) {
-    std::fprintf(stderr, "submit rejected (HTTP %d): %s\n", submitted->status,
-                 submitted->body.c_str());
-    return 1;
-  }
-  auto body = Json::Parse(submitted->body);
-  if (!body.ok() || !body->Get("job").Get("id").is_string()) {
-    std::fprintf(stderr, "malformed submit response: %s\n",
-                 submitted->body.c_str());
-    return 1;
-  }
-  const std::string id = body->Get("job").Get("id").string_value();
 
   // Poll to terminal. The daemon has no long-poll: the intervals are short
   // and this is a smoke tool.

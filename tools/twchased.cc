@@ -13,6 +13,12 @@
 //     --http-threads=N      HTTP handler threads            (default: 4)
 //     --job-retention=N     finished jobs kept queryable before the oldest
 //                           are evicted (0 = forever; default: 256)
+//     --state-dir=PATH      durable state directory: admitted jobs, results
+//                           and checkpoint snapshots persist there and a
+//                           restarted daemon recovers/resumes them
+//                           (default: unset = in-memory only)
+//     --http-timeout-ms=N   per-connection HTTP read/write deadline
+//                           (0 = none; default: 10000)
 //
 // Prints exactly one line "listening on 127.0.0.1:PORT" once serving, so
 // scripts (tools/check.sh) can scrape the ephemeral port.
@@ -36,7 +42,8 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port=N] [--workers=N] [--tenant-quota=N] "
                "[--preempt-after-ms=N] [--http-threads=N] "
-               "[--job-retention=N]\n",
+               "[--job-retention=N] [--state-dir=PATH] "
+               "[--http-timeout-ms=N]\n",
                argv0);
   return 2;
 }
@@ -48,6 +55,7 @@ int main(int argc, char** argv) {
   DaemonOptions options;
   size_t port = 0;
   size_t preempt_after_ms = 2000;
+  size_t http_timeout_ms = 10000;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     flags::ArgMatcher m(arg);
@@ -57,7 +65,9 @@ int main(int argc, char** argv) {
                            100000) ||
         m.SizeValue("--preempt-after-ms", &preempt_after_ms) ||
         m.BoundedSizeValue("--http-threads", &options.http_threads, 1, 64) ||
-        m.SizeValue("--job-retention", &options.finished_job_retention)) {
+        m.SizeValue("--job-retention", &options.finished_job_retention) ||
+        m.Value("--state-dir", &options.state_dir) ||
+        m.SizeValue("--http-timeout-ms", &http_timeout_ms)) {
       // dispatched
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
@@ -69,6 +79,7 @@ int main(int argc, char** argv) {
     }
   }
   options.port = static_cast<uint16_t>(port);
+  options.http_io_timeout_ms = http_timeout_ms;
   if (preempt_after_ms == 0) {
     options.preempt_after_ms.reset();
   } else {
