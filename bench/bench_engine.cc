@@ -24,6 +24,10 @@
 // serving identical core-chase jobs over real HTTP at 1, 4 and 8 concurrent
 // tenants, reporting jobs/sec (submit-to-terminal) per tenant count and
 // verifying every job's final instance hash agrees.
+// A seventh section measures the termination-analysis preflight: wall time
+// and verdict per witness program (the paper's worlds plus twgen-generated
+// programs of every labeled class), failing on any misclassification — the
+// cost of --variant=auto is this sweep's headline number.
 //
 // `--micro` mode: the google-benchmark microbenchmarks of the substrate
 // costs underlying every figure (homomorphism search, core computation,
@@ -39,8 +43,11 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/generator.h"
+#include "analysis/preflight.h"
 #include "core/chase.h"
 #include "hom/core.h"
+#include "parser/parser.h"
 #include "hom/matcher.h"
 #include "obs/metrics.h"
 #include "kb/examples.h"
@@ -761,6 +768,92 @@ f(X00), h(X00, X00).
   return json;
 }
 
+// ---------------------------------------------------------------------------
+// Preflight sweep.
+
+// Measures RunPreflight wall time and verdict per witness program: the
+// paper's worlds (staircase → core-bts, elevator → unknown), the class
+// witnesses from kb/examples.h, and one twgen program per labeled class.
+// Fails (returns "") on any verdict that contradicts the known class — a
+// wrong verdict here means --variant=auto would mislead users. Returns the
+// "preflight_sweep" JSON object.
+std::string RunPreflightSweep(MetricsRegistry* registry) {
+  struct Row {
+    std::string name;
+    KnowledgeBase kb;
+    // The verdicts this program may legally receive (label taxonomy is not
+    // the verdict lattice: e.g. a guarded fes program may be seen as fes).
+    std::vector<TerminationClass> allowed;
+  };
+  auto generated = [](GeneratedClass label, uint64_t seed) {
+    GeneratorOptions options;
+    options.label = label;
+    options.seed = seed;
+    auto parsed = ParseProgram(GenerateProgram(options).text);
+    return parsed.ok() ? parsed->kb : KnowledgeBase{};
+  };
+  std::vector<Row> rows;
+  rows.push_back({"weakly-acyclic-pipeline", MakeWeaklyAcyclicPipeline(6),
+                  {TerminationClass::kFes}});
+  rows.push_back({"transitive-closure-8", MakeTransitiveClosure(8),
+                  {TerminationClass::kFes}});
+  rows.push_back({"guarded-chain", MakeGuardedChain(3),
+                  {TerminationClass::kBts}});
+  rows.push_back({"bts-not-fes", MakeBtsNotFes(), {TerminationClass::kBts}});
+  rows.push_back({"fes-not-bts", MakeFesNotBts(), {TerminationClass::kFes}});
+  rows.push_back({"staircase", StaircaseWorld().kb(),
+                  {TerminationClass::kCoreBts}});
+  rows.push_back({"elevator", ElevatorWorld().kb(),
+                  {TerminationClass::kUnknown}});
+  rows.push_back({"twgen-fes", generated(GeneratedClass::kFes, 5),
+                  {TerminationClass::kFes}});
+  rows.push_back({"twgen-bts", generated(GeneratedClass::kBts, 5),
+                  {TerminationClass::kFes, TerminationClass::kBts}});
+  rows.push_back({"twgen-core-bts", generated(GeneratedClass::kCoreBts, 5),
+                  {TerminationClass::kBts, TerminationClass::kCoreBts,
+                   TerminationClass::kUnknown}});
+  rows.push_back(
+      {"twgen-non-terminating",
+       generated(GeneratedClass::kNonTerminating, 5),
+       {TerminationClass::kBts, TerminationClass::kCoreBts,
+        TerminationClass::kUnknown}});
+
+  std::string json = "  \"preflight_sweep\": {\n    \"rows\": [\n";
+  std::printf("\n%-26s %-10s %-14s %10s\n", "preflight", "verdict", "variant",
+              "wall ms");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    Stopwatch watch;
+    PreflightReport report = RunPreflight(row.kb);
+    const double wall_ms = watch.ElapsedSeconds() * 1000.0;
+    bool legal = false;
+    for (TerminationClass allowed : row.allowed) {
+      if (report.verdict == allowed) legal = true;
+    }
+    if (!legal) {
+      std::fprintf(stderr,
+                   "PREFLIGHT MISCLASSIFICATION on %s: verdict %s\n",
+                   row.name.c_str(), TerminationClassName(report.verdict));
+      return "";
+    }
+    registry->GetHistogram("preflight." + row.name + ".wall_ms")
+        ->Observe(wall_ms);
+    std::printf("%-26s %-10s %-14s %9.2f\n", row.name.c_str(),
+                TerminationClassName(report.verdict),
+                ChaseVariantName(report.recommended_variant), wall_ms);
+    char buffer[256];
+    std::snprintf(buffer, sizeof(buffer),
+                  "      {\"name\": \"%s\", \"verdict\": \"%s\", "
+                  "\"variant\": \"%s\", \"wall_ms\": %.3f}",
+                  row.name.c_str(), TerminationClassName(report.verdict),
+                  ChaseVariantName(report.recommended_variant), wall_ms);
+    json += buffer;
+    json += (i + 1 < rows.size()) ? ",\n" : "\n";
+  }
+  json += "    ]\n  }";
+  return json;
+}
+
 int RunDeltaSweep(const char* output_path) {
   std::vector<SweepWorkload> workloads;
   workloads.push_back({"transitive-closure-12", ChaseVariant::kRestricted,
@@ -835,6 +928,9 @@ int RunDeltaSweep(const char* output_path) {
   std::string service_sweep = RunServiceSweep(&registry);
   if (service_sweep.empty()) return 1;
   json += service_sweep + ",\n";
+  std::string preflight_sweep = RunPreflightSweep(&registry);
+  if (preflight_sweep.empty()) return 1;
+  json += preflight_sweep + ",\n";
   json += "  \"metrics\": " + registry.ToJson(2) + "\n}\n";
 
   if (FILE* out = std::fopen(output_path, "w")) {

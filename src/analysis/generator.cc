@@ -1,0 +1,318 @@
+#include "analysis/generator.h"
+
+#include <sstream>
+#include <vector>
+
+#include "kb/analysis.h"
+#include "parser/printer.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace twchase {
+namespace {
+
+constexpr const char* kConstants[] = {"c1", "c2", "c3", "c4"};
+
+size_t PickIndex(Rng* rng, size_t bound) {
+  TWCHASE_CHECK(bound > 0);
+  return static_cast<size_t>(rng->Uniform(0, static_cast<int64_t>(bound) - 1));
+}
+
+struct StratifiedPred {
+  std::string name;
+  uint32_t arity;
+};
+
+// The random fes part: predicates p0..p{n-1} with level = index; every rule
+// maps body predicates of level ≤ L to head predicates of level > L, so all
+// position-graph edges strictly increase the level and the part is weakly
+// acyclic whatever the argument wiring.
+void AddStratifiedPart(KbBuilder* b, Rng* rng, const GeneratorOptions& o) {
+  const size_t n = std::max<size_t>(3, o.predicates);
+  std::vector<StratifiedPred> preds;
+  preds.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    preds.push_back({"p" + std::to_string(i),
+                     1 + static_cast<uint32_t>(PickIndex(
+                             rng, std::max<uint32_t>(1, o.max_arity)))});
+  }
+
+  const auto constant = [&](Rng* r) {
+    return b->C(kConstants[PickIndex(r, 4)]);
+  };
+
+  // Seed facts over the lower half of the stratification.
+  for (size_t f = 0; f < o.facts; ++f) {
+    const StratifiedPred& p = preds[PickIndex(rng, std::max<size_t>(1, n / 2))];
+    std::vector<Term> args;
+    for (uint32_t i = 0; i < p.arity; ++i) args.push_back(constant(rng));
+    b->Fact(p.name, std::move(args));
+  }
+
+  for (size_t r = 0; r < o.rules; ++r) {
+    const size_t level = PickIndex(rng, n - 1);  // body max level, < n - 1
+    std::vector<Term> var_pool = {b->V("X1"), b->V("X2"), b->V("X3")};
+
+    std::vector<Atom> body;
+    std::vector<Term> body_vars;
+    const size_t body_atoms = 1 + (rng->Bernoulli(0.5) ? 1 : 0);
+    for (size_t a = 0; a < body_atoms; ++a) {
+      const StratifiedPred& p = preds[PickIndex(rng, level + 1)];
+      std::vector<Term> args;
+      for (uint32_t i = 0; i < p.arity; ++i) {
+        if (a == 0 && i == 0) {
+          args.push_back(var_pool[0]);  // at least one body variable
+        } else if (rng->Bernoulli(0.8)) {
+          args.push_back(var_pool[PickIndex(rng, var_pool.size())]);
+        } else {
+          args.push_back(constant(rng));
+        }
+      }
+      for (Term t : args) {
+        if (t.is_variable()) body_vars.push_back(t);
+      }
+      body.push_back(b->A(p.name, std::move(args)));
+    }
+
+    std::vector<Term> existentials = {b->V("Z1"), b->V("Z2")};
+    std::vector<Atom> head;
+    const size_t head_atoms = 1 + (rng->Bernoulli(0.35) ? 1 : 0);
+    for (size_t a = 0; a < head_atoms; ++a) {
+      const StratifiedPred& p =
+          preds[level + 1 + PickIndex(rng, n - level - 1)];
+      std::vector<Term> args;
+      for (uint32_t i = 0; i < p.arity; ++i) {
+        const double roll = rng->UniformReal();
+        if (roll < 0.60) {
+          args.push_back(body_vars[PickIndex(rng, body_vars.size())]);
+        } else if (roll < 0.85) {
+          args.push_back(existentials[PickIndex(rng, existentials.size())]);
+        } else {
+          args.push_back(constant(rng));
+        }
+      }
+      head.push_back(b->A(p.name, std::move(args)));
+    }
+    b->AddRule("fes_r" + std::to_string(r), std::move(body), std::move(head));
+  }
+}
+
+// The random bts part: every body is one guard atom with pairwise-distinct
+// variables plus side atoms over subsets of them, so guardedness holds by
+// construction. Heads may wire cycles freely — termination is not part of
+// the label.
+void AddGuardedPart(KbBuilder* b, Rng* rng, const GeneratorOptions& o) {
+  const uint32_t guard_arity_cap = std::max<uint32_t>(2, o.max_arity);
+  const size_t m = std::max<size_t>(2, o.predicates / 2);
+  std::vector<StratifiedPred> guards;
+  std::vector<StratifiedPred> sides;
+  for (size_t i = 0; i < m; ++i) {
+    guards.push_back(
+        {"g" + std::to_string(i),
+         2 + static_cast<uint32_t>(PickIndex(rng, guard_arity_cap - 1))});
+    sides.push_back({"s" + std::to_string(i),
+                     1 + static_cast<uint32_t>(PickIndex(rng, 2))});
+  }
+
+  const auto constant = [&](Rng* r) {
+    return b->C(kConstants[PickIndex(r, 4)]);
+  };
+
+  for (const StratifiedPred& g : guards) {
+    std::vector<Term> args;
+    for (uint32_t i = 0; i < g.arity; ++i) args.push_back(constant(rng));
+    b->Fact(g.name, std::move(args));
+  }
+  for (size_t f = 0; f < o.facts; ++f) {
+    const StratifiedPred& s = sides[PickIndex(rng, sides.size())];
+    std::vector<Term> args;
+    for (uint32_t i = 0; i < s.arity; ++i) args.push_back(constant(rng));
+    b->Fact(s.name, std::move(args));
+  }
+
+  for (size_t r = 0; r < o.rules; ++r) {
+    const StratifiedPred& g = guards[PickIndex(rng, guards.size())];
+    std::vector<Term> guard_vars;
+    for (uint32_t i = 0; i < g.arity; ++i) {
+      guard_vars.push_back(b->V("X" + std::to_string(i + 1)));
+    }
+    std::vector<Atom> body;
+    body.push_back(b->A(g.name, guard_vars));
+    const size_t side_atoms = PickIndex(rng, 3);  // 0..2
+    for (size_t a = 0; a < side_atoms; ++a) {
+      const StratifiedPred& s = sides[PickIndex(rng, sides.size())];
+      if (s.arity > guard_vars.size()) continue;
+      std::vector<Term> args;
+      for (uint32_t i = 0; i < s.arity; ++i) {
+        args.push_back(guard_vars[PickIndex(rng, guard_vars.size())]);
+      }
+      body.push_back(b->A(s.name, std::move(args)));
+    }
+
+    std::vector<Term> existentials = {b->V("Z1"), b->V("Z2")};
+    std::vector<Atom> head;
+    const size_t head_atoms = 1 + (rng->Bernoulli(0.4) ? 1 : 0);
+    for (size_t a = 0; a < head_atoms; ++a) {
+      const bool pick_guard = rng->Bernoulli(0.6);
+      const StratifiedPred& p = pick_guard
+                                    ? guards[PickIndex(rng, guards.size())]
+                                    : sides[PickIndex(rng, sides.size())];
+      std::vector<Term> args;
+      for (uint32_t i = 0; i < p.arity; ++i) {
+        const double roll = rng->UniformReal();
+        if (roll < 0.55) {
+          args.push_back(guard_vars[PickIndex(rng, guard_vars.size())]);
+        } else if (roll < 0.85) {
+          args.push_back(existentials[PickIndex(rng, existentials.size())]);
+        } else {
+          args.push_back(constant(rng));
+        }
+      }
+      head.push_back(b->A(p.name, std::move(args)));
+    }
+    b->AddRule("bts_r" + std::to_string(r), std::move(body), std::move(head));
+  }
+}
+
+// The steepening staircase kernel (Definition 7) under reserved sc_*
+// predicate names: its core chase never terminates but every element has
+// treewidth ≤ 2 — core-bts and not fes, and disjoint union with a fes part
+// preserves both.
+void AddStaircaseKernel(KbBuilder* b) {
+  const Term w0 = b->V("W0");  // initial null, as in data/staircase.twc
+  b->Fact("sc_f", {w0});
+  b->Fact("sc_h", {w0, w0});
+  const Term x = b->V("X"), y = b->V("Y"), xp = b->V("Xp"), yp = b->V("Yp");
+  b->AddRule("sc_Rh1", {b->A("sc_h", {x, x})},
+             {b->A("sc_h", {x, y}), b->A("sc_v", {x, xp}),
+              b->A("sc_h", {xp, yp}), b->A("sc_v", {y, yp}),
+              b->A("sc_c", {yp})});
+  b->AddRule("sc_Rh2",
+             {b->A("sc_h", {x, x}), b->A("sc_v", {x, xp}),
+              b->A("sc_h", {xp, xp}), b->A("sc_h", {xp, yp})},
+             {b->A("sc_c", {yp}), b->A("sc_h", {x, y}),
+              b->A("sc_v", {y, yp})});
+  b->AddRule("sc_Rh3",
+             {b->A("sc_f", {x}), b->A("sc_h", {x, x}), b->A("sc_h", {x, y})},
+             {b->A("sc_f", {y}), b->A("sc_h", {y, y})});
+  b->AddRule("sc_Rh4",
+             {b->A("sc_h", {x, x}), b->A("sc_v", {x, xp}),
+              b->A("sc_c", {xp})},
+             {b->A("sc_h", {xp, xp})});
+}
+
+// Rigid existential chain under reserved nt_* names: the chase grows a
+// directed path from a constant, which is its own core (no null can fold
+// onto an earlier one without an s-predecessor), so no variant terminates.
+void AddNonTerminatingKernel(KbBuilder* b) {
+  b->Fact("nt_q", {b->C("a0")});
+  const Term x = b->V("X"), z = b->V("Znt");
+  b->AddRule("nt_chain", {b->A("nt_q", {x})},
+             {b->A("nt_s", {x, z}), b->A("nt_q", {z})});
+}
+
+}  // namespace
+
+const char* GeneratedClassName(GeneratedClass c) {
+  switch (c) {
+    case GeneratedClass::kFes:
+      return "fes";
+    case GeneratedClass::kBts:
+      return "bts";
+    case GeneratedClass::kCoreBts:
+      return "core-bts";
+    case GeneratedClass::kNonTerminating:
+      return "non-terminating";
+  }
+  return "fes";
+}
+
+bool ParseGeneratedClass(const std::string& name, GeneratedClass* out) {
+  for (GeneratedClass c :
+       {GeneratedClass::kFes, GeneratedClass::kBts, GeneratedClass::kCoreBts,
+        GeneratedClass::kNonTerminating}) {
+    if (name == GeneratedClassName(c)) {
+      *out = c;
+      return true;
+    }
+  }
+  return false;
+}
+
+GeneratedProgram GenerateProgram(const GeneratorOptions& options) {
+  Rng rng(options.seed * 0x9E3779B97F4A7C15ull +
+          static_cast<uint64_t>(options.label) + 1);
+  KbBuilder b;
+
+  switch (options.label) {
+    case GeneratedClass::kFes:
+      AddStratifiedPart(&b, &rng, options);
+      break;
+    case GeneratedClass::kBts:
+      AddGuardedPart(&b, &rng, options);
+      break;
+    case GeneratedClass::kCoreBts: {
+      AddStaircaseKernel(&b);
+      GeneratorOptions padding = options;
+      padding.rules = std::max<size_t>(1, options.rules / 2);
+      AddStratifiedPart(&b, &rng, padding);
+      break;
+    }
+    case GeneratedClass::kNonTerminating: {
+      AddNonTerminatingKernel(&b);
+      GeneratorOptions padding = options;
+      padding.rules = std::max<size_t>(1, options.rules / 2);
+      AddStratifiedPart(&b, &rng, padding);
+      break;
+    }
+  }
+
+  std::vector<ParsedQuery> queries;
+  KnowledgeBase kb = b.Build();
+
+  // The construction invariants that make the label correct.
+  switch (options.label) {
+    case GeneratedClass::kFes:
+      TWCHASE_CHECK_MSG(IsWeaklyAcyclic(kb.rules),
+                        "generator: fes part must be weakly acyclic");
+      break;
+    case GeneratedClass::kBts:
+      TWCHASE_CHECK_MSG(IsGuarded(kb.rules),
+                        "generator: bts part must be guarded");
+      break;
+    case GeneratedClass::kCoreBts:
+    case GeneratedClass::kNonTerminating:
+      break;  // kernel properties are structural, pinned by tests
+  }
+
+  if (options.with_query && !kb.rules.empty()) {
+    // One query over the first rule's head predicate, all-variable args.
+    const Atom sample = kb.rules.front().head().Atoms().front();
+    ParsedQuery q;
+    std::vector<Term> args;
+    for (size_t i = 0; i < sample.args().size(); ++i) {
+      args.push_back(kb.vocab->NamedVariable("Q" + std::to_string(i + 1)));
+    }
+    if (!args.empty()) q.answer_vars.push_back(args[0]);
+    q.atoms.Insert(Atom(sample.predicate(), std::move(args)));
+    queries.push_back(std::move(q));
+  }
+
+  GeneratedProgram out;
+  out.label = options.label;
+  out.seed = options.seed;
+  std::ostringstream text;
+  text << "% twgen class=" << GeneratedClassName(options.label)
+       << " seed=" << options.seed << "\n"
+       << PrintProgram(kb, queries);
+  out.text = text.str();
+
+  StatusOr<ParsedProgram> reparsed = ParseProgram(out.text);
+  TWCHASE_CHECK_MSG(reparsed.ok(),
+                    "generator: emitted program must re-parse");
+  TWCHASE_CHECK_MSG(reparsed.value().kb.rules.size() == kb.rules.size(),
+                    "generator: re-parse must preserve the rule count");
+  return out;
+}
+
+}  // namespace twchase

@@ -1,0 +1,76 @@
+// Seeded randomized rule-set generator with known termination-class labels.
+//
+// Programs are built *by construction* inside their class, so the label is
+// correct without running anything:
+//   * kFes — level-stratified existential rules: every head predicate sits
+//     strictly above every body predicate in a fixed stratification, so the
+//     position dependency graph is acyclic (weak acyclicity is asserted),
+//     and every chase variant terminates on every instance;
+//   * kBts — guarded by construction: each body is a guard atom containing
+//     all body variables plus side atoms over subsets of them (guardedness
+//     is asserted); termination is NOT implied, treewidth-boundedness is;
+//   * kCoreBts — the paper's steepening staircase kernel under reserved
+//     predicate names (core chase non-terminating, treewidth ≤ 2) in
+//     disjoint union with a random fes part: the union is core-bts and not
+//     fes;
+//   * kNonTerminating — a rigid existential chain kernel
+//     (nt_q(X) → ∃Z nt_s(X,Z) ∧ nt_q(Z), seeded from a constant: the
+//     growing path is its own core, so NO chase variant terminates) in
+//     disjoint union with a random fes part.
+//
+// Emission goes through the public printer (parser/printer.h), so every
+// generated program is valid .twc and the parse/print round-trip property
+// tests gate the corpus.
+#ifndef TWCHASE_ANALYSIS_GENERATOR_H_
+#define TWCHASE_ANALYSIS_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "kb/knowledge_base.h"
+#include "parser/parser.h"
+
+namespace twchase {
+
+enum class GeneratedClass : uint32_t {
+  kFes = 0,
+  kBts = 1,
+  kCoreBts = 2,
+  kNonTerminating = 3,
+};
+
+inline constexpr size_t kNumGeneratedClasses = 4;
+
+const char* GeneratedClassName(GeneratedClass c);
+bool ParseGeneratedClass(const std::string& name, GeneratedClass* out);
+
+struct GeneratorOptions {
+  GeneratedClass label = GeneratedClass::kFes;
+  uint64_t seed = 1;
+
+  /// Size of the random (stratified / guarded) part.
+  size_t predicates = 5;
+  size_t rules = 5;
+  size_t facts = 4;
+  uint32_t max_arity = 3;
+
+  /// Also emit a query statement over the generated schema.
+  bool with_query = true;
+};
+
+struct GeneratedProgram {
+  GeneratedClass label = GeneratedClass::kFes;
+  uint64_t seed = 0;
+
+  /// Valid .twc text (leading "% twgen ..." header comment).
+  std::string text;
+};
+
+/// Deterministic in (label, seed, sizes). The construction invariant of the
+/// label's class is asserted (weak acyclicity / guardedness), and the text
+/// is verified to re-parse before returning.
+GeneratedProgram GenerateProgram(const GeneratorOptions& options);
+
+}  // namespace twchase
+
+#endif  // TWCHASE_ANALYSIS_GENERATOR_H_

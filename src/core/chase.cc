@@ -66,6 +66,12 @@ Status ChaseOptions::Validate() const {
     return Status::InvalidArgument(
         "parallel.threads must be positive (1 = sequential)");
   }
+  if (preflight.auto_variant && !preflight.resolved) {
+    return Status::InvalidArgument(
+        "preflight.auto_variant requires resolution: run "
+        "ResolveAutoVariant (analysis/preflight.h) before starting the "
+        "chase — an unresolved --variant=auto must never reach the engine");
+  }
   return Status::OK();
 }
 

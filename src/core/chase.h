@@ -164,6 +164,26 @@ struct ChaseOptions {
     bool core_guard = true;
   };
 
+  /// Termination-analysis preflight provenance (filled by
+  /// analysis/preflight.h's ResolveAutoVariant; plain ints so core stays
+  /// decoupled from the analysis layer). When a run was requested as
+  /// --variant=auto, `variant` holds the preflight's pick and this group
+  /// records that fact plus the classifier verdict — both are folded into
+  /// the checkpoint fingerprint, so a checkpoint written under auto rejects
+  /// resume if re-classification would decide differently.
+  struct PreflightProvenance {
+    /// The variant was requested as "auto" rather than picked explicitly.
+    bool auto_variant = false;
+
+    /// Set once ResolveAutoVariant stored its decision. An auto request
+    /// that reaches the engine unresolved is rejected by Validate().
+    bool resolved = false;
+
+    /// The classifier verdict (numeric TerminationClass from
+    /// analysis/preflight.h).
+    uint32_t verdict = 0;
+  };
+
   /// Checkpoint/resume support (core/checkpoint.h).
   struct ResumeOptions {
     /// Record the resume log (per-round decision bits and recorded coring
@@ -181,6 +201,7 @@ struct ChaseOptions {
   PlanOptions plan;
   ParallelOptions parallel;
   ResumeOptions resume;
+  PreflightProvenance preflight;
 
   /// Process datalog (non-existential) rules before existential ones within
   /// a round, as the paper's constructions assume (Proposition 6).

@@ -127,6 +127,15 @@ uint64_t CheckpointFingerprint(const KnowledgeBase& kb,
   uint64_t h = ProgramFingerprint(kb);
   h = Fnv1a(h, static_cast<uint64_t>(CurrentMatchBackend()));
   h = Fnv1a(h, options.plan.enabled ? 1u : 0u);
+  // A checkpoint written under --variant=auto pins the preflight decision:
+  // resuming is only valid if re-classification of the (unchanged) program
+  // reaches the same verdict and picks the same variant. Explicit-variant
+  // checkpoints hash exactly as before this field existed.
+  if (options.preflight.auto_variant) {
+    h = Fnv1a(h, 0x70F1u);  // domain separator for the preflight fold
+    h = Fnv1a(h, options.preflight.verdict);
+    h = Fnv1a(h, static_cast<uint64_t>(options.variant));
+  }
   return h;
 }
 

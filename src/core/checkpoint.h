@@ -48,9 +48,11 @@ uint64_t ProgramFingerprint(const KnowledgeBase& kb);
 /// process-wide match backend (a columnar-backend checkpoint must not
 /// silently resume under the legacy backend: the runs are bit-identical,
 /// but the fingerprint is the contract that the whole configuration
-/// matches) and the planner switch. Computed at MakeCheckpoint time against
-/// the backend then in force, and re-computed by ResumeChase for the
-/// rejection check.
+/// matches), the planner switch and — for runs requested as --variant=auto
+/// — the preflight decision (classifier verdict + resolved variant), so a
+/// resume whose re-classification would decide differently is rejected.
+/// Computed at MakeCheckpoint time against the backend then in force, and
+/// re-computed by ResumeChase for the rejection check.
 uint64_t CheckpointFingerprint(const KnowledgeBase& kb,
                                const ChaseOptions& options);
 

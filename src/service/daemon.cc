@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/preflight.h"
 #include "core/checkpoint.h"
 #include "core/session.h"
 #include "hom/answers.h"
@@ -130,6 +131,15 @@ class ChaseDaemon::ChaseJob : public PreemptibleJob {
     request_.resume_checkpoint = std::move(checkpoint_text);
   }
 
+  /// Seeds an auto-variant resolution made outside the job (startup
+  /// recovery resolves against the re-parsed program before re-admission).
+  /// Only before Submit (no concurrent segment yet).
+  void SeedResolvedPreflight(const ChaseOptions& resolved,
+                             std::string summary) {
+    request_.options = resolved;
+    preflight_summary_ = std::move(summary);
+  }
+
   Outcome RunSegment() override {
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -144,6 +154,21 @@ class ChaseDaemon::ChaseJob : public PreemptibleJob {
     if (!program.ok()) {
       return Terminal(Status::Internal("program re-parse failed: " +
                                        program.status().message()));
+    }
+
+    // --variant=auto: resolve once, on the first segment, and pin the
+    // decision into the job's options — every later segment (and the
+    // checkpoint fingerprint, which folds the verdict) must see the same
+    // resolution rather than re-running the preflight.
+    if (request_.options.preflight.auto_variant &&
+        !request_.options.preflight.resolved) {
+      ChaseOptions resolved = request_.options;
+      auto report =
+          ResolveAutoVariant(program->kb, PreflightOptions{}, &resolved);
+      if (!report.ok()) return Terminal(report.status());
+      std::lock_guard<std::mutex> lock(mu_);
+      request_.options = resolved;
+      preflight_summary_ = report->Summary();
     }
 
     ChaseOptions options = request_.options;
@@ -253,6 +278,9 @@ class ChaseDaemon::ChaseJob : public PreemptibleJob {
     json.Set("state", Json::String(state_));
     json.Set("segments", Json::Number(segments_));
     json.Set("cancel_requested", Json::Bool(cancel_requested_));
+    if (request_.options.preflight.auto_variant) {
+      json.Set("preflight", PreflightJsonLocked());
+    }
     if (state_ == "failed") {
       json.Set("error", Json::String(error_.ToString()));
     }
@@ -297,6 +325,24 @@ class ChaseDaemon::ChaseJob : public PreemptibleJob {
   void RenderResultLocked(ChaseSession& session, const ParsedProgram& program);
   void FoldMetricsLocked();
 
+  /// The --variant=auto provenance payload for status and result bodies.
+  Json PreflightJsonLocked() const {
+    Json preflight = Json::Object();
+    preflight.Set("resolved", Json::Bool(request_.options.preflight.resolved));
+    if (request_.options.preflight.resolved) {
+      preflight.Set("variant",
+                    Json::String(ChaseVariantName(request_.options.variant)));
+      preflight.Set("verdict",
+                    Json::String(TerminationClassName(
+                        static_cast<TerminationClass>(
+                            request_.options.preflight.verdict))));
+      if (!preflight_summary_.empty()) {
+        preflight.Set("summary", Json::String(preflight_summary_));
+      }
+    }
+    return preflight;
+  }
+
   mutable std::mutex mu_;
   const std::string id_;
   JobRequest request_;
@@ -309,6 +355,7 @@ class ChaseDaemon::ChaseJob : public PreemptibleJob {
   double elapsed_seconds_ = 0;
   std::string saved_checkpoint_;
   std::string last_events_;
+  std::string preflight_summary_;
   ChaseSession* live_session_ = nullptr;
 
   Status error_;
@@ -327,6 +374,12 @@ void ChaseDaemon::ChaseJob::RenderResultLocked(ChaseSession& session,
   std::string text;
   text += Sprintf("program: %zu facts, %zu rules, %zu queries\n",
                   kb.facts.size(), kb.rules.size(), program.queries.size());
+  if (request_.options.preflight.auto_variant &&
+      !preflight_summary_.empty()) {
+    // Mirrors the CLI's --variant=auto output (the smoke gate diffs auto
+    // jobs too; explicit-variant jobs never print this line).
+    text += Sprintf("preflight: %s\n", preflight_summary_.c_str());
+  }
   text += Sprintf(
       "%s chase: %zu steps in %zu rounds, %.3fs, stop: %s; |result| = %zu\n",
       ChaseVariantName(request_.options.variant), run.steps, run.rounds,
@@ -392,6 +445,9 @@ void ChaseDaemon::ChaseJob::RenderResultLocked(ChaseSession& session,
   result_.Set("instance_hash",
               Json::String(Sprintf("%016" PRIx64, instance.ContentHash())));
   result_.Set("queries", std::move(queries));
+  if (request_.options.preflight.auto_variant) {
+    result_.Set("preflight", PreflightJsonLocked());
+  }
   result_.Set("text", Json::String(text));
   if (request_.capture_events) {
     // (Filled by RunSegment's capture; a resumed segment re-emits the full
@@ -522,6 +578,7 @@ void ChaseDaemon::RecoverFromStore() {
     // structured, durable terminal failure — never a silent drop.
     Status unrecoverable = Status::OK();
     std::string resume_text;
+    std::string preflight_summary;
     auto program = ParseProgram(record.request.program);
     if (!program.ok()) {
       unrecoverable = Status::FailedPrecondition(
@@ -532,8 +589,28 @@ void ChaseDaemon::RecoverFromStore() {
           "unrecoverable after restart: program fingerprint mismatch "
           "(manifest admit record vs re-parsed program)");
     } else {
+      // The admit record stores --variant=auto unresolved; resolve it here,
+      // against the re-parsed program, before any fingerprint involving the
+      // options is computed. A snapshot taken under a different
+      // classification then fails the fingerprint check below — resume after
+      // a re-classification change is rejected, never silently continued
+      // under another variant.
+      if (record.request.options.preflight.auto_variant &&
+          !record.request.options.preflight.resolved) {
+        auto report = ResolveAutoVariant(program->kb, PreflightOptions{},
+                                         &record.request.options);
+        if (!report.ok()) {
+          unrecoverable = Status::FailedPrecondition(
+              "unrecoverable after restart: preflight resolution failed: " +
+              report.status().message());
+        } else {
+          preflight_summary = report->Summary();
+        }
+      }
       std::string sealed;
-      Status snapshot = store_->ReadSnapshot(record.id, &sealed);
+      Status snapshot = unrecoverable.ok()
+                            ? store_->ReadSnapshot(record.id, &sealed)
+                            : Status::NotFound("preflight resolution failed");
       if (snapshot.ok()) {
         auto checkpoint = ParseSealedCheckpoint(sealed);
         if (!checkpoint.ok()) {
@@ -562,6 +639,10 @@ void ChaseDaemon::RecoverFromStore() {
     }
 
     auto job = std::make_shared<ChaseJob>(record.id, record.request, this);
+    if (unrecoverable.ok() && !preflight_summary.empty()) {
+      job->SeedResolvedPreflight(record.request.options,
+                                 std::move(preflight_summary));
+    }
     if (unrecoverable.ok() && !resume_text.empty()) {
       job->SeedResumeCheckpoint(std::move(resume_text));
     }
@@ -739,8 +820,12 @@ HttpResponse ChaseDaemon::HandleSubmit(const HttpRequest& request) {
 
   // Reject inconsistent options now, as a structured 400, instead of a
   // failed job later. The message's leading field path becomes the error's
-  // field entry.
-  Status valid = job_request.options.Validate();
+  // field entry. An unresolved --variant=auto is legal HERE (the job's
+  // first segment resolves it before the engine validates again), so that
+  // one check is masked for the submission-time pass.
+  ChaseOptions submitted = job_request.options;
+  if (submitted.preflight.auto_variant) submitted.preflight.resolved = true;
+  Status valid = submitted.Validate();
   if (!valid.ok()) {
     return StatusResponse(valid, {FieldErrorFromValidate(valid, "options")});
   }

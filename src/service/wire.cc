@@ -92,15 +92,20 @@ Status ReadOptionsInto(Reader& r, const Json& json, ChaseOptions* options) {
   if (!json.is_object()) return r.Fail(r.path, "must be an object");
   TWCHASE_RETURN_IF_ERROR(r.CheckKeys(
       json, {"variant", "datalog_first", "keep_snapshots", "limits", "core",
-             "delta", "plan", "parallel", "resume"}));
+             "delta", "plan", "parallel", "resume", "preflight"}));
 
   if (json.Has("variant")) {
     const Json& value = json.Get("variant");
-    if (!value.is_string() ||
-        !ParseChaseVariant(value.string_value(), &options->variant)) {
+    // "auto" defers the choice to the termination preflight: the daemon
+    // resolves it against the parsed program before the engine sees the
+    // options (ChaseOptions::Validate rejects an unresolved auto).
+    if (value.is_string() && value.string_value() == "auto") {
+      options->preflight.auto_variant = true;
+    } else if (!value.is_string() ||
+               !ParseChaseVariant(value.string_value(), &options->variant)) {
       return r.Fail(r.Join("variant"),
                     "must be one of \"oblivious\", \"semi-oblivious\", "
-                    "\"restricted\", \"frugal\", \"core\"");
+                    "\"restricted\", \"frugal\", \"core\", \"auto\"");
     }
   }
   TWCHASE_RETURN_IF_ERROR(
@@ -190,6 +195,29 @@ Status ReadOptionsInto(Reader& r, const Json& json, ChaseOptions* options) {
         r.ReadBool(*group, "record_log", &options->resume.record_log));
     r.path = base;
   }
+
+  // Preflight provenance group: lets an already-resolved auto decision
+  // (concrete variant + verdict) round-trip, e.g. through the durable admit
+  // record. Fresh submissions just say "variant": "auto" instead.
+  TWCHASE_RETURN_IF_ERROR(r.RequireObject(json, "preflight", &group));
+  if (group != nullptr) {
+    r.path = r.Join("preflight");
+    TWCHASE_RETURN_IF_ERROR(
+        r.CheckKeys(*group, {"auto_variant", "resolved", "verdict"}));
+    TWCHASE_RETURN_IF_ERROR(
+        r.ReadBool(*group, "auto_variant", &options->preflight.auto_variant));
+    TWCHASE_RETURN_IF_ERROR(
+        r.ReadBool(*group, "resolved", &options->preflight.resolved));
+    size_t verdict = options->preflight.verdict;
+    TWCHASE_RETURN_IF_ERROR(r.ReadCount(*group, "verdict", &verdict));
+    if (verdict > 3) {
+      return r.Fail(r.Join("verdict"),
+                    "must be a termination class (0=unknown, 1=fes, 2=bts, "
+                    "3=core-bts)");
+    }
+    options->preflight.verdict = static_cast<uint32_t>(verdict);
+    r.path = base;
+  }
   return Status::OK();
 }
 
@@ -208,7 +236,14 @@ bool ParseChaseVariant(const std::string& name, ChaseVariant* out) {
 
 Json ChaseOptionsToJson(const ChaseOptions& options) {
   Json root = Json::Object();
-  root.Set("variant", Json::String(ChaseVariantName(options.variant)));
+  // An unresolved auto request serializes as "auto" (the concrete variant is
+  // meaningless until the preflight runs); a resolved one serializes its
+  // pinned variant with the provenance in the "preflight" group below.
+  if (options.preflight.auto_variant && !options.preflight.resolved) {
+    root.Set("variant", Json::String("auto"));
+  } else {
+    root.Set("variant", Json::String(ChaseVariantName(options.variant)));
+  }
   root.Set("datalog_first", Json::Bool(options.datalog_first));
   root.Set("keep_snapshots", Json::Bool(options.keep_snapshots));
 
@@ -248,6 +283,15 @@ Json ChaseOptionsToJson(const ChaseOptions& options) {
   Json resume = Json::Object();
   resume.Set("record_log", Json::Bool(options.resume.record_log));
   root.Set("resume", std::move(resume));
+
+  if (options.preflight.auto_variant) {
+    Json preflight = Json::Object();
+    preflight.Set("auto_variant", Json::Bool(true));
+    preflight.Set("resolved", Json::Bool(options.preflight.resolved));
+    preflight.Set("verdict",
+                  Json::Number(uint64_t{options.preflight.verdict}));
+    root.Set("preflight", std::move(preflight));
+  }
   return root;
 }
 

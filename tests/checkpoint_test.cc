@@ -305,6 +305,54 @@ TEST(ResumeChaseTest, RejectsMismatchedBackendAndPlanMode) {
   }
 }
 
+// Regression: a --variant=auto resolution (preflight verdict + picked
+// variant) is part of the run's identity, folded into the fingerprint ONLY
+// for auto runs. Explicit-variant fingerprints must stay byte-compatible
+// with pre-preflight checkpoints, and an auto-checkpoint recorded under one
+// classification must refuse to resume under another.
+TEST(ResumeChaseTest, PreflightDecisionIsPinnedInTheFingerprint) {
+  StaircaseWorld world;
+  ChaseOptions explicit_options =
+      RecordingOptions(ChaseVariant::kRestricted, 3);
+  ChaseOptions auto_options = explicit_options;
+  auto_options.preflight.auto_variant = true;
+  auto_options.preflight.resolved = true;
+  auto_options.preflight.verdict = 3;  // TerminationClass::kCoreBts
+
+  // The fold is gated on auto_variant: an auto run hashes differently...
+  EXPECT_NE(CheckpointFingerprint(world.kb(), auto_options),
+            CheckpointFingerprint(world.kb(), explicit_options));
+  // ...while stray preflight fields on an explicit run are invisible (the
+  // pre-preflight fingerprint format is preserved bit for bit).
+  ChaseOptions stray = explicit_options;
+  stray.preflight.verdict = 2;
+  EXPECT_EQ(CheckpointFingerprint(world.kb(), stray),
+            CheckpointFingerprint(world.kb(), explicit_options));
+  // Different verdicts (and different resolved variants) hash apart.
+  ChaseOptions reclassified = auto_options;
+  reclassified.preflight.verdict = 0;  // TerminationClass::kUnknown
+  EXPECT_NE(CheckpointFingerprint(world.kb(), reclassified),
+            CheckpointFingerprint(world.kb(), auto_options));
+
+  auto run = RunChase(world.kb(), auto_options);
+  ASSERT_TRUE(run.ok());
+  StaircaseWorld fresh;
+  ChaseCheckpoint cp = MakeCheckpoint(fresh.kb(), auto_options, *run);
+  {
+    // Re-classification changed since the recording: resume is rejected.
+    StaircaseWorld target;
+    auto resumed = ResumeChase(target.kb(), reclassified, cp);
+    EXPECT_FALSE(resumed.ok());
+    EXPECT_EQ(resumed.status().code(), StatusCode::kFailedPrecondition);
+  }
+  {
+    // The same resolution still resumes.
+    StaircaseWorld target;
+    auto resumed = ResumeChase(target.kb(), auto_options, cp);
+    EXPECT_TRUE(resumed.ok()) << resumed.status().ToString();
+  }
+}
+
 TEST(ResumeChaseTest, RejectsConsumedVocabulary) {
   StaircaseWorld world;
   ChaseOptions options = RecordingOptions(ChaseVariant::kRestricted, 3);

@@ -6,36 +6,44 @@
 #      concurrency on every bundled program — the cheap end-to-end check of
 #      the deterministic-merge invariant (tests/parallel_chase_test.cc is
 #      the thorough one);
-#   3. sanitizers: ASan+UBSan (TWCHASE_SANITIZE) build, then the delta, obs,
-#      robustness, columnar, plan and durability labelled suites under it
-#      (fault-injection, checkpoint/resume, the columnar storage layer, the
-#      planner's still-core guard and the torn-write/replay recovery paths
-#      are exactly the code that must be memory-clean);
-#   4. TSan: ThreadSanitizer build, then the parallel, columnar, plan and
-#      service labelled suites under it to race-check the worker pool,
-#      sharded metrics, the lazy column-index builds that parallel searches
-#      race on, the planner's dormant-rule skips inside parallel rounds, and
-#      the daemon's HTTP handler pool + job scheduler + preemption monitor;
-#   5. daemon smoke: start twchased on an ephemeral port, submit the bundled
+#   3. twgen gates: the label-soundness sweep (500 seeded programs — every
+#      fes label must terminate under every variant, every non-terminating
+#      label must diverge under every variant) and a seeded differential
+#      sweep smoke (all five variants × both match backends × threads 1/4 ×
+#      plan on/off, bit-identity cross-checked per config);
+#   4. sanitizers: ASan+UBSan (TWCHASE_SANITIZE) build, then the delta, obs,
+#      robustness, columnar, plan, durability and analysis labelled suites
+#      under it (fault-injection, checkpoint/resume, the columnar storage
+#      layer, the planner's still-core guard, the torn-write/replay recovery
+#      paths and the preflight's sandboxed dynamic probes are exactly the
+#      code that must be memory-clean);
+#   5. TSan: ThreadSanitizer build, then the parallel, columnar, plan,
+#      service and analysis labelled suites under it to race-check the
+#      worker pool, sharded metrics, the lazy column-index builds that
+#      parallel searches race on, the planner's dormant-rule skips inside
+#      parallel rounds, the daemon's HTTP handler pool + job scheduler +
+#      preemption monitor, and the sweep's backend switching;
+#   6. daemon smoke: start twchased on an ephemeral port, submit the bundled
 #      programs through twchase_client and diff the results against the CLI
 #      (modulo the wall-clock field) — the service path must render the
-#      exact same answer; then a clean SIGTERM shutdown with zero leaked
-#      jobs;
-#   6. crash recovery: start twchased with --state-dir, submit a slow and a
+#      exact same answer, including a --variant=auto submission whose
+#      daemon-side preflight must match the CLI's; then a clean SIGTERM
+#      shutdown with zero leaked jobs;
+#   7. crash recovery: start twchased with --state-dir, submit a slow and a
 #      fast job, SIGKILL the daemon mid-run, restart it on the same state
 #      directory and await both jobs — each result must be byte-identical
 #      (modulo the wall-clock field) to an uninterrupted CLI run of the same
 #      program, whether it was served from the retained terminal record or
 #      resumed from the last durable checkpoint;
-#   7. fuzz smoke: short runs of the parser fuzz harness and the recovery
+#   8. fuzz smoke: short runs of the parser fuzz harness and the recovery
 #      fuzz harness (checkpoint + manifest parsers over the seed corpus of
 #      torn/truncated/bit-flipped artifacts) under the sanitizer build
 #      (libFuzzer with clang, the deterministic standalone driver with gcc);
-#   8. bench smoke: the full bench_engine sweep (delta, threads, matching
-#      backends, large instances, planner, service throughput) under a
-#      generous wall-time ceiling — it fails on parity violations, a
-#      tripped memory budget, or a hang;
-#   9. planner regression gate: from the bench smoke artifact, the
+#   9. bench smoke: the full bench_engine sweep (delta, threads, matching
+#      backends, large instances, planner, service throughput, the preflight
+#      sweep) under a generous wall-time ceiling — it fails on parity
+#      violations, a tripped memory budget, or a hang;
+#  10. planner regression gate: from the bench smoke artifact, the
 #      staircase-core workload must not be slower with the planner on than
 #      off — the planner only ever skips work, so a regression means the
 #      reliance/guard machinery itself got too expensive.
@@ -78,17 +86,22 @@ for program in data/*.twc; do
   echo "  $program: identical at threads 1/4/$HW_THREADS"
 done
 
-echo "== sanitizers: asan preset, delta+obs+robustness+columnar+plan+durability labels =="
+echo "== twgen gates: label soundness (500 programs) + differential sweep smoke =="
+timeout "$CTEST_HARD_TIMEOUT" ./build/tools/twgen --soundness --programs=500
+timeout "$CTEST_HARD_TIMEOUT" ./build/tools/twgen --sweep --programs=60 \
+  --max-steps=30
+
+echo "== sanitizers: asan preset, delta+obs+robustness+columnar+plan+durability+analysis labels =="
 cmake --preset asan -DTWCHASE_BUILD_FUZZERS=ON
 cmake --build --preset asan -j "$JOBS"
 timeout "$CTEST_HARD_TIMEOUT" ctest --test-dir build-asan \
-  --output-on-failure -L 'delta|obs|robustness|columnar|plan|durability'
+  --output-on-failure -L 'delta|obs|robustness|columnar|plan|durability|analysis'
 
-echo "== tsan: thread preset, parallel+columnar+plan+service labels =="
+echo "== tsan: thread preset, parallel+columnar+plan+service+analysis labels =="
 cmake --preset tsan
 cmake --build --preset tsan -j "$JOBS"
 timeout "$CTEST_HARD_TIMEOUT" ctest --test-dir build-tsan \
-  --output-on-failure -L 'parallel|columnar|plan|service'
+  --output-on-failure -L 'parallel|columnar|plan|service|analysis'
 
 echo "== daemon smoke: twchased round-trip vs the CLI on bundled programs =="
 ./build/tools/twchased --port=0 > /tmp/twchased_smoke.log 2>&1 &
@@ -117,6 +130,20 @@ for program in data/*.twc; do
   fi
   echo "  $program: daemon result identical to the CLI"
 done
+# --variant=auto round-trip: the daemon's server-side preflight resolution
+# must render the same text (preflight line included) as the CLI's.
+./build/tools/twgen --class=fes --seed=11 --out=/tmp/twgen_auto_smoke.twc
+./build/tools/twchase_cli --variant=auto /tmp/twgen_auto_smoke.twc \
+    | sed 's/ [0-9][0-9.]*s,/ TIME,/' > /tmp/twchase_cli_smoke.out
+./build/tools/twchase_client --port="$DAEMON_PORT" --variant=auto \
+    /tmp/twgen_auto_smoke.twc | sed 's/ [0-9][0-9.]*s,/ TIME,/' \
+    > /tmp/twchased_client.out
+if ! diff -u /tmp/twchase_cli_smoke.out /tmp/twchased_client.out; then
+  echo "DAEMON SMOKE FAILURE: --variant=auto differs from the CLI" >&2
+  kill "$TWCHASED_PID" 2>/dev/null || true
+  exit 1
+fi
+echo "  twgen fes seed=11: daemon --variant=auto identical to the CLI"
 kill -TERM "$TWCHASED_PID"
 TWCHASED_EXIT=0
 wait "$TWCHASED_PID" || TWCHASED_EXIT=$?

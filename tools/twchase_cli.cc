@@ -6,7 +6,9 @@
 //
 // Usage:
 //   twchase_cli [flags] <program-file>
-//     --variant=oblivious|semi|restricted|frugal|core   (default: core)
+//     --variant=oblivious|semi|restricted|frugal|core|auto (default: core;
+//                          auto runs the termination preflight and picks the
+//                          cheapest variant the analysis proves sound)
 //     --max-steps=N        rule-application budget        (default: 1000)
 //     --core-every=N       core chase: coring spacing     (default: 1)
 //     --measures           print per-step |F_i| and treewidth series
@@ -38,6 +40,7 @@
 #include <sstream>
 #include <string>
 
+#include "analysis/preflight.h"
 #include "core/chase.h"
 #include "core/checkpoint.h"
 #include "core/session.h"
@@ -97,6 +100,9 @@ bool ParseVariant(const std::string& name, twchase::ChaseVariant* out) {
   return true;
 }
 
+// --variant=auto defers the choice to the termination preflight, which needs
+// the parsed program; ParseArgs only records the request.
+
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
   options->chase.variant = twchase::ChaseVariant::kCore;
   // The library default is sequential; the CLI defaults to the machine.
@@ -109,8 +115,12 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     std::string backend_name;
     std::string plan_mode;
     if (m.Value("--variant", &variant_name)) {
-      if (!ParseVariant(variant_name, &options->chase.variant)) {
-        std::fprintf(stderr, "unknown variant: %s\n", variant_name.c_str());
+      if (variant_name == "auto") {
+        options->chase.preflight.auto_variant = true;
+      } else if (!ParseVariant(variant_name, &options->chase.variant)) {
+        std::fprintf(stderr, "unknown variant: %s (expected oblivious, semi, "
+                     "restricted, frugal, core, or auto)\n",
+                     variant_name.c_str());
         return false;
       }
     } else if (m.Value("--match-backend", &backend_name)) {
@@ -197,6 +207,21 @@ int main(int argc, char** argv) {
   const KnowledgeBase& kb = program->kb;
   std::printf("program: %zu facts, %zu rules, %zu queries\n", kb.facts.size(),
               kb.rules.size(), program->queries.size());
+
+  // --variant=auto: run the termination preflight and adopt its verdict (the
+  // resolved variant plus suggested budgets for programs it cannot prove
+  // terminating). Explicit --variant runs never reach this branch, so their
+  // output stays byte-identical to the pre-preflight CLI.
+  if (options.chase.preflight.auto_variant) {
+    StatusOr<PreflightReport> resolved =
+        ResolveAutoVariant(kb, PreflightOptions{}, &options.chase);
+    if (!resolved.ok()) {
+      std::fprintf(stderr, "preflight error: %s\n",
+                   resolved.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("preflight: %s\n", resolved->Summary().c_str());
+  }
 
   if (options.analyze) {
     RulesetAnalysis analysis = AnalyzeRuleset(kb.rules);

@@ -85,7 +85,10 @@ int main(int argc, char** argv) {
         m.Flag("--no-wait", &no_wait) || m.Value("--await-job", &await_job)) {
       // dispatched
     } else if (m.Value("--variant", &variant_name)) {
-      if (!ParseChaseVariant(variant_name, &options.variant)) {
+      if (variant_name == "auto") {
+        // The daemon resolves auto against the parsed program server-side.
+        options.preflight.auto_variant = true;
+      } else if (!ParseChaseVariant(variant_name, &options.variant)) {
         std::fprintf(stderr, "unknown variant: %s\n", variant_name.c_str());
         return 2;
       }
